@@ -1,0 +1,175 @@
+(* Benchmark harness: regenerates every table and figure of the paper
+   (Section A) and runs one Bechamel micro-benchmark per experiment id
+   (Section B).
+
+   Run with: dune exec bench/main.exe
+   Knobs (environment):
+     RGS_BENCH_SCALE    dataset scale relative to the paper (default 0.05)
+     RGS_BENCH_TIMEOUT  per-mining-run cut-off in seconds (default 5)
+     RGS_BENCH_SKIP_TABLES / RGS_BENCH_SKIP_MICRO  set to 1 to skip a section
+
+   The tables here are shape-checks at reduced scale; EXPERIMENTS.md records
+   the larger-budget runs produced with bin/experiments.exe. *)
+
+module E = Rgs_experiments
+
+let env_float name default =
+  match Sys.getenv_opt name with Some v -> float_of_string v | None -> default
+
+let env_flag name = Sys.getenv_opt name = Some "1"
+
+let scale = env_float "RGS_BENCH_SCALE" 0.05
+let timeout_s = env_float "RGS_BENCH_TIMEOUT" 5.
+
+let print_table title t =
+  Format.printf "== %s ==@.%s@." title (Rgs_post.Report.to_string t)
+
+(* --- Section A: paper tables and figures --- *)
+
+let section_tables () =
+  Format.printf "### Section A: paper tables and figures (scale %.2f, cut-off %.0fs)@.@."
+    scale timeout_s;
+  print_table "Table I: support semantics on Example 1.1" (E.Table1.report ());
+  let sweep name ~x_label (rows, label) =
+    print_table
+      (Printf.sprintf "%s — %s" name label)
+      (E.Sweeps.report ~x_label rows);
+    print_string (E.Sweeps.charts rows);
+    print_newline ()
+  in
+  sweep "Figure 2 (runtime & #patterns vs min_sup)" ~x_label:"min_sup"
+    (E.Sweeps.fig2 ~scale ~timeout_s ());
+  sweep "Figure 3 (runtime & #patterns vs min_sup)" ~x_label:"min_sup"
+    (E.Sweeps.fig3 ~scale ~timeout_s ());
+  sweep "Figure 4 (runtime & #patterns vs min_sup)" ~x_label:"min_sup"
+    (E.Sweeps.fig4 ~scale:(max scale 0.1) ~timeout_s ());
+  sweep "Figure 5 (vary #sequences D)" ~x_label:"D"
+    (E.Sweeps.fig5 ~scale ~timeout_s ());
+  sweep "Figure 6 (vary average length C=S)" ~x_label:"avg_len"
+    (E.Sweeps.fig6 ~scale ~timeout_s ());
+  let db = E.Exp_common.quest_d5c20n10s20 ~scale () in
+  print_table "Sec IV-A comparators — D5C20N10S20-like, min_sup=10"
+    (E.Comparators.report (E.Comparators.compare_all ~timeout_s db ~min_sup:10));
+  let tcas = E.Exp_common.tcas_like ~scale:0.1 () in
+  print_table "Ablation (DESIGN.md) — TCAS-like, min_sup=100"
+    (E.Ablation.report (E.Ablation.run ~timeout_s tcas ~min_sup:100));
+  let o = E.Case_study.run ~max_patterns:2000 () in
+  print_table "Sec IV-B case study — JBoss-like traces, min_sup=18" (E.Case_study.report o)
+
+(* --- Section B: bechamel micro-benchmarks, one per experiment id --- *)
+
+open Bechamel
+open Toolkit
+
+let micro_tests () =
+  let open Rgs_sequence in
+  let open Rgs_core in
+  (* Fixed small inputs so each staged function runs in well under 100ms. *)
+  let table1_db = Seqdb.of_strings [ "AABCDABB"; "ABCD" ] in
+  let quest = E.Exp_common.quest_d5c20n10s20 ~scale:0.02 () in
+  let quest_idx = Inverted_index.build quest in
+  let gazelle = E.Exp_common.gazelle_like ~scale:0.02 () in
+  let gazelle_idx = Inverted_index.build gazelle in
+  let tcas = E.Exp_common.tcas_like ~scale:0.02 () in
+  let tcas_idx = Inverted_index.build tcas in
+  let jboss, jboss_codec = E.Exp_common.jboss_like () in
+  let jboss_idx = Inverted_index.build jboss in
+  let lock = Option.get (Codec.find jboss_codec "TransImpl.lock") in
+  let unlock = Option.get (Codec.find jboss_codec "TransImpl.unlock") in
+  let lock_unlock = Pattern.of_list [ lock; unlock ] in
+  let table3_idx = Inverted_index.build (Seqdb.of_strings [ "ABCACBDDB"; "ACDBACADD" ]) in
+  let acb = Pattern.of_string "ACB" in
+  [
+    Test.make ~name:"table1:semantics-rows" (Staged.stage (fun () ->
+        Sys.opaque_identity (E.Table1.rows ())));
+    Test.make ~name:"fig2:clogsgrow-quest" (Staged.stage (fun () ->
+        Sys.opaque_identity (Clogsgrow.mine ~max_length:4 quest_idx ~min_sup:5)));
+    Test.make ~name:"fig3:clogsgrow-gazelle" (Staged.stage (fun () ->
+        Sys.opaque_identity (Clogsgrow.mine ~max_length:3 gazelle_idx ~min_sup:60)));
+    Test.make ~name:"fig4:clogsgrow-tcas" (Staged.stage (fun () ->
+        Sys.opaque_identity (Clogsgrow.mine ~max_length:3 tcas_idx ~min_sup:15)));
+    Test.make ~name:"fig5:gsgrow-quest" (Staged.stage (fun () ->
+        Sys.opaque_identity (Gsgrow.mine ~max_length:4 quest_idx ~min_sup:5)));
+    Test.make ~name:"fig6:supcomp-long-pattern" (Staged.stage (fun () ->
+        Sys.opaque_identity (Sup_comp.support table3_idx acb)));
+    Test.make ~name:"comparators:prefixspan-quest" (Staged.stage (fun () ->
+        Sys.opaque_identity (Rgs_baselines.Prefixspan.mine ~max_length:4 quest ~min_sup:5)));
+    Test.make ~name:"comparators:bide-quest" (Staged.stage (fun () ->
+        Sys.opaque_identity (Rgs_baselines.Bide.mine ~max_length:4 quest ~min_sup:5)));
+    Test.make ~name:"casestudy:supcomp-lock-unlock" (Staged.stage (fun () ->
+        Sys.opaque_identity (Sup_comp.support jboss_idx lock_unlock)));
+    Test.make ~name:"casestudy:closure-check" (Staged.stage (fun () ->
+        Sys.opaque_identity (Closure.is_closed jboss_idx lock_unlock)));
+    Test.make ~name:"primitive:index-build" (Staged.stage (fun () ->
+        Sys.opaque_identity (Inverted_index.build table1_db)));
+    Test.make ~name:"primitive:insgrow" (Staged.stage (fun () ->
+        let i = Support_set.of_event table3_idx 0 in
+        Sys.opaque_identity (Support_set.grow table3_idx i 2)));
+    Test.make ~name:"primitive:btree-successor" (Staged.stage (fun () ->
+        let bt = Btree.of_sorted_array (Array.init 1000 (fun i -> 2 * i)) in
+        Sys.opaque_identity (Btree.successor bt 999)));
+  ]
+
+(* Parallel scaling: one timed CloGSgrow per domain count (too coarse for
+   bechamel's sampling; measured directly). Speedup only appears on
+   multi-core hosts; output equality with the sequential miner is
+   guaranteed either way (test/test_parallel.ml). *)
+let section_parallel () =
+  let open Rgs_core in
+  Format.printf "host cores (recommended domains): %d@."
+    (Domain.recommended_domain_count ());
+  let jboss, _ = E.Exp_common.jboss_like () in
+  let idx = Rgs_sequence.Inverted_index.build jboss in
+  let t = Rgs_post.Report.create ~columns:[ "domains"; "time_s"; "patterns" ] in
+  let counts =
+    List.sort_uniq compare [ 1; 2; Parallel_miner.default_domains () ]
+  in
+  List.iter
+    (fun domains ->
+      let (results, _), elapsed =
+        E.Exp_common.time (fun () ->
+            Parallel_miner.mine_closed ~domains ~max_length:5 idx ~min_sup:18)
+      in
+      Rgs_post.Report.add_row t
+        [ string_of_int domains; Rgs_post.Report.cell_float elapsed;
+          string_of_int (List.length results) ])
+    counts;
+  print_table "parallel CloGSgrow scaling — JBoss-like, min_sup=18, max_length=5" t
+
+let section_micro () =
+  Format.printf "@.### Section B: bechamel micro-benchmarks@.@.";
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None
+      ~stabilize:false ()
+  in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let t = Rgs_post.Report.create ~columns:[ "bench"; "time/run" ] in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let analyzed = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          let cell =
+            match Analyze.OLS.estimates ols_result with
+            | Some [ est ] ->
+              if est > 1e9 then Printf.sprintf "%.3f s" (est /. 1e9)
+              else if est > 1e6 then Printf.sprintf "%.3f ms" (est /. 1e6)
+              else if est > 1e3 then Printf.sprintf "%.3f us" (est /. 1e3)
+              else Printf.sprintf "%.0f ns" est
+            | _ -> "n/a"
+          in
+          Rgs_post.Report.add_row t [ name; cell ])
+        analyzed)
+    (micro_tests ());
+  print_table "micro-benchmarks (OLS time per run)" t
+
+let () =
+  if not (env_flag "RGS_BENCH_SKIP_TABLES") then section_tables ();
+  if not (env_flag "RGS_BENCH_SKIP_MICRO") then begin
+    section_micro ();
+    section_parallel ()
+  end

@@ -1,0 +1,153 @@
+(* experiments: regenerate any table or figure of the paper by id.
+
+   Examples:
+     experiments table1
+     experiments fig2 --scale 0.1
+     experiments fig4
+     experiments casestudy
+     experiments comparators
+     experiments ablation
+     experiments all *)
+
+open Cmdliner
+module E = Rgs_experiments
+
+(* When RGS_CSV_DIR is set, every printed table is also written there as
+   CSV (slug derived from the title) for plotting. *)
+let csv_dir = Sys.getenv_opt "RGS_CSV_DIR"
+
+let slug title =
+  String.map
+    (fun c ->
+      if (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') then c
+      else if c >= 'A' && c <= 'Z' then Char.lowercase_ascii c
+      else '_')
+    title
+
+let print_table title t =
+  Format.printf "== %s ==@.%s@." title (Rgs_post.Report.to_string t);
+  match csv_dir with
+  | None -> ()
+  | Some dir ->
+    let path = Filename.concat dir (slug title ^ ".csv") in
+    Rgs_post.Export.save path (Rgs_post.Export.report_to_csv t);
+    Format.eprintf "wrote %s@." path
+
+let run_table1 () = print_table "Table I: support semantics on Example 1.1" (E.Table1.report ())
+
+let run_sweep name (rows, label) =
+  print_table (Printf.sprintf "%s — %s" name label) (E.Sweeps.report ~x_label:"min_sup" rows);
+  print_string (E.Sweeps.charts rows);
+  print_newline ()
+
+let run_fig5 scale timeout_s =
+  let rows, label = E.Sweeps.fig5 ~scale ?timeout_s () in
+  print_table (Printf.sprintf "Figure 5 — %s" label) (E.Sweeps.report ~x_label:"D" rows)
+
+let run_fig6 scale timeout_s =
+  let rows, label = E.Sweeps.fig6 ~scale ?timeout_s () in
+  print_table (Printf.sprintf "Figure 6 — %s" label)
+    (E.Sweeps.report ~x_label:"avg_len" rows)
+
+let run_casestudy () =
+  let o = E.Case_study.run () in
+  print_table "Case study — JBoss-style transaction traces" (E.Case_study.report o);
+  Format.printf "longest pattern events:@.";
+  List.iter (fun n -> Format.printf "  %s@." n) o.E.Case_study.longest_events
+
+let run_comparators scale timeout_s =
+  let db = E.Exp_common.quest_d5c20n10s20 ~scale () in
+  print_table "Comparators — D5C20N10S20-like, min_sup=10"
+    (E.Comparators.report (E.Comparators.compare_all ?timeout_s db ~min_sup:10));
+  let db = E.Exp_common.tcas_like ~scale:0.25 () in
+  print_table "Comparators — TCAS-like, min_sup=300"
+    (E.Comparators.report
+       (E.Comparators.compare_all ?timeout_s ~max_length:8 db ~min_sup:300))
+
+let run_ablation timeout_s =
+  let db = E.Exp_common.tcas_like ~scale:0.25 () in
+  print_table "Ablation — TCAS-like (scale 0.25), min_sup=200"
+    (E.Ablation.report (E.Ablation.run ?timeout_s db ~min_sup:200))
+
+let scale =
+  Arg.(value & opt float 0.1 & info [ "scale" ] ~docv:"X"
+         ~doc:"Dataset scale relative to the paper (1.0 = paper size).")
+
+let timeout =
+  Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECONDS"
+         ~doc:"Per-run time budget (cut-off).")
+
+let simple name doc f = Cmd.v (Cmd.info name ~doc) Term.(const f $ const ())
+
+let sweep_cmd name doc make =
+  let run scale timeout_s = make ~scale ?timeout_s (); 0 in
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ scale $ timeout)
+
+let fig2_cmd =
+  sweep_cmd "fig2" "Figure 2: vary min_sup on D5C20N10S20" (fun ~scale ?timeout_s () ->
+      run_sweep "Figure 2" (E.Sweeps.fig2 ~scale ?timeout_s ()))
+
+let fig3_cmd =
+  sweep_cmd "fig3" "Figure 3: vary min_sup on Gazelle-like" (fun ~scale ?timeout_s () ->
+      run_sweep "Figure 3" (E.Sweeps.fig3 ~scale ?timeout_s ()))
+
+let fig4_cmd =
+  sweep_cmd "fig4" "Figure 4: vary min_sup on TCAS-like" (fun ~scale ?timeout_s () ->
+      run_sweep "Figure 4" (E.Sweeps.fig4 ~scale:(max scale 0.25) ?timeout_s ()))
+
+let fig5_cmd =
+  let run scale timeout_s = run_fig5 scale timeout_s; 0 in
+  Cmd.v (Cmd.info "fig5" ~doc:"Figure 5: vary the number of sequences")
+    Term.(const run $ scale $ timeout)
+
+let fig6_cmd =
+  let run scale timeout_s = run_fig6 scale timeout_s; 0 in
+  Cmd.v (Cmd.info "fig6" ~doc:"Figure 6: vary the average sequence length")
+    Term.(const run $ scale $ timeout)
+
+let comparators_cmd =
+  let run scale timeout_s = run_comparators scale timeout_s; 0 in
+  Cmd.v (Cmd.info "comparators" ~doc:"Sequential-miner runtime comparison")
+    Term.(const run $ scale $ timeout)
+
+let ablation_cmd =
+  let run timeout_s = run_ablation timeout_s; 0 in
+  Cmd.v (Cmd.info "ablation" ~doc:"CloGSgrow checking-strategy ablation")
+    Term.(const run $ timeout)
+
+let all_cmd =
+  let run scale timeout_s =
+    run_table1 ();
+    run_sweep "Figure 2" (E.Sweeps.fig2 ~scale ?timeout_s ());
+    run_sweep "Figure 3" (E.Sweeps.fig3 ~scale ?timeout_s ());
+    run_sweep "Figure 4" (E.Sweeps.fig4 ~scale:(max scale 0.25) ?timeout_s ());
+    run_fig5 scale timeout_s;
+    run_fig6 scale timeout_s;
+    run_comparators scale timeout_s;
+    run_ablation timeout_s;
+    run_casestudy ();
+    0
+  in
+  Cmd.v (Cmd.info "all" ~doc:"Run every experiment") Term.(const run $ scale $ timeout)
+
+let cmd =
+  let doc =
+    "regenerate the paper's tables and figures (set RGS_CSV_DIR to also \
+     dump each table as CSV)"
+  in
+  Cmd.group
+    (Cmd.info "experiments" ~version:"1.0.0" ~doc)
+    [
+      simple "table1" "Table I: support semantics comparison" (fun () -> run_table1 (); 0);
+      fig2_cmd;
+      fig3_cmd;
+      fig4_cmd;
+      fig5_cmd;
+      fig6_cmd;
+      comparators_cmd;
+      ablation_cmd;
+      simple "casestudy" "Section IV-B case study" (fun () -> run_casestudy (); 0);
+      all_cmd;
+    ]
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,115 @@
+(* rgsgen: generate the synthetic datasets used in the experiments.
+
+   Examples:
+     rgsgen quest -D 5000 -C 20 -N 10000 -S 20 -o d5c20n10s20.txt
+     rgsgen gazelle --scale 0.1 -o gazelle.txt
+     rgsgen tcas -o tcas.txt
+     rgsgen jboss -o jboss.txt *)
+
+open Cmdliner
+open Rgs_sequence
+open Rgs_datagen
+
+let save db codec output =
+  let contents =
+    match codec with
+    | Some codec -> Seq_io.print_tokens codec db
+    | None ->
+      (* events as integer tokens *)
+      let codec = Codec.create () in
+      let rename = Hashtbl.create 64 in
+      let name e =
+        match Hashtbl.find_opt rename e with
+        | Some n -> n
+        | None ->
+          let n = string_of_int e in
+          Hashtbl.add rename e n;
+          ignore (Codec.intern codec n);
+          n
+      in
+      let buf = Buffer.create 4096 in
+      Seqdb.iter
+        (fun _ s ->
+          Sequence.iteri
+            (fun pos e ->
+              if pos > 1 then Buffer.add_char buf ' ';
+              Buffer.add_string buf (name e))
+            s;
+          Buffer.add_char buf '\n')
+        db;
+      Buffer.contents buf
+  in
+  match output with
+  | None -> print_string contents
+  | Some path ->
+    let oc = open_out path in
+    Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc contents);
+    Format.eprintf "wrote %s@." path
+
+let finish db codec output stats =
+  if stats then Format.eprintf "%a@." Seqdb.pp_stats (Seqdb.stats db);
+  save db codec output;
+  0
+
+let output =
+  Arg.(value & opt (some string) None & info [ "output"; "o" ] ~docv:"FILE"
+         ~doc:"Output file (stdout when absent).")
+
+let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed.")
+let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print dataset statistics to stderr.")
+
+let quest_cmd =
+  let run d c n s num_patterns output seed stats =
+    let db = Quest_gen.generate (Quest_gen.params ~d ~c ~n ~s ~num_patterns ~seed ()) in
+    finish db None output stats
+  in
+  let d = Arg.(value & opt int 5000 & info [ "D" ] ~docv:"N" ~doc:"Number of sequences.") in
+  let c = Arg.(value & opt int 20 & info [ "C" ] ~docv:"N" ~doc:"Average events per sequence.") in
+  let n = Arg.(value & opt int 10000 & info [ "N" ] ~docv:"N" ~doc:"Number of distinct events.") in
+  let s = Arg.(value & opt int 20 & info [ "S" ] ~docv:"N" ~doc:"Average maximal pattern length.") in
+  let np = Arg.(value & opt int 100 & info [ "pool" ] ~docv:"N" ~doc:"Pattern pool size.") in
+  Cmd.v
+    (Cmd.info "quest" ~doc:"IBM QUEST-style generator (paper's synthetic datasets)")
+    Term.(const run $ d $ c $ n $ s $ np $ output $ seed $ stats)
+
+let gazelle_cmd =
+  let run scale output seed stats =
+    let db = Clickstream_gen.generate (Clickstream_gen.gazelle_like ~scale ~seed ()) in
+    finish db None output stats
+  in
+  let scale =
+    Arg.(value & opt float 0.1 & info [ "scale" ] ~docv:"X"
+           ~doc:"Fraction of the real Gazelle's 29369 sequences.")
+  in
+  Cmd.v
+    (Cmd.info "gazelle" ~doc:"Gazelle-like clickstream generator")
+    Term.(const run $ scale $ output $ seed $ stats)
+
+let tcas_cmd =
+  let run scale output seed stats =
+    let db = Trace_gen.generate (Trace_gen.tcas_like ~scale ~seed ()) in
+    finish db None output stats
+  in
+  let scale =
+    Arg.(value & opt float 1.0 & info [ "scale" ] ~docv:"X"
+           ~doc:"Fraction of the real TCAS's 1578 traces.")
+  in
+  Cmd.v
+    (Cmd.info "tcas" ~doc:"TCAS-like program trace generator")
+    Term.(const run $ scale $ output $ seed $ stats)
+
+let jboss_cmd =
+  let run output seed stats =
+    let db, codec = Jboss_gen.generate (Jboss_gen.params ~seed ()) in
+    finish db (Some codec) output stats
+  in
+  Cmd.v
+    (Cmd.info "jboss" ~doc:"JBoss-style transaction-component trace generator (case study)")
+    Term.(const run $ output $ seed $ stats)
+
+let cmd =
+  let doc = "generate synthetic sequence datasets for the experiments" in
+  Cmd.group (Cmd.info "rgsgen" ~version:"1.0.0" ~doc)
+    [ quest_cmd; gazelle_cmd; tcas_cmd; jboss_cmd ]
+
+let () = exit (Cmd.eval' cmd)

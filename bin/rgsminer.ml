@@ -1,0 +1,117 @@
+(* rgsminer: mine (closed) repetitive gapped subsequences from a sequence
+   file.
+
+   Examples:
+     rgsminer --min-sup 3 data.txt
+     rgsminer --min-sup 18 --all --max-length 10 --limit 50 traces.txt
+     rgsminer --min-sup 5 --format spmf data.spmf --instances *)
+
+open Cmdliner
+open Rgs_sequence
+open Rgs_core
+
+type format = Tokens | Chars | Spmf
+
+let load format path =
+  match format with
+  | Tokens ->
+    let db, codec = Seq_io.load_tokens path in
+    (db, Some codec)
+  | Chars ->
+    let ic = open_in path in
+    let content =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    (Seq_io.parse_chars content, None)
+  | Spmf -> (Seq_io.load_spmf path, None)
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some (if verbose then Logs.Info else Logs.Warning))
+
+let run input format min_sup all max_length max_patterns limit instances max_gap parallel
+    verbose =
+  setup_logs verbose;
+  let db, codec = load format input in
+  Format.printf "%a@.@." Seqdb.pp_stats (Seqdb.stats db);
+  let mode = if all then Miner.All else Miner.Closed in
+  let domains = if parallel then Some (Parallel_miner.default_domains ()) else None in
+  let max_patterns = if parallel then None else max_patterns in
+  let config =
+    Miner.config ~mode ?max_length ?max_patterns ?max_gap ?domains ~min_sup ()
+  in
+  let report = Miner.mine ~config db in
+  (match codec with
+  | Some codec -> Format.printf "%a@." (Miner.pp_report ~codec ~limit) report
+  | None -> Format.printf "%a@." (fun ppf r -> Miner.pp_report ~limit ppf r) report);
+  if instances then begin
+    let sorted = List.sort Mined.compare_by_support_desc report.Miner.results in
+    List.iteri
+      (fun k r ->
+        if k < limit then begin
+          Format.printf "@.%a:@." Pattern.pp r.Mined.pattern;
+          List.iter
+            (fun f -> Format.printf "  %a@." Instance.pp_full f)
+            (Miner.landmarks db r.Mined.pattern)
+        end)
+      sorted
+  end;
+  0
+
+let input =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Input sequence file.")
+
+let format =
+  let format_conv =
+    Arg.enum [ ("tokens", Tokens); ("chars", Chars); ("spmf", Spmf) ]
+  in
+  Arg.(value & opt format_conv Tokens & info [ "format"; "f" ] ~docv:"FMT"
+         ~doc:"Input format: $(b,tokens) (names per line), $(b,chars) (A-Z strings), or $(b,spmf).")
+
+let min_sup =
+  Arg.(required & opt (some int) None & info [ "min-sup"; "s" ] ~docv:"N"
+         ~doc:"Repetitive support threshold (>= 1).")
+
+let all =
+  Arg.(value & flag & info [ "all"; "a" ]
+         ~doc:"Mine all frequent patterns (GSgrow) instead of closed ones (CloGSgrow).")
+
+let max_length =
+  Arg.(value & opt (some int) None & info [ "max-length" ] ~docv:"N"
+         ~doc:"Bound pattern length.")
+
+let max_patterns =
+  Arg.(value & opt (some int) None & info [ "max-patterns" ] ~docv:"N"
+         ~doc:"Stop after N patterns (output becomes a prefix of the full answer).")
+
+let limit =
+  Arg.(value & opt int 25 & info [ "limit"; "n" ] ~docv:"N"
+         ~doc:"How many patterns to print.")
+
+let instances =
+  Arg.(value & flag & info [ "instances"; "i" ]
+         ~doc:"Also print the leftmost support set (landmarks) of printed patterns.")
+
+let max_gap =
+  Arg.(value & opt (some int) None & info [ "max-gap"; "g" ] ~docv:"N"
+         ~doc:"Gap-constrained mining: instances may skip at most N events between \
+               successive pattern events (sound greedy lower bound; mines all \
+               patterns, not closed ones).")
+
+let parallel =
+  Arg.(value & flag & info [ "parallel"; "p" ]
+         ~doc:"Mine with one domain per core (ignored with $(b,--max-gap)).")
+
+let verbose =
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Log mining progress to stderr.")
+
+let cmd =
+  let doc = "mine (closed) repetitive gapped subsequences from a sequence database" in
+  Cmd.v
+    (Cmd.info "rgsminer" ~version:"1.0.0" ~doc)
+    Term.(const run $ input $ format $ min_sup $ all $ max_length $ max_patterns $ limit
+          $ instances $ max_gap $ parallel $ verbose)
+
+let () = exit (Cmd.eval' cmd)

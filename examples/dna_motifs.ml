@@ -1,0 +1,110 @@
+(* DNA motif mining — the "future work" domain the paper names: "extend our
+   algorithms for mining approximate repetitive patterns with gap
+   constraints, which is useful for mining subsequences from long sequences
+   of DNA".
+
+   The example shows WHY the gap constraint matters on small alphabets: we
+   plant a gapped motif into random reads, and
+
+   - unconstrained repetitive support barely separates the planted database
+     from a control database (every short pattern occurs by chance when
+     gaps are unbounded), while
+   - gap-bounded occurrence counting (Zhang et al., Table I row 3)
+     separates them by an order of magnitude, and
+   - a greedy gap-constrained grower — the future-work idea in thirty
+     lines, reusing this library's counting — recovers the planted motif.
+
+   Run with: dune exec examples/dna_motifs.exe *)
+
+open Rgs_sequence
+open Rgs_core
+open Rgs_datagen
+module Gap = Rgs_baselines.Gap_occurrences
+
+let bases = [| 'A'; 'C'; 'G'; 'T' |]
+
+let base_of_char c =
+  match c with 'A' -> 0 | 'C' -> 1 | 'G' -> 2 | 'T' -> 3 | _ -> assert false
+
+let pattern_of_string s =
+  Pattern.of_list (List.map base_of_char (List.init (String.length s) (String.get s)))
+
+let pattern_to_dna p =
+  String.concat "" (List.map (fun e -> String.make 1 bases.(e)) (Pattern.to_list p))
+
+let make_db ~plant ~motif ~reads ~read_len rng =
+  let gen_read () =
+    let read = Bytes.create read_len in
+    for i = 0 to read_len - 1 do
+      Bytes.set read i (Splitmix.choice rng bases)
+    done;
+    if plant then
+      (* two gapped copies of the motif at random anchors, gaps 0..2 *)
+      for _ = 1 to 2 do
+        let pos = ref (Splitmix.int rng (read_len / 2)) in
+        String.iter
+          (fun c ->
+            if !pos < read_len then begin
+              Bytes.set read !pos c;
+              pos := !pos + 1 + Splitmix.int rng 3
+            end)
+          motif
+      done;
+    Sequence.of_list (List.init read_len (fun i -> base_of_char (Bytes.get read i)))
+  in
+  Seqdb.of_sequences (List.init reads (fun _ -> gen_read ()))
+
+(* Greedy gap-constrained motif recovery: grow from every base, always
+   appending the base with the highest gap-bounded occurrence count. *)
+let recover_motif db ~length ~gmin ~gmax =
+  let grow_from seed =
+    let rec extend p =
+      if Pattern.length p >= length then p
+      else begin
+        let best =
+          List.map (fun b -> (b, Gap.db_count db (Pattern.grow p b) ~gmin ~gmax)) [ 0; 1; 2; 3 ]
+          |> List.sort (fun (_, a) (_, b) -> Int.compare b a)
+          |> List.hd
+        in
+        extend (Pattern.grow p (fst best))
+      end
+    in
+    extend (Pattern.of_list [ seed ])
+  in
+  List.map grow_from [ 0; 1; 2; 3 ]
+  |> List.map (fun p -> (p, Gap.db_count db p ~gmin ~gmax))
+  |> List.sort (fun (_, a) (_, b) -> Int.compare b a)
+  |> List.hd
+
+let () =
+  let motif = "ACGTACG" in
+  let reads = 50 and read_len = 80 in
+  let planted = make_db ~plant:true ~motif ~reads ~read_len (Splitmix.create ~seed:7) in
+  let control = make_db ~plant:false ~motif ~reads ~read_len (Splitmix.create ~seed:8) in
+  let p = pattern_of_string motif in
+  Format.printf "reads: %d of length %d, alphabet ACGT, motif %s planted twice per read@.@."
+    reads read_len motif;
+
+  let sup_planted = Miner.support planted p in
+  let sup_control = Miner.support control p in
+  Format.printf
+    "unbounded-gap repetitive support of %s: planted = %d, control = %d (excess %+d)@."
+    motif sup_planted sup_control (sup_planted - sup_control);
+  Format.printf
+    "  -> with unbounded gaps every 7-mer is \"frequent\" in random DNA;@.";
+  Format.printf
+    "     this is the regime the paper's future work flags for gap constraints.@.@.";
+
+  let gp = Gap.db_count planted p ~gmin:0 ~gmax:2 in
+  let gc = Gap.db_count control p ~gmin:0 ~gmax:2 in
+  Format.printf "gap-bounded occurrences (gaps 0..2): planted = %d, control = %d@.@." gp gc;
+
+  let recovered, score = recover_motif planted ~length:(String.length motif) ~gmin:0 ~gmax:2 in
+  Format.printf "greedy gap-constrained recovery from the planted db: %s (count %d)%s@."
+    (pattern_to_dna recovered) score
+    (if pattern_to_dna recovered = motif then "  <- planted motif recovered" else "");
+  let recovered_c, score_c =
+    recover_motif control ~length:(String.length motif) ~gmin:0 ~gmax:2
+  in
+  Format.printf "same procedure on the control db: %s (count %d)@."
+    (pattern_to_dna recovered_c) score_c

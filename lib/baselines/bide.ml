@@ -1,0 +1,124 @@
+open Rgs_sequence
+open Rgs_core
+
+type stats = {
+  patterns : int;
+  explored : int;
+  backscan_pruned : int;
+}
+
+(* Rightmost landmark of [p] in [s]: match greedily from the right. Returns
+   positions ascending. *)
+let rightmost_match s p =
+  let n = Sequence.length s and m = Pattern.length p in
+  let landmark = Array.make m 0 in
+  let rec walk j pos =
+    if j < 1 then Some landmark
+    else if pos < 1 then None
+    else if Event.equal (Sequence.get s pos) (Pattern.get p j) then begin
+      landmark.(j - 1) <- pos;
+      walk (j - 1) (pos - 1)
+    end
+    else walk j (pos - 1)
+  in
+  if m = 0 then Some [||] else walk m n
+
+(* For every containing sequence, call [record seq_count_table] on the
+   distinct events of the period (lo, hi) (exclusive bounds) for each period
+   index i in [0 .. n-1] (plus i = n when [include_append]). [bounds s fl rl
+   i] must return the period's (lo, hi). Returns a table mapping (i, event)
+   to the number of containing sequences whose i-th period holds the
+   event — an entry equal to [support] signals an extension event. *)
+let period_event_counts db p ~periods ~bounds =
+  let counts : (int * Event.t, int) Hashtbl.t = Hashtbl.create 64 in
+  let support = ref 0 in
+  Seqdb.iter
+    (fun _ s ->
+      match Seq_mining.leftmost_match s p with
+      | None -> ()
+      | Some fl ->
+        incr support;
+        let rl =
+          match rightmost_match s p with
+          | Some rl -> rl
+          | None -> assert false (* containment already established *)
+        in
+        let module EISet = Set.Make (struct
+          type t = int * Event.t
+
+          let compare = compare
+        end) in
+        let seen = ref EISet.empty in
+        for i = 0 to periods - 1 do
+          let lo, hi = bounds s fl rl i in
+          for pos = lo + 1 to hi - 1 do
+            if pos >= 1 && pos <= Sequence.length s then
+              seen := EISet.add (i, Sequence.get s pos) !seen
+          done
+        done;
+        EISet.iter
+          (fun key ->
+            Hashtbl.replace counts key
+              (1 + Option.value ~default:0 (Hashtbl.find_opt counts key)))
+          !seen)
+    db;
+  (counts, !support)
+
+let has_full_count counts support =
+  Hashtbl.fold (fun _ c acc -> acc || c = support) counts false
+
+(* Bi-directional extension check: maximum periods (fl_i, rl_{i+1}),
+   i = 0..n (i = n is the forward-extension period). *)
+let is_closed_sequential db p =
+  let n = Pattern.length p in
+  if n = 0 then false
+  else begin
+    let bounds s fl rl i =
+      let lo = if i = 0 then 0 else fl.(i - 1) in
+      let hi = if i = n then Sequence.length s + 1 else rl.(i) in
+      (lo, hi)
+    in
+    let counts, support = period_event_counts db p ~periods:(n + 1) ~bounds in
+    support > 0 && not (has_full_count counts support)
+  end
+
+(* BackScan: semi-maximum periods (fl_i, fl_{i+1}), i = 0..n-1. *)
+let backscan_prunable db p =
+  let n = Pattern.length p in
+  n > 0
+  &&
+  let bounds s fl _rl i =
+    ignore s;
+    let lo = if i = 0 then 0 else fl.(i - 1) in
+    (lo, fl.(i))
+  in
+  let counts, support = period_event_counts db p ~periods:n ~bounds in
+  support > 0 && has_full_count counts support
+
+let mine ?max_length ?(use_backscan = true) db ~min_sup =
+  if min_sup < 1 then invalid_arg "Bide.mine: min_sup must be >= 1";
+  let results = ref [] in
+  let explored = ref 0 in
+  let backscan_pruned = ref 0 in
+  let within p =
+    match max_length with None -> true | Some l -> Pattern.length p < l
+  in
+  let rec grow p projs =
+    incr explored;
+    let items = Seq_mining.frequent_items db projs in
+    List.iter
+      (fun (e, sup) ->
+        if sup >= min_sup then begin
+          let q = Pattern.grow p e in
+          if use_backscan && backscan_prunable db q then incr backscan_pruned
+          else begin
+            if is_closed_sequential db q then results := (q, sup) :: !results;
+            if within q then grow q (Seq_mining.project db projs e)
+          end
+        end)
+      items
+  in
+  grow Pattern.empty (Seq_mining.initial_projection db);
+  let results = List.rev !results in
+  ( results,
+    { patterns = List.length results; explored = !explored; backscan_pruned = !backscan_pruned } )

@@ -1,0 +1,38 @@
+(** BIDE (Wang & Han, ICDE 2004): closed sequential pattern mining without
+    candidate maintenance, over single-event sequences.
+
+    For a frequent prefix [P = e1..en], the leftmost landmark [fl] (the
+    "first instance") and the rightmost-start suffix landmark [rl] of [P]
+    in each containing sequence delimit the classic BIDE periods:
+
+    - the {b i-th maximum period} is the open interval [(fl_i, rl_{i+1})]
+      (with [fl_0 = 0] and [rl_{n+1} = |S| + 1]); an event occurring in the
+      i-th maximum period of {e every} containing sequence is a
+      backward/forward extension event — [P] is then not closed
+      (bi-directional extension closure check);
+    - the {b i-th semi-maximum period} is [(fl_i, fl_{i+1})]; an event
+      occurring in the i-th semi-maximum period of every containing
+      sequence makes the whole subtree of [P] prunable (BackScan). *)
+
+open Rgs_sequence
+open Rgs_core
+
+type stats = {
+  patterns : int;
+  explored : int;  (** DFS nodes expanded *)
+  backscan_pruned : int;
+}
+
+val mine :
+  ?max_length:int ->
+  ?use_backscan:bool ->
+  Seqdb.t ->
+  min_sup:int ->
+  (Pattern.t * int) list * stats
+(** Closed sequential patterns with support at least [min_sup], in DFS
+    order. [use_backscan] (default [true]) toggles the search-space
+    pruning (the output is identical either way).
+    @raise Invalid_argument when [min_sup < 1]. *)
+
+val is_closed_sequential : Seqdb.t -> Pattern.t -> bool
+(** Standalone bi-directional extension closure check. *)

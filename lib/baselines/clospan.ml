@@ -1,0 +1,73 @@
+open Rgs_core
+
+type stats = {
+  patterns : int;
+  explored : int;
+  equivalence_pruned : int;
+}
+
+let closed_filter results =
+  (* Group by support; within a group, a pattern is non-closed iff a longer
+     pattern of the group contains it. *)
+  let module IMap = Map.Make (Int) in
+  let groups =
+    List.fold_left
+      (fun acc (p, sup) ->
+        IMap.update sup (fun l -> Some ((p, sup) :: Option.value ~default:[] l)) acc)
+      IMap.empty results
+  in
+  let keep (p, sup) =
+    let group = IMap.find sup groups in
+    not
+      (List.exists
+         (fun (q, _) ->
+           Pattern.length q > Pattern.length p && Pattern.is_subpattern p ~of_:q)
+         group)
+  in
+  List.filter keep results
+
+let mine ?max_length db ~min_sup =
+  if min_sup < 1 then invalid_arg "Clospan.mine: min_sup must be >= 1";
+  let explored = ref 0 in
+  let equivalence_pruned = ref 0 in
+  let all = ref [] in
+  (* projected-size -> explored (pattern, support) entries *)
+  let seen : (int, (Pattern.t * int) list) Hashtbl.t = Hashtbl.create 1024 in
+  let within p =
+    match max_length with None -> true | Some l -> Pattern.length p < l
+  in
+  let rec grow p projs =
+    incr explored;
+    let items = Seq_mining.frequent_items db projs in
+    List.iter
+      (fun (e, sup) ->
+        if sup >= min_sup then begin
+          let q = Pattern.grow p e in
+          let projs' = Seq_mining.project db projs e in
+          let size = Seq_mining.projected_size db projs' in
+          let equivalent_super =
+            List.exists
+              (fun (r, sup_r) ->
+                sup_r = sup
+                && Pattern.length r > Pattern.length q
+                && Pattern.is_subpattern q ~of_:r)
+              (Option.value ~default:[] (Hashtbl.find_opt seen size))
+          in
+          if equivalent_super then incr equivalence_pruned
+          else begin
+            all := (q, sup) :: !all;
+            Hashtbl.replace seen size
+              ((q, sup) :: Option.value ~default:[] (Hashtbl.find_opt seen size));
+            if within q then grow q projs'
+          end
+        end)
+      items
+  in
+  grow Pattern.empty (Seq_mining.initial_projection db);
+  let closed = closed_filter (List.rev !all) in
+  ( closed,
+    {
+      patterns = List.length closed;
+      explored = !explored;
+      equivalence_pruned = !equivalence_pruned;
+    } )

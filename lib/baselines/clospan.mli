@@ -1,0 +1,32 @@
+(** CloSpan-style closed sequential pattern mining (Yan, Han & Afshar,
+    SDM 2003), over single-event sequences.
+
+    PrefixSpan-style growth plus CloSpan's key idea: two prefixes with {e
+    equivalent projected databases} (equal total projected suffix size and
+    one pattern containing the other) share their whole subtree. We apply
+    the sound direction of the pruning — when a {e super}-pattern with an
+    equivalent projection was already explored, the current subtree can
+    contain no closed pattern and is skipped — and finish with an explicit
+    closure filter (CloSpan also ends with a non-closed elimination pass).
+    The output is exactly the set of closed sequential patterns. *)
+
+open Rgs_sequence
+open Rgs_core
+
+type stats = {
+  patterns : int;  (** closed patterns returned *)
+  explored : int;  (** DFS nodes expanded *)
+  equivalence_pruned : int;  (** subtrees skipped by projected-DB equivalence *)
+}
+
+val mine :
+  ?max_length:int ->
+  Seqdb.t ->
+  min_sup:int ->
+  (Pattern.t * int) list * stats
+(** Closed sequential patterns with support at least [min_sup].
+    @raise Invalid_argument when [min_sup < 1]. *)
+
+val closed_filter : (Pattern.t * int) list -> (Pattern.t * int) list
+(** Removes every pattern having a super-pattern of equal support in the
+    list. Exposed for tests and for post-processing foreign results. *)

@@ -1,0 +1,58 @@
+open Rgs_sequence
+open Rgs_core
+
+let contains_in_window s p ~start ~stop =
+  let m = Pattern.length p in
+  let rec walk j pos =
+    if j > m then true
+    else if pos > stop then false
+    else if Event.equal (Sequence.get s pos) (Pattern.get p j) then walk (j + 1) (pos + 1)
+    else walk j (pos + 1)
+  in
+  m = 0 || walk 1 start
+
+let window_support s p ~w =
+  if w < 1 then invalid_arg "Episode.window_support: w must be >= 1";
+  let n = Sequence.length s in
+  let count = ref 0 in
+  for start = 1 to n - w + 1 do
+    if contains_in_window s p ~start ~stop:(start + w - 1) then incr count
+  done;
+  !count
+
+(* Candidate windows: for each possible start, greedily complete the episode
+   to its earliest end. The earliest end is non-decreasing in the start, so
+   a candidate is a minimal window iff the next candidate ends strictly
+   later (same-end candidates collapse to the latest start). *)
+let minimal_windows s p =
+  let n = Sequence.length s in
+  let m = Pattern.length p in
+  if m = 0 then []
+  else begin
+    let candidates = ref [] in
+    for start = n downto 1 do
+      if Event.equal (Sequence.get s start) (Pattern.get p 1) then begin
+        match Seq_mining.leftmost_match s ~from:start p with
+        | Some landmark when landmark.(0) = start ->
+          candidates := (start, landmark.(m - 1)) :: !candidates
+        | _ -> ()
+      end
+    done;
+    (* candidates ascending by start; keep those whose end is strictly
+       smaller than every later candidate's end (= latest start per end). *)
+    let rec filter = function
+      | [] -> []
+      | [ w ] -> [ w ]
+      | (s1, e1) :: ((_, e2) :: _ as rest) ->
+        if e1 < e2 then (s1, e1) :: filter rest else filter rest
+    in
+    filter !candidates
+  end
+
+let minimal_window_support s p = List.length (minimal_windows s p)
+
+let db_window_support db p ~w =
+  Seqdb.fold (fun acc _ s -> acc + window_support s p ~w) 0 db
+
+let db_minimal_window_support db p =
+  Seqdb.fold (fun acc _ s -> acc + minimal_window_support s p) 0 db

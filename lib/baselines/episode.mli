@@ -1,0 +1,30 @@
+(** Serial-episode support (Mannila, Toivonen & Verkamo, DMKD 1997) —
+    Table I row 2.
+
+    Episode mining takes a {e single} sequence and counts windows. Two
+    classic support definitions are provided for a serial episode (our
+    pattern type):
+
+    - {!window_support}: the number of width-[w] windows containing the
+      episode as a subsequence. Following the paper's Example 1.1 reading
+      (4 width-4 windows of [S1 = AABCDABB] contain [AB]), windows lie
+      entirely inside the sequence: starts [1 .. n - w + 1].
+    - {!minimal_window_support}: the number of minimal windows — windows
+      containing the episode such that no proper sub-window does. *)
+
+open Rgs_sequence
+open Rgs_core
+
+val window_support : Sequence.t -> Pattern.t -> w:int -> int
+(** @raise Invalid_argument when [w < 1]. *)
+
+val minimal_windows : Sequence.t -> Pattern.t -> (int * int) list
+(** The minimal windows as [(start, end)] position pairs, ascending. *)
+
+val minimal_window_support : Sequence.t -> Pattern.t -> int
+
+val db_window_support : Seqdb.t -> Pattern.t -> w:int -> int
+(** Sum of {!window_support} over the database's sequences (episode mining
+    is single-sequence; the sum is the natural multi-sequence lift). *)
+
+val db_minimal_window_support : Seqdb.t -> Pattern.t -> int

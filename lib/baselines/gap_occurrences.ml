@@ -1,0 +1,60 @@
+open Rgs_sequence
+open Rgs_core
+
+let sat_add a b =
+  let c = a + b in
+  if c < 0 then max_int else c
+
+(* dp.(pos) after processing pattern index j = number of gap-respecting
+   landmarks of e1..ej whose last event is at position pos. *)
+let count_generic ~matches ~seq_len ~pat_len ~gmin ~gmax =
+  if gmin < 0 || gmax < gmin then invalid_arg "Gap_occurrences: bad gap bounds";
+  if pat_len = 0 || seq_len = 0 then 0
+  else begin
+    let dp = Array.make (seq_len + 1) 0 in
+    for pos = 1 to seq_len do
+      if matches 1 pos then dp.(pos) <- 1
+    done;
+    let next = Array.make (seq_len + 1) 0 in
+    for j = 2 to pat_len do
+      Array.fill next 0 (seq_len + 1) 0;
+      (* prefix sums of dp for O(1) range sums *)
+      let prefix = Array.make (seq_len + 1) 0 in
+      for pos = 1 to seq_len do
+        prefix.(pos) <- sat_add prefix.(pos - 1) dp.(pos)
+      done;
+      for pos = 1 to seq_len do
+        if matches j pos then begin
+          (* previous event at q with gap pos - q - 1 in [gmin, gmax]:
+             q in [pos - gmax - 1, pos - gmin - 1] *)
+          let lo = max 1 (pos - gmax - 1) in
+          let hi = pos - gmin - 1 in
+          if hi >= lo then begin
+            let range = prefix.(hi) - prefix.(lo - 1) in
+            let range = if range < 0 then max_int else range in
+            next.(pos) <- range
+          end
+        end
+      done;
+      Array.blit next 0 dp 0 (seq_len + 1)
+    done;
+    Array.fold_left sat_add 0 dp
+  end
+
+let count s p ~gmin ~gmax =
+  count_generic
+    ~matches:(fun j pos -> Event.equal (Sequence.get s pos) (Pattern.get p j))
+    ~seq_len:(Sequence.length s) ~pat_len:(Pattern.length p) ~gmin ~gmax
+
+let max_possible ~seq_len ~pat_len ~gmin ~gmax =
+  count_generic ~matches:(fun _ _ -> true) ~seq_len ~pat_len ~gmin ~gmax
+
+let support_ratio s p ~gmin ~gmax =
+  let nl =
+    max_possible ~seq_len:(Sequence.length s) ~pat_len:(Pattern.length p) ~gmin ~gmax
+  in
+  if nl = 0 then 0.
+  else float_of_int (count s p ~gmin ~gmax) /. float_of_int nl
+
+let db_count db p ~gmin ~gmax =
+  Seqdb.fold (fun acc _ s -> sat_add acc (count s p ~gmin ~gmax)) 0 db

@@ -1,0 +1,32 @@
+(** Gap-requirement occurrence counting (Zhang, Kao, Cheung & Yip, SIGMOD
+    2005) — Table I row 3.
+
+    All occurrences (landmarks) of a pattern are counted — overlapping and
+    non-overlapping alike — subject to a gap requirement: between two
+    successive pattern events, the number of skipped positions must lie in
+    [[gmin, gmax]]. The support ratio normalises by [N_l], the maximum
+    possible count given the gap requirement (attained when every position
+    of the sequence matches every pattern event).
+
+    Counting uses dynamic programming; no occurrence is materialised, so
+    counts that would be astronomically large to enumerate are fine (they
+    may still overflow native ints for adversarial inputs — counts are
+    computed with saturation at [max_int]). *)
+
+open Rgs_sequence
+open Rgs_core
+
+val count : Sequence.t -> Pattern.t -> gmin:int -> gmax:int -> int
+(** Number of landmarks of [P] in [S] with all successive-event gaps in
+    [[gmin, gmax]]. The empty pattern has count [0].
+    @raise Invalid_argument when [gmin < 0] or [gmax < gmin]. *)
+
+val max_possible : seq_len:int -> pat_len:int -> gmin:int -> gmax:int -> int
+(** [N_l]: the count for a sequence of length [seq_len] in which every
+    position matches every pattern event. *)
+
+val support_ratio : Sequence.t -> Pattern.t -> gmin:int -> gmax:int -> float
+(** [count / N_l], in [0, 1]; [0] when [N_l = 0]. *)
+
+val db_count : Seqdb.t -> Pattern.t -> gmin:int -> gmax:int -> int
+(** Sum of {!count} over the database, saturating at [max_int]. *)

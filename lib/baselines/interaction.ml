@@ -1,0 +1,34 @@
+open Rgs_sequence
+open Rgs_core
+
+(* A window (s, e) counts iff S[s] = e1, S[e] = em, and e2..e_{m-1} fits
+   strictly between. For each anchor s, greedily match e1..e_{m-1} starting
+   at s; every later occurrence of em then closes a valid window. *)
+let support s p =
+  let n = Sequence.length s in
+  let m = Pattern.length p in
+  if m = 0 then 0
+  else if m = 1 then Sequence.count s (Pattern.get p 1)
+  else begin
+    let e1 = Pattern.get p 1 and em = Pattern.get p m in
+    let prefix = Pattern.of_array (Array.sub (Pattern.to_array p) 0 (m - 1)) in
+    (* suffix_em.(pos) = number of occurrences of em at positions > pos *)
+    let suffix_em = Array.make (n + 2) 0 in
+    for pos = n downto 1 do
+      suffix_em.(pos) <-
+        (suffix_em.(pos + 1) + if Event.equal (Sequence.get s pos) em then 1 else 0)
+    done;
+    let total = ref 0 in
+    for anchor = 1 to n do
+      if Event.equal (Sequence.get s anchor) e1 then begin
+        match Seq_mining.leftmost_match s ~from:anchor prefix with
+        | Some landmark when landmark.(0) = anchor ->
+          (* occurrences of em strictly after the prefix's last event *)
+          total := !total + suffix_em.(landmark.(m - 2) + 1)
+        | _ -> ()
+      end
+    done;
+    !total
+  end
+
+let db_support db p = Seqdb.fold (fun acc _ s -> acc + support s p) 0 db

@@ -1,0 +1,17 @@
+(** Interaction-pattern support (El-Ramly, Stroulia & Sorenson, KDD 2002) —
+    Table I row 4.
+
+    The support of a pattern is the number of substrings [S[s..e]] such
+    that (i) the pattern is contained in the substring as a subsequence and
+    (ii) the substring's first and last events match the pattern's first
+    and last events ([S[s] = e1] and [S[e] = em]). For Example 1.1, [AB]
+    has support 9 (8 substrings of [S1] and one of [S2]). *)
+
+open Rgs_sequence
+open Rgs_core
+
+val support : Sequence.t -> Pattern.t -> int
+(** For a size-1 pattern this is its occurrence count ([s = e] windows). *)
+
+val db_support : Seqdb.t -> Pattern.t -> int
+(** Sum of {!support} over the database. *)

@@ -1,0 +1,35 @@
+open Rgs_sequence
+open Rgs_core
+
+let occurrences s p =
+  let n = Sequence.length s in
+  let m = Pattern.length p in
+  if m = 0 then []
+  else begin
+    let module ISet = Set.Make (Int) in
+    let alphabet = ISet.of_list (Pattern.events p) in
+    let out = ref [] in
+    for start = n downto 1 do
+      if Event.equal (Sequence.get s start) (Pattern.get p 1) then begin
+        (* Walk forward: the next pattern-alphabet event must be the next
+           expected pattern event; foreign alphabet events are skipped. *)
+        let rec walk j pos =
+          if j > m then Some (pos - 1) (* position of the last matched event *)
+          else if pos > n then None
+          else begin
+            let e = Sequence.get s pos in
+            if Event.equal e (Pattern.get p j) then walk (j + 1) (pos + 1)
+            else if ISet.mem e alphabet then None
+            else walk j (pos + 1)
+          end
+        in
+        match walk 2 (start + 1) with
+        | Some stop -> out := (start, stop) :: !out
+        | None -> ()
+      end
+    done;
+    !out
+  end
+
+let support s p = List.length (occurrences s p)
+let db_support db p = Seqdb.fold (fun acc _ s -> acc + support s p) 0 db

@@ -1,0 +1,21 @@
+(** Iterative-pattern occurrence counting (Lo, Khoo & Liu, KDD 2007) —
+    Table I row 5 and the case study's comparison point.
+
+    An occurrence of pattern [P = e1..em] is a substring matching the QRE
+    [e1 G* e2 G* ... G* em], where [G] is the set of all events {e except}
+    [{e1, ..., em}]: between two successive matched pattern events, no
+    event of the pattern's own alphabet may appear. The support of [P] is
+    the number of such occurrences over the database. For Example 1.1,
+    [AB] has support 3. *)
+
+open Rgs_sequence
+open Rgs_core
+
+val occurrences : Sequence.t -> Pattern.t -> (int * int) list
+(** Start/end positions of all QRE occurrences, ascending by start. *)
+
+val support : Sequence.t -> Pattern.t -> int
+(** Number of QRE occurrences in one sequence. *)
+
+val db_support : Seqdb.t -> Pattern.t -> int
+(** Sum of {!support} over the database. *)

@@ -1,0 +1,61 @@
+open Rgs_sequence
+open Rgs_core
+
+type stats = {
+  patterns : int;
+  candidates : int;
+  levels : int;
+  truncated : bool;
+}
+
+exception Budget_exhausted
+
+let mine ?max_length ?(should_stop = fun () -> false) idx ~min_sup =
+  if min_sup < 1 then invalid_arg "Levelwise.mine: min_sup must be >= 1";
+  let events = Inverted_index.frequent_events idx ~min_sup in
+  let candidates = ref 0 in
+  let support p =
+    if should_stop () then raise Budget_exhausted;
+    incr candidates;
+    Sup_comp.support idx p
+  in
+  let within p =
+    match max_length with None -> true | Some l -> Pattern.length p < l
+  in
+  (* level 1: frequent single events (their support is the occurrence
+     count, no supComp needed) *)
+  let level1 =
+    List.map (fun e -> (Pattern.of_list [ e ], Inverted_index.occurrence_count idx e)) events
+  in
+  (* [depth] is the level of the (non-empty) patterns in [level]. *)
+  let rec expand level acc depth =
+    (* candidates: frequent level-k patterns extended by frequent events;
+       the prefix is frequent by construction (Apriori) *)
+    let next =
+      List.concat_map
+        (fun (p, _) ->
+          if within p then
+            List.filter_map
+              (fun e ->
+                let q = Pattern.grow p e in
+                let sup = support q in
+                if sup >= min_sup then Some (q, sup) else None)
+              events
+          else [])
+        level
+    in
+    match next with
+    | [] -> (List.rev acc, depth)
+    | _ -> expand next (List.rev_append next acc) (depth + 1)
+  in
+  let (rest, levels), truncated =
+    match level1 with
+    | [] -> (([], 0), false)
+    | _ -> (
+      match expand level1 [] 1 with
+      | result -> (result, false)
+      | exception Budget_exhausted -> (([], 0), true))
+  in
+  let results = level1 @ rest in
+  ( results,
+    { patterns = List.length results; candidates = !candidates; levels; truncated } )

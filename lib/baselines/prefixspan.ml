@@ -1,0 +1,38 @@
+open Rgs_core
+
+type stats = { patterns : int; projections : int }
+
+exception Budget_exhausted
+
+let mine ?max_length ?max_patterns db ~min_sup =
+  if min_sup < 1 then invalid_arg "Prefixspan.mine: min_sup must be >= 1";
+  let results = ref [] in
+  let count = ref 0 in
+  let projections = ref 0 in
+  let within p =
+    match max_length with None -> true | Some l -> Pattern.length p < l
+  in
+  let emit p sup =
+    results := (p, sup) :: !results;
+    incr count;
+    match max_patterns with
+    | Some budget when !count >= budget -> raise Budget_exhausted
+    | _ -> ()
+  in
+  let rec grow p projs =
+    let items = Seq_mining.frequent_items db projs in
+    List.iter
+      (fun (e, sup) ->
+        if sup >= min_sup then begin
+          let q = Pattern.grow p e in
+          emit q sup;
+          if within q then begin
+            incr projections;
+            grow q (Seq_mining.project db projs e)
+          end
+        end)
+      items
+  in
+  (try grow Pattern.empty (Seq_mining.initial_projection db)
+   with Budget_exhausted -> ());
+  (List.rev !results, { patterns = !count; projections = !projections })

@@ -1,0 +1,20 @@
+(** PrefixSpan (Pei et al., ICDE 2001) over single-event sequences.
+
+    Mines {e all} sequential patterns — support counted as the number of
+    sequences containing the pattern — by prefix-projected pattern growth
+    with pseudo-projection. This is the paper's sequential-pattern-mining
+    comparator (Section IV-A), and the semantics of Table I row 1. *)
+
+open Rgs_sequence
+open Rgs_core
+
+type stats = { patterns : int; projections : int }
+
+val mine :
+  ?max_length:int ->
+  ?max_patterns:int ->
+  Seqdb.t ->
+  min_sup:int ->
+  (Pattern.t * int) list * stats
+(** All patterns with sequential support at least [min_sup], in DFS order.
+    @raise Invalid_argument when [min_sup < 1]. *)

@@ -1,0 +1,64 @@
+open Rgs_sequence
+open Rgs_core
+
+let leftmost_match s ?(from = 1) p =
+  let n = Sequence.length s and m = Pattern.length p in
+  let landmark = Array.make m 0 in
+  let rec walk j pos =
+    if j > m then Some landmark
+    else if pos > n then None
+    else if Event.equal (Sequence.get s pos) (Pattern.get p j) then begin
+      landmark.(j - 1) <- pos;
+      walk (j + 1) (pos + 1)
+    end
+    else walk j (pos + 1)
+  in
+  if m = 0 then Some [||] else walk 1 from
+
+let contains s p = Option.is_some (leftmost_match s p)
+
+let support db p =
+  Seqdb.fold (fun acc _ s -> if contains s p then acc + 1 else acc) 0 db
+
+type projection = { pseq : int; start : int }
+
+let initial_projection db =
+  List.rev (Seqdb.fold (fun acc i _ -> { pseq = i; start = 1 } :: acc) [] db)
+
+let project db projs e =
+  List.filter_map
+    (fun { pseq; start } ->
+      let s = Seqdb.seq db pseq in
+      let n = Sequence.length s in
+      let rec find pos =
+        if pos > n then None
+        else if Event.equal (Sequence.get s pos) e then Some pos
+        else find (pos + 1)
+      in
+      Option.map (fun pos -> { pseq; start = pos + 1 }) (find start))
+    projs
+
+let frequent_items db projs =
+  let module IMap = Map.Make (Int) in
+  let counts =
+    List.fold_left
+      (fun acc { pseq; start } ->
+        let s = Seqdb.seq db pseq in
+        let module ISet = Set.Make (Int) in
+        let seen = ref ISet.empty in
+        for pos = start to Sequence.length s do
+          seen := ISet.add (Sequence.get s pos) !seen
+        done;
+        ISet.fold
+          (fun e acc ->
+            IMap.update e (fun c -> Some (1 + Option.value ~default:0 c)) acc)
+          !seen acc)
+      IMap.empty projs
+  in
+  IMap.bindings counts
+
+let projected_size db projs =
+  List.fold_left
+    (fun acc { pseq; start } ->
+      acc + max 0 (Sequence.length (Seqdb.seq db pseq) - start + 1))
+    0 projs

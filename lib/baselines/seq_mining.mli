@@ -1,0 +1,41 @@
+(** Shared kernel for classic sequential pattern mining.
+
+    In sequential pattern mining (Agrawal & Srikant), the support of a
+    pattern is the {e number of sequences that contain it} — repetitions
+    within a sequence are ignored. This module provides containment tests,
+    that support function, and the pseudo-projection machinery reused by
+    {!Prefixspan}, {!Clospan} and {!Bide}. *)
+
+open Rgs_sequence
+open Rgs_core
+
+val contains : Sequence.t -> Pattern.t -> bool
+(** [contains s p] iff [P ⊑ S]. The empty pattern is contained in every
+    sequence. *)
+
+val leftmost_match : Sequence.t -> ?from:int -> Pattern.t -> int array option
+(** Leftmost landmark of [P] in [S] starting at position [>= from]
+    (default 1), by greedy matching. *)
+
+val support : Seqdb.t -> Pattern.t -> int
+(** Classic sequential support: number of sequences containing [P]. *)
+
+type projection = { pseq : int; start : int }
+(** Pseudo-projected entry: sequence [pseq] matched the current prefix, and
+    its projected suffix begins at position [start] (1-based; may exceed the
+    sequence length when the suffix is empty). *)
+
+val initial_projection : Seqdb.t -> projection list
+(** One entry per sequence, suffix = whole sequence. *)
+
+val project : Seqdb.t -> projection list -> Event.t -> projection list
+(** Extends each projected entry past the first occurrence of [e] in its
+    suffix; entries without one are dropped. The result's length is the
+    sequential support of the grown prefix. *)
+
+val frequent_items : Seqdb.t -> projection list -> (Event.t * int) list
+(** Events occurring in at least one projected suffix, with the number of
+    suffixes they occur in, ascending by event. *)
+
+val projected_size : Seqdb.t -> projection list -> int
+(** Total remaining suffix length — CloSpan's equivalence signature. *)

@@ -1,0 +1,36 @@
+open Rgs_sequence
+open Rgs_core
+
+type stats = { episodes : int; support_computations : int }
+
+let frequency s p ~w =
+  let windows = max 0 (Sequence.length s - w + 1) in
+  if windows = 0 then 0.
+  else float_of_int (Episode.window_support s p ~w) /. float_of_int windows
+
+let mine ?max_length s ~w ~min_sup =
+  if w < 1 then invalid_arg "Winepi.mine: w must be >= 1";
+  if min_sup < 1 then invalid_arg "Winepi.mine: min_sup must be >= 1";
+  let events = Sequence.events s in
+  let results = ref [] in
+  let computations = ref 0 in
+  let within p =
+    match max_length with
+    | Some l -> Pattern.length p < l
+    | None -> Pattern.length p < w (* an episode longer than the window never fits *)
+  in
+  let rec grow p =
+    List.iter
+      (fun e ->
+        let q = Pattern.grow p e in
+        incr computations;
+        let sup = Episode.window_support s q ~w in
+        if sup >= min_sup then begin
+          results := (q, sup) :: !results;
+          if within q then grow q
+        end)
+      events
+  in
+  grow Pattern.empty;
+  let results = List.rev !results in
+  (results, { episodes = List.length results; support_computations = !computations })

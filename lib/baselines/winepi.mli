@@ -1,0 +1,30 @@
+(** WINEPI-style serial episode mining (Mannila, Toivonen & Verkamo).
+
+    Mines all serial episodes whose fixed-width-window support
+    ({!Episode.window_support}) meets a threshold, over a single long
+    sequence — the classic single-sequence counterpart of the paper's
+    repetitive mining (Table I row 2 as a miner, not just a counter).
+
+    Window support is anti-monotone under the sub-episode relation (a
+    window containing an episode contains all of its subsequences), so
+    prefix-growth DFS with Apriori pruning is sound and complete, as in
+    GSgrow. *)
+
+open Rgs_sequence
+open Rgs_core
+
+type stats = { episodes : int; support_computations : int }
+
+val frequency : Sequence.t -> Pattern.t -> w:int -> float
+(** Window support normalised by the number of width-[w] windows, in
+    [0, 1]. *)
+
+val mine :
+  ?max_length:int ->
+  Sequence.t ->
+  w:int ->
+  min_sup:int ->
+  (Pattern.t * int) list * stats
+(** All serial episodes with at least [min_sup] width-[w] windows
+    containing them, in DFS order.
+    @raise Invalid_argument when [w < 1] or [min_sup < 1]. *)

@@ -1,0 +1,120 @@
+open Rgs_sequence
+
+exception Too_large
+
+let landmarks_in ?(max_landmarks = 200_000) ?(min_gap = 0) ?max_gap s p =
+  let m = Pattern.length p in
+  let n = Sequence.length s in
+  if m = 0 then []
+  else begin
+    let found = ref [] in
+    let count = ref 0 in
+    let current = Array.make m 0 in
+    (* DFS over positions: current.(0..j-2) fixed, choose l_j > l_{j-1}
+       (and l_j <= l_{j-1} + max_gap + 1 for inner steps when given). *)
+    let rec place j lowest =
+      if j > m then begin
+        incr count;
+        if !count > max_landmarks then raise Too_large;
+        found := Array.copy current :: !found
+      end
+      else begin
+        let lowest_here = if j > 1 then lowest + min_gap else lowest in
+        let highest =
+          match max_gap with
+          | Some g when j > 1 -> min n (lowest + g + 1)
+          | _ -> n
+        in
+        for l = lowest_here + 1 to highest do
+          if Event.equal (Sequence.get s l) (Pattern.get p j) then begin
+            current.(j - 1) <- l;
+            place (j + 1) l
+          end
+        done
+      end
+    in
+    place 1 0;
+    List.rev !found
+  end
+
+let all_instances ?max_landmarks db p =
+  Seqdb.fold
+    (fun acc i s ->
+      acc
+      @ List.map
+          (fun landmark -> { Instance.fseq = i; landmark })
+          (landmarks_in ?max_landmarks s p))
+    [] db
+
+(* Exact maximum pairwise-compatible subset by branch and bound. *)
+let max_pairwise_compatible ~compatible insts =
+  let arr = Array.of_list insts in
+  let n = Array.length arr in
+  if n > 64 then raise Too_large;
+  let best = ref 0 in
+  let rec search k chosen size =
+    if size + (n - k) <= !best then ()
+    else if k = n then best := max !best size
+    else begin
+      (* take arr.(k) if compatible with everything chosen *)
+      if List.for_all (fun j -> compatible arr.(j) arr.(k)) chosen then
+        search (k + 1) (k :: chosen) (size + 1);
+      search (k + 1) chosen size
+    end
+  in
+  search 0 [] 0;
+  !best
+
+let max_non_overlapping insts =
+  max_pairwise_compatible ~compatible:Instance.non_overlapping insts
+
+let support ?max_landmarks ?min_gap ?max_gap db p =
+  if Pattern.is_empty p then 0
+  else
+    Seqdb.fold
+      (fun acc i s ->
+        let insts =
+          List.map
+            (fun landmark -> { Instance.fseq = i; landmark })
+            (landmarks_in ?max_landmarks ?min_gap ?max_gap s p)
+        in
+        acc + max_non_overlapping insts)
+      0 db
+
+let frequent ?max_length db ~min_sup =
+  if min_sup < 1 then invalid_arg "Brute_force.frequent: min_sup must be >= 1";
+  let events = List.filter (fun e -> Seqdb.event_count db e >= min_sup) (Seqdb.alphabet db) in
+  let results = ref [] in
+  let within p =
+    match max_length with None -> true | Some l -> Pattern.length p < l
+  in
+  let rec dfs p sup =
+    results := (p, sup) :: !results;
+    if within p then
+      List.iter
+        (fun e ->
+          let q = Pattern.grow p e in
+          let sup_q = support db q in
+          if sup_q >= min_sup then dfs q sup_q)
+        events
+  in
+  List.iter
+    (fun e ->
+      let p = Pattern.of_list [ e ] in
+      let sup = support db p in
+      if sup >= min_sup then dfs p sup)
+    events;
+  List.rev !results
+
+let closed ?max_length db ~min_sup =
+  let freq = frequent ?max_length db ~min_sup in
+  List.filter
+    (fun (p, sup) ->
+      not
+        (List.exists
+           (fun (q, sup_q) ->
+             sup_q = sup
+             && Pattern.length q > Pattern.length p
+             && Pattern.is_subpattern p ~of_:q)
+           freq))
+    freq

@@ -1,0 +1,66 @@
+(** Exact reference implementations (exponential) used as test oracles.
+
+    Everything here enumerates explicitly: all landmarks of a pattern, the
+    true maximum non-overlapping instance set (by branch and bound over the
+    conflict graph), and the complete frequent / closed pattern sets on tiny
+    databases. The production algorithms ({!Sup_comp}, {!Gsgrow},
+    {!Clogsgrow}) are validated against these in the test suite.
+
+    All functions may raise {!Too_large} when an internal enumeration
+    exceeds its budget — keep inputs tiny. *)
+
+open Rgs_sequence
+
+exception Too_large
+
+val landmarks_in :
+  ?max_landmarks:int ->
+  ?min_gap:int ->
+  ?max_gap:int ->
+  Sequence.t ->
+  Pattern.t ->
+  int array list
+(** All landmarks of [P] in [S] (Definition 2.1), in lexicographic order.
+    [max_landmarks] defaults to [200_000]. When gap bounds are given, only
+    landmarks whose successive positions satisfy
+    [min_gap <= l_{j+1} - l_j - 1 <= max_gap] are produced (the
+    gap-constrained variant of the paper's future work; [min_gap] defaults
+    to 0, [max_gap] to unbounded). *)
+
+val all_instances :
+  ?max_landmarks:int -> Seqdb.t -> Pattern.t -> Instance.full list
+(** [SeqDB(P)]: the set of all instances of [P] in the database
+    (Definition 2.2). *)
+
+val support :
+  ?max_landmarks:int -> ?min_gap:int -> ?max_gap:int -> Seqdb.t -> Pattern.t -> int
+(** The true repetitive support (Definition 2.5): the maximum cardinality of
+    a non-redundant instance set, computed exactly per sequence (instances
+    in different sequences never overlap) and summed. With [max_gap], the
+    exact gap-constrained repetitive support (only gap-respecting landmarks
+    count as instances). *)
+
+val max_non_overlapping : Instance.full list -> int
+(** Maximum size of a pairwise non-overlapping subset of the given instances
+    of a common pattern (they must all have equal landmark length). Exact
+    branch and bound. *)
+
+val max_pairwise_compatible :
+  compatible:(Instance.full -> Instance.full -> bool) -> Instance.full list -> int
+(** Generic exact maximum pairwise-compatible subset (branch and bound);
+    [compatible] must be symmetric. Also used by {!Strict_overlap} with the
+    stronger compatibility relation.
+    @raise Too_large beyond 64 instances. *)
+
+val frequent :
+  ?max_length:int -> Seqdb.t -> min_sup:int -> (Pattern.t * int) list
+(** All frequent patterns with their exact supports, by exhaustive DFS over
+    the pattern space with Apriori pruning (prefixes of frequent patterns
+    are frequent). *)
+
+val closed :
+  ?max_length:int -> Seqdb.t -> min_sup:int -> (Pattern.t * int) list
+(** All closed frequent patterns (Definition 2.6), obtained by filtering
+    {!frequent}: [P] is closed iff no frequent super-pattern has equal
+    support. [max_length], when given, must exceed the longest frequent
+    pattern for the filtering to be sound. *)

@@ -1,0 +1,127 @@
+open Rgs_sequence
+
+type stats = {
+  patterns : int;
+  dfs_nodes : int;
+  insgrow_calls : int;
+  lb_pruned : int;
+  non_closed_dropped : int;
+  truncated : bool;
+}
+
+exception Budget_exhausted
+
+let run ?max_length ?events ?roots ?(use_lb_check = true) ?(use_c_check = true)
+    ?(should_stop = fun () -> false) idx ~min_sup ~emit =
+  if min_sup < 1 then invalid_arg "Clogsgrow: min_sup must be >= 1";
+  let events =
+    match events with
+    | Some es -> es
+    | None -> Inverted_index.frequent_events idx ~min_sup
+  in
+  let roots = match roots with Some rs -> rs | None -> events in
+  (* Size-1 support sets are reused as prepend bases by every closure
+     check; memoise them for the whole run. *)
+  let event_set_cache : (Event.t, Support_set.t) Hashtbl.t = Hashtbl.create 64 in
+  let event_sets e =
+    match Hashtbl.find_opt event_set_cache e with
+    | Some s -> s
+    | None ->
+      let s = Support_set.of_event idx e in
+      Hashtbl.add event_set_cache e s;
+      s
+  in
+  let patterns = ref 0 in
+  let dfs_nodes = ref 0 in
+  let insgrow_calls = ref 0 in
+  let lb_pruned = ref 0 in
+  let non_closed_dropped = ref 0 in
+  let truncated = ref false in
+  let within_length p =
+    match max_length with None -> true | Some l -> Pattern.length p < l
+  in
+  (* [rev_chain] holds the leftmost support sets of the proper prefixes and
+     of [p] itself, most recent first (Theorem 7: O(sup_max · len_max)). *)
+  let rec mine_fre p i rev_chain =
+    if should_stop () then raise Budget_exhausted;
+    incr dfs_nodes;
+    let sup_p = Support_set.size i in
+    (* Prunability does not depend on the appended extensions (an append
+       always shifts the landmark border right), so the insert/prepend scan
+       runs first: a pruned subtree never pays for its appends. *)
+    let verdict =
+      if use_c_check || use_lb_check then begin
+        let prefix_sets = Array.of_list (List.rev rev_chain) in
+        let v =
+          Closure.check ~event_sets idx ~candidate_events:events ~prefix_sets
+            ~pattern:p ~support_set:i ~has_equal_append:false
+        in
+        if not use_lb_check then { v with Closure.prunable = false }
+        else if not use_c_check then { v with Closure.closed = true }
+        else v
+      end
+      else { Closure.closed = true; prunable = false }
+    in
+    if verdict.Closure.prunable then incr lb_pruned
+    else begin
+      let appends =
+        List.map
+          (fun e ->
+            incr insgrow_calls;
+            (e, Support_set.grow idx i e))
+          events
+      in
+      let has_equal_append =
+        use_c_check
+        && List.exists (fun (_, i') -> Support_set.size i' = sup_p) appends
+      in
+      if verdict.Closure.closed && not has_equal_append then begin
+        incr patterns;
+        emit { Mined.pattern = p; support = sup_p; support_set = i }
+      end
+      else incr non_closed_dropped;
+      if within_length p then
+        List.iter
+          (fun (e, i_plus) ->
+            if Support_set.size i_plus >= min_sup then
+              mine_fre (Pattern.grow p e) i_plus (i_plus :: rev_chain))
+          appends
+    end
+  in
+  (try
+     List.iter
+       (fun e ->
+         let i = Support_set.of_event idx e in
+         if Support_set.size i >= min_sup then
+           mine_fre (Pattern.of_list [ e ]) i [ i ])
+       roots
+   with Budget_exhausted -> truncated := true);
+  {
+    patterns = !patterns;
+    dfs_nodes = !dfs_nodes;
+    insgrow_calls = !insgrow_calls;
+    lb_pruned = !lb_pruned;
+    non_closed_dropped = !non_closed_dropped;
+    truncated = !truncated;
+  }
+
+let mine ?max_length ?max_patterns ?events ?roots ?use_lb_check ?use_c_check ?should_stop
+    idx ~min_sup =
+  let results = ref [] in
+  let count = ref 0 in
+  let emit r =
+    results := r :: !results;
+    incr count;
+    match max_patterns with
+    | Some budget when !count >= budget -> raise Budget_exhausted
+    | _ -> ()
+  in
+  let stats =
+    run ?max_length ?events ?roots ?use_lb_check ?use_c_check ?should_stop idx ~min_sup
+      ~emit
+  in
+  (List.rev !results, stats)
+
+let iter ?max_length ?events ?roots ?use_lb_check ?use_c_check ?should_stop idx ~min_sup ~f =
+  run ?max_length ?events ?roots ?use_lb_check ?use_c_check ?should_stop idx ~min_sup
+    ~emit:f

@@ -1,0 +1,61 @@
+(** CloGSgrow — Algorithm 4: mining {e closed} frequent repetitive gapped
+    subsequences.
+
+    Same DFS pattern growth as {!Gsgrow}, with two additions (Section
+    III-C):
+
+    - {b closure checking} ([CCheck], Theorem 4) drops non-closed patterns
+      from the output on the fly, without consulting previously generated
+      patterns;
+    - {b landmark-border checking} ([LBCheck], Theorem 5) prunes entire DFS
+      subtrees: when an extension of [P] has equal support and does not
+      shift the landmark border right, no pattern prefixed by [P] is
+      closed.
+
+    Both checks can be disabled individually for ablation benchmarks. With
+    [use_lb_check:false] the output is still exactly the closed patterns,
+    only slower; disabling [use_c_check] additionally keeps non-closed
+    patterns (turning the algorithm into GSgrow with extra work — useful
+    only to measure the cost of the checks). *)
+
+open Rgs_sequence
+
+type stats = {
+  patterns : int;  (** closed patterns emitted *)
+  dfs_nodes : int;  (** frequent DFS nodes visited *)
+  insgrow_calls : int;
+  lb_pruned : int;  (** subtrees cut by landmark-border checking *)
+  non_closed_dropped : int;  (** frequent nodes rejected by closure checking *)
+  truncated : bool;
+}
+
+val mine :
+  ?max_length:int ->
+  ?max_patterns:int ->
+  ?events:Event.t list ->
+  ?roots:Event.t list ->
+  ?use_lb_check:bool ->
+  ?use_c_check:bool ->
+  ?should_stop:(unit -> bool) ->
+  Inverted_index.t ->
+  min_sup:int ->
+  Mined.t list * stats
+(** [mine idx ~min_sup] returns every closed pattern with repetitive
+    support at least [min_sup], in DFS order. [should_stop] is polled at
+    every DFS node and aborts the search when it returns [true] (sets
+    [stats.truncated]).
+    @raise Invalid_argument when [min_sup < 1]. *)
+
+val iter :
+  ?max_length:int ->
+  ?events:Event.t list ->
+  ?roots:Event.t list ->
+  ?use_lb_check:bool ->
+  ?use_c_check:bool ->
+  ?should_stop:(unit -> bool) ->
+  Inverted_index.t ->
+  min_sup:int ->
+  f:(Mined.t -> unit) ->
+  stats
+(** Callback-style mining: [f] is invoked on each closed pattern in DFS
+    order without accumulating results. *)

@@ -1,0 +1,173 @@
+open Rgs_sequence
+
+type verdict = {
+  closed : bool;
+  prunable : bool;
+}
+
+(* Theorem 5 condition (ii): the k-th instance of the extension's leftmost
+   support set must sit in the same sequence and end no later than the k-th
+   instance of P's, for every k (both sets in right-shift order and of equal
+   size). *)
+let border_dominated ~extension_lasts ~pattern_lasts =
+  Array.length extension_lasts = Array.length pattern_lasts
+  &&
+  let ok = ref true in
+  Array.iteri
+    (fun k (seq', last') ->
+      let seq, last = pattern_lasts.(k) in
+      if seq' <> seq || last' > last then ok := false)
+    extension_lasts;
+  !ok
+
+exception Prunable
+
+(* Greedy leftmost landmark of [p] in [s]; [None] when [p] does not occur. *)
+let leftmost_landmark s p =
+  let n = Sequence.length s and m = Pattern.length p in
+  let landmark = Array.make m 0 in
+  let rec walk j pos =
+    if j > m then Some landmark
+    else if pos > n then None
+    else if Event.equal (Sequence.unsafe_get s pos) (Pattern.get p j) then begin
+      landmark.(j - 1) <- pos;
+      walk (j + 1) (pos + 1)
+    end
+    else walk j (pos + 1)
+  in
+  if m = 0 then Some [||] else walk 1 1
+
+(* Greedy rightmost landmark. *)
+let rightmost_landmark s p =
+  let n = Sequence.length s and m = Pattern.length p in
+  let landmark = Array.make m 0 in
+  let rec walk j pos =
+    if j < 1 then Some landmark
+    else if pos < 1 then None
+    else if Event.equal (Sequence.unsafe_get s pos) (Pattern.get p j) then begin
+      landmark.(j - 1) <- pos;
+      walk (j - 1) (pos - 1)
+    end
+    else walk j (pos - 1)
+  in
+  if m = 0 then Some [||] else walk m n
+
+let check ?event_sets idx ~candidate_events ~prefix_sets ~pattern ~support_set
+    ~has_equal_append =
+  let event_sets =
+    match event_sets with Some f -> f | None -> Support_set.of_event idx
+  in
+  let m = Pattern.length pattern in
+  let sup_p = Support_set.size support_set in
+  let pattern_lasts = Support_set.lasts support_set in
+  let arr = Pattern.to_array pattern in
+  let db = Inverted_index.db idx in
+  let events =
+    List.filter (fun e -> Inverted_index.occurrence_count idx e >= sup_p) candidate_events
+  in
+  (* Landmark envelopes of the sequences holding instances: any landmark of
+     P in S_i lies position-wise between the leftmost landmark [fl] and the
+     rightmost landmark [rl]. [sup_i] is S_i's contribution to sup(P). *)
+  let contributing =
+    List.filter_map
+      (fun (i, count) ->
+        let s = Seqdb.seq db i in
+        match (leftmost_landmark s pattern, rightmost_landmark s pattern) with
+        | Some fl, Some rl -> Some (i, fl, rl, count)
+        | _ -> None)
+      (Support_set.per_sequence_counts support_set)
+  in
+  (* Sound pre-filter for inserting e' at gap j (one pass per gap, all
+     events at once): instances of the extension P' in S_i project to
+     non-overlapping instances of P (Lemma 1), so S_i holds at most
+     min(sup_i, occurrences of e' between fl_j and rl_{j+1}) of them — two
+     non-overlapping P'-instances need distinct e' positions, and every
+     such position lies inside the envelope gap. If the sum over sequences
+     is below sup(P), growing the extension cannot reach equal support. *)
+  let gap_bounds j =
+    let totals : (Event.t, int) Hashtbl.t = Hashtbl.create 32 in
+    let local : (Event.t, int) Hashtbl.t = Hashtbl.create 32 in
+    List.iter
+      (fun (i, fl, rl, sup_i) ->
+        let lo = if j = 0 then 0 else fl.(j - 1) in
+        let hi = rl.(j) in
+        if hi > lo + 1 then begin
+          Hashtbl.reset local;
+          let s = Seqdb.seq db i in
+          for pos = lo + 1 to hi - 1 do
+            let e = Sequence.unsafe_get s pos in
+            Hashtbl.replace local e (1 + Option.value ~default:0 (Hashtbl.find_opt local e))
+          done;
+          Hashtbl.iter
+            (fun e c ->
+              Hashtbl.replace totals e
+                (min sup_i c + Option.value ~default:0 (Hashtbl.find_opt totals e)))
+            local
+        end)
+      contributing;
+    totals
+  in
+  let non_closed = ref has_equal_append in
+  (* Insertion position j in [0 .. m-1]: extension e1..ej e' e_{j+1}..e_m. *)
+  let scan_position j =
+    let bounds = gap_bounds j in
+    let suffix = Pattern.of_array (Array.sub arr j (m - j)) in
+    let base e' =
+      if j = 0 then event_sets e' else Support_set.grow idx prefix_sets.(j - 1) e'
+    in
+    let scan_event e' =
+      Metrics.hit Metrics.closure_bound_checks;
+      if Option.value ~default:0 (Hashtbl.find_opt bounds e') < sup_p then
+        Metrics.hit Metrics.closure_bound_rejects
+      else begin
+        Metrics.hit Metrics.closure_base_grows;
+        let i0 = base e' in
+        if Support_set.size i0 >= sup_p then
+          match Sup_comp.grow_from_until idx i0 suffix ~min_size:sup_p with
+          | None -> ()
+          | Some i' ->
+            (* sup(P') <= sup(P) by Lemma 1, so reaching min_size means
+               equality. *)
+            Metrics.hit Metrics.closure_full_grows;
+            non_closed := true;
+            if border_dominated ~extension_lasts:(Support_set.lasts i') ~pattern_lasts
+            then raise Prunable
+      end
+    in
+    List.iter scan_event events
+  in
+  match
+    for j = 0 to m - 1 do
+      scan_position j
+    done
+  with
+  | () -> { closed = not !non_closed; prunable = false }
+  | exception Prunable -> { closed = false; prunable = true }
+
+let prefix_sets_of idx pattern =
+  let m = Pattern.length pattern in
+  let sets = Array.make m Support_set.empty in
+  for j = 1 to m do
+    sets.(j - 1) <-
+      (if j = 1 then Support_set.of_event idx (Pattern.get pattern 1)
+       else Support_set.grow idx sets.(j - 2) (Pattern.get pattern j))
+  done;
+  sets
+
+let standalone ?events idx pattern =
+  if Pattern.is_empty pattern then { closed = false; prunable = false }
+  else begin
+    let events = match events with Some es -> es | None -> Inverted_index.events idx in
+    let prefix_sets = prefix_sets_of idx pattern in
+    let support_set = prefix_sets.(Pattern.length pattern - 1) in
+    let sup_p = Support_set.size support_set in
+    let has_equal_append =
+      List.exists
+        (fun e -> Support_set.size (Support_set.grow idx support_set e) = sup_p)
+        events
+    in
+    check idx ~candidate_events:events ~prefix_sets ~pattern ~support_set ~has_equal_append
+  end
+
+let is_closed ?events idx pattern = (standalone ?events idx pattern).closed
+let lb_prunable ?events idx pattern = (standalone ?events idx pattern).prunable

@@ -1,0 +1,87 @@
+open Rgs_sequence
+
+let validate_gaps ~min_gap ~max_gap =
+  if max_gap < 0 then invalid_arg "Gap_constrained: max_gap must be >= 0";
+  if min_gap < 0 then invalid_arg "Gap_constrained: min_gap must be >= 0";
+  if min_gap > max_gap then invalid_arg "Gap_constrained: min_gap > max_gap"
+
+(* Skip-on-failure instance growth with per-step gap bounds. Instances are
+   still processed in right-shift order and take the earliest admissible
+   occurrence after max(last_position, last + min_gap), but the occurrence
+   must also lie within last + max_gap + 1. *)
+let grow ?(min_gap = 0) idx ~max_gap s e =
+  validate_gaps ~min_gap ~max_gap;
+  Metrics.hit Metrics.insgrow_calls;
+  let out = ref [] in
+  Support_set.fold_groups
+    (fun () i g ->
+      let extended = ref [] in
+      let last_position = ref 0 in
+      Array.iter
+        (fun (inst : Instance.t) ->
+          let lowest = max !last_position (inst.Instance.last + min_gap) in
+          let deadline = inst.Instance.last + max_gap + 1 in
+          if lowest < deadline then
+            match Inverted_index.next idx ~seq:i e ~lowest with
+            | Some lj when lj <= deadline ->
+              last_position := lj;
+              extended := { inst with Instance.last = lj } :: !extended
+            | Some _ | None -> ())
+        g;
+      match !extended with
+      | [] -> ()
+      | l -> out := (i, Array.of_list (List.rev l)) :: !out)
+    () s;
+  Support_set.unsafe_of_groups (Array.of_list (List.rev !out))
+
+let support_set ?min_gap idx ~max_gap p =
+  if Pattern.is_empty p then Support_set.empty
+  else begin
+    let i = ref (Support_set.of_event idx (Pattern.get p 1)) in
+    for j = 2 to Pattern.length p do
+      i := grow ?min_gap idx ~max_gap !i (Pattern.get p j)
+    done;
+    !i
+  end
+
+let support ?min_gap idx ~max_gap p =
+  Support_set.size (support_set ?min_gap idx ~max_gap p)
+
+type stats = { patterns : int; truncated : bool }
+
+exception Budget_exhausted
+
+let mine ?max_length ?max_patterns ?(min_gap = 0) idx ~max_gap ~min_sup =
+  if min_sup < 1 then invalid_arg "Gap_constrained.mine: min_sup must be >= 1";
+  validate_gaps ~min_gap ~max_gap;
+  let events = Inverted_index.frequent_events idx ~min_sup in
+  let results = ref [] in
+  let count = ref 0 in
+  let truncated = ref false in
+  let within p =
+    match max_length with None -> true | Some l -> Pattern.length p < l
+  in
+  let emit p i =
+    results := { Mined.pattern = p; support = Support_set.size i; support_set = i } :: !results;
+    incr count;
+    match max_patterns with
+    | Some budget when !count >= budget -> raise Budget_exhausted
+    | _ -> ()
+  in
+  let rec mine_fre p i =
+    emit p i;
+    if within p then
+      List.iter
+        (fun e ->
+          let i_plus = grow ~min_gap idx ~max_gap i e in
+          if Support_set.size i_plus >= min_sup then mine_fre (Pattern.grow p e) i_plus)
+        events
+  in
+  (try
+     List.iter
+       (fun e ->
+         let i = Support_set.of_event idx e in
+         if Support_set.size i >= min_sup then mine_fre (Pattern.of_list [ e ]) i)
+       events
+   with Budget_exhausted -> truncated := true);
+  (List.rev !results, { patterns = !count; truncated = !truncated })

@@ -1,0 +1,63 @@
+open Rgs_sequence
+
+type stats = {
+  patterns : int;
+  insgrow_calls : int;
+  truncated : bool;
+}
+
+exception Budget_exhausted
+
+(* Shared DFS skeleton for [mine] and [iter]. [emit] receives each frequent
+   pattern; raising [Budget_exhausted] from it aborts the search. *)
+let run ?max_length ?events ?roots ?(should_stop = fun () -> false) idx ~min_sup ~emit =
+  if min_sup < 1 then invalid_arg "Gsgrow: min_sup must be >= 1";
+  let events =
+    match events with
+    | Some es -> es
+    | None -> Inverted_index.frequent_events idx ~min_sup
+  in
+  let roots = match roots with Some rs -> rs | None -> events in
+  let insgrow_calls = ref 0 in
+  let truncated = ref false in
+  let patterns = ref 0 in
+  let within_length p =
+    match max_length with None -> true | Some l -> Pattern.length p < l
+  in
+  let rec mine_fre p i =
+    if should_stop () then raise Budget_exhausted;
+    incr patterns;
+    emit { Mined.pattern = p; support = Support_set.size i; support_set = i };
+    if within_length p then
+      List.iter
+        (fun e ->
+          incr insgrow_calls;
+          let i_plus = Support_set.grow idx i e in
+          if Support_set.size i_plus >= min_sup then mine_fre (Pattern.grow p e) i_plus)
+        events
+  in
+  (try
+     List.iter
+       (fun e ->
+         let i = Support_set.of_event idx e in
+         if Support_set.size i >= min_sup then
+           mine_fre (Pattern.of_list [ e ]) i)
+       roots
+   with Budget_exhausted -> truncated := true);
+  { patterns = !patterns; insgrow_calls = !insgrow_calls; truncated = !truncated }
+
+let mine ?max_length ?max_patterns ?events ?roots ?should_stop idx ~min_sup =
+  let results = ref [] in
+  let count = ref 0 in
+  let emit r =
+    results := r :: !results;
+    incr count;
+    match max_patterns with
+    | Some budget when !count >= budget -> raise Budget_exhausted
+    | _ -> ()
+  in
+  let stats = run ?max_length ?events ?roots ?should_stop idx ~min_sup ~emit in
+  (List.rev !results, stats)
+
+let iter ?max_length ?events ?roots ?should_stop idx ~min_sup ~f =
+  run ?max_length ?events ?roots ?should_stop idx ~min_sup ~emit:f

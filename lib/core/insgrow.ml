@@ -1,0 +1,47 @@
+open Rgs_sequence
+
+let run = Support_set.grow
+
+let full_of_event idx e =
+  let db = Inverted_index.db idx in
+  let out = ref [] in
+  for i = Seqdb.size db downto 1 do
+    let positions = Inverted_index.positions idx ~seq:i e in
+    for k = Array.length positions - 1 downto 0 do
+      out := { Instance.fseq = i; landmark = [| positions.(k) |] } :: !out
+    done
+  done;
+  !out
+
+(* Same control flow as Support_set.grow, on full landmarks. The input list
+   is grouped by sequence in right-shift order, so a plain left-to-right scan
+   with per-sequence [last_position] state implements lines 1-7 of
+   Algorithm 2. *)
+let run_full idx insts e =
+  let out = ref [] in
+  let current_seq = ref 0 in
+  let last_position = ref 0 in
+  let dead = ref false in
+  List.iter
+    (fun (f : Instance.full) ->
+      if f.Instance.fseq <> !current_seq then begin
+        current_seq := f.Instance.fseq;
+        last_position := 0;
+        dead := false
+      end;
+      if not !dead then begin
+        let n = Array.length f.Instance.landmark in
+        let last = f.Instance.landmark.(n - 1) in
+        match
+          Inverted_index.next idx ~seq:f.Instance.fseq e
+            ~lowest:(max !last_position last)
+        with
+        | None -> dead := true
+        | Some lj ->
+          last_position := lj;
+          let landmark = Array.make (n + 1) lj in
+          Array.blit f.Instance.landmark 0 landmark 0 n;
+          out := { f with Instance.landmark } :: !out
+      end)
+    insts;
+  List.rev !out

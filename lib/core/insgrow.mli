@@ -1,0 +1,23 @@
+(** Instance growth — Algorithm 2 of the paper, under its paper name.
+
+    [INSgrow(SeqDB, P, I, e)] extends a leftmost support set [I] of pattern
+    [P] into a leftmost support set of [P ◦ e] (Lemma 4). The production
+    implementation works on compressed instances ({!Support_set.grow});
+    this module also provides a full-landmark variant used for reporting
+    support sets to users and for cross-checking in tests. *)
+
+open Rgs_sequence
+
+val run : Inverted_index.t -> Support_set.t -> Event.t -> Support_set.t
+(** Compressed instance growth; alias of {!Support_set.grow}. *)
+
+val run_full :
+  Inverted_index.t -> Instance.full list -> Event.t -> Instance.full list
+(** Full-landmark instance growth. [i] must be a leftmost support set in
+    right-shift order, grouped by ascending sequence (as produced by
+    {!full_of_event} and by this function); the result keeps that shape.
+    Semantically identical to {!run} — tests verify that compressing the
+    result of [run_full] equals the result of [run]. *)
+
+val full_of_event : Inverted_index.t -> Event.t -> Instance.full list
+(** The leftmost support set of the size-1 pattern [e], with landmarks. *)

@@ -1,0 +1,62 @@
+open Rgs_sequence
+
+type t = { seq : int; first : int; last : int }
+type full = { fseq : int; landmark : int array }
+
+let compress f =
+  let n = Array.length f.landmark in
+  if n = 0 then invalid_arg "Instance.compress: empty landmark";
+  { seq = f.fseq; first = f.landmark.(0); last = f.landmark.(n - 1) }
+
+let right_shift_compare a b =
+  match Int.compare a.seq b.seq with
+  | 0 -> ( match Int.compare a.last b.last with 0 -> Int.compare a.first b.first | c -> c)
+  | c -> c
+
+let right_shift_compare_full a b =
+  let last f =
+    let n = Array.length f.landmark in
+    if n = 0 then 0 else f.landmark.(n - 1)
+  in
+  match Int.compare a.fseq b.fseq with
+  | 0 -> Int.compare (last a) (last b)
+  | c -> c
+
+let overlap a b =
+  let na = Array.length a.landmark and nb = Array.length b.landmark in
+  if na <> nb then invalid_arg "Instance.overlap: landmark lengths differ";
+  a.fseq = b.fseq
+  &&
+  let rec shared j = j < na && (a.landmark.(j) = b.landmark.(j) || shared (j + 1)) in
+  shared 0
+
+let non_overlapping a b = not (overlap a b)
+
+let strictly_overlap a b =
+  a.fseq = b.fseq
+  && Array.exists (fun l -> Array.exists (fun l' -> l = l') b.landmark) a.landmark
+
+let is_landmark_of p s l =
+  Array.length l = Pattern.length p
+  && Array.for_all (fun pos -> pos >= 1 && pos <= Sequence.length s) l
+  &&
+  let increasing = ref true in
+  for j = 1 to Array.length l - 1 do
+    if l.(j) <= l.(j - 1) then increasing := false
+  done;
+  !increasing
+  &&
+  let matches = ref true in
+  Array.iteri
+    (fun j pos -> if not (Event.equal (Sequence.get s pos) (Pattern.get p (j + 1))) then matches := false)
+    l;
+  !matches
+
+let pp ppf i = Format.fprintf ppf "(%d,<%d..%d>)" i.seq i.first i.last
+
+let pp_full ppf f =
+  Format.fprintf ppf "(%d,<%s>)" f.fseq
+    (String.concat "," (List.map string_of_int (Array.to_list f.landmark)))
+
+let equal (a : t) b = a = b
+let equal_full (a : full) b = a.fseq = b.fseq && a.landmark = b.landmark

@@ -1,0 +1,55 @@
+(** Pattern instances.
+
+    An instance of a pattern [P = e1..em] in [SeqDB] is a pair
+    [(i, <l1,...,lm>)] where [<l1,...,lm>] is a landmark of [P] in [S_i]
+    (Definition 2.2). Two representations are provided:
+
+    - {!full}: the sequence index together with the whole landmark. Used for
+      reporting, for the reference oracle and in tests.
+    - {!t} (compressed): the triple [(i, l1, lm)] of Section III-D. The
+      mining algorithms only ever need the first and last landmark
+      positions, so instances are stored in constant space. *)
+
+open Rgs_sequence
+
+type t = { seq : int; first : int; last : int }
+(** Compressed instance [(i, l1, lm)]. For a size-1 pattern,
+    [first = last]. *)
+
+type full = { fseq : int; landmark : int array }
+(** Full instance [(i, <l1,...,lm>)]. Landmark positions are 1-based and
+    strictly increasing. *)
+
+val compress : full -> t
+(** @raise Invalid_argument on an empty landmark. *)
+
+val right_shift_compare : t -> t -> int
+(** The right-shift order of Definition 3.1: [(i,<..lm>)] comes before
+    [(i',<..l'm>)] iff [i < i'] or ([i = i'] and [lm < l'm]). Ties (same
+    sequence and same last position) are broken by [first] to make the order
+    total on distinct compressed instances. *)
+
+val right_shift_compare_full : full -> full -> int
+
+val overlap : full -> full -> bool
+(** Definition 2.3: instances of the {e same} pattern overlap iff they are in
+    the same sequence and agree on the landmark position of at least one
+    pattern index ([∃ j, lj = l'j]).
+    @raise Invalid_argument when landmark lengths differ. *)
+
+val non_overlapping : full -> full -> bool
+
+val strictly_overlap : full -> full -> bool
+(** The stronger variant of footnote 1: same sequence and {e any} shared
+    position, regardless of its index ([∃ j j', lj = l'j']). Under this
+    definition computing the support is NP-complete; see
+    {!Strict_overlap}. *)
+
+val is_landmark_of : Pattern.t -> Sequence.t -> int array -> bool
+(** [is_landmark_of p s l] checks Definition 2.1: [l] is strictly increasing,
+    within bounds, and [S[l_j] = e_j] for all [j]. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_full : Format.formatter -> full -> unit
+val equal : t -> t -> bool
+val equal_full : full -> full -> bool

@@ -1,0 +1,20 @@
+(** Mined pattern records shared by {!Gsgrow}, {!Clogsgrow} and the
+    {!Miner} facade. *)
+
+type t = {
+  pattern : Pattern.t;
+  support : int;  (** repetitive support [sup(pattern)] *)
+  support_set : Support_set.t;  (** leftmost support set, compressed *)
+}
+
+val compare_by_support_desc : t -> t -> int
+(** Orders by decreasing support, then by increasing length, then
+    lexicographically — a stable presentation order for reports. *)
+
+val compare_by_length_desc : t -> t -> int
+(** Orders by decreasing pattern length (the case study's ranking step),
+    then by decreasing support, then lexicographically. *)
+
+val pp : Format.formatter -> t -> unit
+
+val pp_with : Rgs_sequence.Codec.t -> Format.formatter -> t -> unit

@@ -1,0 +1,118 @@
+open Rgs_sequence
+
+type mode = All | Closed
+
+type config = {
+  min_sup : int;
+  mode : mode;
+  max_length : int option;
+  max_patterns : int option;
+  max_gap : int option;
+  domains : int option;
+  paged_index : bool;
+}
+
+let config ?(mode = Closed) ?max_length ?max_patterns ?max_gap ?domains
+    ?(paged_index = false) ~min_sup () =
+  { min_sup; mode; max_length; max_patterns; max_gap; domains; paged_index }
+
+type report = {
+  results : Mined.t list;
+  truncated : bool;
+  elapsed_s : float;
+}
+
+let log_src = Logs.Src.create "rgs.miner" ~doc:"Repetitive gapped subsequence mining"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let describe cfg =
+  String.concat ""
+    [
+      (match cfg.max_gap with
+      | Some g -> Printf.sprintf "gap-constrained (<= %d) " g
+      | None -> "");
+      (match cfg.mode with All -> "all" | Closed -> "closed");
+      (match cfg.domains with Some d -> Printf.sprintf ", %d domains" d | None -> "");
+      (match cfg.max_length with Some l -> Printf.sprintf ", max_length=%d" l | None -> "");
+      (match cfg.max_patterns with Some b -> Printf.sprintf ", max_patterns=%d" b | None -> "");
+    ]
+
+let mine_indexed cfg idx =
+  (match (cfg.domains, cfg.max_patterns, cfg.max_gap) with
+  | Some _, Some _, _ ->
+    invalid_arg "Miner: domains cannot be combined with max_patterns"
+  | Some _, _, Some _ -> invalid_arg "Miner: domains cannot be combined with max_gap"
+  | _ -> ());
+  Log.info (fun m -> m "mining %s patterns, min_sup=%d" (describe cfg) cfg.min_sup);
+  let start = Unix.gettimeofday () in
+  let results, truncated =
+    match (cfg.max_gap, cfg.domains, cfg.mode) with
+    | Some max_gap, _, _ ->
+      let results, stats =
+        Gap_constrained.mine ?max_length:cfg.max_length ?max_patterns:cfg.max_patterns
+          idx ~max_gap ~min_sup:cfg.min_sup
+      in
+      (results, stats.Gap_constrained.truncated)
+    | None, Some domains, All ->
+      let results, stats =
+        Parallel_miner.mine_all ~domains ?max_length:cfg.max_length idx
+          ~min_sup:cfg.min_sup
+      in
+      (results, stats.Gsgrow.truncated)
+    | None, Some domains, Closed ->
+      let results, stats =
+        Parallel_miner.mine_closed ~domains ?max_length:cfg.max_length idx
+          ~min_sup:cfg.min_sup
+      in
+      (results, stats.Clogsgrow.truncated)
+    | None, None, All ->
+      let results, stats =
+        Gsgrow.mine ?max_length:cfg.max_length ?max_patterns:cfg.max_patterns idx
+          ~min_sup:cfg.min_sup
+      in
+      (results, stats.Gsgrow.truncated)
+    | None, None, Closed ->
+      let results, stats =
+        Clogsgrow.mine ?max_length:cfg.max_length ?max_patterns:cfg.max_patterns idx
+          ~min_sup:cfg.min_sup
+      in
+      (results, stats.Clogsgrow.truncated)
+  in
+  let elapsed_s = Unix.gettimeofday () -. start in
+  Log.info (fun m ->
+      m "found %d pattern(s)%s in %.3fs" (List.length results)
+        (if truncated then " (truncated)" else "")
+        elapsed_s);
+  { results; truncated; elapsed_s }
+
+let mine ?config:cfg ?min_sup db =
+  let cfg =
+    match (cfg, min_sup) with
+    | Some c, _ -> c
+    | None, Some min_sup -> config ~min_sup ()
+    | None, None -> invalid_arg "Miner.mine: provide ~config or ~min_sup"
+  in
+  let idx =
+    if cfg.paged_index then Inverted_index.build_paged db else Inverted_index.build db
+  in
+  mine_indexed cfg idx
+
+let landmarks db p = Sup_comp.landmarks (Inverted_index.build db) p
+let support db p = Sup_comp.support (Inverted_index.build db) p
+
+let pp_report ?codec ?(limit = 20) ppf report =
+  let pp_one =
+    match codec with Some c -> Mined.pp_with c | None -> Mined.pp
+  in
+  let sorted = List.sort Mined.compare_by_support_desc report.results in
+  let total = List.length sorted in
+  Format.fprintf ppf "@[<v>%d pattern%s%s in %.3fs@," total
+    (if total = 1 then "" else "s")
+    (if report.truncated then " (truncated)" else "")
+    report.elapsed_s;
+  List.iteri
+    (fun k r -> if k < limit then Format.fprintf ppf "  %a@," pp_one r)
+    sorted;
+  if total > limit then Format.fprintf ppf "  ... (%d more)@," (total - limit);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,69 @@
+(** High-level mining facade.
+
+    One-call API over {!Gsgrow} / {!Clogsgrow} / {!Gap_constrained} /
+    {!Parallel_miner}: build the inverted index, mine, and present
+    results. This is the entry point example programs and the CLI use; the
+    per-algorithm modules remain available for finer control. *)
+
+open Rgs_sequence
+
+type mode =
+  | All  (** GSgrow: every frequent pattern *)
+  | Closed  (** CloGSgrow: closed frequent patterns only *)
+
+type config = {
+  min_sup : int;
+  mode : mode;
+  max_length : int option;  (** bound on pattern length *)
+  max_patterns : int option;  (** output budget; truncates the DFS *)
+  max_gap : int option;
+      (** gap-constrained mining ({!Gap_constrained}): sound greedy lower
+          bound, mines all patterns — [mode] is ignored *)
+  domains : int option;
+      (** mine in parallel with this many domains ({!Parallel_miner});
+          incompatible with [max_patterns] and [max_gap] *)
+  paged_index : bool;  (** build the B-tree index backend instead of arrays *)
+}
+
+val config :
+  ?mode:mode ->
+  ?max_length:int ->
+  ?max_patterns:int ->
+  ?max_gap:int ->
+  ?domains:int ->
+  ?paged_index:bool ->
+  min_sup:int ->
+  unit ->
+  config
+(** Defaults: [mode = Closed], array index, sequential, no bounds. *)
+
+type report = {
+  results : Mined.t list;  (** in DFS order *)
+  truncated : bool;
+  elapsed_s : float;
+}
+
+val mine : ?config:config -> ?min_sup:int -> Seqdb.t -> report
+(** Mines [db]. Pass either a full [config] or just [min_sup] (with the
+    defaults of {!config}).
+    @raise Invalid_argument when neither [config] nor [min_sup] is given,
+    when [min_sup < 1], or when [domains] is combined with [max_patterns]
+    or [max_gap]. *)
+
+val mine_indexed : config -> Inverted_index.t -> report
+(** As {!mine} on a prebuilt index (amortises index construction across
+    parameter sweeps; [config.paged_index] is ignored). *)
+
+val landmarks : Seqdb.t -> Pattern.t -> Instance.full list
+(** Full-landmark leftmost support set of a pattern, for displaying where
+    instances occur. *)
+
+val support : Seqdb.t -> Pattern.t -> int
+(** One-off repetitive support query. *)
+
+val pp_report : ?codec:Codec.t -> ?limit:int -> Format.formatter -> report -> unit
+(** Prints up to [limit] results (default 20) ordered by decreasing
+    support. *)
+
+val log_src : Logs.src
+(** The [rgs.miner] log source ([Info]: run start/finish). *)

@@ -1,0 +1,88 @@
+open Rgs_sequence
+
+let default_domains () = max 1 (min (Domain.recommended_domain_count ()) 8)
+
+(* Claim roots from an atomic counter until exhausted; store each root's
+   result list into its slot. [mine_root] must be thread-compatible: it
+   only reads the shared index and writes domain-local state. *)
+let run_pool ~domains ~num_roots ~mine_root =
+  let next = Atomic.make 0 in
+  let slots = Array.make num_roots None in
+  let worker () =
+    let rec loop () =
+      let k = Atomic.fetch_and_add next 1 in
+      if k < num_roots then begin
+        slots.(k) <- Some (mine_root k);
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let spawned = List.init (domains - 1) (fun _ -> Domain.spawn worker) in
+  worker ();
+  List.iter Domain.join spawned;
+  Array.map
+    (function
+      | Some r -> r
+      | None -> assert false (* every slot below [next >= num_roots] is filled *))
+    slots
+
+let validate ?(domains = default_domains ()) ~min_sup () =
+  if min_sup < 1 then invalid_arg "Parallel_miner: min_sup must be >= 1";
+  if domains < 1 then invalid_arg "Parallel_miner: domains must be >= 1";
+  domains
+
+let mine_all ?domains ?max_length idx ~min_sup =
+  let domains = validate ?domains ~min_sup () in
+  let events = Inverted_index.frequent_events idx ~min_sup in
+  let roots = Array.of_list events in
+  let mine_root k =
+    Gsgrow.mine ?max_length ~events ~roots:[ roots.(k) ] idx ~min_sup
+  in
+  let per_root = run_pool ~domains ~num_roots:(Array.length roots) ~mine_root in
+  let results = List.concat_map fst (Array.to_list per_root) in
+  let stats =
+    Array.fold_left
+      (fun acc (_, s) ->
+        {
+          Gsgrow.patterns = acc.Gsgrow.patterns + s.Gsgrow.patterns;
+          insgrow_calls = acc.Gsgrow.insgrow_calls + s.Gsgrow.insgrow_calls;
+          truncated = acc.Gsgrow.truncated || s.Gsgrow.truncated;
+        })
+      { Gsgrow.patterns = 0; insgrow_calls = 0; truncated = false }
+      per_root
+  in
+  (results, stats)
+
+let mine_closed ?domains ?max_length ?use_lb_check idx ~min_sup =
+  let domains = validate ?domains ~min_sup () in
+  let events = Inverted_index.frequent_events idx ~min_sup in
+  let roots = Array.of_list events in
+  let mine_root k =
+    Clogsgrow.mine ?max_length ?use_lb_check ~events ~roots:[ roots.(k) ] idx ~min_sup
+  in
+  let per_root = run_pool ~domains ~num_roots:(Array.length roots) ~mine_root in
+  let results = List.concat_map fst (Array.to_list per_root) in
+  let stats =
+    Array.fold_left
+      (fun acc (_, s) ->
+        {
+          Clogsgrow.patterns = acc.Clogsgrow.patterns + s.Clogsgrow.patterns;
+          dfs_nodes = acc.Clogsgrow.dfs_nodes + s.Clogsgrow.dfs_nodes;
+          insgrow_calls = acc.Clogsgrow.insgrow_calls + s.Clogsgrow.insgrow_calls;
+          lb_pruned = acc.Clogsgrow.lb_pruned + s.Clogsgrow.lb_pruned;
+          non_closed_dropped =
+            acc.Clogsgrow.non_closed_dropped + s.Clogsgrow.non_closed_dropped;
+          truncated = acc.Clogsgrow.truncated || s.Clogsgrow.truncated;
+        })
+      {
+        Clogsgrow.patterns = 0;
+        dfs_nodes = 0;
+        insgrow_calls = 0;
+        lb_pruned = 0;
+        non_closed_dropped = 0;
+        truncated = false;
+      }
+      per_root
+  in
+  (results, stats)

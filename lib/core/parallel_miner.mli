@@ -1,0 +1,37 @@
+(** Domain-parallel mining (OCaml 5 multicore).
+
+    The DFS subtrees rooted at distinct size-1 patterns are independent:
+    the inverted index is read-only after construction and support sets
+    are subtree-local. Each domain repeatedly claims the next unclaimed
+    root from an atomic counter and mines its subtree with the sequential
+    algorithms; per-root results are stored in a slot array, so the merged
+    output is {b deterministic} (identical to the sequential DFS order)
+    regardless of scheduling.
+
+    An extension beyond the paper — the 2009 evaluation was single-core —
+    kept orthogonal: all correctness arguments are the sequential
+    algorithms'. *)
+
+open Rgs_sequence
+
+val default_domains : unit -> int
+(** [min (Domain.recommended_domain_count ()) 8], at least 1. *)
+
+val mine_all :
+  ?domains:int ->
+  ?max_length:int ->
+  Inverted_index.t ->
+  min_sup:int ->
+  Mined.t list * Gsgrow.stats
+(** Parallel GSgrow. Output equals [Gsgrow.mine idx ~min_sup] exactly
+    (order included); stats are summed across domains.
+    @raise Invalid_argument when [min_sup < 1] or [domains < 1]. *)
+
+val mine_closed :
+  ?domains:int ->
+  ?max_length:int ->
+  ?use_lb_check:bool ->
+  Inverted_index.t ->
+  min_sup:int ->
+  Mined.t list * Clogsgrow.stats
+(** Parallel CloGSgrow; same guarantees. *)

@@ -1,0 +1,65 @@
+open Rgs_sequence
+
+type t = Event.t array
+
+let empty : t = [||]
+let of_list = Array.of_list
+let of_array = Array.copy
+let of_string s = Sequence.to_array (Sequence.of_string s)
+let to_list = Array.to_list
+let to_array = Array.copy
+let to_sequence p = Sequence.of_array p
+let length = Array.length
+let is_empty p = Array.length p = 0
+
+let get p j =
+  if j < 1 || j > Array.length p then
+    invalid_arg (Printf.sprintf "Pattern.get: index %d out of [1;%d]" j (Array.length p))
+  else p.(j - 1)
+
+let last p =
+  if Array.length p = 0 then invalid_arg "Pattern.last: empty pattern"
+  else p.(Array.length p - 1)
+
+let grow p e =
+  let m = Array.length p in
+  let q = Array.make (m + 1) e in
+  Array.blit p 0 q 0 m;
+  q
+
+let concat = Array.append
+
+let insert p ~at e =
+  let m = Array.length p in
+  if at < 0 || at > m then
+    invalid_arg (Printf.sprintf "Pattern.insert: position %d out of [0;%d]" at m);
+  let q = Array.make (m + 1) e in
+  Array.blit p 0 q 0 at;
+  Array.blit p at q (at + 1) (m - at);
+  q
+
+let extensions p ~events =
+  let m = Array.length p in
+  let at_pos at = List.map (fun e -> (at, e, insert p ~at e)) events in
+  List.concat_map at_pos (List.init (m + 1) (fun j -> j))
+
+let is_subpattern p ~of_:q =
+  let np = Array.length p and nq = Array.length q in
+  let rec walk i j =
+    if i >= np then true
+    else if j >= nq then false
+    else if Event.equal p.(i) q.(j) then walk (i + 1) (j + 1)
+    else walk i (j + 1)
+  in
+  walk 0 0
+
+let equal (a : t) b = a = b
+let compare (a : t) b = Stdlib.compare a b
+let hash (p : t) = Hashtbl.hash p
+let pp ppf p = Sequence.pp ppf (Sequence.of_array p)
+let pp_with codec ppf p = Sequence.pp_with codec ppf (Sequence.of_array p)
+let to_string p = Format.asprintf "%a" pp p
+
+let events p =
+  let module ISet = Set.Make (Int) in
+  ISet.elements (Array.fold_left (fun acc e -> ISet.add e acc) ISet.empty p)

@@ -1,0 +1,67 @@
+(** Patterns — the gapped subsequences being mined.
+
+    A pattern [P = e1 e2 ... em] is itself a sequence of events
+    (Section II). This module adds the pattern-growth operation [P ◦ e]
+    (Definition 3.3) and the single-event {e extensions} of Definition 3.4
+    used by the closure and landmark-border checks. *)
+
+open Rgs_sequence
+
+type t
+(** A non-empty-or-empty immutable pattern. *)
+
+val empty : t
+
+val of_list : Event.t list -> t
+val of_array : Event.t array -> t
+
+val of_string : string -> t
+(** Letter encoding, as {!Rgs_sequence.Sequence.of_string}. *)
+
+val to_list : t -> Event.t list
+val to_array : t -> Event.t array
+(** Fresh copy. *)
+
+val to_sequence : t -> Sequence.t
+
+val length : t -> int
+val is_empty : t -> bool
+
+val get : t -> int -> Event.t
+(** 1-based, matching the paper's [e_j]. *)
+
+val last : t -> Event.t
+(** @raise Invalid_argument on the empty pattern. *)
+
+val grow : t -> Event.t -> t
+(** [grow p e] is [P ◦ e] (Definition 3.3): append [e]. *)
+
+val concat : t -> t -> t
+(** [concat p q] is [P ◦ Q]. *)
+
+val insert : t -> at:int -> Event.t -> t
+(** [insert p ~at:j e] places [e] so that it becomes the [(j+1)]-th event:
+    [at = 0] prepends, [at = length p] appends, [0 < at < length p] inserts
+    between [e_at] and [e_{at+1}]. These are exactly the extensions of
+    Definition 3.4.
+    @raise Invalid_argument when [at] is out of [0 .. length p]. *)
+
+val extensions : t -> events:Event.t list -> (int * Event.t * t) list
+(** All single-event extensions [insert p ~at e] for [at] in
+    [0 .. length p] and [e] in [events], as [(at, e, extended)] triples.
+    Extensions at [at = length p] (appends) come last. *)
+
+val is_subpattern : t -> of_:t -> bool
+(** Subsequence containment test (Definition 2.1): [is_subpattern p ~of_:q]
+    iff [P ⊑ Q]. The empty pattern is a subpattern of everything. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+val pp_with : Codec.t -> Format.formatter -> t -> unit
+val to_string : t -> string
+
+val events : t -> Event.t list
+(** Distinct events of the pattern, ascending. *)

@@ -1,0 +1,25 @@
+open Rgs_sequence
+
+let support ?max_landmarks db p =
+  if Pattern.is_empty p then 0
+  else
+    Seqdb.fold
+      (fun acc i s ->
+        let insts =
+          List.map
+            (fun landmark -> { Instance.fseq = i; landmark })
+            (Brute_force.landmarks_in ?max_landmarks s p)
+        in
+        let compatible a b = not (Instance.strictly_overlap a b) in
+        acc + Brute_force.max_pairwise_compatible ~compatible insts)
+      0 db
+
+let in_iterated_shuffle ~v ~w =
+  let nv = Sequence.length v and nw = Sequence.length w in
+  if nw = 0 then true
+  else if nv = 0 || nw mod nv <> 0 then false
+  else begin
+    let db = Seqdb.of_sequences [ w ] in
+    let p = Pattern.of_array (Sequence.to_array v) in
+    support db p = nw / nv
+  end

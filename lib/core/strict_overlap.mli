@@ -1,0 +1,24 @@
+(** The stronger overlap semantics of footnote 1.
+
+    Under the stronger Definition 2.3 — two instances overlap when they
+    share {e any} sequence position, regardless of which pattern index it
+    carries — computing the support is NP-complete (by reduction from the
+    iterated-shuffle problem of Warmuth and Haussler). This module
+    implements that variant {e exactly} with exponential search, for tiny
+    inputs, so tests can demonstrate the semantic difference the paper
+    discusses (e.g. [sup_strict(ABA) = 1] vs [sup(ABA) = 2] on Table II)
+    and the reduction itself. *)
+
+open Rgs_sequence
+
+val support : ?max_landmarks:int -> Seqdb.t -> Pattern.t -> int
+(** Maximum number of instances that are pairwise non-overlapping in the
+    strong sense (pairwise position-disjoint within each sequence).
+    @raise Brute_force.Too_large when enumeration budgets are exceeded. *)
+
+val in_iterated_shuffle : v:Sequence.t -> w:Sequence.t -> bool
+(** [in_iterated_shuffle ~v ~w] decides whether [w] belongs to the iterated
+    shuffle of [v], via the paper's reduction: with [P = v] and
+    [SeqDB = {w}], [w] is in the iterated shuffle of [v] iff
+    [support {w} v = |w| / |v|] (and [|v|] divides [|w|]). The empty [w] is
+    in the iterated shuffle of any [v]. *)

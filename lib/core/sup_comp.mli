@@ -1,0 +1,47 @@
+(** Repetitive support computation — Algorithm 1 ([supComp]).
+
+    Couples pattern growth with instance growth: starting from the leftmost
+    support set of [e1], repeatedly applies [INSgrow] to obtain the leftmost
+    support set of [e1..ej] for [j = 2..m] (Theorem 2). The result size is
+    the repetitive support [sup(P)] of Definition 2.5, computed in
+    [O(m · sup(e1) · log L)]. *)
+
+open Rgs_sequence
+
+val support_set : Inverted_index.t -> Pattern.t -> Support_set.t
+(** The leftmost support set of [P] in compressed form. The empty pattern
+    has the empty support set. *)
+
+val support : Inverted_index.t -> Pattern.t -> int
+(** [sup(P)] — the size of the leftmost support set. *)
+
+val landmarks : Inverted_index.t -> Pattern.t -> Instance.full list
+(** The leftmost support set with full landmarks, in right-shift order,
+    recomputed from scratch. *)
+
+val reconstruct :
+  Inverted_index.t -> Pattern.t -> Support_set.t -> Instance.full list
+(** Reconstructs full landmarks from a compressed leftmost support set —
+    the operation Section III-D states "can be constructed from these
+    triples. Details are omitted here." Starting from each instance's
+    stored first position, the intermediate positions are re-derived by
+    replaying instance growth within each sequence; the replayed last
+    positions provably coincide with the stored ones (asserted). Cheaper
+    than {!landmarks} when the support set is much smaller than the
+    occurrence list of the pattern's first event.
+    @raise Invalid_argument when [set] is not a leftmost support set of
+    [p] in the index's database. *)
+
+val grow_from :
+  Inverted_index.t -> Support_set.t -> Pattern.t -> Support_set.t
+(** [grow_from idx i q] extends a leftmost support set [I] of some pattern
+    [P] into the leftmost support set of [P ◦ Q] by folding [INSgrow] over
+    the events of [Q]. Used by the closure checks to grow an extended prefix
+    back to a full extended pattern. *)
+
+val grow_from_until :
+  Inverted_index.t -> Support_set.t -> Pattern.t -> min_size:int -> Support_set.t option
+(** As {!grow_from} but aborts with [None] as soon as the intermediate
+    support drops below [min_size] — support sets only shrink under growth
+    (Lemma 1), so the final support cannot reach [min_size] anymore. Used to
+    cut off closure-check extension growth early. *)

@@ -1,0 +1,126 @@
+open Rgs_sequence
+
+type t = {
+  groups : (int * Instance.t array) array;
+      (* ascending sequence index; each group non-empty, right-shift order *)
+  total : int;
+}
+
+let empty = { groups = [||]; total = 0 }
+
+let well_formed s =
+  Array.for_all
+    (fun (i, insts) ->
+      Array.length insts > 0
+      && Array.for_all (fun (inst : Instance.t) -> inst.Instance.seq = i) insts
+      &&
+      let sorted = ref true in
+      for k = 1 to Array.length insts - 1 do
+        if Instance.right_shift_compare insts.(k - 1) insts.(k) >= 0 then sorted := false
+      done;
+      !sorted)
+    s.groups
+  && s.total = Array.fold_left (fun n (_, g) -> n + Array.length g) 0 s.groups
+  &&
+  let ascending = ref true in
+  for k = 1 to Array.length s.groups - 1 do
+    if fst s.groups.(k - 1) >= fst s.groups.(k) then ascending := false
+  done;
+  !ascending
+
+(* [well_formed] is an O(size) scan; it is not asserted on the production
+   path (Support_set.grow runs millions of times per mining run) but is
+   exposed for the test suite to validate every construction route. *)
+let unsafe_of_groups groups =
+  let total = Array.fold_left (fun n (_, g) -> n + Array.length g) 0 groups in
+  { groups; total }
+
+let of_event idx e =
+  let db = Inverted_index.db idx in
+  let groups = ref [] in
+  for i = Seqdb.size db downto 1 do
+    let positions = Inverted_index.positions idx ~seq:i e in
+    if Array.length positions > 0 then begin
+      let insts =
+        Array.map (fun l -> { Instance.seq = i; first = l; last = l }) positions
+      in
+      groups := (i, insts) :: !groups
+    end
+  done;
+  unsafe_of_groups (Array.of_list !groups)
+
+let size s = s.total
+let is_empty s = s.total = 0
+let num_sequences s = Array.length s.groups
+let sequences s = Array.to_list (Array.map fst s.groups)
+
+let instances s =
+  List.concat_map (fun (_, g) -> Array.to_list g) (Array.to_list s.groups)
+
+let instances_in s ~seq =
+  let found = ref [||] in
+  Array.iter (fun (i, g) -> if i = seq then found := g) s.groups;
+  !found
+
+let per_sequence_counts s =
+  Array.to_list (Array.map (fun (i, g) -> (i, Array.length g)) s.groups)
+
+let lasts s =
+  let out = Array.make s.total (0, 0) in
+  let k = ref 0 in
+  Array.iter
+    (fun (i, g) ->
+      Array.iter
+        (fun (inst : Instance.t) ->
+          out.(!k) <- (i, inst.Instance.last);
+          incr k)
+        g)
+    s.groups;
+  out
+
+let fold_groups f init s =
+  Array.fold_left (fun acc (i, g) -> f acc i g) init s.groups
+
+(* Algorithm 2 (INSgrow). For each sequence holding instances, walk them in
+   right-shift order; extend each with the earliest occurrence of [e] after
+   max(last_position, last); stop the sequence at the first failure (later
+   instances can only fail too, since both bounds are monotone). *)
+let grow idx s e =
+  Metrics.hit Metrics.insgrow_calls;
+  let out = ref [] in
+  let buf = ref [||] in
+  Array.iter
+    (fun (i, g) ->
+      let n = Array.length g in
+      if Array.length !buf < n then buf := Array.make n { Instance.seq = 0; first = 0; last = 0 };
+      let count = ref 0 in
+      let last_position = ref 0 in
+      (try
+         for k = 0 to n - 1 do
+           let inst = g.(k) in
+           match
+             Inverted_index.next idx ~seq:i e
+               ~lowest:(max !last_position inst.Instance.last)
+           with
+           | None -> raise Exit
+           | Some lj ->
+             last_position := lj;
+             !buf.(!count) <- { inst with Instance.last = lj };
+             incr count
+         done
+       with Exit -> ());
+      if !count > 0 then out := (i, Array.sub !buf 0 !count) :: !out)
+    s.groups;
+  unsafe_of_groups (Array.of_list (List.rev !out))
+
+let equal a b = a.total = b.total && a.groups = b.groups
+
+let pp ppf s =
+  Format.fprintf ppf "@[<v>{ size = %d@," s.total;
+  Array.iter
+    (fun (i, g) ->
+      Format.fprintf ppf "  S%d: %a@," i
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ") Instance.pp)
+        (Array.to_list g))
+    s.groups;
+  Format.fprintf ppf "}@]"

@@ -1,0 +1,72 @@
+(** Support sets in compressed form.
+
+    A support set of a pattern [P] is a maximum-size non-redundant set of
+    instances of [P] (Definition 2.5). The mining algorithms maintain
+    {e leftmost} support sets (Definition 3.2) in the compressed
+    representation of Section III-D: per sequence, an array of
+    [(first, last)] landmark borders, kept in right-shift order (ascending
+    [last]). *)
+
+open Rgs_sequence
+
+type t
+(** A compressed support set. Immutable from the outside. *)
+
+val empty : t
+
+val of_event : Inverted_index.t -> Event.t -> t
+(** The leftmost support set of the size-1 pattern [e]: every occurrence of
+    [e] in the database (line 1 of Algorithm 1 / line 3 of Algorithm 3). *)
+
+val size : t -> int
+(** Number of instances — the repetitive support of the pattern this set
+    belongs to when the set is leftmost. *)
+
+val is_empty : t -> bool
+
+val num_sequences : t -> int
+(** Number of sequences holding at least one instance. *)
+
+val sequences : t -> int list
+(** 1-based indices of sequences holding instances, ascending. *)
+
+val instances : t -> Instance.t list
+(** All instances in right-shift order (Definition 3.1). *)
+
+val instances_in : t -> seq:int -> Instance.t array
+(** Instances located in sequence [seq], in right-shift order. The array is
+    owned by the set; do not mutate. *)
+
+val per_sequence_counts : t -> (int * int) list
+(** [(sequence index, instance count)] pairs, ascending by sequence. Useful
+    as per-sequence feature values (Section V's classification idea). *)
+
+val lasts : t -> (int * int) array
+(** [(sequence, last landmark position)] of every instance in right-shift
+    order — the "landmark border" compared by {!Closure.lb_check}
+    (Theorem 5). *)
+
+val fold_groups : ('a -> int -> Instance.t array -> 'a) -> 'a -> t -> 'a
+(** Folds over per-sequence groups in ascending sequence order. *)
+
+val grow :
+  Inverted_index.t -> t -> Event.t -> t
+(** [grow idx i e] is the instance-growth operation [INSgrow(SeqDB, P, I, e)]
+    (Algorithm 2): extends the leftmost support set [I] of [P] into the
+    leftmost support set of [P ◦ e]. Runs in [O(size i · log L)]. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val well_formed : t -> bool
+(** Structural invariant: groups ascend by sequence, each group is
+    non-empty, in right-shift order, and instances carry the group's
+    sequence index. Checked by the test suite on every construction route
+    (it is too costly to assert inside the mining hot loop). *)
+
+(**/**)
+
+val unsafe_of_groups : (int * Instance.t array) array -> t
+(** Internal: build from per-sequence groups; the caller must guarantee
+    {!well_formed}. Exposed for tests and the oracle. *)

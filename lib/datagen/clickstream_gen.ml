@@ -1,0 +1,62 @@
+open Rgs_sequence
+
+type params = {
+  num_sequences : int;
+  num_events : int;
+  bulk_mean_length : float;
+  tail_fraction : float;
+  tail_alpha : float;
+  max_length : int;
+  zipf_s : float;
+  revisit_p : float;
+  seed : int;
+}
+
+let params ?(num_sequences = 2937) ?(num_events = 1423) ?(bulk_mean_length = 2.2)
+    ?(tail_fraction = 0.02) ?(tail_alpha = 1.1) ?(max_length = 651)
+    ?(zipf_s = 1.2) ?(revisit_p = 0.3) ?(seed = 42) () =
+  if num_sequences < 0 || num_events < 1 then invalid_arg "Clickstream_gen.params";
+  {
+    num_sequences;
+    num_events;
+    bulk_mean_length;
+    tail_fraction;
+    tail_alpha;
+    max_length;
+    zipf_s;
+    revisit_p;
+    seed;
+  }
+
+let gazelle_like ?(scale = 0.1) ?seed () =
+  params
+    ~num_sequences:(max 1 (int_of_float (29369. *. scale)))
+    ?seed ()
+
+let generate p =
+  let rng = Splitmix.create ~seed:p.seed in
+  let zipf = Samplers.zipf ~n:p.num_events ~s:p.zipf_s in
+  let gen_session () =
+    let len =
+      if Splitmix.bernoulli rng ~p:p.tail_fraction then
+        Samplers.pareto_int rng ~alpha:p.tail_alpha ~x_min:20 ~max_value:p.max_length
+      else 1 + Samplers.geometric rng ~p:(1. /. (p.bulk_mean_length +. 1.))
+    in
+    let len = min len p.max_length in
+    let seen = Array.make len 0 in
+    let count = ref 0 in
+    let next_click () =
+      if !count > 0 && Splitmix.bernoulli rng ~p:p.revisit_p then
+        seen.(Splitmix.int rng !count)
+      else Samplers.zipf_draw rng zipf
+    in
+    let events =
+      Array.init len (fun k ->
+          let e = next_click () in
+          seen.(k) <- e;
+          incr count;
+          e)
+    in
+    Sequence.of_array events
+  in
+  Seqdb.of_sequences (List.init p.num_sequences (fun _ -> gen_session ()))

@@ -1,0 +1,49 @@
+(** Gazelle-like clickstream generator.
+
+    Stand-in for the KDD Cup 2000 Gazelle dataset (29369 sequences, 1423
+    distinct events, average length 3, maximum length 651). The defining
+    regime — most sessions tiny, a small heavy tail of very long sessions in
+    which patterns repeat many times — is reproduced with:
+
+    - Zipf page popularity,
+    - geometric session lengths for the bulk of sessions,
+    - a bounded-Pareto tail for "power shopper" sessions,
+    - a revisit process (with some probability the next click repeats a
+      page seen earlier in the session), which is what creates
+      within-sequence pattern repetition. *)
+
+open Rgs_sequence
+
+type params = {
+  num_sequences : int;
+  num_events : int;
+  bulk_mean_length : float;  (** mean of the short-session regime *)
+  tail_fraction : float;  (** fraction of heavy-tail sessions *)
+  tail_alpha : float;  (** Pareto shape of the tail *)
+  max_length : int;
+  zipf_s : float;
+  revisit_p : float;  (** probability a click revisits an earlier page *)
+  seed : int;
+}
+
+val params :
+  ?num_sequences:int ->
+  ?num_events:int ->
+  ?bulk_mean_length:float ->
+  ?tail_fraction:float ->
+  ?tail_alpha:float ->
+  ?max_length:int ->
+  ?zipf_s:float ->
+  ?revisit_p:float ->
+  ?seed:int ->
+  unit ->
+  params
+(** Defaults approximate Gazelle at 1/10 scale: 2937 sequences, 1423
+    events, bulk mean 2.2, tail fraction 0.02, max length 651. *)
+
+val gazelle_like : ?scale:float -> ?seed:int -> unit -> params
+(** Paper-calibrated parameters scaled by [scale] (default [0.1]) in the
+    number of sequences. *)
+
+val generate : params -> Seqdb.t
+(** Deterministic in [params] (including [seed]). *)

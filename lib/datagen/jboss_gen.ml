@@ -1,0 +1,190 @@
+open Rgs_sequence
+
+type params = {
+  num_traces : int;
+  enlist_continue_p : float;
+  rollback_p : float;
+  noise_p : float;
+  transactions_per_trace : int;
+  max_length : int;
+  seed : int;
+}
+
+let params ?(num_traces = 28) ?(enlist_continue_p = 0.4) ?(rollback_p = 0.15)
+    ?(noise_p = 0.2) ?(transactions_per_trace = 2) ?(max_length = 125)
+    ?(seed = 42) () =
+  if num_traces < 0 || transactions_per_trace < 1 then invalid_arg "Jboss_gen.params";
+  {
+    num_traces;
+    enlist_continue_p;
+    rollback_p;
+    noise_p;
+    transactions_per_trace;
+    max_length;
+    seed;
+  }
+
+(* Figure 7 of the paper, block by block. *)
+let blocks =
+  [
+    ( "Connection Set Up",
+      [
+        "TransManLoc.getInstance";
+        "TransManLoc.locate";
+        "TransManLoc.tryJNDI";
+        "TransManLoc.usePrivateAPI";
+      ] );
+    ( "Tx Manager Set Up",
+      [
+        "TxManager.getInstance";
+        "TxManager.begin";
+        "XidFactory.newXid";
+        "XidFactory.getNextId";
+        "XidImpl.getTrulyGlobalId";
+      ] );
+    ( "Transaction Set Up",
+      [
+        "TransImpl.assocCurThd";
+        "TransImpl.lock";
+        "TransImpl.unlock";
+        "TransImpl.getLocId";
+        "XidImpl.getLocId";
+        "LocId.hashCode";
+        "TxManager.getTrans";
+        "TransImpl.isDone";
+        "TransImpl.getStatus";
+      ] );
+    ( "Resource Enlistment & Transaction Execution",
+      [
+        "TxManager.getTrans";
+        "TransImpl.isDone";
+        "TransImpl.enlistResource";
+        "TransImpl.lock";
+        "TransImpl.createXidBranch";
+        "XidFactory.newBranch";
+        "TransImpl.unlock";
+        "XidImpl.hashCode";
+        "XidImpl.hashCode";
+        "TransImpl.lock";
+        "TransImpl.unlock";
+        "XidImpl.hashCode";
+        "TxManager.getTrans";
+        "TransImpl.isDone";
+        "TransImpl.equals";
+        "TransImpl.getLocIdVal";
+        "XidImpl.getLocIdVal";
+        "TransImpl.getLocIdVal";
+        "XidImpl.getLocIdVal";
+      ] );
+    ( "Transaction Commit",
+      [
+        "TxManager.commit";
+        "TransImpl.commit";
+        "TransImpl.lock";
+        "TransImpl.beforePrepare";
+        "TransImpl.checkIntegrity";
+        "TransImpl.checkBeforeStatus";
+        "TransImpl.endResources";
+        "TransImpl.unlock";
+        "XidImpl.hashCode";
+        "TransImpl.lock";
+        "TransImpl.unlock";
+        "XidImpl.hashCode";
+        "TransImpl.lock";
+        "TransImpl.completeTrans";
+        "TransImpl.cancelTimeout";
+        "TransImpl.unlock";
+        "TransImpl.lock";
+        "TransImpl.doAfterCompletion";
+        "TransImpl.unlock";
+        "TransImpl.lock";
+        "TransImpl.instanceDone";
+      ] );
+    ( "Transaction Dispose",
+      [
+        "TxManager.getInstance";
+        "TxManager.releaseTransImpl";
+        "TransImpl.getLocalId";
+        "XidImpl.getLocalId";
+        "LocalId.hashCode";
+        "LocalId.equals";
+        "TransImpl.unlock";
+        "XidImpl.hashCode";
+      ] );
+  ]
+
+let full_lifecycle = List.concat_map snd blocks
+
+(* A rollback replaces the commit block; its events are extra vocabulary
+   beyond Figure 7's happy path. *)
+let rollback_block =
+  [
+    "TxManager.rollback";
+    "TransImpl.rollback";
+    "TransImpl.lock";
+    "TransImpl.cancelTimeout";
+    "TransImpl.completeTrans";
+    "TransImpl.unlock";
+    "TransImpl.instanceDone";
+  ]
+
+(* Unrelated API calls interleaved as noise, creating the gaps repetitive
+   gapped subsequences must tolerate. *)
+let noise_events =
+  [
+    "Logger.debug";
+    "Logger.trace";
+    "Cache.get";
+    "Cache.put";
+    "SecurityMgr.check";
+    "Pool.acquire";
+    "Pool.release";
+    "Timer.schedule";
+    "Stats.increment";
+    "ClassLoader.load";
+  ]
+
+let block name = List.assoc name blocks
+
+let generate p =
+  let codec = Codec.create () in
+  let ev name = Codec.intern codec name in
+  (* Intern the full vocabulary deterministically, life-cycle order first. *)
+  List.iter (fun n -> ignore (ev n)) full_lifecycle;
+  List.iter (fun n -> ignore (ev n)) rollback_block;
+  List.iter (fun n -> ignore (ev n)) noise_events;
+  let rng = Splitmix.create ~seed:p.seed in
+  let open Trace_gen in
+  let noise = Opt (p.noise_p, Branch (List.map (fun n -> (1., Emit (ev n))) noise_events)) in
+  let straight names = Seq (List.map (fun n -> Emit (ev n)) names) in
+  let with_noise m = Seq [ noise; m ] in
+  let transaction =
+    Seq
+      [
+        with_noise (straight (block "Tx Manager Set Up"));
+        with_noise (straight (block "Transaction Set Up"));
+        Loop
+          {
+            body = with_noise (straight (block "Resource Enlistment & Transaction Execution"));
+            continue_p = p.enlist_continue_p;
+            max_iters = 3;
+          };
+        Branch
+          [
+            (1. -. p.rollback_p, straight (block "Transaction Commit"));
+            (p.rollback_p, straight rollback_block);
+          ];
+        with_noise (straight (block "Transaction Dispose"));
+      ]
+  in
+  let trace_model =
+    Seq
+      [
+        straight (block "Connection Set Up");
+        Loop { body = transaction; continue_p = 0.3; max_iters = p.transactions_per_trace };
+      ]
+  in
+  let traces =
+    List.init p.num_traces (fun _ -> run_model rng ~max_length:p.max_length trace_model)
+  in
+  (Seqdb.of_sequences traces, codec)

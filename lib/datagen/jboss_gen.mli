@@ -1,0 +1,53 @@
+(** JBoss transaction-component trace generator (case-study stand-in).
+
+    The paper's case study (Section IV-B) mines 28 traces of the JBoss
+    Application Server transaction component (64 distinct events, average
+    length 91, maximum 125). We model the component's life cycle as a
+    {!Trace_gen.model} whose event names are taken from the paper's
+    Figure 7:
+
+    connection set-up → transaction-manager set-up → transaction set-up →
+    {e repeated} resource enlistment & execution → commit (or rollback) →
+    transaction disposal,
+
+    with the enlistment block looping (more than one resource can be
+    enlisted before a commit — precisely the behaviour whose merged pattern
+    the paper highlights), lock/unlock micro-patterns throughout, and
+    occasional unrelated API noise creating gaps. *)
+
+open Rgs_sequence
+
+type params = {
+  num_traces : int;
+  enlist_continue_p : float;  (** probability of enlisting another resource *)
+  rollback_p : float;  (** probability a transaction aborts instead of committing *)
+  noise_p : float;  (** per-block probability of an interleaved noise event *)
+  transactions_per_trace : int;  (** max transactions in one trace *)
+  max_length : int;
+  seed : int;
+}
+
+val params :
+  ?num_traces:int ->
+  ?enlist_continue_p:float ->
+  ?rollback_p:float ->
+  ?noise_p:float ->
+  ?transactions_per_trace:int ->
+  ?max_length:int ->
+  ?seed:int ->
+  unit ->
+  params
+(** Defaults are paper-calibrated: 28 traces, max length 125. *)
+
+val generate : params -> Seqdb.t * Codec.t
+(** The traces plus the codec mapping event ids to the Figure-7 style
+    names ([TxManager.begin], [TransImpl.lock], ...). *)
+
+val blocks : (string * string list) list
+(** The six semantic blocks of Figure 7 (name, event names), in life-cycle
+    order. Exposed so the case-study example can label mined patterns by
+    block. *)
+
+val full_lifecycle : string list
+(** The 66-event happy path of Figure 7 (one enlistment iteration),
+    read top-to-bottom, left-to-right. *)

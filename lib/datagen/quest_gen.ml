@@ -1,0 +1,81 @@
+open Rgs_sequence
+
+type params = {
+  d : int;
+  c : int;
+  n : int;
+  s : int;
+  num_patterns : int;
+  corruption : float;
+  noise_ratio : float;
+  seed : int;
+}
+
+let params ?(num_patterns = 100) ?(corruption = 0.25) ?(noise_ratio = 0.25)
+    ?(seed = 42) ~d ~c ~n ~s () =
+  if d < 0 || c < 1 || n < 1 || s < 1 then invalid_arg "Quest_gen.params";
+  { d; c; n; s; num_patterns; corruption; noise_ratio; seed }
+
+let label p =
+  let scaled x = if x >= 1000 && x mod 1000 = 0 then x / 1000 else x in
+  Printf.sprintf "D%dC%dN%dS%d" (scaled p.d) p.c (scaled p.n) (scaled p.s)
+
+(* The potentially frequent pattern pool. Pattern lengths are exponential
+   around [s] (at least 1); a fraction of each pattern's events is reused
+   from the previous pattern, as in the QUEST generator, so patterns share
+   fragments. Pattern weights are exponential and normalised.
+
+   Pattern events are drawn uniformly (as in the original generator); only
+   the background noise is Zipf-skewed. Drawing pattern events from the
+   Zipf head makes every pool pattern share its most popular events and
+   the resulting databases are vastly denser than real QUEST output. *)
+let make_pool rng p =
+  let zipf = Samplers.zipf ~n:p.n ~s:1.05 in
+  let previous = ref [||] in
+  let make_one () =
+    let len = max 1 (Samplers.poisson rng ~mean:(float_of_int p.s)) in
+    let events =
+      Array.init len (fun _ ->
+          if Array.length !previous > 0 && Splitmix.bernoulli rng ~p:0.25 then
+            Splitmix.choice rng !previous
+          else Splitmix.int rng p.n)
+    in
+    previous := events;
+    events
+  in
+  let pool = Array.init (max 1 p.num_patterns) (fun _ -> make_one ()) in
+  let weights =
+    Array.init (Array.length pool) (fun _ -> Samplers.exponential rng ~mean:1.)
+  in
+  (pool, weights, zipf)
+
+let generate p =
+  let rng = Splitmix.create ~seed:p.seed in
+  let pool, weights, zipf = make_pool rng p in
+  let gen_sequence () =
+    let target = max 1 (Samplers.poisson rng ~mean:(float_of_int p.c)) in
+    let out = ref [] in
+    let len = ref 0 in
+    let push e =
+      out := e :: !out;
+      incr len
+    in
+    while !len < target do
+      if Splitmix.bernoulli rng ~p:p.noise_ratio then push (Samplers.zipf_draw rng zipf)
+      else begin
+        (* Embed a (possibly corrupted) pattern from the pool. *)
+        let k = Splitmix.weighted_index rng weights in
+        Array.iter
+          (fun e ->
+            if !len < target && not (Splitmix.bernoulli rng ~p:p.corruption) then begin
+              (* occasional in-pattern noise gap *)
+              if Splitmix.bernoulli rng ~p:0.1 && !len < target - 1 then
+                push (Samplers.zipf_draw rng zipf);
+              push e
+            end)
+          pool.(k)
+      end
+    done;
+    Sequence.of_list (List.rev !out)
+  in
+  Seqdb.of_sequences (List.init p.d (fun _ -> gen_sequence ()))

@@ -1,0 +1,49 @@
+(** IBM QUEST-style synthetic sequence generator.
+
+    Stand-in for the modified AgrawalSrikant generator the paper uses
+    (Section IV-A): sequences are assembled by embedding corrupted copies of
+    "potentially frequent" patterns, interleaved with noise. Parameters
+    mirror the paper's [D, C, N, S] naming:
+
+    - [d]: number of sequences ({e in thousands} in the paper's labels;
+      here an absolute count for flexibility),
+    - [c]: average number of events per sequence,
+    - [n]: number of distinct events,
+    - [s]: average length of the maximal potentially frequent patterns.
+
+    The dataset label "D5C20N10S20" therefore corresponds to
+    [v ~d:5000 ~c:20 ~n:10000 ~s:20]. *)
+
+open Rgs_sequence
+
+type params = {
+  d : int;  (** number of sequences *)
+  c : int;  (** average sequence length *)
+  n : int;  (** alphabet size *)
+  s : int;  (** average maximal-pattern length *)
+  num_patterns : int;  (** size of the potentially frequent pattern pool *)
+  corruption : float;  (** probability an embedded pattern event is dropped *)
+  noise_ratio : float;  (** fraction of sequence positions filled with noise *)
+  seed : int;
+}
+
+val params :
+  ?num_patterns:int ->
+  ?corruption:float ->
+  ?noise_ratio:float ->
+  ?seed:int ->
+  d:int ->
+  c:int ->
+  n:int ->
+  s:int ->
+  unit ->
+  params
+(** Defaults: [num_patterns = 100], [corruption = 0.25],
+    [noise_ratio = 0.25], [seed = 42]. *)
+
+val label : params -> string
+(** Paper-style label, e.g. ["D5C20N10S20"] (D in thousands when [d] is a
+    multiple of 1000, else as-is). *)
+
+val generate : params -> Seqdb.t
+(** Deterministic in [params] (including [seed]). *)

@@ -1,0 +1,55 @@
+type zipf = { cdf : float array }
+
+let zipf ~n ~s =
+  if n <= 0 then invalid_arg "Samplers.zipf: n must be positive";
+  let cdf = Array.make n 0. in
+  let acc = ref 0. in
+  for k = 0 to n - 1 do
+    acc := !acc +. (1. /. Float.pow (float_of_int (k + 1)) s);
+    cdf.(k) <- !acc
+  done;
+  let total = !acc in
+  Array.iteri (fun k x -> cdf.(k) <- x /. total) cdf;
+  { cdf }
+
+let zipf_draw rng z =
+  let u = Splitmix.float rng in
+  (* least k with cdf.(k) >= u *)
+  let lo = ref 0 and hi = ref (Array.length z.cdf - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if z.cdf.(mid) >= u then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let rec poisson rng ~mean =
+  if mean <= 0. then 0
+  else if mean > 50. then begin
+    (* Normal approximation, split to stay numerically comfortable. *)
+    let half = poisson rng ~mean:(mean /. 2.) in
+    half + poisson rng ~mean:(mean /. 2.)
+  end
+  else begin
+    let limit = exp (-.mean) in
+    let rec loop k prod =
+      let prod = prod *. Splitmix.float rng in
+      if prod <= limit then k else loop (k + 1) prod
+    in
+    loop 0 1.
+  end
+
+let geometric rng ~p =
+  if p <= 0. || p > 1. then invalid_arg "Samplers.geometric: p must be in (0;1]";
+  if p >= 1. then 0
+  else begin
+    let u = Splitmix.float rng in
+    int_of_float (Float.floor (log1p (-.u) /. log1p (-.p)))
+  end
+
+let pareto_int rng ~alpha ~x_min ~max_value =
+  if x_min < 1 || max_value < x_min then invalid_arg "Samplers.pareto_int: bad bounds";
+  let u = Splitmix.float rng in
+  let x = float_of_int x_min /. Float.pow (1. -. u) (1. /. alpha) in
+  min max_value (max x_min (int_of_float x))
+
+let exponential rng ~mean = -.mean *. log1p (-.Splitmix.float rng)

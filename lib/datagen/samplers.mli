@@ -1,0 +1,23 @@
+(** Distribution samplers used by the dataset generators. *)
+
+type zipf
+(** Precomputed Zipf(s, n) distribution over [0 .. n-1] (rank 0 most
+    popular). *)
+
+val zipf : n:int -> s:float -> zipf
+(** @raise Invalid_argument when [n <= 0]. *)
+
+val zipf_draw : Splitmix.t -> zipf -> int
+(** Inverse-CDF sampling, [O(log n)]. *)
+
+val poisson : Splitmix.t -> mean:float -> int
+(** Knuth's method for small means, normal approximation beyond 50. *)
+
+val geometric : Splitmix.t -> p:float -> int
+(** Number of failures before the first success; mean [(1-p)/p]. *)
+
+val pareto_int : Splitmix.t -> alpha:float -> x_min:int -> max_value:int -> int
+(** Discretised bounded Pareto: heavy-tailed in [x_min .. max_value]. *)
+
+val exponential : Splitmix.t -> mean:float -> float
+(** Exponential variate with the given mean. *)

@@ -1,0 +1,63 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let create ~seed = { state = mix (Int64.of_int seed) }
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t = { state = next_int64 t }
+let copy t = { state = t.state }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Splitmix.int: bound must be positive";
+  (* Rejection-free for our purposes: modulo bias is negligible for
+     bound << 2^62. *)
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next_int64 t) 1) (Int64.of_int bound))
+
+let int_in t ~min ~max =
+  if max < min then invalid_arg "Splitmix.int_in: max < min";
+  min + int t (max - min + 1)
+
+let float t =
+  Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) *. 0x1.p-53
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+let bernoulli t ~p = float t < p
+
+let choice t a =
+  if Array.length a = 0 then invalid_arg "Splitmix.choice: empty array";
+  a.(int t (Array.length a))
+
+let weighted_index t w =
+  let total = Array.fold_left ( +. ) 0. w in
+  if Array.length w = 0 || total <= 0. then
+    invalid_arg "Splitmix.weighted_index: no positive weight";
+  let target = float t *. total in
+  let acc = ref 0. and found = ref (Array.length w - 1) in
+  (try
+     Array.iteri
+       (fun i x ->
+         acc := !acc +. x;
+         if !acc > target then begin
+           found := i;
+           raise Exit
+         end)
+       w
+   with Exit -> ());
+  !found
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

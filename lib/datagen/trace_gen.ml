@@ -1,0 +1,108 @@
+open Rgs_sequence
+
+type model =
+  | Emit of Event.t
+  | Seq of model list
+  | Branch of (float * model) list
+  | Loop of { body : model; continue_p : float; max_iters : int }
+  | Opt of float * model
+
+exception Full
+
+let run_model rng ?max_length m =
+  let out = ref [] in
+  let len = ref 0 in
+  let push e =
+    (match max_length with Some cap when !len >= cap -> raise Full | _ -> ());
+    out := e :: !out;
+    incr len
+  in
+  let rec go = function
+    | Emit e -> push e
+    | Seq ms -> List.iter go ms
+    | Branch alts ->
+      let weights = Array.of_list (List.map fst alts) in
+      let k = Splitmix.weighted_index rng weights in
+      go (snd (List.nth alts k))
+    | Loop { body; continue_p; max_iters } ->
+      let rec iterate i =
+        if i < max_iters then begin
+          go body;
+          if Splitmix.bernoulli rng ~p:continue_p then iterate (i + 1)
+        end
+      in
+      iterate 0
+    | Opt (p, m) -> if Splitmix.bernoulli rng ~p then go m
+  in
+  (try go m with Full -> ());
+  Sequence.of_list (List.rev !out)
+
+let events_of_model m =
+  let module ISet = Set.Make (Int) in
+  let rec collect acc = function
+    | Emit e -> ISet.add e acc
+    | Seq ms -> List.fold_left collect acc ms
+    | Branch alts -> List.fold_left (fun acc (_, m) -> collect acc m) acc alts
+    | Loop { body; _ } -> collect acc body
+    | Opt (_, m) -> collect acc m
+  in
+  ISet.elements (collect ISet.empty m)
+
+type params = {
+  num_sequences : int;
+  num_events : int;
+  num_branches : int;
+  loop_continue_p : float;
+  max_length : int;
+  seed : int;
+}
+
+let params ?(num_sequences = 1578) ?(num_events = 75) ?(num_branches = 3)
+    ?(loop_continue_p = 0.55) ?(max_length = 70) ?(seed = 42) () =
+  if num_sequences < 0 || num_events < 8 || num_branches < 1 then
+    invalid_arg "Trace_gen.params";
+  { num_sequences; num_events; num_branches; loop_continue_p; max_length; seed }
+
+let tcas_like ?(scale = 1.0) ?seed () =
+  params ~num_sequences:(max 1 (int_of_float (1578. *. scale))) ?seed ()
+
+(* Deterministic partition of the alphabet into blocks:
+   - init block: 4 events,
+   - per-branch body: an equal share of the remaining events (each branch a
+     straight run with a tiny nested option),
+   - shutdown block: 3 events.
+   The split depends only on [params], not on the RNG, so the program is
+   the same for every trace of a dataset. *)
+let synthetic_program p =
+  let init_len = 4 and final_len = 3 in
+  let body_events = p.num_events - init_len - final_len in
+  let per_branch = max 2 (body_events / p.num_branches) in
+  let event = ref 0 in
+  let fresh () =
+    let e = !event in
+    incr event;
+    e mod p.num_events
+  in
+  let straight n = Seq (List.init n (fun _ -> Emit (fresh ()))) in
+  let init = straight init_len in
+  let branch_body k =
+    ignore k;
+    let head = straight (per_branch - 1) in
+    let tail = Opt (0.5, Emit (fresh ())) in
+    Seq [ head; tail ]
+  in
+  let alternatives =
+    List.init p.num_branches (fun k -> (1. /. float_of_int (k + 1), branch_body k))
+  in
+  let loop =
+    Loop { body = Branch alternatives; continue_p = p.loop_continue_p; max_iters = 8 }
+  in
+  let final = straight final_len in
+  Seq [ init; loop; final ]
+
+let generate p =
+  let rng = Splitmix.create ~seed:p.seed in
+  let program = synthetic_program p in
+  Seqdb.of_sequences
+    (List.init p.num_sequences (fun _ ->
+         run_model rng ~max_length:p.max_length program))

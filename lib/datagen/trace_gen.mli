@@ -1,0 +1,65 @@
+(** Program-trace generator.
+
+    Stand-in for the TCAS (Traffic alert and Collision Avoidance System)
+    trace dataset of the paper (1578 traces, 75 distinct events, average
+    length 36, maximum 70). Traces are random walks over a structured
+    control-flow model: straight-line blocks, weighted branches, and loops —
+    loops being what produces the heavy within-sequence repetition that the
+    paper's repetitive-support semantics targets.
+
+    The {!model} AST is exposed so other generators (notably
+    {!Jboss_gen}) and user experiments can define their own programs. *)
+
+open Rgs_sequence
+
+(** Control-flow model. *)
+type model =
+  | Emit of Event.t  (** emit one event *)
+  | Seq of model list  (** run sub-models in order *)
+  | Branch of (float * model) list
+      (** choose one alternative, proportional to weight *)
+  | Loop of { body : model; continue_p : float; max_iters : int }
+      (** run [body] at least once; after each iteration continue with
+          probability [continue_p], up to [max_iters] iterations *)
+  | Opt of float * model  (** run the sub-model with the given probability *)
+
+val run_model : Splitmix.t -> ?max_length:int -> model -> Sequence.t
+(** One random trace of the model, truncated at [max_length] events
+    (default: unbounded). *)
+
+val events_of_model : model -> Event.t list
+(** Distinct events the model can emit, ascending. *)
+
+type params = {
+  num_sequences : int;
+  num_events : int;  (** alphabet size of the synthetic program *)
+  num_branches : int;  (** alternatives inside the main loop *)
+  loop_continue_p : float;
+  max_length : int;
+  seed : int;
+}
+
+val params :
+  ?num_sequences:int ->
+  ?num_events:int ->
+  ?num_branches:int ->
+  ?loop_continue_p:float ->
+  ?max_length:int ->
+  ?seed:int ->
+  unit ->
+  params
+(** Defaults are TCAS-calibrated: 1578 sequences, 75 events, 3 branches,
+    continue probability 0.55, max length 70. *)
+
+val tcas_like : ?scale:float -> ?seed:int -> unit -> params
+(** TCAS-calibrated parameters with the number of sequences scaled by
+    [scale] (default [1.0] — the real dataset is small). *)
+
+val synthetic_program : params -> model
+(** The deterministic synthetic program for the given parameters: init
+    block, a sensor loop over weighted branch alternatives, shutdown
+    block. *)
+
+val generate : params -> Seqdb.t
+(** [num_sequences] random traces of {!synthetic_program}, deterministic
+    in [params]. *)

@@ -1,0 +1,26 @@
+(** Ablation of CloGSgrow's two checking strategies (DESIGN.md: "our
+    closed-pattern mining algorithm is sped up significantly with these two
+    checking strategies"):
+
+    - full CloGSgrow (CCheck + LBCheck),
+    - CCheck only (no search-space pruning — Example 3.5's regime),
+    - GSgrow baseline (no checks, all patterns),
+    - GSgrow followed by a post-hoc closed filter (the
+      candidate-maintenance alternative the on-the-fly checks avoid),
+    - levelwise Apriori with supComp per candidate (ablates instance
+      growth itself). *)
+
+open Rgs_sequence
+
+type entry = {
+  variant : string;
+  elapsed_s : float;
+  patterns : int;
+  timed_out : bool;
+}
+
+val run : ?timeout_s:float -> Seqdb.t -> min_sup:int -> entry list
+(** Runs the five variants with a shared per-run budget (default 60 s). *)
+
+val report : entry list -> Rgs_post.Report.t
+(** The entries as a printable table. *)

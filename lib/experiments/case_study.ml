@@ -1,0 +1,91 @@
+open Rgs_sequence
+open Rgs_core
+open Rgs_datagen
+
+type outcome = {
+  traces : int;
+  distinct_events : int;
+  avg_trace_len : float;
+  max_trace_len : int;
+  mining_time_s : float;
+  closed_patterns : int;
+  truncated : bool;
+  after_postprocessing : int;
+  longest_length : int;
+  longest_support : int;
+  longest_events : string list;
+  blocks_touched : string list;
+  lock_unlock_support : int;
+  lock_unlock_iterative : int;
+}
+
+let run ?(min_sup = 18) ?(max_patterns = 100_000) ?(seed = 42) () =
+  let db, codec = Jboss_gen.generate (Jboss_gen.params ~seed ()) in
+  let stats = Seqdb.stats db in
+  let report =
+    Miner.mine
+      ~config:(Miner.config ~mode:Miner.Closed ~min_sup ~max_patterns ())
+      db
+  in
+  let kept = Rgs_post.Filters.case_study_pipeline report.Miner.results in
+  let longest_length, longest_support, longest_events, blocks_touched =
+    match kept with
+    | [] -> (0, 0, [], [])
+    | longest :: _ ->
+      let events = Pattern.to_list longest.Mined.pattern in
+      let names = List.map (Codec.name codec) events in
+      let touched =
+        List.filter
+          (fun (_, block_events) ->
+            List.exists
+              (fun n ->
+                match Codec.find codec n with
+                | Some e -> List.mem e events
+                | None -> false)
+              block_events)
+          Jboss_gen.blocks
+      in
+      ( Pattern.length longest.Mined.pattern,
+        longest.Mined.support,
+        names,
+        List.map fst touched )
+  in
+  let lock = Option.get (Codec.find codec "TransImpl.lock") in
+  let unlock = Option.get (Codec.find codec "TransImpl.unlock") in
+  let lock_unlock = Pattern.of_list [ lock; unlock ] in
+  {
+    traces = stats.Seqdb.num_sequences;
+    distinct_events = stats.Seqdb.num_events;
+    avg_trace_len = stats.Seqdb.avg_length;
+    max_trace_len = stats.Seqdb.max_length;
+    mining_time_s = report.Miner.elapsed_s;
+    closed_patterns = List.length report.Miner.results;
+    truncated = report.Miner.truncated;
+    after_postprocessing = List.length kept;
+    longest_length;
+    longest_support;
+    longest_events;
+    blocks_touched;
+    lock_unlock_support = Miner.support db lock_unlock;
+    lock_unlock_iterative = Rgs_baselines.Iterative.db_support db lock_unlock;
+  }
+
+let report o =
+  let t = Rgs_post.Report.create ~columns:[ "metric"; "value" ] in
+  let add name v = Rgs_post.Report.add_row t [ name; v ] in
+  add "traces" (string_of_int o.traces);
+  add "distinct events" (string_of_int o.distinct_events);
+  add "avg / max trace length"
+    (Printf.sprintf "%.1f / %d" o.avg_trace_len o.max_trace_len);
+  add "mining time (s)" (Rgs_post.Report.cell_float o.mining_time_s);
+  add "closed patterns (min_sup=18)"
+    (string_of_int o.closed_patterns ^ if o.truncated then "+" else "");
+  add "after density+maximality" (string_of_int o.after_postprocessing);
+  add "longest pattern length" (string_of_int o.longest_length);
+  add "longest pattern support" (string_of_int o.longest_support);
+  add "blocks touched by longest" (String.concat " -> " o.blocks_touched);
+  add "sup(lock -> unlock)" (string_of_int o.lock_unlock_support);
+  add "iterative occurrences of lock->unlock" (string_of_int o.lock_unlock_iterative);
+  t
+
+let pp ppf o = Format.pp_print_string ppf (Rgs_post.Report.to_string (report o))

@@ -1,0 +1,29 @@
+(** The JBoss case study (Section IV-B): mine closed repetitive patterns
+    from transaction-component traces at [min_sup = 18], post-process
+    (density > 40%, maximality, rank by length), and inspect the longest
+    pattern and the lock/unlock micro-pattern. *)
+
+type outcome = {
+  traces : int;
+  distinct_events : int;
+  avg_trace_len : float;
+  max_trace_len : int;
+  mining_time_s : float;
+  closed_patterns : int;
+  truncated : bool;
+  after_postprocessing : int;
+  longest_length : int;
+  longest_support : int;
+  longest_events : string list;  (** event names of the longest kept pattern *)
+  blocks_touched : string list;  (** life-cycle blocks the longest pattern spans *)
+  lock_unlock_support : int;
+  lock_unlock_iterative : int;  (** same 2-event behaviour under QRE counting *)
+}
+
+val run : ?min_sup:int -> ?max_patterns:int -> ?seed:int -> unit -> outcome
+(** Defaults: [min_sup = 18] (the paper's), [max_patterns = 100_000]. *)
+
+val report : outcome -> Rgs_post.Report.t
+(** The outcome as a printable metric/value table. *)
+
+val pp : Format.formatter -> outcome -> unit

@@ -1,0 +1,56 @@
+open Rgs_sequence
+open Rgs_baselines
+
+type entry = {
+  miner : string;
+  elapsed_s : float;
+  patterns : int;
+  timed_out : bool;
+}
+
+let compare_all ?(timeout_s = 30.) ?max_length db ~min_sup =
+  let idx = Inverted_index.build db in
+  let gs = Exp_common.run_gsgrow ~timeout_s ?max_length idx ~min_sup in
+  let clo = Exp_common.run_clogsgrow ~timeout_s ?max_length idx ~min_sup in
+  let timed name f =
+    (* The classic miners have no timeout hook; they are simply measured.
+       Keep inputs modest. *)
+    let (results : int), elapsed = Exp_common.time f in
+    { miner = name; elapsed_s = elapsed; patterns = results; timed_out = false }
+  in
+  [
+    {
+      miner = "GSgrow (all, repetitive)";
+      elapsed_s = gs.Exp_common.elapsed_s;
+      patterns = gs.Exp_common.patterns;
+      timed_out = gs.Exp_common.timed_out;
+    };
+    {
+      miner = "CloGSgrow (closed, repetitive)";
+      elapsed_s = clo.Exp_common.elapsed_s;
+      patterns = clo.Exp_common.patterns;
+      timed_out = clo.Exp_common.timed_out;
+    };
+    timed "PrefixSpan (all, sequential)" (fun () ->
+        let results, _ = Prefixspan.mine ?max_length db ~min_sup in
+        List.length results);
+    timed "CloSpan (closed, sequential)" (fun () ->
+        let results, _ = Clospan.mine ?max_length db ~min_sup in
+        List.length results);
+    timed "BIDE (closed, sequential)" (fun () ->
+        let results, _ = Bide.mine ?max_length db ~min_sup in
+        List.length results);
+  ]
+
+let report entries =
+  let t = Rgs_post.Report.create ~columns:[ "miner"; "time_s"; "patterns" ] in
+  List.iter
+    (fun e ->
+      Rgs_post.Report.add_row t
+        [
+          e.miner;
+          Rgs_post.Report.cell_float e.elapsed_s ^ (if e.timed_out then "+" else "");
+          string_of_int e.patterns ^ (if e.timed_out then "+" else "");
+        ])
+    entries;
+  t

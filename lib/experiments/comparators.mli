@@ -1,0 +1,23 @@
+(** Sequential-miner runtime comparison (Section IV-A prose): GSgrow /
+    CloGSgrow vs PrefixSpan, CloSpan and BIDE on the three datasets.
+
+    The comparison is indicative only — the baselines solve an easier
+    problem (sequence-count support, no within-sequence repetition). *)
+
+open Rgs_sequence
+
+type entry = {
+  miner : string;
+  elapsed_s : float;
+  patterns : int;
+  timed_out : bool;
+}
+
+val compare_all :
+  ?timeout_s:float -> ?max_length:int -> Seqdb.t -> min_sup:int -> entry list
+(** Runs the five miners with the same threshold. [max_length] bounds
+    pattern length for every miner (useful on dense data where the
+    baselines explode). *)
+
+val report : entry list -> Rgs_post.Report.t
+(** The entries as a printable table. *)

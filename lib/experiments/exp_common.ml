@@ -1,0 +1,68 @@
+open Rgs_core
+open Rgs_datagen
+
+type run = {
+  elapsed_s : float;
+  patterns : int;
+  timed_out : bool;
+}
+
+(* Polling gettimeofday at every DFS node is measurable; check every 64th
+   call. *)
+let deadline_checker ?timeout_s start =
+  match timeout_s with
+  | None -> fun () -> false
+  | Some budget ->
+    let calls = ref 0 in
+    fun () ->
+      incr calls;
+      !calls land 0x3F = 0 && Unix.gettimeofday () -. start > budget
+
+let run_gsgrow ?timeout_s ?max_length idx ~min_sup =
+  let start = Unix.gettimeofday () in
+  let count = ref 0 in
+  let should_stop = deadline_checker ?timeout_s start in
+  let stats =
+    Gsgrow.iter ?max_length ~should_stop idx ~min_sup ~f:(fun _ -> incr count)
+  in
+  {
+    elapsed_s = Unix.gettimeofday () -. start;
+    patterns = !count;
+    timed_out = stats.Gsgrow.truncated;
+  }
+
+let run_clogsgrow ?timeout_s ?max_length ?use_lb_check ?use_c_check idx ~min_sup =
+  let start = Unix.gettimeofday () in
+  let count = ref 0 in
+  let should_stop = deadline_checker ?timeout_s start in
+  let stats =
+    Clogsgrow.iter ?max_length ?use_lb_check ?use_c_check ~should_stop idx ~min_sup
+      ~f:(fun _ -> incr count)
+  in
+  {
+    elapsed_s = Unix.gettimeofday () -. start;
+    patterns = !count;
+    timed_out = stats.Clogsgrow.truncated;
+  }
+
+let time f =
+  let start = Unix.gettimeofday () in
+  let x = f () in
+  (x, Unix.gettimeofday () -. start)
+
+let pp_run ppf r =
+  Format.fprintf ppf "%.3fs / %d patterns%s" r.elapsed_s r.patterns
+    (if r.timed_out then " (timeout)" else "")
+
+let quest_d5c20n10s20 ?(scale = 1.0) ?(seed = 42) () =
+  Quest_gen.generate
+    (Quest_gen.params ~d:(max 1 (int_of_float (5000. *. scale))) ~c:20 ~n:10000
+       ~s:20 ~seed ())
+
+let gazelle_like ?(scale = 1.0) ?(seed = 42) () =
+  Clickstream_gen.generate (Clickstream_gen.gazelle_like ~scale ~seed ())
+
+let tcas_like ?(scale = 1.0) ?(seed = 42) () =
+  Trace_gen.generate (Trace_gen.tcas_like ~scale ~seed ())
+
+let jboss_like ?(seed = 42) () = Jboss_gen.generate (Jboss_gen.params ~seed ())

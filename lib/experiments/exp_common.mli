@@ -1,0 +1,40 @@
+(** Shared machinery for the paper-reproduction experiments: timed mining
+    runs with wall-clock budgets (the paper's "cut-off points" where GSgrow
+    takes too long), and the scaled dataset constructors. *)
+
+open Rgs_sequence
+
+type run = {
+  elapsed_s : float;
+  patterns : int;
+  timed_out : bool;  (** the time budget interrupted the search *)
+}
+
+val run_gsgrow :
+  ?timeout_s:float -> ?max_length:int -> Inverted_index.t -> min_sup:int -> run
+(** Counts frequent patterns without materialising them. When the budget
+    expires the run stops and is marked [timed_out] (pattern count =
+    patterns found so far). *)
+
+val run_clogsgrow :
+  ?timeout_s:float ->
+  ?max_length:int ->
+  ?use_lb_check:bool ->
+  ?use_c_check:bool ->
+  Inverted_index.t ->
+  min_sup:int ->
+  run
+
+val time : (unit -> 'a) -> 'a * float
+(** Wall-clock timing of a thunk. *)
+
+val pp_run : Format.formatter -> run -> unit
+(** ["0.123s / 456 patterns"] with a ["(timeout)"] suffix when hit. *)
+
+(** Scaled dataset constructors. [scale] multiplies the number of sequences
+    (default 1.0 = paper size); all are deterministic in [seed]. *)
+
+val quest_d5c20n10s20 : ?scale:float -> ?seed:int -> unit -> Seqdb.t
+val gazelle_like : ?scale:float -> ?seed:int -> unit -> Seqdb.t
+val tcas_like : ?scale:float -> ?seed:int -> unit -> Seqdb.t
+val jboss_like : ?seed:int -> unit -> Seqdb.t * Codec.t

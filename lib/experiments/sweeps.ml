@@ -1,0 +1,131 @@
+open Rgs_sequence
+
+type row = {
+  x : int;
+  all : Exp_common.run option;
+  closed : Exp_common.run;
+}
+
+let min_sup_sweep ?(timeout_s = 20.) ?(skip_all_below = 0) db ~min_sups =
+  let idx = Inverted_index.build db in
+  (* Descending thresholds: once GSgrow times out it would only be slower
+     at lower support, so it is skipped from then on (the paper's
+     cut-off). *)
+  let min_sups = List.sort_uniq (fun a b -> Int.compare b a) min_sups in
+  let all_dead = ref false in
+  List.map
+    (fun min_sup ->
+      let all =
+        if !all_dead || min_sup < skip_all_below then None
+        else begin
+          let run = Exp_common.run_gsgrow ~timeout_s idx ~min_sup in
+          if run.Exp_common.timed_out then all_dead := true;
+          Some run
+        end
+      in
+      let closed = Exp_common.run_clogsgrow ~timeout_s:(4. *. timeout_s) idx ~min_sup in
+      { x = min_sup; all; closed })
+    min_sups
+
+let fig2 ?(scale = 0.1) ?timeout_s () =
+  let db = Exp_common.quest_d5c20n10s20 ~scale () in
+  let rows = min_sup_sweep ?timeout_s db ~min_sups:[ 3; 4; 5; 6; 8; 10; 15; 20 ] in
+  (rows, Printf.sprintf "D5C20N10S20 (scale %.2f)" scale)
+
+let fig3 ?(scale = 0.1) ?timeout_s () =
+  let db = Exp_common.gazelle_like ~scale () in
+  let rows = min_sup_sweep ?timeout_s db ~min_sups:[ 8; 10; 15; 20; 30; 50; 65 ] in
+  (rows, Printf.sprintf "Gazelle-like (scale %.2f)" scale)
+
+let fig4 ?(scale = 0.25) ?timeout_s () =
+  let db = Exp_common.tcas_like ~scale () in
+  let rows =
+    min_sup_sweep ?timeout_s db
+      ~min_sups:[ 20; 50; 100; 200; 400; 600; 800; 886 ]
+  in
+  (rows, Printf.sprintf "TCAS-like (scale %.2f)" scale)
+
+let quest ~d ~c ~s ?(n = 10000) ?(seed = 42) () =
+  Rgs_datagen.Quest_gen.generate (Rgs_datagen.Quest_gen.params ~d ~c ~n ~s ~seed ())
+
+let fixed_min_sup_sweep ?(timeout_s = 20.) ~min_sup dbs =
+  let all_dead = ref false in
+  List.map
+    (fun (x, db) ->
+      let idx = Inverted_index.build db in
+      let all =
+        if !all_dead then None
+        else begin
+          let run = Exp_common.run_gsgrow ~timeout_s idx ~min_sup in
+          if run.Exp_common.timed_out then all_dead := true;
+          Some run
+        end
+      in
+      let closed = Exp_common.run_clogsgrow ~timeout_s:(4. *. timeout_s) idx ~min_sup in
+      { x; all; closed })
+    dbs
+
+let fig5 ?(scale = 0.1) ?timeout_s () =
+  let dbs =
+    List.map
+      (fun d_thousands ->
+        let d = max 1 (int_of_float (float_of_int (d_thousands * 1000) *. scale)) in
+        (d_thousands * 1000, quest ~d ~c:50 ~s:50 ()))
+      [ 5; 10; 15; 20; 25 ]
+  in
+  (fixed_min_sup_sweep ?timeout_s ~min_sup:20 dbs,
+   Printf.sprintf "N10 C=S=50 min_sup=20, varying D (scale %.2f)" scale)
+
+let fig6 ?(scale = 0.1) ?timeout_s () =
+  let d = max 1 (int_of_float (10000. *. scale)) in
+  let dbs = List.map (fun len -> (len, quest ~d ~c:len ~s:len ())) [ 20; 40; 60; 80; 100 ] in
+  (fixed_min_sup_sweep ?timeout_s ~min_sup:20 dbs,
+   Printf.sprintf "D10 N10 min_sup=20, varying C=S (scale %.2f)" scale)
+
+let charts rows =
+  let ticks f = List.map (fun r -> (string_of_int r.x, f r)) rows in
+  let all f = ticks (fun r -> Option.map f r.all) in
+  let closed f = ticks (fun r -> Some (f r.closed)) in
+  let time (r : Exp_common.run) = r.Exp_common.elapsed_s in
+  let patterns (r : Exp_common.run) = float_of_int r.Exp_common.patterns in
+  Rgs_post.Ascii_chart.render ~title:"(a) runtime [s]"
+    [
+      { Rgs_post.Ascii_chart.label = "All"; points = all time };
+      { Rgs_post.Ascii_chart.label = "Closed"; points = closed time };
+    ]
+  ^ "\n"
+  ^ Rgs_post.Ascii_chart.render ~title:"(b) patterns"
+      [
+        { Rgs_post.Ascii_chart.label = "All"; points = all patterns };
+        { Rgs_post.Ascii_chart.label = "Closed"; points = closed patterns };
+      ]
+
+let report ~x_label rows =
+  let t =
+    Rgs_post.Report.create
+      ~columns:
+        [ x_label; "all_time_s"; "all_patterns"; "closed_time_s"; "closed_patterns" ]
+  in
+  List.iter
+    (fun { x; all; closed } ->
+      let all_time, all_patterns =
+        match all with
+        | None -> ("-", "-")
+        | Some r ->
+          ( Rgs_post.Report.cell_float r.Exp_common.elapsed_s
+            ^ (if r.Exp_common.timed_out then "+" else ""),
+            string_of_int r.Exp_common.patterns
+            ^ if r.Exp_common.timed_out then "+" else "" )
+      in
+      Rgs_post.Report.add_row t
+        [
+          string_of_int x;
+          all_time;
+          all_patterns;
+          Rgs_post.Report.cell_float closed.Exp_common.elapsed_s
+          ^ (if closed.Exp_common.timed_out then "+" else "");
+          string_of_int closed.Exp_common.patterns
+          ^ (if closed.Exp_common.timed_out then "+" else "");
+        ])
+    rows;
+  t

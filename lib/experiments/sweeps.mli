@@ -1,0 +1,54 @@
+(** The performance-study sweeps of Section IV-A (Figures 2-6).
+
+    Each function returns a printable table with one row per X-axis point,
+    reporting GSgrow ("All") and CloGSgrow ("Closed") runtime and pattern
+    counts — the two curves of each figure's (a) and (b) plots. GSgrow runs
+    are skipped below a cut-off (time budget), mirroring the paper's
+    "points directly after ... correspond to the cut-off points, where
+    GSgrow takes too long". *)
+
+open Rgs_sequence
+
+type row = {
+  x : int;  (** the varied parameter (min_sup, D, or average length) *)
+  all : Exp_common.run option;  (** [None] when skipped beyond the cut-off *)
+  closed : Exp_common.run;
+}
+
+val min_sup_sweep :
+  ?timeout_s:float ->
+  ?skip_all_below:int ->
+  Seqdb.t ->
+  min_sups:int list ->
+  row list
+(** Figures 2-4: vary [min_sup] on a fixed database. GSgrow is skipped for
+    thresholds below [skip_all_below] (default 0 = never skipped a
+    priori; the time budget still applies). *)
+
+val fig2 : ?scale:float -> ?timeout_s:float -> unit -> row list * string
+(** D5C20N10S20 (scaled); returns rows and the dataset label. Default
+    [scale] 0.1 keeps the full harness in minutes; pass 1.0 for paper
+    size. *)
+
+val fig3 : ?scale:float -> ?timeout_s:float -> unit -> row list * string
+(** Gazelle-like. *)
+
+val fig4 : ?scale:float -> ?timeout_s:float -> unit -> row list * string
+(** TCAS-like, sweeping down to very low thresholds for Closed. *)
+
+val fig5 : ?scale:float -> ?timeout_s:float -> unit -> row list * string
+(** Vary the number of sequences D (5K..25K scaled), N=10K, C=S=50,
+    min_sup=20. *)
+
+val fig6 : ?scale:float -> ?timeout_s:float -> unit -> row list * string
+(** Vary the average sequence length C=S in 20..100, D=10K scaled, N=10K,
+    min_sup=20. *)
+
+val report : x_label:string -> row list -> Rgs_post.Report.t
+(** Rows as a printable table; timed-out cells carry a [+] suffix and
+    skipped GSgrow runs show [-]. *)
+
+val charts : row list -> string
+(** The figure's two panels as ASCII log-scale bar charts: (a) runtime and
+    (b) number of patterns, All vs Closed — the textual analogue of the
+    paper's plots. *)

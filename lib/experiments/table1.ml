@@ -1,0 +1,59 @@
+open Rgs_sequence
+open Rgs_core
+open Rgs_baselines
+
+let db () = Seqdb.of_strings [ "AABCDABB"; "ABCD" ]
+let ab = Pattern.of_string "AB"
+let cd = Pattern.of_string "CD"
+
+let rows () =
+  let db = db () in
+  let idx = Inverted_index.build db in
+  let both f = (f ab, f cd) in
+  let make name f =
+    let a, c = both f in
+    (name, a, c)
+  in
+  [
+    make "sequential (Agrawal & Srikant)" (Seq_mining.support db);
+    make "episodes, width-4 windows (Mannila et al.)" (Episode.db_window_support db ~w:4);
+    make "episodes, minimal windows (Mannila et al.)" (Episode.db_minimal_window_support db);
+    make "gap requirement 0..3 (Zhang et al.)" (Gap_occurrences.db_count db ~gmin:0 ~gmax:3);
+    make "interaction patterns (El-Ramly et al.)" (Interaction.db_support db);
+    make "iterative patterns (Lo et al.)" (Iterative.db_support db);
+    make "repetitive support (this paper)" (Sup_comp.support idx);
+  ]
+
+(* Provenance of the expected values (all from Section I and Related Work):
+   - sequential: "both patterns AB and CD have support 2";
+   - width-4 windows: "serial episode AB has support 4 in S1" — S2 = ABCD
+     contributes its single width-4 window, so the database-wide sum is 5;
+     CD: S1 windows containing CD are [2,5],[4,7]... C@4,D@5: windows
+     [2,5],[3,6],[4,7],[5,8]? CD needs C then D: C@4, D@5 -> windows
+     containing positions 4,5 in order: [2,5],[3,6],[4,7] -> 3; plus S2's
+     [1,4]: C@3,D@4 -> 1. Total 4. (The paper only quotes the AB/S1 value;
+     the others follow from the definition.)
+   - minimal windows: "the support of AB is 2" in S1, plus 1 in S2 = 3;
+     CD has one minimal window per sequence = 2;
+   - gap requirement: "pattern AB has support 4 in S1" plus 1 occurrence
+     with gap 0 in S2 = 5; CD: C@4-D@5 in S1 (gap 0) and C@3-D@4 in S2 = 2;
+   - interaction patterns: "AB has support 9, with 8 substrings in S1";
+     CD: substring (4,5) of S1 and (3,4) of S2 = 2;
+   - iterative patterns: "pattern AB has support 3"; CD: one occurrence
+     per sequence = 2;
+   - repetitive support: "sup(AB) = 4, and sup(CD) = 2" (Example 1.1). *)
+let expected =
+  [
+    ("sequential (Agrawal & Srikant)", 2, 2);
+    ("episodes, width-4 windows (Mannila et al.)", 5, 4);
+    ("episodes, minimal windows (Mannila et al.)", 3, 2);
+    ("gap requirement 0..3 (Zhang et al.)", 5, 2);
+    ("interaction patterns (El-Ramly et al.)", 9, 2);
+    ("iterative patterns (Lo et al.)", 3, 2);
+    ("repetitive support (this paper)", 4, 2);
+  ]
+
+let report () =
+  let t = Rgs_post.Report.create ~columns:[ "semantics"; "sup(AB)"; "sup(CD)" ] in
+  List.iter (fun (name, a, c) -> Rgs_post.Report.add_int_row t name [ a; c ]) (rows ());
+  t

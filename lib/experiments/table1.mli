@@ -1,0 +1,15 @@
+(** Table I reproduction: the support of patterns [AB] and [CD] from
+    Example 1.1 ([S1 = AABCDABB], [S2 = ABCD]) under each related-work
+    semantics and under the paper's repetitive support. *)
+
+val rows : unit -> (string * int * int) list
+(** [(semantics, sup AB, sup CD)] rows, in the paper's order. *)
+
+val report : unit -> Rgs_post.Report.t
+(** The rows as a printable table. *)
+
+val expected : (string * int * int) list
+(** The values the paper's Section I / Related Work discussion states:
+    sequential = (2, 2); episodes width-4 windows = (4+1, ...); etc. Used
+    by the test suite; see the implementation for the exact provenance of
+    each number. *)

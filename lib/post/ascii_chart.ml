@@ -1,0 +1,55 @@
+type series = {
+  label : string;
+  points : (string * float option) list;
+}
+
+let render ?(width = 24) ?(log_scale = true) ~title series =
+  (match series with
+  | [] -> ()
+  | first :: rest ->
+    let ticks s = List.map fst s.points in
+    if List.exists (fun s -> ticks s <> ticks first) rest then
+      invalid_arg "Ascii_chart.render: series have inconsistent ticks");
+  let scale v = if log_scale then log10 (1. +. v) else v in
+  let max_scaled =
+    List.fold_left
+      (fun acc s ->
+        List.fold_left
+          (fun acc (_, v) ->
+            match v with Some v -> Float.max acc (scale v) | None -> acc)
+          acc s.points)
+      0. series
+  in
+  let bar v =
+    match v with
+    | None -> ""
+    | Some v ->
+      let n =
+        if max_scaled <= 0. then 0
+        else int_of_float (Float.round (scale v /. max_scaled *. float_of_int width))
+      in
+      String.make (max n (if v > 0. then 1 else 0)) '#'
+  in
+  let ticks = match series with [] -> [] | s :: _ -> List.map fst s.points in
+  let tick_width =
+    List.fold_left (fun w t -> max w (String.length t)) 4 ticks
+  in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf title;
+  if log_scale then Buffer.add_string buf " (log scale)";
+  Buffer.add_char buf '\n';
+  (* header *)
+  Buffer.add_string buf (Printf.sprintf "%-*s" (tick_width + 2) "");
+  List.iter (fun s -> Buffer.add_string buf (Printf.sprintf "%-*s" (width + 2) s.label)) series;
+  Buffer.add_char buf '\n';
+  List.iteri
+    (fun row tick ->
+      Buffer.add_string buf (Printf.sprintf "%-*s" (tick_width + 2) tick);
+      List.iter
+        (fun s ->
+          let _, v = List.nth s.points row in
+          Buffer.add_string buf (Printf.sprintf "%-*s" (width + 2) (bar v)))
+        series;
+      Buffer.add_char buf '\n')
+    ticks;
+  Buffer.contents buf

@@ -1,0 +1,69 @@
+open Rgs_sequence
+open Rgs_core
+
+let quote field =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') field then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' field) ^ "\""
+  else field
+
+let row fields = String.concat "," (List.map quote fields) ^ "\n"
+
+let pattern_label ?codec p =
+  match codec with
+  | Some c ->
+    String.concat " " (List.map (Codec.name c) (Pattern.to_list p))
+  | None -> Pattern.to_string p
+
+let results_to_csv ?codec results =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (row [ "pattern"; "length"; "support" ]);
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (row
+           [
+             pattern_label ?codec r.Mined.pattern;
+             string_of_int (Pattern.length r.Mined.pattern);
+             string_of_int r.Mined.support;
+           ]))
+    results;
+  Buffer.contents buf
+
+let features_to_csv ?codec (m : Features.matrix) =
+  let buf = Buffer.create 1024 in
+  let header =
+    "sequence"
+    :: Array.to_list (Array.map (fun p -> pattern_label ?codec p) m.Features.patterns)
+  in
+  Buffer.add_string buf (row header);
+  Array.iteri
+    (fun i counts ->
+      Buffer.add_string buf
+        (row (string_of_int (i + 1) :: Array.to_list (Array.map string_of_int counts))))
+    m.Features.counts;
+  Buffer.contents buf
+
+let report_to_csv t =
+  (* Re-render the aligned table as CSV by splitting its rows. *)
+  let lines = String.split_on_char '\n' (String.trim (Report.to_string t)) in
+  let buf = Buffer.create 1024 in
+  List.iteri
+    (fun k line ->
+      if k <> 1 (* skip the |---| separator *) then begin
+        (* a table line is "| a | b |": drop the outer empty splits only,
+           so genuinely empty cells survive *)
+        let cells =
+          match String.split_on_char '|' line with
+          | [] | [ _ ] | [ _; _ ] -> []
+          | _ :: inner ->
+            List.filteri (fun i _ -> i < List.length inner - 1) inner
+            |> List.map String.trim
+        in
+        if cells <> [] then Buffer.add_string buf (row cells)
+      end)
+    lines;
+  Buffer.contents buf
+
+let save path contents =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc contents)

@@ -1,0 +1,21 @@
+(** Exporting mined results for downstream tooling (plots, spreadsheets,
+    classifiers). *)
+
+open Rgs_sequence
+open Rgs_core
+
+val results_to_csv : ?codec:Codec.t -> Mined.t list -> string
+(** One row per pattern: [pattern,length,support] (events space-separated,
+    named through [codec] when given). Header included; fields containing
+    commas or quotes are quoted per RFC 4180. *)
+
+val features_to_csv : ?codec:Codec.t -> Features.matrix -> string
+(** One row per sequence, one column per pattern (the per-sequence
+    instance counts of Section V's classification proposal). First column
+    is the 1-based sequence index. *)
+
+val report_to_csv : Report.t -> string
+(** A {!Report.t} table as CSV, for re-plotting experiment sweeps. *)
+
+val save : string -> string -> unit
+(** [save path contents] writes a file (convenience). *)

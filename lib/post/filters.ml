@@ -1,0 +1,46 @@
+open Rgs_core
+
+let density p =
+  let len = Pattern.length p in
+  if len = 0 then 0.
+  else float_of_int (List.length (Pattern.events p)) /. float_of_int len
+
+let density_filter ~min_density results =
+  List.filter (fun r -> density r.Mined.pattern > min_density) results
+
+let maximal_filter results =
+  let proper_super p q =
+    Pattern.length q > Pattern.length p && Pattern.is_subpattern p ~of_:q
+  in
+  List.filter
+    (fun r ->
+      not
+        (List.exists (fun r' -> proper_super r.Mined.pattern r'.Mined.pattern) results))
+    results
+
+let rank_by_length results = List.sort Mined.compare_by_length_desc results
+
+let case_study_pipeline ?(min_density = 0.4) results =
+  rank_by_length (maximal_filter (density_filter ~min_density results))
+
+let closed_filter results =
+  (* Group by support; within a group, drop patterns contained in a longer
+     pattern of the group. *)
+  let module IMap = Map.Make (Int) in
+  let groups =
+    List.fold_left
+      (fun acc r ->
+        IMap.update r.Mined.support
+          (fun l -> Some (r :: Option.value ~default:[] l))
+          acc)
+      IMap.empty results
+  in
+  List.filter
+    (fun r ->
+      not
+        (List.exists
+           (fun r' ->
+             Pattern.length r'.Mined.pattern > Pattern.length r.Mined.pattern
+             && Pattern.is_subpattern r.Mined.pattern ~of_:r'.Mined.pattern)
+           (IMap.find r.Mined.support groups)))
+    results

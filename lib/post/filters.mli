@@ -1,0 +1,36 @@
+(** Post-processing of mined pattern sets — the case-study pipeline of
+    Section IV-B, adapted from Lo et al.:
+
+    + {b density}: keep patterns whose number of distinct events exceeds a
+      fraction of their length (the paper uses 40%);
+    + {b maximality}: keep only patterns not contained in a longer reported
+      pattern;
+    + {b ranking}: order by decreasing length. *)
+
+open Rgs_core
+
+val density : Pattern.t -> float
+(** distinct events / length; [0] for the empty pattern. *)
+
+val density_filter : min_density:float -> Mined.t list -> Mined.t list
+(** Keeps results with [density > min_density] (strict, as in "the number
+    of unique events is >40% of its length"). *)
+
+val maximal_filter : Mined.t list -> Mined.t list
+(** Keeps results whose pattern is not a proper sub-pattern of another
+    result's pattern (supports are ignored, as in the case study). *)
+
+val rank_by_length : Mined.t list -> Mined.t list
+(** Sorts by decreasing length (ties: decreasing support, then
+    lexicographic). *)
+
+val case_study_pipeline :
+  ?min_density:float -> Mined.t list -> Mined.t list
+(** Density (default 0.4) → maximality → ranking, exactly the three steps
+    of Section IV-B. *)
+
+val closed_filter : Mined.t list -> Mined.t list
+(** Keeps results with no proper super-pattern of {e equal support} in the
+    list: applied to a complete frequent set (GSgrow output), this yields
+    exactly the closed patterns. The post-hoc alternative to CloGSgrow's
+    on-the-fly checking, used as an ablation baseline. *)

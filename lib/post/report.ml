@@ -1,0 +1,45 @@
+type t = {
+  columns : string list;
+  mutable rows : string list list; (* reversed *)
+}
+
+let create ~columns = { columns; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.columns then
+    invalid_arg "Report.add_row: row width mismatch";
+  t.rows <- row :: t.rows
+
+let cell_float x = Printf.sprintf "%.3f" x
+let cell_int = string_of_int
+
+let add_int_row t label ints = add_row t (label :: List.map cell_int ints)
+
+let to_string t =
+  let rows = List.rev t.rows in
+  let widths =
+    List.mapi
+      (fun i header ->
+        List.fold_left
+          (fun w row -> max w (String.length (List.nth row i)))
+          (String.length header) rows)
+      t.columns
+  in
+  let buf = Buffer.create 256 in
+  let render_line cells =
+    Buffer.add_char buf '|';
+    List.iteri
+      (fun i cell ->
+        let w = List.nth widths i in
+        Buffer.add_string buf (Printf.sprintf " %*s |" w cell))
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  render_line t.columns;
+  Buffer.add_char buf '|';
+  List.iter (fun w -> Buffer.add_string buf (String.make (w + 2) '-'); Buffer.add_char buf '|') widths;
+  Buffer.add_char buf '\n';
+  List.iter render_line rows;
+  Buffer.contents buf
+
+let print t = print_string (to_string t)

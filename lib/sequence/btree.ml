@@ -1,0 +1,111 @@
+type node =
+  | Leaf of int array (* sorted keys *)
+  | Node of {
+      seps : int array; (* seps.(i) = max key under children.(i) *)
+      children : node array;
+      prefix_sizes : int array;
+          (* prefix_sizes.(i) = total keys in children.(0..i-1) *)
+      total : int; (* total keys in this subtree *)
+    }
+
+type t = { root : node; size : int }
+
+let check_sorted keys =
+  for i = 1 to Array.length keys - 1 do
+    if keys.(i - 1) >= keys.(i) then
+      invalid_arg "Btree.of_sorted_array: keys must be strictly increasing"
+  done
+
+(* Split [items] into chunks of at most [fanout], as evenly as possible. *)
+let chunk fanout items =
+  let n = Array.length items in
+  let num_chunks = (n + fanout - 1) / fanout in
+  let base = n / num_chunks and extra = n mod num_chunks in
+  let chunks = Array.make num_chunks [||] in
+  let pos = ref 0 in
+  for c = 0 to num_chunks - 1 do
+    let size = base + if c < extra then 1 else 0 in
+    chunks.(c) <- Array.sub items !pos size;
+    pos := !pos + size
+  done;
+  chunks
+
+let max_key_of_node = function
+  | Leaf keys -> keys.(Array.length keys - 1)
+  | Node { seps; _ } -> seps.(Array.length seps - 1)
+
+let size_of_node = function
+  | Leaf keys -> Array.length keys
+  | Node { total; _ } -> total
+
+let make_node children =
+  let k = Array.length children in
+  let prefix_sizes = Array.make k 0 in
+  for i = 1 to k - 1 do
+    prefix_sizes.(i) <- prefix_sizes.(i - 1) + size_of_node children.(i - 1)
+  done;
+  let total = prefix_sizes.(k - 1) + size_of_node children.(k - 1) in
+  Node { seps = Array.map max_key_of_node children; children; prefix_sizes; total }
+
+let of_sorted_array ?(fanout = 16) keys =
+  if fanout < 2 then invalid_arg "Btree.of_sorted_array: fanout < 2";
+  check_sorted keys;
+  if Array.length keys = 0 then { root = Leaf [||]; size = 0 }
+  else begin
+    let rec build level =
+      if Array.length level <= 1 then level.(0)
+      else build (Array.map make_node (chunk fanout level))
+    in
+    let leaves = Array.map (fun ks -> Leaf ks) (chunk fanout keys) in
+    { root = build leaves; size = Array.length keys }
+  end
+
+let length t = t.size
+
+(* Least index i with a.(i) > k, by binary search. *)
+let first_above a k =
+  let lo = ref 0 and hi = ref (Array.length a) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if a.(mid) > k then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let successor t k =
+  let rec descend = function
+    | Leaf keys ->
+      let i = first_above keys k in
+      if i >= Array.length keys then None else Some keys.(i)
+    | Node { seps; children; _ } ->
+      let i = first_above seps k in
+      if i >= Array.length children then None else descend children.(i)
+  in
+  descend t.root
+
+(* rank t k = number of keys <= k, one root-to-leaf path. *)
+let rank t k =
+  let rec descend acc = function
+    | Leaf keys -> acc + first_above keys k
+    | Node { seps; children; prefix_sizes; total } ->
+      let i = first_above seps k in
+      if i >= Array.length children then acc + total
+      else descend (acc + prefix_sizes.(i)) children.(i)
+  in
+  descend 0 t.root
+
+let count_in t ~lo ~hi = if hi <= lo + 1 then 0 else max 0 (rank t (hi - 1) - rank t lo)
+let mem t k = match successor t (k - 1) with Some k' -> k' = k | None -> false
+
+let to_list t =
+  let rec collect acc = function
+    | Leaf keys -> List.rev_append (Array.to_list keys) acc
+    | Node { children; _ } -> Array.fold_left collect acc children
+  in
+  List.rev (collect [] t.root)
+
+let depth t =
+  let rec go = function
+    | Leaf _ -> 1
+    | Node { children; _ } -> 1 + go children.(0)
+  in
+  go t.root

@@ -1,0 +1,36 @@
+(** Bulk-loaded B+-tree over sorted integer keys.
+
+    Section III-D: "If the main memory is large enough for the index
+    structure [L_{e,Si}]'s, we can use arrays ... Otherwise, B-trees can be
+    employed". This is that alternative: position lists are bulk-loaded
+    into a B+-tree of configurable fanout, and the [next] query becomes a
+    successor search descending the tree. In-memory here, but with the
+    access pattern (one node per level) a paged implementation would have;
+    {!Inverted_index.build_paged} exposes it behind the standard index
+    queries, and the equivalence with the array backend is
+    property-tested. *)
+
+type t
+
+val of_sorted_array : ?fanout:int -> int array -> t
+(** Bulk-loads the keys, which must be strictly increasing. [fanout]
+    (default 16) is the maximum number of children per internal node.
+    @raise Invalid_argument when keys are not strictly increasing or
+    [fanout < 2]. *)
+
+val length : t -> int
+(** Number of keys. *)
+
+val successor : t -> int -> int option
+(** [successor t k] is the smallest key strictly greater than [k]. *)
+
+val count_in : t -> lo:int -> hi:int -> int
+(** Number of keys [k] with [lo < k < hi]. *)
+
+val mem : t -> int -> bool
+
+val to_list : t -> int list
+(** All keys, ascending. *)
+
+val depth : t -> int
+(** Tree height (leaf = 1); exposed for tests. *)

@@ -1,0 +1,48 @@
+type t = {
+  by_name : (string, Event.t) Hashtbl.t;
+  mutable names : string array; (* names.(id) = name, for id < next *)
+  mutable next : int;
+}
+
+let create ?(capacity = 64) () =
+  { by_name = Hashtbl.create capacity; names = Array.make (max capacity 1) ""; next = 0 }
+
+let grow c =
+  if c.next >= Array.length c.names then begin
+    let bigger = Array.make (2 * Array.length c.names) "" in
+    Array.blit c.names 0 bigger 0 c.next;
+    c.names <- bigger
+  end
+
+let intern c name =
+  match Hashtbl.find_opt c.by_name name with
+  | Some id -> id
+  | None ->
+    let id = c.next in
+    grow c;
+    c.names.(id) <- name;
+    c.next <- id + 1;
+    Hashtbl.add c.by_name name id;
+    id
+
+let find c name = Hashtbl.find_opt c.by_name name
+
+let name c e =
+  if e < 0 || e >= c.next then
+    invalid_arg (Printf.sprintf "Codec.name: unknown event id %d" e)
+  else c.names.(e)
+
+let name_opt c e = if e < 0 || e >= c.next then None else Some c.names.(e)
+let size c = c.next
+
+let of_names names =
+  let c = create ~capacity:(List.length names + 1) () in
+  List.iter (fun n -> ignore (intern c n)) names;
+  c
+
+let pp_event c ppf e =
+  match name_opt c e with
+  | Some n -> Format.pp_print_string ppf n
+  | None -> Event.pp ppf e
+
+let alphabet c = List.init c.next (fun i -> i)

@@ -1,0 +1,35 @@
+(** Bidirectional mapping between event names and event identifiers.
+
+    A codec interns event names (arbitrary strings) as dense integer
+    identifiers [0, 1, 2, ...]. All mining code works on identifiers; codecs
+    are used at the input/output boundary. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** A fresh, empty codec. *)
+
+val intern : t -> string -> Event.t
+(** [intern c name] returns the identifier of [name], allocating the next
+    fresh identifier if [name] is new. *)
+
+val find : t -> string -> Event.t option
+(** [find c name] is the identifier of [name] if it has been interned. *)
+
+val name : t -> Event.t -> string
+(** [name c e] is the name interned for [e].
+    @raise Invalid_argument if [e] was not allocated by [c]. *)
+
+val name_opt : t -> Event.t -> string option
+
+val size : t -> int
+(** Number of interned events. Identifiers range over [0 .. size - 1]. *)
+
+val of_names : string list -> t
+(** Codec interning the given names in order. *)
+
+val pp_event : t -> Format.formatter -> Event.t -> unit
+(** Prints the event's name, falling back to [e<id>] for unknown ids. *)
+
+val alphabet : t -> Event.t list
+(** All interned identifiers, ascending. *)

@@ -1,0 +1,6 @@
+type t = int
+
+let compare (a : t) (b : t) = Int.compare a b
+let equal (a : t) (b : t) = Int.equal a b
+let hash (a : t) = a
+let pp ppf e = Format.fprintf ppf "e%d" e

@@ -1,0 +1,18 @@
+(** Events: the atomic symbols sequences are made of.
+
+    An event is represented as a non-negative integer identifier. Human
+    readable names are attached through a {!Codec.t}. The identifier
+    representation keeps the mining inner loops allocation-free. *)
+
+type t = int
+(** An event identifier. Always [>= 0] for events produced by {!Codec}. *)
+
+val compare : t -> t -> int
+(** Total order on events (integer order). *)
+
+val equal : t -> t -> bool
+
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Prints the raw identifier, [e<id>]. Use {!Codec.pp_event} for names. *)

@@ -1,0 +1,115 @@
+type store =
+  | Flat of int array (* positions, 1-based, ascending *)
+  | Paged of Btree.t
+
+type t = {
+  db : Seqdb.t;
+  per_seq : (Event.t, store) Hashtbl.t array;
+  totals : (Event.t, int) Hashtbl.t;
+  paged : bool;
+}
+
+let empty_positions : int array = [||]
+
+(* One pass to size the position arrays, one to fill them. *)
+let position_arrays db =
+  let n = Seqdb.size db in
+  let per_seq = Array.init n (fun _ -> Hashtbl.create 16) in
+  let totals = Hashtbl.create 64 in
+  Seqdb.iter
+    (fun i s ->
+      let counts = Hashtbl.create 16 in
+      Sequence.iteri
+        (fun _ e ->
+          Hashtbl.replace counts e (1 + Option.value ~default:0 (Hashtbl.find_opt counts e)))
+        s;
+      let tbl = per_seq.(i - 1) in
+      Hashtbl.iter (fun e c -> Hashtbl.replace tbl e (Array.make c 0)) counts;
+      let fill = Hashtbl.create 16 in
+      Sequence.iteri
+        (fun pos e ->
+          let k = Option.value ~default:0 (Hashtbl.find_opt fill e) in
+          (Hashtbl.find tbl e).(k) <- pos;
+          Hashtbl.replace fill e (k + 1))
+        s;
+      Hashtbl.iter
+        (fun e c ->
+          Hashtbl.replace totals e (c + Option.value ~default:0 (Hashtbl.find_opt totals e)))
+        counts)
+    db;
+  (per_seq, totals)
+
+let build db =
+  let arrays, totals = position_arrays db in
+  let per_seq =
+    Array.map
+      (fun tbl ->
+        let out = Hashtbl.create (Hashtbl.length tbl) in
+        Hashtbl.iter (fun e a -> Hashtbl.add out e (Flat a)) tbl;
+        out)
+      arrays
+  in
+  { db; per_seq; totals; paged = false }
+
+let build_paged ?fanout db =
+  let arrays, totals = position_arrays db in
+  let per_seq =
+    Array.map
+      (fun tbl ->
+        let out = Hashtbl.create (Hashtbl.length tbl) in
+        Hashtbl.iter (fun e a -> Hashtbl.add out e (Paged (Btree.of_sorted_array ?fanout a))) tbl;
+        out)
+      arrays
+  in
+  { db; per_seq; totals; paged = true }
+
+let db t = t.db
+let is_paged t = t.paged
+
+let store t ~seq e =
+  if seq < 1 || seq > Array.length t.per_seq then
+    invalid_arg (Printf.sprintf "Inverted_index: bad sequence index %d" seq)
+  else Hashtbl.find_opt t.per_seq.(seq - 1) e
+
+let positions t ~seq e =
+  match store t ~seq e with
+  | None -> empty_positions
+  | Some (Flat a) -> a
+  | Some (Paged bt) -> Array.of_list (Btree.to_list bt)
+
+(* Least index k with a.(k) > lowest, by binary search over the sorted
+   positions; [Array.length a] when none. *)
+let first_above a lowest =
+  let lo = ref 0 and hi = ref (Array.length a) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if a.(mid) > lowest then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let next t ~seq e ~lowest =
+  match store t ~seq e with
+  | None -> None
+  | Some (Flat a) ->
+    let k = first_above a lowest in
+    if k >= Array.length a then None else Some a.(k)
+  | Some (Paged bt) -> Btree.successor bt lowest
+
+let count_between t ~seq e ~lo ~hi =
+  if hi <= lo + 1 then 0
+  else
+    match store t ~seq e with
+    | None -> 0
+    | Some (Flat a) ->
+      let first = first_above a lo in
+      let beyond = first_above a (hi - 1) in
+      beyond - first
+    | Some (Paged bt) -> Btree.count_in bt ~lo ~hi
+
+let occurrence_count t e = Option.value ~default:0 (Hashtbl.find_opt t.totals e)
+
+let events t =
+  List.sort Event.compare (Hashtbl.fold (fun e _ acc -> e :: acc) t.totals [])
+
+let frequent_events t ~min_sup =
+  List.filter (fun e -> occurrence_count t e >= min_sup) (events t)

@@ -1,0 +1,59 @@
+(** Inverted event index (Section III-D of the paper).
+
+    For each event [e] and sequence [S_i], the index stores the ordered
+    position list [L_{e,Si} = { j | S_i[j] = e }]. The [next] query — "the
+    smallest position [l > lowest] with [S_i[l] = e]" — is answered by
+    binary search in [O(log L)], exactly as the paper's subroutine
+    [next(S, e, lowest)].
+
+    Two storage backends implement the paper's two regimes:
+
+    - {!build}: flat sorted arrays — "if the main memory is large enough
+      for the index structure [L_{e,Si}]'s, we can use arrays";
+    - {!build_paged}: bulk-loaded B+-trees ({!Btree}) — "otherwise,
+      B-trees can be employed".
+
+    Queries behave identically on both (property-tested); every mining
+    algorithm runs on either. *)
+
+type t
+
+val build : Seqdb.t -> t
+(** Array-backed index, built in one pass over the database,
+    [O(total length)]. *)
+
+val build_paged : ?fanout:int -> Seqdb.t -> t
+(** B+-tree-backed index ([fanout] defaults to 16). Same query semantics;
+    node-per-level access pattern suited to paged storage. *)
+
+val db : t -> Seqdb.t
+(** The database the index was built from. *)
+
+val next : t -> seq:int -> Event.t -> lowest:int -> int option
+(** [next idx ~seq:i e ~lowest] is the minimum position [l] such that
+    [l > lowest] and [S_i[l] = e], or [None] if no such position exists.
+    [seq] is 1-based. *)
+
+val count_between : t -> seq:int -> Event.t -> lo:int -> hi:int -> int
+(** Number of positions [p] of [e] in [S_i] with [lo < p < hi] (exclusive
+    bounds) — [O(log L)]. *)
+
+val positions : t -> seq:int -> Event.t -> int array
+(** All positions of [e] in [S_i], ascending, 1-based. On the array
+    backend the result is owned by the index and must not be mutated; on
+    the paged backend it is materialised on each call. *)
+
+val occurrence_count : t -> Event.t -> int
+(** Total occurrences of [e] over the database — the repetitive support of
+    the single-event pattern [e]. *)
+
+val events : t -> Event.t list
+(** Distinct events in the database, ascending. *)
+
+val frequent_events : t -> min_sup:int -> Event.t list
+(** Events whose occurrence count is at least [min_sup], ascending. By the
+    Apriori property these are the only events that can appear in any
+    frequent pattern. *)
+
+val is_paged : t -> bool
+(** [true] for {!build_paged} indexes; exposed for tests and reporting. *)

@@ -1,0 +1,83 @@
+let lines_of_string s =
+  String.split_on_char '\n' s
+  |> List.map String.trim
+  |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+
+let tokens_of_line l =
+  String.split_on_char ' ' l
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun t -> t <> "")
+
+let parse_tokens ?codec s =
+  let codec = match codec with Some c -> c | None -> Codec.create () in
+  let seq_of_line l =
+    Sequence.of_list (List.map (Codec.intern codec) (tokens_of_line l))
+  in
+  (Seqdb.of_sequences (List.map seq_of_line (lines_of_string s)), codec)
+
+let parse_chars s = Seqdb.of_strings (lines_of_string s)
+
+let parse_spmf s =
+  let ints =
+    lines_of_string s
+    |> List.concat_map tokens_of_line
+    |> List.map (fun t ->
+           match int_of_string_opt t with
+           | Some i -> i
+           | None -> failwith (Printf.sprintf "Seq_io.parse_spmf: bad token %S" t))
+  in
+  let rec split current seqs = function
+    | [] ->
+      if current <> [] then
+        failwith "Seq_io.parse_spmf: trailing events without -2 terminator"
+      else List.rev seqs
+    | -2 :: rest -> split [] (Sequence.of_list (List.rev current) :: seqs) rest
+    | -1 :: rest -> split current seqs rest
+    | e :: rest when e >= 0 -> split (e :: current) seqs rest
+    | e :: _ -> failwith (Printf.sprintf "Seq_io.parse_spmf: bad event %d" e)
+  in
+  Seqdb.of_sequences (split [] [] ints)
+
+let print_tokens codec db =
+  let buf = Buffer.create 1024 in
+  Seqdb.iter
+    (fun _ s ->
+      Sequence.iteri
+        (fun pos e ->
+          if pos > 1 then Buffer.add_char buf ' ';
+          Buffer.add_string buf (Codec.name codec e))
+        s;
+      Buffer.add_char buf '\n')
+    db;
+  Buffer.contents buf
+
+let print_spmf db =
+  let buf = Buffer.create 1024 in
+  Seqdb.iter
+    (fun _ s ->
+      Sequence.iteri
+        (fun pos e ->
+          if pos > 1 then Buffer.add_string buf "-1 ";
+          Buffer.add_string buf (string_of_int e);
+          Buffer.add_char buf ' ')
+        s;
+      Buffer.add_string buf "-2\n")
+    db;
+  Buffer.contents buf
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
+
+let load_tokens ?codec path = parse_tokens ?codec (read_file path)
+let load_spmf path = parse_spmf (read_file path)
+let save_tokens codec db path = write_file path (print_tokens codec db)
+let save_spmf db path = write_file path (print_spmf db)

@@ -1,0 +1,39 @@
+(** Reading and writing sequence databases.
+
+    Three text formats are supported:
+
+    - {b tokens}: one sequence per line, whitespace-separated event names.
+      Empty lines and lines starting with ['#'] are skipped. Names are
+      interned through a {!Codec.t}.
+    - {b chars}: one sequence per line as a string of letters ['A'..'Z']
+      (paper-example style).
+    - {b spmf}: the SPMF sequence format — integer events separated by [-1],
+      each sequence terminated by [-2] (itemsets of size one). *)
+
+val parse_tokens : ?codec:Codec.t -> string -> Seqdb.t * Codec.t
+(** Parses the [tokens] format from a string. Reuses [codec] when given. *)
+
+val parse_chars : string -> Seqdb.t
+(** Parses the [chars] format from a string. *)
+
+val parse_spmf : string -> Seqdb.t
+(** Parses the SPMF format from a string. Event ids are used directly.
+    @raise Failure on malformed input. *)
+
+val print_tokens : Codec.t -> Seqdb.t -> string
+(** Inverse of {!parse_tokens}. *)
+
+val print_spmf : Seqdb.t -> string
+(** Inverse of {!parse_spmf}. *)
+
+val load_tokens : ?codec:Codec.t -> string -> Seqdb.t * Codec.t
+(** [load_tokens path] reads a [tokens]-format file. *)
+
+val load_spmf : string -> Seqdb.t
+(** Reads an SPMF-format file. *)
+
+val save_tokens : Codec.t -> Seqdb.t -> string -> unit
+(** Writes a [tokens]-format file. *)
+
+val save_spmf : Seqdb.t -> string -> unit
+(** Writes an SPMF-format file. *)

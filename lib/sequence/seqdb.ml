@@ -1,0 +1,76 @@
+type t = { seqs : Sequence.t array }
+
+let of_array seqs = { seqs = Array.copy seqs }
+let of_sequences l = { seqs = Array.of_list l }
+let of_strings l = of_sequences (List.map Sequence.of_string l)
+let size db = Array.length db.seqs
+
+let seq db i =
+  if i < 1 || i > Array.length db.seqs then
+    invalid_arg (Printf.sprintf "Seqdb.seq: index %d out of [1;%d]" i (Array.length db.seqs))
+  else db.seqs.(i - 1)
+
+let sequences db = Array.copy db.seqs
+let total_length db = Array.fold_left (fun n s -> n + Sequence.length s) 0 db.seqs
+
+let max_length db =
+  Array.fold_left (fun m s -> max m (Sequence.length s)) 0 db.seqs
+
+let avg_length db =
+  if Array.length db.seqs = 0 then 0.
+  else float_of_int (total_length db) /. float_of_int (Array.length db.seqs)
+
+let alphabet db =
+  let module ISet = Set.Make (Int) in
+  let add acc s = List.fold_left (fun acc e -> ISet.add e acc) acc (Sequence.events s) in
+  ISet.elements (Array.fold_left add ISet.empty db.seqs)
+
+let alphabet_size db = List.length (alphabet db)
+
+let event_count db e =
+  Array.fold_left (fun n s -> n + Sequence.count s e) 0 db.seqs
+
+let fold f init db =
+  let acc = ref init in
+  Array.iteri (fun i s -> acc := f !acc (i + 1) s) db.seqs;
+  !acc
+
+let iter f db = Array.iteri (fun i s -> f (i + 1) s) db.seqs
+let equal a b = a.seqs = b.seqs
+
+let pp ppf db =
+  Format.fprintf ppf "@[<v>";
+  Array.iteri
+    (fun i s -> Format.fprintf ppf "S%d = %a@," (i + 1) Sequence.pp s)
+    db.seqs;
+  Format.fprintf ppf "@]"
+
+type stats = {
+  num_sequences : int;
+  num_events : int;
+  total_length : int;
+  min_length : int;
+  max_length : int;
+  avg_length : float;
+}
+
+let stats db =
+  let min_length =
+    if Array.length db.seqs = 0 then 0
+    else Array.fold_left (fun m s -> min m (Sequence.length s)) max_int db.seqs
+  in
+  {
+    num_sequences = size db;
+    num_events = alphabet_size db;
+    total_length = total_length db;
+    min_length;
+    max_length = max_length db;
+    avg_length = avg_length db;
+  }
+
+let pp_stats ppf st =
+  Format.fprintf ppf
+    "@[<v>sequences   : %d@,distinct evs: %d@,total length: %d@,\
+     min/avg/max : %d / %.2f / %d@]"
+    st.num_sequences st.num_events st.total_length st.min_length st.avg_length
+    st.max_length

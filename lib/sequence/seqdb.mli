@@ -1,0 +1,62 @@
+(** Sequence databases.
+
+    [SeqDB = {S1, S2, ..., SN}] (Section II). Sequence indices are {b 1-based}
+    like in the paper: [seq db 1] is [S1]. *)
+
+type t
+
+val of_sequences : Sequence.t list -> t
+val of_array : Sequence.t array -> t
+
+val of_strings : string list -> t
+(** Builds a database from letter strings via {!Sequence.of_string}. *)
+
+val size : t -> int
+(** [N], the number of sequences. *)
+
+val seq : t -> int -> Sequence.t
+(** [seq db i] is [S_i], 1-based.
+    @raise Invalid_argument when [i] is out of [1..size db]. *)
+
+val sequences : t -> Sequence.t array
+(** The underlying sequences (fresh array, shared sequence values). *)
+
+val total_length : t -> int
+(** Sum of sequence lengths. *)
+
+val max_length : t -> int
+(** Length of the longest sequence; [0] when the database is empty. *)
+
+val avg_length : t -> float
+
+val alphabet : t -> Event.t list
+(** Distinct events over the whole database, ascending. *)
+
+val alphabet_size : t -> int
+
+val event_count : t -> Event.t -> int
+(** Total number of occurrences of an event across all sequences. This equals
+    the repetitive support of the size-1 pattern made of that event. *)
+
+val fold : ('a -> int -> Sequence.t -> 'a) -> 'a -> t -> 'a
+(** Folds with 1-based sequence indices. *)
+
+val iter : (int -> Sequence.t -> unit) -> t -> unit
+(** Iterates with 1-based sequence indices. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+type stats = {
+  num_sequences : int;
+  num_events : int;  (** distinct events *)
+  total_length : int;
+  min_length : int;
+  max_length : int;
+  avg_length : float;
+}
+
+val stats : t -> stats
+
+val pp_stats : Format.formatter -> stats -> unit

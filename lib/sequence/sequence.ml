@@ -1,0 +1,66 @@
+type t = Event.t array
+
+let of_array a = Array.copy a
+let of_list l = Array.of_list l
+
+let of_string s =
+  Array.init (String.length s) (fun i ->
+      let c = s.[i] in
+      if c < 'A' || c > 'Z' then
+        invalid_arg (Printf.sprintf "Sequence.of_string: bad char %C" c)
+      else Char.code c - Char.code 'A')
+
+let to_array s = Array.copy s
+let to_list s = Array.to_list s
+let length s = Array.length s
+let is_empty s = Array.length s = 0
+
+let get s i =
+  if i < 1 || i > Array.length s then
+    invalid_arg (Printf.sprintf "Sequence.get: position %d out of [1;%d]" i (Array.length s))
+  else Array.unsafe_get s (i - 1)
+
+let unsafe_get s i = Array.unsafe_get s (i - 1)
+
+let events s =
+  let module ISet = Set.Make (Int) in
+  ISet.elements (Array.fold_left (fun acc e -> ISet.add e acc) ISet.empty s)
+
+let count s e =
+  Array.fold_left (fun n e' -> if Event.equal e e' then n + 1 else n) 0 s
+
+let sub s ~pos ~len =
+  if pos < 1 || len < 0 || pos + len - 1 > Array.length s then
+    invalid_arg "Sequence.sub: out of bounds"
+  else Array.sub s (pos - 1) len
+
+let append = Array.append
+let equal a b = a = b
+let compare = Stdlib.compare
+
+let all_letters s = Array.for_all (fun e -> e >= 0 && e < 26) s
+
+let pp ppf s =
+  if Array.length s > 0 && all_letters s then
+    Array.iter (fun e -> Format.pp_print_char ppf (Char.chr (Char.code 'A' + e))) s
+  else begin
+    Format.pp_print_char ppf '<';
+    Array.iteri
+      (fun i e ->
+        if i > 0 then Format.pp_print_char ppf ' ';
+        Format.pp_print_int ppf e)
+      s;
+    Format.pp_print_char ppf '>'
+  end
+
+let pp_with codec ppf s =
+  Format.pp_print_char ppf '<';
+  Array.iteri
+    (fun i e ->
+      if i > 0 then Format.pp_print_char ppf ' ';
+      Codec.pp_event codec ppf e)
+    s;
+  Format.pp_print_char ppf '>'
+
+let fold_left = Array.fold_left
+let iteri f s = Array.iteri (fun i e -> f (i + 1) e) s

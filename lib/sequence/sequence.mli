@@ -1,0 +1,60 @@
+(** Event sequences.
+
+    A sequence [S = <e1, e2, ..., e_length>] is an ordered list of events
+    (Section II of the paper). Positions are {b 1-based} throughout, matching
+    the paper's notation: [get s i] is the paper's [S[i]], [1 <= i <= length s]. *)
+
+type t
+(** An immutable event sequence. *)
+
+val of_array : Event.t array -> t
+(** [of_array a] takes ownership of a copy of [a]. *)
+
+val of_list : Event.t list -> t
+
+val of_string : string -> t
+(** [of_string "AABC"] maps each character to the event [Char.code c - Char.code 'A'],
+    so ['A' -> 0], ['B' -> 1], ... Convenient for paper examples and tests.
+    @raise Invalid_argument on characters outside ['A'..'Z']. *)
+
+val to_array : t -> Event.t array
+(** A fresh copy of the underlying events. *)
+
+val to_list : t -> Event.t list
+
+val length : t -> int
+
+val is_empty : t -> bool
+
+val get : t -> int -> Event.t
+(** [get s i] is [S[i]] with 1-based [i].
+    @raise Invalid_argument when [i < 1 || i > length s]. *)
+
+val unsafe_get : t -> int -> Event.t
+(** As {!get} but without bounds checking. *)
+
+val events : t -> Event.t list
+(** Distinct events occurring in the sequence, ascending. *)
+
+val count : t -> Event.t -> int
+(** Number of occurrences of the event. *)
+
+val sub : t -> pos:int -> len:int -> t
+(** [sub s ~pos ~len] is the substring [S[pos..pos+len-1]] (1-based [pos]). *)
+
+val append : t -> t -> t
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Prints as upper-case letters when all events are [< 26], else as
+    space-separated ids. *)
+
+val pp_with : Codec.t -> Format.formatter -> t -> unit
+
+val fold_left : ('a -> Event.t -> 'a) -> 'a -> t -> 'a
+
+val iteri : (int -> Event.t -> unit) -> t -> unit
+(** Iterates with 1-based positions. *)

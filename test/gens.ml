@@ -1,0 +1,25 @@
+(* Shared qcheck generators and printers for the property-test suites. *)
+
+open Rgs_sequence
+open Rgs_core
+
+let sequence ~alphabet ~max_len =
+  QCheck2.Gen.(
+    list_size (int_bound max_len) (int_bound (alphabet - 1)) >|= Sequence.of_list)
+
+let db ~num_seqs ~alphabet ~max_len =
+  QCheck2.Gen.(
+    list_size (int_range 1 num_seqs) (sequence ~alphabet ~max_len)
+    >|= Seqdb.of_sequences)
+
+let pattern ~alphabet ~max_len =
+  QCheck2.Gen.(
+    list_size (int_range 1 max_len) (int_bound (alphabet - 1)) >|= Pattern.of_list)
+
+let print_db d = Format.asprintf "%a" Seqdb.pp d
+
+let print_db_pattern (d, p) =
+  Printf.sprintf "db:\n%s\npattern: %s" (print_db d) (Pattern.to_string p)
+
+let make ~name ~count gen print prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count ~print gen prop)

@@ -1,0 +1,20 @@
+let () =
+  Alcotest.run "rgs"
+    [
+      ("sequence", Test_sequence.suite);
+      ("btree", Test_btree.suite);
+      ("pattern", Test_pattern.suite);
+      ("core-units", Test_core_units.suite);
+      ("paper-examples", Test_paper_examples.suite);
+      ("baselines", Test_baselines.suite);
+      ("datagen", Test_datagen.suite);
+      ("post", Test_post.suite);
+      ("miner", Test_miner.suite);
+      ("extensions", Test_extensions.suite);
+      ("parallel", Test_parallel.suite);
+      ("properties", Test_properties.suite);
+      ("robustness", Test_robustness.suite);
+      ("experiments", Test_experiments.suite);
+      ("export", Test_export.suite);
+      ("regressions", Test_regressions.suite);
+    ]

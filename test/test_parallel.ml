@@ -1,0 +1,95 @@
+(* Tests for domain-parallel mining: output identical (order included) to
+   the sequential miners, across domain counts and datasets. *)
+
+open Rgs_sequence
+open Rgs_core
+
+let signatures results =
+  List.map (fun r -> (Pattern.to_string r.Mined.pattern, r.Mined.support)) results
+
+let dbs =
+  lazy
+    [
+      ("table3", Seqdb.of_strings [ "ABCACBDDB"; "ACDBACADD" ]);
+      ( "quest",
+        Rgs_datagen.Quest_gen.generate
+          (Rgs_datagen.Quest_gen.params ~d:50 ~c:15 ~n:40 ~s:4 ~seed:11 ()) );
+      ( "traces",
+        Rgs_datagen.Trace_gen.generate
+          (Rgs_datagen.Trace_gen.params ~num_sequences:40 ~num_events:20 ~seed:12 ()) );
+    ]
+
+let test_parallel_all_matches () =
+  List.iter
+    (fun (name, db) ->
+      let idx = Inverted_index.build db in
+      let sequential, seq_stats = Gsgrow.mine ~max_length:4 idx ~min_sup:5 in
+      List.iter
+        (fun domains ->
+          let parallel, par_stats =
+            Parallel_miner.mine_all ~domains ~max_length:4 idx ~min_sup:5
+          in
+          Alcotest.(check (list (pair string int)))
+            (Printf.sprintf "%s all d%d" name domains)
+            (signatures sequential) (signatures parallel);
+          Alcotest.(check int)
+            (Printf.sprintf "%s stats d%d" name domains)
+            seq_stats.Gsgrow.patterns par_stats.Gsgrow.patterns)
+        [ 1; 2; 4 ])
+    (Lazy.force dbs)
+
+let test_parallel_closed_matches () =
+  List.iter
+    (fun (name, db) ->
+      let idx = Inverted_index.build db in
+      let sequential, _ = Clogsgrow.mine ~max_length:4 idx ~min_sup:5 in
+      List.iter
+        (fun domains ->
+          let parallel, _ =
+            Parallel_miner.mine_closed ~domains ~max_length:4 idx ~min_sup:5
+          in
+          Alcotest.(check (list (pair string int)))
+            (Printf.sprintf "%s closed d%d" name domains)
+            (signatures sequential) (signatures parallel))
+        [ 1; 3 ])
+    (Lazy.force dbs)
+
+let test_parallel_determinism () =
+  let _, db = List.nth (Lazy.force dbs) 1 in
+  let idx = Inverted_index.build db in
+  let runs =
+    List.init 3 (fun _ ->
+        signatures (fst (Parallel_miner.mine_closed ~domains:4 ~max_length:3 idx ~min_sup:5)))
+  in
+  match runs with
+  | first :: rest ->
+    List.iter
+      (fun r -> Alcotest.(check (list (pair string int))) "stable across runs" first r)
+      rest
+  | [] -> assert false
+
+let test_parallel_validation () =
+  let idx = Inverted_index.build (Seqdb.of_strings [ "AB" ]) in
+  Alcotest.check_raises "domains 0"
+    (Invalid_argument "Parallel_miner: domains must be >= 1") (fun () ->
+      ignore (Parallel_miner.mine_all ~domains:0 idx ~min_sup:1));
+  Alcotest.check_raises "min_sup 0"
+    (Invalid_argument "Parallel_miner: min_sup must be >= 1") (fun () ->
+      ignore (Parallel_miner.mine_all idx ~min_sup:0));
+  Alcotest.(check bool) "default domains >= 1" true (Parallel_miner.default_domains () >= 1)
+
+let test_more_domains_than_roots () =
+  let idx = Inverted_index.build (Seqdb.of_strings [ "ABAB" ]) in
+  let results, _ = Parallel_miner.mine_all ~domains:6 idx ~min_sup:2 in
+  let sequential, _ = Gsgrow.mine idx ~min_sup:2 in
+  Alcotest.(check (list (pair string int))) "tiny db" (signatures sequential)
+    (signatures results)
+
+let suite =
+  [
+    Alcotest.test_case "parallel all = sequential" `Quick test_parallel_all_matches;
+    Alcotest.test_case "parallel closed = sequential" `Quick test_parallel_closed_matches;
+    Alcotest.test_case "deterministic across runs" `Quick test_parallel_determinism;
+    Alcotest.test_case "validation" `Quick test_parallel_validation;
+    Alcotest.test_case "more domains than roots" `Quick test_more_domains_than_roots;
+  ]

@@ -1,0 +1,130 @@
+(* Cross-semantics properties and failure injection: relations between the
+   different support definitions, oracle guard rails, and I/O error
+   handling. *)
+
+open Rgs_sequence
+open Rgs_core
+
+let gen_db = Gens.db
+let gen_pattern = Gens.pattern
+let print_pair = Gens.print_db_pattern
+let make = Gens.make
+
+(* strict (footnote 1) support never exceeds the paper's support: strict
+   non-overlap is a stronger requirement. *)
+let prop_strict_le_support =
+  make ~name:"strict overlap support <= repetitive support" ~count:200
+    QCheck2.Gen.(pair (gen_db ~num_seqs:2 ~alphabet:3 ~max_len:6) (gen_pattern ~alphabet:3 ~max_len:3))
+    print_pair
+    (fun (db, p) ->
+      Strict_overlap.support db p <= Sup_comp.support (Inverted_index.build db) p)
+
+(* exact gap-constrained support is monotone in the gap bound and reaches
+   the unconstrained support at large gaps *)
+let prop_gap_monotone =
+  make ~name:"exact gap support monotone in max_gap" ~count:150
+    QCheck2.Gen.(pair (gen_db ~num_seqs:2 ~alphabet:3 ~max_len:6) (gen_pattern ~alphabet:3 ~max_len:3))
+    print_pair
+    (fun (db, p) ->
+      let at g = Brute_force.support ~max_gap:g db p in
+      let unconstrained = Brute_force.support db p in
+      at 0 <= at 1
+      && at 1 <= at 2
+      && at 2 <= at 5
+      && at 20 = unconstrained)
+
+(* sequential support <= repetitive support (each containing sequence
+   yields at least one instance) *)
+let prop_sequential_le_repetitive =
+  make ~name:"sequential support <= repetitive support" ~count:200
+    QCheck2.Gen.(pair (gen_db ~num_seqs:4 ~alphabet:3 ~max_len:7) (gen_pattern ~alphabet:3 ~max_len:3))
+    print_pair
+    (fun (db, p) ->
+      Rgs_baselines.Seq_mining.support db p
+      <= Sup_comp.support (Inverted_index.build db) p)
+
+(* iterative occurrences are a subset of all occurrences; minimal windows
+   are no more numerous than gap-unbounded occurrences *)
+let prop_iterative_le_all_occurrences =
+  make ~name:"iterative occurrences <= all landmarks" ~count:200
+    QCheck2.Gen.(pair (gen_db ~num_seqs:2 ~alphabet:3 ~max_len:6) (gen_pattern ~alphabet:3 ~max_len:3))
+    print_pair
+    (fun (db, p) ->
+      Rgs_baselines.Iterative.db_support db p
+      <= List.length (Brute_force.all_instances db p))
+
+(* episode window support is monotone in the window width *)
+let prop_episode_monotone_in_width =
+  make ~name:"episode window support monotone in w" ~count:150
+    QCheck2.Gen.(
+      pair (list_size (int_range 1 8) (int_bound 2) >|= Sequence.of_list)
+        (gen_pattern ~alphabet:3 ~max_len:3))
+    (fun (s, p) ->
+      Format.asprintf "seq: %a pattern: %s" Sequence.pp s (Pattern.to_string p))
+    (fun (s, p) ->
+      let at w = Rgs_baselines.Episode.window_support s p ~w in
+      let n = max 1 (Sequence.length s) in
+      (* wider windows contain at least the occurrences of narrower ones
+         anchored at the same starts, but there are also fewer windows; the
+         guaranteed monotonicity is on "some window contains": at n is 0/1 *)
+      at n >= if Rgs_baselines.Seq_mining.contains s p then 1 else 0)
+
+(* --- failure injection --- *)
+
+let test_missing_file () =
+  match Seq_io.load_tokens "/nonexistent/rgs/test/file.txt" with
+  | exception Sys_error _ -> ()
+  | _ -> Alcotest.fail "expected Sys_error"
+
+let test_brute_force_budget () =
+  (* A pathological sequence with exponentially many landmarks must hit
+     the budget rather than hang. *)
+  let s = Sequence.of_string (String.concat "" (List.init 15 (fun _ -> "AB"))) in
+  let p = Pattern.of_string "ABABABAB" in
+  match Brute_force.landmarks_in ~max_landmarks:1000 s p with
+  | exception Brute_force.Too_large -> ()
+  | landmarks ->
+    Alcotest.failf "expected Too_large, got %d landmarks" (List.length landmarks)
+
+let test_strict_overlap_budget () =
+  let db = Seqdb.of_strings [ String.concat "" (List.init 40 (fun _ -> "AB")) ] in
+  match Strict_overlap.support ~max_landmarks:100_000 db (Pattern.of_string "AB") with
+  | exception Brute_force.Too_large -> ()
+  | n -> Alcotest.failf "expected Too_large, got %d" n
+
+let test_empty_database () =
+  let db = Seqdb.of_sequences [] in
+  let idx = Inverted_index.build db in
+  Alcotest.(check int) "support in empty db" 0 (Sup_comp.support idx (Pattern.of_string "A"));
+  let results, _ = Gsgrow.mine idx ~min_sup:1 in
+  Alcotest.(check int) "no patterns" 0 (List.length results);
+  let closed, _ = Clogsgrow.mine idx ~min_sup:1 in
+  Alcotest.(check int) "no closed patterns" 0 (List.length closed)
+
+let test_empty_sequences_in_db () =
+  let db = Seqdb.of_sequences [ Sequence.of_list []; Sequence.of_string "AB" ] in
+  let idx = Inverted_index.build db in
+  Alcotest.(check int) "AB" 1 (Sup_comp.support idx (Pattern.of_string "AB"));
+  let results, _ = Clogsgrow.mine idx ~min_sup:1 in
+  Alcotest.(check bool) "mines fine" true (results <> [])
+
+let test_min_sup_above_everything () =
+  let db = Seqdb.of_strings [ "ABCABC" ] in
+  let idx = Inverted_index.build db in
+  let results, _ = Gsgrow.mine idx ~min_sup:1000 in
+  Alcotest.(check int) "nothing frequent" 0 (List.length results)
+
+let suite =
+  [
+    prop_strict_le_support;
+    prop_gap_monotone;
+    prop_sequential_le_repetitive;
+    prop_iterative_le_all_occurrences;
+    prop_episode_monotone_in_width;
+    Alcotest.test_case "missing input file" `Quick test_missing_file;
+    Alcotest.test_case "brute-force budget" `Quick test_brute_force_budget;
+    Alcotest.test_case "strict-overlap budget" `Quick test_strict_overlap_budget;
+    Alcotest.test_case "empty database" `Quick test_empty_database;
+    Alcotest.test_case "empty sequences" `Quick test_empty_sequences_in_db;
+    Alcotest.test_case "min_sup above everything" `Quick test_min_sup_above_everything;
+  ]
