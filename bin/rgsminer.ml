@@ -4,7 +4,9 @@
    Examples:
      rgsminer --min-sup 3 data.txt
      rgsminer --min-sup 18 --all --max-length 10 --limit 50 traces.txt
-     rgsminer --min-sup 5 --format spmf data.spmf --instances *)
+     rgsminer --min-sup 5 --format spmf data.spmf --instances
+     rgsminer --min-sup 2 --deadline 5 --checkpoint run.ckpt data.txt
+     rgsminer --min-sup 2 --checkpoint run.ckpt --resume data.txt *)
 
 open Cmdliner
 open Rgs_sequence
@@ -32,33 +34,57 @@ let setup_logs verbose =
   Logs.set_level (Some (if verbose then Logs.Info else Logs.Warning))
 
 let run input format min_sup all max_length max_patterns limit instances max_gap parallel
-    verbose =
+    deadline max_nodes max_words checkpoint resume verbose =
   setup_logs verbose;
-  let db, codec = load format input in
-  Format.printf "%a@.@." Seqdb.pp_stats (Seqdb.stats db);
-  let mode = if all then Miner.All else Miner.Closed in
-  let domains = if parallel then Some (Parallel_miner.default_domains ()) else None in
-  let max_patterns = if parallel then None else max_patterns in
-  let config =
-    Miner.config ~mode ?max_length ?max_patterns ?max_gap ?domains ~min_sup ()
-  in
-  let report = Miner.mine ~config db in
-  (match codec with
-  | Some codec -> Format.printf "%a@." (Miner.pp_report ~codec ~limit) report
-  | None -> Format.printf "%a@." (fun ppf r -> Miner.pp_report ~limit ppf r) report);
-  if instances then begin
-    let sorted = List.sort Mined.compare_by_support_desc report.Miner.results in
-    List.iteri
-      (fun k r ->
-        if k < limit then begin
-          Format.printf "@.%a:@." Pattern.pp r.Mined.pattern;
-          List.iter
-            (fun f -> Format.printf "  %a@." Instance.pp_full f)
-            (Miner.landmarks db r.Mined.pattern)
-        end)
-      sorted
-  end;
-  0
+  match
+    let db, codec = load format input in
+    Format.printf "%a@.@." Seqdb.pp_stats (Seqdb.stats db);
+    let mode = if all then Miner.All else Miner.Closed in
+    let domains = if parallel then Some (Parallel_miner.default_domains ()) else None in
+    let max_patterns = if parallel then None else max_patterns in
+    let config =
+      Miner.config ~mode ?max_length ?max_patterns ?max_gap ?domains
+        ?deadline_s:deadline ?max_nodes ?max_words ~min_sup ()
+    in
+    let report =
+      if checkpoint <> None || resume then
+        Miner.mine_resumable ?checkpoint ~resume config db
+      else Miner.mine ~config db
+    in
+    (match codec with
+    | Some codec -> Format.printf "%a@." (Miner.pp_report ~codec ~limit) report
+    | None -> Format.printf "%a@." (fun ppf r -> Miner.pp_report ~limit ppf r) report);
+    (match report.Miner.outcome with
+    | Budget.Completed -> ()
+    | outcome ->
+      Format.printf "run stopped early: %a — results above are partial%s@."
+        Budget.pp outcome
+        (match checkpoint with
+        | Some path -> Printf.sprintf " (checkpoint saved to %s; rerun with --resume)" path
+        | None -> ""));
+    if instances then begin
+      let sorted = List.sort Mined.compare_by_support_desc report.Miner.results in
+      List.iteri
+        (fun k r ->
+          if k < limit then begin
+            Format.printf "@.%a:@." Pattern.pp r.Mined.pattern;
+            List.iter
+              (fun f -> Format.printf "  %a@." Instance.pp_full f)
+              (Miner.landmarks db r.Mined.pattern)
+          end)
+        sorted
+    end
+  with
+  | () -> 0
+  | exception Seq_io.Parse_error { line; msg } ->
+    Format.eprintf "rgsminer: %s:%d: %s@." input line msg;
+    1
+  | exception Checkpoint.Corrupt msg ->
+    Format.eprintf "rgsminer: checkpoint: %s@." msg;
+    1
+  | exception Invalid_argument msg ->
+    Format.eprintf "rgsminer: %s@." msg;
+    1
 
 let input =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Input sequence file.")
@@ -104,14 +130,41 @@ let parallel =
   Arg.(value & flag & info [ "parallel"; "p" ]
          ~doc:"Mine with one domain per core (ignored with $(b,--max-gap)).")
 
+let deadline =
+  Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SECONDS"
+         ~doc:"Wall-clock budget. When it expires the run stops gracefully and \
+               reports the patterns mined so far.")
+
+let max_nodes =
+  Arg.(value & opt (some int) None & info [ "max-nodes" ] ~docv:"N"
+         ~doc:"DFS-node budget: stop gracefully after visiting N search nodes.")
+
+let max_words =
+  Arg.(value & opt (some int) None & info [ "max-words" ] ~docv:"N"
+         ~doc:"GC heap ceiling in words: stop gracefully when the OCaml heap \
+               exceeds N words.")
+
+let checkpoint =
+  Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE"
+         ~doc:"Checkpoint completed DFS roots to FILE (written atomically when the \
+               run ends for any reason). Implies root-partitioned mining; not \
+               compatible with $(b,--max-gap) or $(b,--max-patterns).")
+
+let resume =
+  Arg.(value & flag & info [ "resume" ]
+         ~doc:"Resume from the $(b,--checkpoint) file, mining only the roots it \
+               does not already cover. The checkpoint must match the input data, \
+               threshold, mode and $(b,--max-length).")
+
 let verbose =
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Log mining progress to stderr.")
 
 let cmd =
   let doc = "mine (closed) repetitive gapped subsequences from a sequence database" in
   Cmd.v
-    (Cmd.info "rgsminer" ~version:"1.0.0" ~doc)
+    (Cmd.info "rgsminer" ~version:"1.1.0" ~doc)
     Term.(const run $ input $ format $ min_sup $ all $ max_length $ max_patterns $ limit
-          $ instances $ max_gap $ parallel $ verbose)
+          $ instances $ max_gap $ parallel $ deadline $ max_nodes $ max_words
+          $ checkpoint $ resume $ verbose)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,81 @@
+type outcome =
+  | Completed
+  | Truncated
+  | Deadline_exceeded
+  | Memory_limit
+  | Cancelled
+  | Worker_failed
+
+exception Stop of outcome
+
+type t = {
+  deadline : float option;  (* absolute, Unix.gettimeofday scale *)
+  max_nodes : int option;
+  max_words : int option;
+  node_count : int Atomic.t;
+  cancel_flag : bool Atomic.t;
+}
+
+let create ?deadline_s ?max_nodes ?max_words () =
+  {
+    deadline = Option.map (fun s -> Unix.gettimeofday () +. s) deadline_s;
+    max_nodes;
+    max_words;
+    node_count = Atomic.make 0;
+    cancel_flag = Atomic.make false;
+  }
+
+let cancel t = Atomic.set t.cancel_flag true
+let cancelled t = Atomic.get t.cancel_flag
+let nodes t = Atomic.get t.node_count
+
+let check t =
+  let n = 1 + Atomic.fetch_and_add t.node_count 1 in
+  if Atomic.get t.cancel_flag then raise (Stop Cancelled);
+  (match t.max_nodes with
+  | Some limit when n > limit -> raise (Stop Truncated)
+  | _ -> ());
+  (match t.deadline with
+  | Some d when Unix.gettimeofday () > d -> raise (Stop Deadline_exceeded)
+  | _ -> ());
+  match t.max_words with
+  | Some limit when (Gc.quick_stat ()).Gc.heap_words > limit ->
+    raise (Stop Memory_limit)
+  | _ -> ()
+
+let severity = function
+  | Completed -> 0
+  | Truncated -> 1
+  | Deadline_exceeded -> 2
+  | Memory_limit -> 3
+  | Cancelled -> 4
+  | Worker_failed -> 5
+
+let combine a b = if severity a >= severity b then a else b
+let is_stop o = o <> Completed
+
+let to_string = function
+  | Completed -> "completed"
+  | Truncated -> "truncated"
+  | Deadline_exceeded -> "deadline exceeded"
+  | Memory_limit -> "memory limit"
+  | Cancelled -> "cancelled"
+  | Worker_failed -> "worker failed"
+
+let pp ppf o = Format.pp_print_string ppf (to_string o)
+
+module Fault = struct
+  type site = Insgrow | Worker of int
+
+  let hook : (site -> unit) option Atomic.t = Atomic.make None
+
+  let set f = Atomic.set hook (Some f)
+  let clear () = Atomic.set hook None
+
+  let fire site =
+    match Atomic.get hook with None -> () | Some f -> f site
+
+  let with_hook h f =
+    set h;
+    Fun.protect ~finally:clear f
+end

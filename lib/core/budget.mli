@@ -1,0 +1,81 @@
+(** Resource budgets and cooperative cancellation for the mining DFS.
+
+    GSgrow's search (Algorithm 3) is exponential in the worst case, and the
+    paper's own experiments (Sec. V) show runtime exploding as [min_sup]
+    drops. A service answering arbitrary queries therefore needs the miner
+    to degrade gracefully: every run carries a {!t} that is {!check}ed once
+    per DFS node, and stops the search — keeping the results mined so far —
+    when a wall-clock deadline passes, a DFS-node budget is spent, a GC
+    heap-words ceiling is crossed, or the caller {!cancel}s from another
+    domain.
+
+    A budget may be shared by several domains ({!Parallel_miner}): the node
+    counter and the cancellation flag are atomic. *)
+
+type outcome =
+  | Completed  (** the search ran to the end *)
+  | Truncated  (** a [max_patterns] or DFS-node budget stopped it *)
+  | Deadline_exceeded  (** the wall-clock deadline passed *)
+  | Memory_limit  (** the GC heap-words ceiling was crossed *)
+  | Cancelled  (** {!cancel} was called *)
+  | Worker_failed
+      (** at least one parallel root raised and failed its retry; the
+          surviving roots' results are still returned *)
+
+exception Stop of outcome
+(** Raised by {!check}; the mining loops catch it, record the reason and
+    return partial results. [Stop Completed] is never raised. *)
+
+type t
+
+val create :
+  ?deadline_s:float -> ?max_nodes:int -> ?max_words:int -> unit -> t
+(** [create ()] is an unlimited budget. [deadline_s] is relative seconds
+    from now; [max_nodes] bounds the number of {!check} calls (DFS nodes);
+    [max_words] bounds [Gc.(quick_stat ()).heap_words]. *)
+
+val check : t -> unit
+(** Counts one DFS node and raises [Stop reason] when any limit is hit or
+    the budget was cancelled. Cheap enough for the DFS hot loop: one atomic
+    increment, one clock read and one [Gc.quick_stat] (only when the
+    corresponding limit is set). *)
+
+val cancel : t -> unit
+(** Cooperative cancellation; safe from any domain. The next {!check}
+    raises [Stop Cancelled]. *)
+
+val cancelled : t -> bool
+val nodes : t -> int
+(** DFS nodes counted so far (across all domains sharing the budget). *)
+
+val severity : outcome -> int
+(** [Completed] = 0 rising to [Worker_failed] = 5. *)
+
+val combine : outcome -> outcome -> outcome
+(** Most severe of the two — merging per-root outcomes into a run
+    outcome. *)
+
+val is_stop : outcome -> bool
+(** Everything except [Completed]. *)
+
+val to_string : outcome -> string
+val pp : Format.formatter -> outcome -> unit
+
+(** Deterministic fault injection, for tests. A single process-global hook
+    fired from instrumented sites inside the miners; the hook may raise to
+    simulate a crash at that site. Reading the hook is one atomic load, so
+    production runs (hook unset) pay next to nothing. *)
+module Fault : sig
+  type site =
+    | Insgrow  (** fired once per instance-growth call in the DFS *)
+    | Worker of int  (** fired by a pool worker as it claims root [i] *)
+
+  val set : (site -> unit) -> unit
+  val clear : unit -> unit
+
+  val fire : site -> unit
+  (** Called by the miners; no-op when no hook is set. *)
+
+  val with_hook : (site -> unit) -> (unit -> 'a) -> 'a
+  (** [with_hook h f] installs [h], runs [f], and always clears the hook. *)
+end

@@ -1,0 +1,79 @@
+open Rgs_sequence
+
+type entry = { root : Event.t; results : Mined.t list }
+
+type t = {
+  fingerprint : string;
+  completed : entry list;
+  remaining : Event.t list;
+  outcome : Budget.outcome;
+}
+
+exception Corrupt of string
+
+let magic = "RGS-CHECKPOINT"
+let version = 1
+
+let fingerprint ~params db =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun p ->
+      Buffer.add_string buf p;
+      Buffer.add_char buf '|')
+    params;
+  Seqdb.iter
+    (fun _ s ->
+      Sequence.iteri
+        (fun _ e ->
+          Buffer.add_string buf (string_of_int e);
+          Buffer.add_char buf ' ')
+        s;
+      Buffer.add_char buf '\n')
+    db;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let save ~path t =
+  let dir = Filename.dirname path in
+  let tmp = Filename.temp_file ~temp_dir:dir "rgs-ckpt" ".tmp" in
+  let oc = open_out_bin tmp in
+  (try
+     Fun.protect
+       ~finally:(fun () -> close_out_noerr oc)
+       (fun () ->
+         output_string oc magic;
+         output_char oc '\n';
+         Marshal.to_channel oc (version, t) [])
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
+
+let load ~path ~expected_fingerprint =
+  let ic =
+    try open_in_bin path
+    with Sys_error msg -> raise (Corrupt (Printf.sprintf "cannot open: %s" msg))
+  in
+  let t =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        (match input_line ic with
+        | m when m = magic -> ()
+        | _ -> raise (Corrupt (path ^ ": not a checkpoint file"))
+        | exception End_of_file -> raise (Corrupt (path ^ ": truncated file")));
+        match (Marshal.from_channel ic : int * t) with
+        | v, _ when v <> version ->
+          raise
+            (Corrupt (Printf.sprintf "%s: version %d, expected %d" path v version))
+        | _, t -> t
+        | exception (End_of_file | Failure _) ->
+          raise (Corrupt (path ^ ": truncated or garbled payload")))
+  in
+  if t.fingerprint <> expected_fingerprint then
+    raise
+      (Corrupt
+         (path ^ ": fingerprint mismatch (different database or parameters)"));
+  t
+
+let load_opt ~path ~expected_fingerprint =
+  if Sys.file_exists path then Some (load ~path ~expected_fingerprint) else None

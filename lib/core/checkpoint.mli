@@ -1,0 +1,50 @@
+(** Checkpoint/resume for root-partitioned mining runs.
+
+    The DFS forest mined by {!Gsgrow}/{!Clogsgrow} splits into independent
+    subtrees, one per frequent size-1 root — the same decomposition
+    {!Parallel_miner} exploits. A checkpoint persists the results of the
+    roots completed so far plus the frontier of roots still to mine, so a
+    run stopped by a deadline (or killed outright after its last save) can
+    resume without redoing finished roots: resumed results equal an
+    uninterrupted run's, root by root.
+
+    Files are written atomically (temp file + rename) and carry a magic
+    header, a format version, and a caller-supplied fingerprint of the
+    mining parameters and database; {!load} refuses anything that does not
+    match, so a checkpoint can never silently resume against a different
+    database or configuration. Serialization uses [Marshal] — checkpoints
+    are valid within one build of the binary, which is the crash-recovery
+    use case, not an interchange format. *)
+
+open Rgs_sequence
+
+type entry = {
+  root : Event.t;
+  results : Mined.t list;  (** the completed root's full result list *)
+}
+
+type t = {
+  fingerprint : string;
+  completed : entry list;  (** in root order *)
+  remaining : Event.t list;  (** frontier: roots not yet fully mined *)
+  outcome : Budget.outcome;  (** why the checkpointed run stopped *)
+}
+
+exception Corrupt of string
+(** Raised by {!load} on a missing/garbled file or fingerprint mismatch. *)
+
+val fingerprint : params:string list -> Seqdb.t -> string
+(** Digest of the result-defining mining parameters and the database
+    contents. Runtime limits (deadline, node budget) must {e not} be part
+    of [params]: resuming with a different budget is the point. *)
+
+val save : path:string -> t -> unit
+(** Atomic write: the file at [path] is either the previous checkpoint or
+    the new one, never a torn mix. *)
+
+val load : path:string -> expected_fingerprint:string -> t
+(** @raise Corrupt when the file is unreadable, malformed, from another
+    format version, or fingerprinted for different parameters/data. *)
+
+val load_opt : path:string -> expected_fingerprint:string -> t option
+(** [None] when the file does not exist; {!load} otherwise. *)

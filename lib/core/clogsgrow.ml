@@ -7,12 +7,13 @@ type stats = {
   lb_pruned : int;
   non_closed_dropped : int;
   truncated : bool;
+  outcome : Budget.outcome;
 }
 
 exception Budget_exhausted
 
 let run ?max_length ?events ?roots ?(use_lb_check = true) ?(use_c_check = true)
-    ?(should_stop = fun () -> false) idx ~min_sup ~emit =
+    ?(should_stop = fun () -> false) ?budget idx ~min_sup ~emit =
   if min_sup < 1 then invalid_arg "Clogsgrow: min_sup must be >= 1";
   let events =
     match events with
@@ -36,7 +37,7 @@ let run ?max_length ?events ?roots ?(use_lb_check = true) ?(use_c_check = true)
   let insgrow_calls = ref 0 in
   let lb_pruned = ref 0 in
   let non_closed_dropped = ref 0 in
-  let truncated = ref false in
+  let outcome = ref Budget.Completed in
   let within_length p =
     match max_length with None -> true | Some l -> Pattern.length p < l
   in
@@ -44,6 +45,7 @@ let run ?max_length ?events ?roots ?(use_lb_check = true) ?(use_c_check = true)
      of [p] itself, most recent first (Theorem 7: O(sup_max · len_max)). *)
   let rec mine_fre p i rev_chain =
     if should_stop () then raise Budget_exhausted;
+    (match budget with Some b -> Budget.check b | None -> ());
     incr dfs_nodes;
     let sup_p = Support_set.size i in
     (* Prunability does not depend on the appended extensions (an append
@@ -68,6 +70,7 @@ let run ?max_length ?events ?roots ?(use_lb_check = true) ?(use_c_check = true)
         List.map
           (fun e ->
             incr insgrow_calls;
+            Budget.Fault.fire Budget.Fault.Insgrow;
             (e, Support_set.grow idx i e))
           events
       in
@@ -95,18 +98,21 @@ let run ?max_length ?events ?roots ?(use_lb_check = true) ?(use_c_check = true)
          if Support_set.size i >= min_sup then
            mine_fre (Pattern.of_list [ e ]) i [ i ])
        roots
-   with Budget_exhausted -> truncated := true);
+   with
+  | Budget_exhausted -> outcome := Budget.Truncated
+  | Budget.Stop reason -> outcome := reason);
   {
     patterns = !patterns;
     dfs_nodes = !dfs_nodes;
     insgrow_calls = !insgrow_calls;
     lb_pruned = !lb_pruned;
     non_closed_dropped = !non_closed_dropped;
-    truncated = !truncated;
+    truncated = Budget.is_stop !outcome;
+    outcome = !outcome;
   }
 
 let mine ?max_length ?max_patterns ?events ?roots ?use_lb_check ?use_c_check ?should_stop
-    idx ~min_sup =
+    ?budget idx ~min_sup =
   let results = ref [] in
   let count = ref 0 in
   let emit r =
@@ -117,11 +123,12 @@ let mine ?max_length ?max_patterns ?events ?roots ?use_lb_check ?use_c_check ?sh
     | _ -> ()
   in
   let stats =
-    run ?max_length ?events ?roots ?use_lb_check ?use_c_check ?should_stop idx ~min_sup
-      ~emit
+    run ?max_length ?events ?roots ?use_lb_check ?use_c_check ?should_stop ?budget idx
+      ~min_sup ~emit
   in
   (List.rev !results, stats)
 
-let iter ?max_length ?events ?roots ?use_lb_check ?use_c_check ?should_stop idx ~min_sup ~f =
-  run ?max_length ?events ?roots ?use_lb_check ?use_c_check ?should_stop idx ~min_sup
-    ~emit:f
+let iter ?max_length ?events ?roots ?use_lb_check ?use_c_check ?should_stop ?budget idx
+    ~min_sup ~f =
+  run ?max_length ?events ?roots ?use_lb_check ?use_c_check ?should_stop ?budget idx
+    ~min_sup ~emit:f

@@ -26,7 +26,8 @@ type stats = {
   insgrow_calls : int;
   lb_pruned : int;  (** subtrees cut by landmark-border checking *)
   non_closed_dropped : int;  (** frequent nodes rejected by closure checking *)
-  truncated : bool;
+  truncated : bool;  (** [true] iff [outcome <> Completed] *)
+  outcome : Budget.outcome;  (** why the search ended *)
 }
 
 val mine :
@@ -37,13 +38,16 @@ val mine :
   ?use_lb_check:bool ->
   ?use_c_check:bool ->
   ?should_stop:(unit -> bool) ->
+  ?budget:Budget.t ->
   Inverted_index.t ->
   min_sup:int ->
   Mined.t list * stats
 (** [mine idx ~min_sup] returns every closed pattern with repetitive
     support at least [min_sup], in DFS order. [should_stop] is polled at
     every DFS node and aborts the search when it returns [true] (sets
-    [stats.truncated]).
+    [stats.outcome = Truncated]); [budget] is {!Budget.check}ed at every
+    DFS node and its stop reason lands in [stats.outcome], with the
+    patterns mined so far still returned.
     @raise Invalid_argument when [min_sup < 1]. *)
 
 val iter :
@@ -53,6 +57,7 @@ val iter :
   ?use_lb_check:bool ->
   ?use_c_check:bool ->
   ?should_stop:(unit -> bool) ->
+  ?budget:Budget.t ->
   Inverted_index.t ->
   min_sup:int ->
   f:(Mined.t -> unit) ->

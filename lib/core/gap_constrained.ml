@@ -47,17 +47,17 @@ let support_set ?min_gap idx ~max_gap p =
 let support ?min_gap idx ~max_gap p =
   Support_set.size (support_set ?min_gap idx ~max_gap p)
 
-type stats = { patterns : int; truncated : bool }
+type stats = { patterns : int; truncated : bool; outcome : Budget.outcome }
 
 exception Budget_exhausted
 
-let mine ?max_length ?max_patterns ?(min_gap = 0) idx ~max_gap ~min_sup =
+let mine ?max_length ?max_patterns ?(min_gap = 0) ?budget idx ~max_gap ~min_sup =
   if min_sup < 1 then invalid_arg "Gap_constrained.mine: min_sup must be >= 1";
   validate_gaps ~min_gap ~max_gap;
   let events = Inverted_index.frequent_events idx ~min_sup in
   let results = ref [] in
   let count = ref 0 in
-  let truncated = ref false in
+  let outcome = ref Budget.Completed in
   let within p =
     match max_length with None -> true | Some l -> Pattern.length p < l
   in
@@ -69,10 +69,12 @@ let mine ?max_length ?max_patterns ?(min_gap = 0) idx ~max_gap ~min_sup =
     | _ -> ()
   in
   let rec mine_fre p i =
+    (match budget with Some b -> Budget.check b | None -> ());
     emit p i;
     if within p then
       List.iter
         (fun e ->
+          Budget.Fault.fire Budget.Fault.Insgrow;
           let i_plus = grow ~min_gap idx ~max_gap i e in
           if Support_set.size i_plus >= min_sup then mine_fre (Pattern.grow p e) i_plus)
         events
@@ -83,5 +85,12 @@ let mine ?max_length ?max_patterns ?(min_gap = 0) idx ~max_gap ~min_sup =
          let i = Support_set.of_event idx e in
          if Support_set.size i >= min_sup then mine_fre (Pattern.of_list [ e ]) i)
        events
-   with Budget_exhausted -> truncated := true);
-  (List.rev !results, { patterns = !count; truncated = !truncated })
+   with
+  | Budget_exhausted -> outcome := Budget.Truncated
+  | Budget.Stop reason -> outcome := reason);
+  ( List.rev !results,
+    {
+      patterns = !count;
+      truncated = Budget.is_stop !outcome;
+      outcome = !outcome;
+    } )

@@ -44,17 +44,20 @@ val support_set :
   ?min_gap:int -> Inverted_index.t -> max_gap:int -> Pattern.t -> Support_set.t
 (** The greedy gap-respecting instance set behind {!support}. *)
 
-type stats = { patterns : int; truncated : bool }
+type stats = { patterns : int; truncated : bool; outcome : Budget.outcome }
 
 val mine :
   ?max_length:int ->
   ?max_patterns:int ->
   ?min_gap:int ->
+  ?budget:Budget.t ->
   Inverted_index.t ->
   max_gap:int ->
   min_sup:int ->
   Mined.t list * stats
 (** DFS growth over greedy gap-bounded support sets. Sound: every reported
-    pattern has true gap-constrained support at least [min_sup].
+    pattern has true gap-constrained support at least [min_sup]. [budget]
+    is {!Budget.check}ed at every DFS node; on a stop the patterns mined so
+    far are returned with the reason in [stats.outcome].
     @raise Invalid_argument when [min_sup < 1], [max_gap < 0],
     [min_gap < 0] or [min_gap > max_gap]. *)

@@ -4,13 +4,16 @@ type stats = {
   patterns : int;
   insgrow_calls : int;
   truncated : bool;
+  outcome : Budget.outcome;
 }
 
 exception Budget_exhausted
 
 (* Shared DFS skeleton for [mine] and [iter]. [emit] receives each frequent
-   pattern; raising [Budget_exhausted] from it aborts the search. *)
-let run ?max_length ?events ?roots ?(should_stop = fun () -> false) idx ~min_sup ~emit =
+   pattern; raising [Budget_exhausted] from it aborts the search, as does
+   [Budget.Stop] from the budget's per-node check. *)
+let run ?max_length ?events ?roots ?(should_stop = fun () -> false) ?budget idx
+    ~min_sup ~emit =
   if min_sup < 1 then invalid_arg "Gsgrow: min_sup must be >= 1";
   let events =
     match events with
@@ -19,19 +22,21 @@ let run ?max_length ?events ?roots ?(should_stop = fun () -> false) idx ~min_sup
   in
   let roots = match roots with Some rs -> rs | None -> events in
   let insgrow_calls = ref 0 in
-  let truncated = ref false in
+  let outcome = ref Budget.Completed in
   let patterns = ref 0 in
   let within_length p =
     match max_length with None -> true | Some l -> Pattern.length p < l
   in
   let rec mine_fre p i =
     if should_stop () then raise Budget_exhausted;
+    (match budget with Some b -> Budget.check b | None -> ());
     incr patterns;
     emit { Mined.pattern = p; support = Support_set.size i; support_set = i };
     if within_length p then
       List.iter
         (fun e ->
           incr insgrow_calls;
+          Budget.Fault.fire Budget.Fault.Insgrow;
           let i_plus = Support_set.grow idx i e in
           if Support_set.size i_plus >= min_sup then mine_fre (Pattern.grow p e) i_plus)
         events
@@ -43,10 +48,17 @@ let run ?max_length ?events ?roots ?(should_stop = fun () -> false) idx ~min_sup
          if Support_set.size i >= min_sup then
            mine_fre (Pattern.of_list [ e ]) i)
        roots
-   with Budget_exhausted -> truncated := true);
-  { patterns = !patterns; insgrow_calls = !insgrow_calls; truncated = !truncated }
+   with
+  | Budget_exhausted -> outcome := Budget.Truncated
+  | Budget.Stop reason -> outcome := reason);
+  {
+    patterns = !patterns;
+    insgrow_calls = !insgrow_calls;
+    truncated = Budget.is_stop !outcome;
+    outcome = !outcome;
+  }
 
-let mine ?max_length ?max_patterns ?events ?roots ?should_stop idx ~min_sup =
+let mine ?max_length ?max_patterns ?events ?roots ?should_stop ?budget idx ~min_sup =
   let results = ref [] in
   let count = ref 0 in
   let emit r =
@@ -56,8 +68,8 @@ let mine ?max_length ?max_patterns ?events ?roots ?should_stop idx ~min_sup =
     | Some budget when !count >= budget -> raise Budget_exhausted
     | _ -> ()
   in
-  let stats = run ?max_length ?events ?roots ?should_stop idx ~min_sup ~emit in
+  let stats = run ?max_length ?events ?roots ?should_stop ?budget idx ~min_sup ~emit in
   (List.rev !results, stats)
 
-let iter ?max_length ?events ?roots ?should_stop idx ~min_sup ~f =
-  run ?max_length ?events ?roots ?should_stop idx ~min_sup ~emit:f
+let iter ?max_length ?events ?roots ?should_stop ?budget idx ~min_sup ~f =
+  run ?max_length ?events ?roots ?should_stop ?budget idx ~min_sup ~emit:f

@@ -15,7 +15,10 @@ open Rgs_sequence
 type stats = {
   patterns : int;  (** frequent patterns found *)
   insgrow_calls : int;  (** instance-growth invocations *)
-  truncated : bool;  (** [true] when a [max_patterns] budget stopped the DFS early *)
+  truncated : bool;  (** [true] iff [outcome <> Completed] *)
+  outcome : Budget.outcome;
+      (** why the search ended; partial results are returned for every
+          non-[Completed] outcome *)
 }
 
 val mine :
@@ -24,6 +27,7 @@ val mine :
   ?events:Event.t list ->
   ?roots:Event.t list ->
   ?should_stop:(unit -> bool) ->
+  ?budget:Budget.t ->
   Inverted_index.t ->
   min_sup:int ->
   Mined.t list * stats
@@ -39,7 +43,9 @@ val mine :
     grown with the full [events] set — the hook {!Parallel_miner} uses to
     partition the search across domains); [should_stop] is polled at every
     DFS node and aborts the search when it returns [true] (sets
-    [stats.truncated]) — use it for wall-clock budgets.
+    [stats.outcome = Truncated]); [budget] is {!Budget.check}ed at every
+    DFS node and its stop reason is recorded in [stats.outcome] — the
+    patterns mined before the stop are always returned.
 
     @raise Invalid_argument when [min_sup < 1]. *)
 
@@ -48,6 +54,7 @@ val iter :
   ?events:Event.t list ->
   ?roots:Event.t list ->
   ?should_stop:(unit -> bool) ->
+  ?budget:Budget.t ->
   Inverted_index.t ->
   min_sup:int ->
   f:(Mined.t -> unit) ->

@@ -10,15 +10,46 @@ type config = {
   max_gap : int option;
   domains : int option;
   paged_index : bool;
+  deadline_s : float option;
+  max_nodes : int option;
+  max_words : int option;
 }
 
+let validate_config cfg =
+  if cfg.min_sup < 1 then invalid_arg "Miner: min_sup must be >= 1";
+  (match cfg.deadline_s with
+  | Some d when d < 0.0 -> invalid_arg "Miner: deadline_s must be >= 0"
+  | _ -> ());
+  (match cfg.max_nodes with
+  | Some n when n < 0 -> invalid_arg "Miner: max_nodes must be >= 0"
+  | _ -> ());
+  match cfg.max_words with
+  | Some w when w < 1 -> invalid_arg "Miner: max_words must be >= 1"
+  | _ -> ()
+
 let config ?(mode = Closed) ?max_length ?max_patterns ?max_gap ?domains
-    ?(paged_index = false) ~min_sup () =
-  { min_sup; mode; max_length; max_patterns; max_gap; domains; paged_index }
+    ?(paged_index = false) ?deadline_s ?max_nodes ?max_words ~min_sup () =
+  let cfg =
+    {
+      min_sup;
+      mode;
+      max_length;
+      max_patterns;
+      max_gap;
+      domains;
+      paged_index;
+      deadline_s;
+      max_nodes;
+      max_words;
+    }
+  in
+  validate_config cfg;
+  cfg
 
 type report = {
   results : Mined.t list;
   truncated : bool;
+  outcome : Budget.outcome;
   elapsed_s : float;
 }
 
@@ -36,55 +67,65 @@ let describe cfg =
       (match cfg.domains with Some d -> Printf.sprintf ", %d domains" d | None -> "");
       (match cfg.max_length with Some l -> Printf.sprintf ", max_length=%d" l | None -> "");
       (match cfg.max_patterns with Some b -> Printf.sprintf ", max_patterns=%d" b | None -> "");
+      (match cfg.deadline_s with Some d -> Printf.sprintf ", deadline=%gs" d | None -> "");
+      (match cfg.max_nodes with Some n -> Printf.sprintf ", max_nodes=%d" n | None -> "");
+      (match cfg.max_words with Some w -> Printf.sprintf ", max_words=%d" w | None -> "");
     ]
 
+let budget_of cfg =
+  match (cfg.deadline_s, cfg.max_nodes, cfg.max_words) with
+  | None, None, None -> None
+  | deadline_s, max_nodes, max_words ->
+    Some (Budget.create ?deadline_s ?max_nodes ?max_words ())
+
 let mine_indexed cfg idx =
+  validate_config cfg;
   (match (cfg.domains, cfg.max_patterns, cfg.max_gap) with
   | Some _, Some _, _ ->
     invalid_arg "Miner: domains cannot be combined with max_patterns"
   | Some _, _, Some _ -> invalid_arg "Miner: domains cannot be combined with max_gap"
   | _ -> ());
   Log.info (fun m -> m "mining %s patterns, min_sup=%d" (describe cfg) cfg.min_sup);
+  let budget = budget_of cfg in
   let start = Unix.gettimeofday () in
-  let results, truncated =
+  let results, outcome =
     match (cfg.max_gap, cfg.domains, cfg.mode) with
     | Some max_gap, _, _ ->
       let results, stats =
         Gap_constrained.mine ?max_length:cfg.max_length ?max_patterns:cfg.max_patterns
-          idx ~max_gap ~min_sup:cfg.min_sup
+          ?budget idx ~max_gap ~min_sup:cfg.min_sup
       in
-      (results, stats.Gap_constrained.truncated)
+      (results, stats.Gap_constrained.outcome)
     | None, Some domains, All ->
       let results, stats =
-        Parallel_miner.mine_all ~domains ?max_length:cfg.max_length idx
+        Parallel_miner.mine_all ~domains ?max_length:cfg.max_length ?budget idx
           ~min_sup:cfg.min_sup
       in
-      (results, stats.Gsgrow.truncated)
+      (results, stats.Gsgrow.outcome)
     | None, Some domains, Closed ->
       let results, stats =
-        Parallel_miner.mine_closed ~domains ?max_length:cfg.max_length idx
+        Parallel_miner.mine_closed ~domains ?max_length:cfg.max_length ?budget idx
           ~min_sup:cfg.min_sup
       in
-      (results, stats.Clogsgrow.truncated)
+      (results, stats.Clogsgrow.outcome)
     | None, None, All ->
       let results, stats =
-        Gsgrow.mine ?max_length:cfg.max_length ?max_patterns:cfg.max_patterns idx
-          ~min_sup:cfg.min_sup
+        Gsgrow.mine ?max_length:cfg.max_length ?max_patterns:cfg.max_patterns ?budget
+          idx ~min_sup:cfg.min_sup
       in
-      (results, stats.Gsgrow.truncated)
+      (results, stats.Gsgrow.outcome)
     | None, None, Closed ->
       let results, stats =
-        Clogsgrow.mine ?max_length:cfg.max_length ?max_patterns:cfg.max_patterns idx
-          ~min_sup:cfg.min_sup
+        Clogsgrow.mine ?max_length:cfg.max_length ?max_patterns:cfg.max_patterns
+          ?budget idx ~min_sup:cfg.min_sup
       in
-      (results, stats.Clogsgrow.truncated)
+      (results, stats.Clogsgrow.outcome)
   in
   let elapsed_s = Unix.gettimeofday () -. start in
   Log.info (fun m ->
-      m "found %d pattern(s)%s in %.3fs" (List.length results)
-        (if truncated then " (truncated)" else "")
+      m "found %d pattern(s) (%a) in %.3fs" (List.length results) Budget.pp outcome
         elapsed_s);
-  { results; truncated; elapsed_s }
+  { results; truncated = Budget.is_stop outcome; outcome; elapsed_s }
 
 let mine ?config:cfg ?min_sup db =
   let cfg =
@@ -98,6 +139,136 @@ let mine ?config:cfg ?min_sup db =
   in
   mine_indexed cfg idx
 
+(* --- checkpoint/resume driver --- *)
+
+let checkpoint_fingerprint cfg db =
+  Checkpoint.fingerprint
+    ~params:
+      [
+        (match cfg.mode with All -> "all" | Closed -> "closed");
+        string_of_int cfg.min_sup;
+        (match cfg.max_length with Some l -> string_of_int l | None -> "-");
+      ]
+    db
+
+let mine_resumable ?checkpoint ?(resume = false) cfg db =
+  validate_config cfg;
+  if cfg.max_gap <> None then
+    invalid_arg "Miner: checkpointing is not supported with max_gap";
+  if cfg.max_patterns <> None then
+    invalid_arg "Miner: checkpointing is not supported with max_patterns";
+  if resume && checkpoint = None then
+    invalid_arg "Miner: resume requires a checkpoint path";
+  let start = Unix.gettimeofday () in
+  let idx =
+    if cfg.paged_index then Inverted_index.build_paged db else Inverted_index.build db
+  in
+  let events = Inverted_index.frequent_events idx ~min_sup:cfg.min_sup in
+  let fp = checkpoint_fingerprint cfg db in
+  let prior =
+    match (resume, checkpoint) with
+    | true, Some path -> Checkpoint.load_opt ~path ~expected_fingerprint:fp
+    | _ -> None
+  in
+  let prior_completed =
+    match prior with None -> [] | Some c -> c.Checkpoint.completed
+  in
+  let remaining =
+    match prior with None -> events | Some c -> c.Checkpoint.remaining
+  in
+  Log.info (fun m ->
+      m "mining %s patterns, min_sup=%d: %d/%d root(s) to mine%s" (describe cfg)
+        cfg.min_sup (List.length remaining) (List.length events)
+        (if prior <> None then " (resumed)" else ""));
+  let budget = budget_of cfg in
+  let roots = Array.of_list remaining in
+  let domains =
+    match cfg.domains with
+    | Some d ->
+      if d < 1 then invalid_arg "Miner: domains must be >= 1";
+      d
+    | None -> 1
+  in
+  let mine_root k =
+    match cfg.mode with
+    | All ->
+      let results, stats =
+        Gsgrow.mine ?max_length:cfg.max_length ?budget ~events ~roots:[ roots.(k) ]
+          idx ~min_sup:cfg.min_sup
+      in
+      (results, stats.Gsgrow.outcome)
+    | Closed ->
+      let results, stats =
+        Clogsgrow.mine ?max_length:cfg.max_length ?budget ~events
+          ~roots:[ roots.(k) ] idx ~min_sup:cfg.min_sup
+      in
+      (results, stats.Clogsgrow.outcome)
+  in
+  let slots, halt_reason =
+    Parallel_miner.run_pool
+      ~halt_on:(fun (_, outcome) -> Budget.is_stop outcome)
+      ~domains ~num_roots:(Array.length roots) ~mine_root ()
+  in
+  let slots = Parallel_miner.retry_failed ~mine_root slots in
+  (* Classify each freshly mined root: fully completed roots advance the
+     checkpoint frontier; partially mined and crashed roots stay on it, but
+     partial results still reach the report. *)
+  let newly_completed = Hashtbl.create 16 in
+  let partials = Hashtbl.create 16 in
+  let outcome = ref (Option.value halt_reason ~default:Budget.Completed) in
+  Array.iteri
+    (fun k status ->
+      let root = roots.(k) in
+      match status with
+      | Parallel_miner.Done (results, Budget.Completed) ->
+        Hashtbl.replace newly_completed root results
+      | Parallel_miner.Done (results, stop) ->
+        Hashtbl.replace partials root results;
+        outcome := Budget.combine !outcome stop
+      | Parallel_miner.Failed _ -> outcome := Budget.combine !outcome Budget.Worker_failed
+      | Parallel_miner.Skipped ->
+        (* the pool halted before this root; the halt reason (or another
+           root's stop outcome) already accounts for it *)
+        ())
+    slots;
+  let outcome = !outcome in
+  let completed_results = Hashtbl.create 16 in
+  List.iter
+    (fun { Checkpoint.root; results } -> Hashtbl.replace completed_results root results)
+    prior_completed;
+  Hashtbl.iter (Hashtbl.replace completed_results) newly_completed;
+  (* Assemble the report in the full root order, so a resumed run completes
+     to exactly the uninterrupted run's output. *)
+  let results =
+    List.concat_map
+      (fun root ->
+        match Hashtbl.find_opt completed_results root with
+        | Some rs -> rs
+        | None -> (
+          match Hashtbl.find_opt partials root with Some rs -> rs | None -> []))
+      events
+  in
+  (match checkpoint with
+  | None -> ()
+  | Some path ->
+    let completed =
+      List.filter_map
+        (fun root ->
+          Option.map
+            (fun results -> { Checkpoint.root; results })
+            (Hashtbl.find_opt completed_results root))
+        events
+    in
+    let remaining =
+      List.filter (fun root -> not (Hashtbl.mem completed_results root)) events
+    in
+    Checkpoint.save ~path { Checkpoint.fingerprint = fp; completed; remaining; outcome });
+  let elapsed_s = Unix.gettimeofday () -. start in
+  Log.info (fun m ->
+      m "found %d pattern(s) (%a) in %.3fs" (List.length results) Budget.pp outcome
+        elapsed_s);
+  { results; truncated = Budget.is_stop outcome; outcome; elapsed_s }
+
 let landmarks db p = Sup_comp.landmarks (Inverted_index.build db) p
 let support db p = Sup_comp.support (Inverted_index.build db) p
 
@@ -107,10 +278,15 @@ let pp_report ?codec ?(limit = 20) ppf report =
   in
   let sorted = List.sort Mined.compare_by_support_desc report.results in
   let total = List.length sorted in
+  let suffix =
+    match report.outcome with
+    | Budget.Completed -> ""
+    | Budget.Truncated -> " (truncated)"
+    | o -> Printf.sprintf " (partial: %s)" (Budget.to_string o)
+  in
   Format.fprintf ppf "@[<v>%d pattern%s%s in %.3fs@," total
     (if total = 1 then "" else "s")
-    (if report.truncated then " (truncated)" else "")
-    report.elapsed_s;
+    suffix report.elapsed_s;
   List.iteri
     (fun k r -> if k < limit then Format.fprintf ppf "  %a@," pp_one r)
     sorted;

@@ -3,7 +3,14 @@
     One-call API over {!Gsgrow} / {!Clogsgrow} / {!Gap_constrained} /
     {!Parallel_miner}: build the inverted index, mine, and present
     results. This is the entry point example programs and the CLI use; the
-    per-algorithm modules remain available for finer control. *)
+    per-algorithm modules remain available for finer control.
+
+    Resilience: a config may carry runtime limits (wall-clock deadline,
+    DFS-node budget, GC heap-words ceiling). The miners stop cooperatively
+    when a limit is hit and the report always carries the patterns mined so
+    far plus an explicit {!Budget.outcome}. {!mine_resumable} additionally
+    checkpoints completed DFS roots to disk so a stopped run can resume
+    without redoing them. *)
 
 open Rgs_sequence
 
@@ -23,6 +30,14 @@ type config = {
       (** mine in parallel with this many domains ({!Parallel_miner});
           incompatible with [max_patterns] and [max_gap] *)
   paged_index : bool;  (** build the B-tree index backend instead of arrays *)
+  deadline_s : float option;
+      (** wall-clock budget in seconds; on expiry the run stops with
+          [Deadline_exceeded] and partial results *)
+  max_nodes : int option;
+      (** DFS-node budget; on exhaustion the run stops with [Truncated] *)
+  max_words : int option;
+      (** GC heap-words ceiling; on excess the run stops with
+          [Memory_limit] *)
 }
 
 val config :
@@ -32,14 +47,19 @@ val config :
   ?max_gap:int ->
   ?domains:int ->
   ?paged_index:bool ->
+  ?deadline_s:float ->
+  ?max_nodes:int ->
+  ?max_words:int ->
   min_sup:int ->
   unit ->
   config
-(** Defaults: [mode = Closed], array index, sequential, no bounds. *)
+(** Defaults: [mode = Closed], array index, sequential, no bounds.
+    @raise Invalid_argument when [min_sup < 1] or a limit is negative. *)
 
 type report = {
   results : Mined.t list;  (** in DFS order *)
-  truncated : bool;
+  truncated : bool;  (** [true] iff [outcome <> Completed] *)
+  outcome : Budget.outcome;  (** why the run ended *)
   elapsed_s : float;
 }
 
@@ -54,6 +74,26 @@ val mine_indexed : config -> Inverted_index.t -> report
 (** As {!mine} on a prebuilt index (amortises index construction across
     parameter sweeps; [config.paged_index] is ignored). *)
 
+val mine_resumable :
+  ?checkpoint:string -> ?resume:bool -> config -> Seqdb.t -> report
+(** Root-partitioned mining with checkpoint/resume. Roots (frequent size-1
+    patterns) are mined independently — sequentially, or with
+    [config.domains] pool workers; a crashing root is retried once and at
+    worst loses only its own patterns ([Worker_failed]).
+
+    With [checkpoint:path], the set of fully completed roots and their
+    results is saved to [path] (atomically) when the run ends for any
+    reason; with [resume:true] a matching checkpoint is loaded first and
+    only the remaining roots are mined, so the finished report equals an
+    uninterrupted run's. A checkpoint written for a different database,
+    [min_sup], [mode] or [max_length] is rejected
+    ({!Checkpoint.Corrupt}). Runtime limits may differ between the original
+    and the resumed run.
+
+    @raise Invalid_argument with [max_gap] or [max_patterns] (those paths
+    are not root-partitioned), or when [resume] is set without
+    [checkpoint]. *)
+
 val landmarks : Seqdb.t -> Pattern.t -> Instance.full list
 (** Full-landmark leftmost support set of a pattern, for displaying where
     instances occur. *)
@@ -63,7 +103,7 @@ val support : Seqdb.t -> Pattern.t -> int
 
 val pp_report : ?codec:Codec.t -> ?limit:int -> Format.formatter -> report -> unit
 (** Prints up to [limit] results (default 20) ordered by decreasing
-    support. *)
+    support; non-[Completed] outcomes are flagged in the header line. *)
 
 val log_src : Logs.src
 (** The [rgs.miner] log source ([Info]: run start/finish). *)

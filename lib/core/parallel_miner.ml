@@ -2,87 +2,179 @@ open Rgs_sequence
 
 let default_domains () = max 1 (min (Domain.recommended_domain_count ()) 8)
 
+type 'a root_status = Done of 'a | Failed of exn | Skipped
+
 (* Claim roots from an atomic counter until exhausted; store each root's
-   result list into its slot. [mine_root] must be thread-compatible: it
-   only reads the shared index and writes domain-local state. *)
-let run_pool ~domains ~num_roots ~mine_root =
+   status into its slot. [mine_root] must be thread-compatible: it only
+   reads the shared index and writes domain-local state.
+
+   Crash isolation: an exception from [mine_root] (or from the fault hook)
+   is captured as [Failed] in that root's slot — it never escapes a worker,
+   so [Domain.join] cannot re-raise and the main domain always joins every
+   spawned domain, even when its own worker fails. When a completed root
+   satisfies [halt_on] (e.g. a shared budget reported a stop) the pool
+   stops claiming further roots; unclaimed slots stay [Skipped]. *)
+let run_pool ?(halt_on = fun _ -> false) ~domains ~num_roots ~mine_root () =
   let next = Atomic.make 0 in
-  let slots = Array.make num_roots None in
+  let halted = Atomic.make false in
+  let halt_reason = Atomic.make None in
+  let slots = Array.make num_roots Skipped in
   let worker () =
     let rec loop () =
-      let k = Atomic.fetch_and_add next 1 in
-      if k < num_roots then begin
-        slots.(k) <- Some (mine_root k);
-        loop ()
+      if not (Atomic.get halted) then begin
+        let k = Atomic.fetch_and_add next 1 in
+        if k < num_roots then begin
+          (match
+             Budget.Fault.fire (Budget.Fault.Worker k);
+             mine_root k
+           with
+          | r ->
+            slots.(k) <- Done r;
+            if halt_on r then Atomic.set halted true
+          | exception Budget.Stop reason ->
+            (* a shared budget tripped outside the miner's own handler; the
+               root is not complete — leave it [Skipped] so a resume can
+               re-claim it, but remember why the pool halted *)
+            Atomic.set halt_reason (Some reason);
+            Atomic.set halted true
+          | exception e -> slots.(k) <- Failed e);
+          loop ()
+        end
       end
     in
-    loop ()
+    try loop () with _ -> ()
   in
   let spawned = List.init (domains - 1) (fun _ -> Domain.spawn worker) in
-  worker ();
-  List.iter Domain.join spawned;
-  Array.map
-    (function
-      | Some r -> r
-      | None -> assert false (* every slot below [next >= num_roots] is filled *))
-    slots
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun d -> try Domain.join d with _ -> ()) spawned)
+    worker;
+  (slots, Atomic.get halt_reason)
+
+(* One sequential retry for roots that crashed in the pool: transient
+   failures (and fault hooks armed to fire once) recover; a second failure
+   leaves the root [Failed] and only its patterns are lost. *)
+let retry_failed ~mine_root slots =
+  Array.iteri
+    (fun k status ->
+      match status with
+      | Failed _ -> (
+        match
+          Budget.Fault.fire (Budget.Fault.Worker k);
+          mine_root k
+        with
+        | r -> slots.(k) <- Done r
+        | exception e -> slots.(k) <- Failed e)
+      | Done _ | Skipped -> ())
+    slots;
+  slots
 
 let validate ?(domains = default_domains ()) ~min_sup () =
   if min_sup < 1 then invalid_arg "Parallel_miner: min_sup must be >= 1";
   if domains < 1 then invalid_arg "Parallel_miner: domains must be >= 1";
   domains
 
-let mine_all ?domains ?max_length idx ~min_sup =
-  let domains = validate ?domains ~min_sup () in
-  let events = Inverted_index.frequent_events idx ~min_sup in
-  let roots = Array.of_list events in
-  let mine_root k =
-    Gsgrow.mine ?max_length ~events ~roots:[ roots.(k) ] idx ~min_sup
+(* Merge per-root statuses: concatenate surviving results in root order
+   (deterministic), fold the stats, and derive the run outcome — the most
+   severe of the per-root outcomes, [Worker_failed] dominating when a root
+   crashed twice, and [Skipped] slots inheriting the stop reason that
+   halted the pool. *)
+let collect ?halt_reason ~stats_of ~outcome_of ~with_outcome ~zero slots =
+  let stop_reason =
+    Array.fold_left
+      (fun acc status ->
+        match status with
+        | Done r -> Budget.combine acc (outcome_of (stats_of r))
+        | Failed _ -> Budget.combine acc Budget.Worker_failed
+        | Skipped -> acc)
+      (Option.value halt_reason ~default:Budget.Completed)
+      slots
   in
-  let per_root = run_pool ~domains ~num_roots:(Array.length roots) ~mine_root in
-  let results = List.concat_map fst (Array.to_list per_root) in
+  let outcome =
+    if
+      Array.exists (function Skipped -> true | _ -> false) slots
+      && not (Budget.is_stop stop_reason)
+    then (* halted without a recorded reason: treat as cancelled *)
+      Budget.Cancelled
+    else stop_reason
+  in
+  let results =
+    List.concat_map
+      (function Done (rs, _) -> rs | Failed _ | Skipped -> [])
+      (Array.to_list slots)
+  in
   let stats =
     Array.fold_left
-      (fun acc (_, s) ->
-        {
-          Gsgrow.patterns = acc.Gsgrow.patterns + s.Gsgrow.patterns;
-          insgrow_calls = acc.Gsgrow.insgrow_calls + s.Gsgrow.insgrow_calls;
-          truncated = acc.Gsgrow.truncated || s.Gsgrow.truncated;
-        })
-      { Gsgrow.patterns = 0; insgrow_calls = 0; truncated = false }
-      per_root
+      (fun acc -> function Done r -> zero acc (stats_of r) | _ -> acc)
+      (with_outcome outcome) slots
   in
   (results, stats)
 
-let mine_closed ?domains ?max_length ?use_lb_check idx ~min_sup =
+let halt_on_gsgrow (_, s) = Budget.is_stop s.Gsgrow.outcome
+let halt_on_clogsgrow (_, s) = Budget.is_stop s.Clogsgrow.outcome
+
+let mine_all ?domains ?max_length ?budget idx ~min_sup =
   let domains = validate ?domains ~min_sup () in
   let events = Inverted_index.frequent_events idx ~min_sup in
   let roots = Array.of_list events in
   let mine_root k =
-    Clogsgrow.mine ?max_length ?use_lb_check ~events ~roots:[ roots.(k) ] idx ~min_sup
+    Gsgrow.mine ?max_length ?budget ~events ~roots:[ roots.(k) ] idx ~min_sup
   in
-  let per_root = run_pool ~domains ~num_roots:(Array.length roots) ~mine_root in
-  let results = List.concat_map fst (Array.to_list per_root) in
-  let stats =
-    Array.fold_left
-      (fun acc (_, s) ->
-        {
-          Clogsgrow.patterns = acc.Clogsgrow.patterns + s.Clogsgrow.patterns;
-          dfs_nodes = acc.Clogsgrow.dfs_nodes + s.Clogsgrow.dfs_nodes;
-          insgrow_calls = acc.Clogsgrow.insgrow_calls + s.Clogsgrow.insgrow_calls;
-          lb_pruned = acc.Clogsgrow.lb_pruned + s.Clogsgrow.lb_pruned;
-          non_closed_dropped =
-            acc.Clogsgrow.non_closed_dropped + s.Clogsgrow.non_closed_dropped;
-          truncated = acc.Clogsgrow.truncated || s.Clogsgrow.truncated;
-        })
+  let slots, halt_reason =
+    run_pool ~halt_on:halt_on_gsgrow ~domains ~num_roots:(Array.length roots)
+      ~mine_root ()
+  in
+  let slots = retry_failed ~mine_root slots in
+  collect slots ?halt_reason
+    ~stats_of:(fun (_, s) -> s)
+    ~outcome_of:(fun s -> s.Gsgrow.outcome)
+    ~with_outcome:(fun outcome ->
+      {
+        Gsgrow.patterns = 0;
+        insgrow_calls = 0;
+        truncated = Budget.is_stop outcome;
+        outcome;
+      })
+    ~zero:(fun acc s ->
+      {
+        acc with
+        Gsgrow.patterns = acc.Gsgrow.patterns + s.Gsgrow.patterns;
+        insgrow_calls = acc.Gsgrow.insgrow_calls + s.Gsgrow.insgrow_calls;
+      })
+
+let mine_closed ?domains ?max_length ?use_lb_check ?budget idx ~min_sup =
+  let domains = validate ?domains ~min_sup () in
+  let events = Inverted_index.frequent_events idx ~min_sup in
+  let roots = Array.of_list events in
+  let mine_root k =
+    Clogsgrow.mine ?max_length ?use_lb_check ?budget ~events ~roots:[ roots.(k) ] idx
+      ~min_sup
+  in
+  let slots, halt_reason =
+    run_pool ~halt_on:halt_on_clogsgrow ~domains ~num_roots:(Array.length roots)
+      ~mine_root ()
+  in
+  let slots = retry_failed ~mine_root slots in
+  collect slots ?halt_reason
+    ~stats_of:(fun (_, s) -> s)
+    ~outcome_of:(fun s -> s.Clogsgrow.outcome)
+    ~with_outcome:(fun outcome ->
       {
         Clogsgrow.patterns = 0;
         dfs_nodes = 0;
         insgrow_calls = 0;
         lb_pruned = 0;
         non_closed_dropped = 0;
-        truncated = false;
-      }
-      per_root
-  in
-  (results, stats)
+        truncated = Budget.is_stop outcome;
+        outcome;
+      })
+    ~zero:(fun acc s ->
+      {
+        acc with
+        Clogsgrow.patterns = acc.Clogsgrow.patterns + s.Clogsgrow.patterns;
+        dfs_nodes = acc.Clogsgrow.dfs_nodes + s.Clogsgrow.dfs_nodes;
+        insgrow_calls = acc.Clogsgrow.insgrow_calls + s.Clogsgrow.insgrow_calls;
+        lb_pruned = acc.Clogsgrow.lb_pruned + s.Clogsgrow.lb_pruned;
+        non_closed_dropped =
+          acc.Clogsgrow.non_closed_dropped + s.Clogsgrow.non_closed_dropped;
+      })

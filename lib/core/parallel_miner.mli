@@ -1,4 +1,4 @@
-(** Domain-parallel mining (OCaml 5 multicore).
+(** Domain-parallel mining (OCaml 5 multicore) with crash isolation.
 
     The DFS subtrees rooted at distinct size-1 patterns are independent:
     the inverted index is read-only after construction and support sets
@@ -7,6 +7,13 @@
     algorithms; per-root results are stored in a slot array, so the merged
     output is {b deterministic} (identical to the sequential DFS order)
     regardless of scheduling.
+
+    Resilience: an exception raised while mining one root is contained to
+    that root — every spawned domain is always joined, the root is retried
+    once sequentially, and if the retry fails too only that root's patterns
+    are missing from the output, with [stats.outcome = Worker_failed]. A
+    shared {!Budget.t} stops the whole pool cooperatively; roots finished
+    before the stop keep their results.
 
     An extension beyond the paper — the 2009 evaluation was single-core —
     kept orthogonal: all correctness arguments are the sequential
@@ -17,20 +24,54 @@ open Rgs_sequence
 val default_domains : unit -> int
 (** [min (Domain.recommended_domain_count ()) 8], at least 1. *)
 
+type 'a root_status =
+  | Done of 'a  (** the root's miner returned (possibly with partial results
+                    and a stop outcome recorded in its stats) *)
+  | Failed of exn  (** raised in the pool {e and} in the sequential retry *)
+  | Skipped  (** never claimed: the pool halted on a budget stop first *)
+
+val run_pool :
+  ?halt_on:('a -> bool) ->
+  domains:int ->
+  num_roots:int ->
+  mine_root:(int -> 'a) ->
+  unit ->
+  'a root_status array * Budget.outcome option
+(** Generic crash-isolated work pool over root indices [0 .. num_roots-1].
+    Exceptions from [mine_root] are captured per root as [Failed] (never
+    escaping a domain); all spawned domains are joined before returning,
+    even if the main-domain worker itself raises. When [halt_on result]
+    holds for a completed root, or a {!Budget.Stop} escapes [mine_root],
+    the pool stops claiming further roots; the second component is the
+    escaped stop reason, if any. No retry is performed here — see
+    {!retry_failed}. *)
+
+val retry_failed :
+  mine_root:(int -> 'a) -> 'a root_status array -> 'a root_status array
+(** Retries every [Failed] slot once, sequentially, in the calling domain;
+    updates the array in place and returns it. The {!Budget.Fault.Worker}
+    site fires again for each retried root, so a persistent injected fault
+    fails both attempts. *)
+
 val mine_all :
   ?domains:int ->
   ?max_length:int ->
+  ?budget:Budget.t ->
   Inverted_index.t ->
   min_sup:int ->
   Mined.t list * Gsgrow.stats
-(** Parallel GSgrow. Output equals [Gsgrow.mine idx ~min_sup] exactly
-    (order included); stats are summed across domains.
+(** Parallel GSgrow. Without failures or budget stops, the output equals
+    [Gsgrow.mine idx ~min_sup] exactly (order included); stats are summed
+    across domains. Crashing roots lose only their own patterns after one
+    sequential retry ([stats.outcome = Worker_failed]); budget stops return
+    the roots finished so far ([stats.outcome] carries the reason).
     @raise Invalid_argument when [min_sup < 1] or [domains < 1]. *)
 
 val mine_closed :
   ?domains:int ->
   ?max_length:int ->
   ?use_lb_check:bool ->
+  ?budget:Budget.t ->
   Inverted_index.t ->
   min_sup:int ->
   Mined.t list * Clogsgrow.stats

@@ -1,7 +1,13 @@
-let lines_of_string s =
+exception Parse_error of { line : int; msg : string }
+
+(* Non-blank, non-comment lines with their 1-based line numbers in the
+   original string. *)
+let numbered_lines s =
   String.split_on_char '\n' s
-  |> List.map String.trim
-  |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+  |> List.mapi (fun i l -> (i + 1, String.trim l))
+  |> List.filter (fun (_, l) -> l <> "" && l.[0] <> '#')
+
+let lines_of_string s = List.map snd (numbered_lines s)
 
 let tokens_of_line l =
   String.split_on_char ' ' l
@@ -15,28 +21,67 @@ let parse_tokens ?codec s =
   in
   (Seqdb.of_sequences (List.map seq_of_line (lines_of_string s)), codec)
 
-let parse_chars s = Seqdb.of_strings (lines_of_string s)
+let parse_chars_report ?(strict = true) s =
+  let seqs = ref [] in
+  let skipped = ref 0 in
+  List.iter
+    (fun (line, l) ->
+      match Sequence.of_string l with
+      | seq -> seqs := seq :: !seqs
+      | exception Invalid_argument msg ->
+        if strict then raise (Parse_error { line; msg }) else incr skipped)
+    (numbered_lines s);
+  (Seqdb.of_sequences (List.rev !seqs), !skipped)
 
-let parse_spmf s =
-  let ints =
-    lines_of_string s
-    |> List.concat_map tokens_of_line
-    |> List.map (fun t ->
-           match int_of_string_opt t with
-           | Some i -> i
-           | None -> failwith (Printf.sprintf "Seq_io.parse_spmf: bad token %S" t))
+let parse_chars ?strict s = fst (parse_chars_report ?strict s)
+
+(* A sequence may span lines (the token stream is what matters), so the
+   running event accumulator survives line boundaries; [current_line]
+   remembers the last line that fed it, for error attribution. In
+   non-strict mode a malformed line is dropped wholesale — including any
+   half-built sequence it was extending — and counted. *)
+exception Skip_line
+
+let parse_spmf_report ?(strict = true) s =
+  let seqs = ref [] in
+  let skipped = ref 0 in
+  let current = ref [] in
+  let current_line = ref 0 in
+  let error line msg =
+    if strict then raise (Parse_error { line; msg })
+    else begin
+      incr skipped;
+      current := [];
+      raise Skip_line
+    end
   in
-  let rec split current seqs = function
-    | [] ->
-      if current <> [] then
-        failwith "Seq_io.parse_spmf: trailing events without -2 terminator"
-      else List.rev seqs
-    | -2 :: rest -> split [] (Sequence.of_list (List.rev current) :: seqs) rest
-    | -1 :: rest -> split current seqs rest
-    | e :: rest when e >= 0 -> split (e :: current) seqs rest
-    | e :: _ -> failwith (Printf.sprintf "Seq_io.parse_spmf: bad event %d" e)
-  in
-  Seqdb.of_sequences (split [] [] ints)
+  List.iter
+    (fun (line, l) ->
+      try
+        List.iter
+          (fun t ->
+            match int_of_string_opt t with
+            | None -> error line (Printf.sprintf "bad token %S" t)
+            | Some -2 ->
+              seqs := Sequence.of_list (List.rev !current) :: !seqs;
+              current := []
+            | Some -1 -> ()
+            | Some e when e >= 0 ->
+              current := e :: !current;
+              current_line := line
+            | Some e -> error line (Printf.sprintf "bad event %d" e))
+          (tokens_of_line l)
+      with Skip_line -> ())
+    (numbered_lines s);
+  if !current <> [] then
+    if strict then
+      raise
+        (Parse_error
+           { line = !current_line; msg = "trailing events without -2 terminator" })
+    else incr skipped;
+  (Seqdb.of_sequences (List.rev !seqs), !skipped)
+
+let parse_spmf ?strict s = fst (parse_spmf_report ?strict s)
 
 let print_tokens codec db =
   let buf = Buffer.create 1024 in
@@ -78,6 +123,6 @@ let write_file path contents =
     (fun () -> output_string oc contents)
 
 let load_tokens ?codec path = parse_tokens ?codec (read_file path)
-let load_spmf path = parse_spmf (read_file path)
+let load_spmf ?strict path = parse_spmf ?strict (read_file path)
 let save_tokens codec db path = write_file path (print_tokens codec db)
 let save_spmf db path = write_file path (print_spmf db)

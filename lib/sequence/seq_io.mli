@@ -4,21 +4,45 @@
 
     - {b tokens}: one sequence per line, whitespace-separated event names.
       Empty lines and lines starting with ['#'] are skipped. Names are
-      interned through a {!Codec.t}.
+      interned through a {!Codec.t}. Any token is a valid name, so this
+      format has no malformed inputs.
     - {b chars}: one sequence per line as a string of letters ['A'..'Z']
       (paper-example style).
     - {b spmf}: the SPMF sequence format — integer events separated by [-1],
-      each sequence terminated by [-2] (itemsets of size one). *)
+      each sequence terminated by [-2] (itemsets of size one).
+
+    Malformed [chars]/[spmf] input raises {!Parse_error} carrying the
+    1-based line number — or, with [~strict:false], the offending lines are
+    skipped and counted ([*_report] variants return the count). *)
+
+exception Parse_error of { line : int; msg : string }
+(** A malformed input line. [line] is 1-based in the original text,
+    counting blank and comment lines. *)
 
 val parse_tokens : ?codec:Codec.t -> string -> Seqdb.t * Codec.t
-(** Parses the [tokens] format from a string. Reuses [codec] when given. *)
+(** Parses the [tokens] format from a string. Reuses [codec] when given.
+    Never raises {!Parse_error}: every whitespace-separated token is a
+    legal event name. *)
 
-val parse_chars : string -> Seqdb.t
-(** Parses the [chars] format from a string. *)
+val parse_chars : ?strict:bool -> string -> Seqdb.t
+(** Parses the [chars] format from a string.
+    @raise Parse_error on characters outside ['A'..'Z'] when [strict]
+    (default [true]); skips the malformed lines otherwise. *)
 
-val parse_spmf : string -> Seqdb.t
+val parse_chars_report : ?strict:bool -> string -> Seqdb.t * int
+(** As {!parse_chars}, also returning the number of skipped lines (always
+    [0] when [strict]). *)
+
+val parse_spmf : ?strict:bool -> string -> Seqdb.t
 (** Parses the SPMF format from a string. Event ids are used directly.
-    @raise Failure on malformed input. *)
+    @raise Parse_error on a non-integer token, a negative event id other
+    than [-1]/[-2], or trailing events without a [-2] terminator, when
+    [strict] (default [true]). With [~strict:false] the offending line is
+    skipped wholesale — including any half-built sequence it was extending
+    — and counted. *)
+
+val parse_spmf_report : ?strict:bool -> string -> Seqdb.t * int
+(** As {!parse_spmf}, also returning the number of skipped lines. *)
 
 val print_tokens : Codec.t -> Seqdb.t -> string
 (** Inverse of {!parse_tokens}. *)
@@ -29,7 +53,7 @@ val print_spmf : Seqdb.t -> string
 val load_tokens : ?codec:Codec.t -> string -> Seqdb.t * Codec.t
 (** [load_tokens path] reads a [tokens]-format file. *)
 
-val load_spmf : string -> Seqdb.t
+val load_spmf : ?strict:bool -> string -> Seqdb.t
 (** Reads an SPMF-format file. *)
 
 val save_tokens : Codec.t -> Seqdb.t -> string -> unit

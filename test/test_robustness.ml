@@ -114,6 +114,286 @@ let test_min_sup_above_everything () =
   let results, _ = Gsgrow.mine idx ~min_sup:1000 in
   Alcotest.(check int) "nothing frequent" 0 (List.length results)
 
+(* --- resilient runtime: budgets, crash-isolated pool, checkpoint/resume --- *)
+
+let signatures results =
+  List.map (fun r -> (Pattern.to_string r.Mined.pattern, r.Mined.support)) results
+
+let multiset results = List.sort compare (signatures results)
+
+let mid_db =
+  lazy
+    (Rgs_datagen.Quest_gen.generate
+       (Rgs_datagen.Quest_gen.params ~d:60 ~c:15 ~n:40 ~s:4 ~seed:7 ()))
+
+let exn_injected = Failure "injected fault"
+
+(* One root crashing in the pool — every time, so the sequential retry fails
+   too — loses only that root's patterns; all other roots survive, all
+   domains are joined (the call returns), and the outcome is Worker_failed. *)
+let test_worker_crash_loses_one_root () =
+  let db = Lazy.force mid_db in
+  let idx = Inverted_index.build db in
+  let min_sup = 5 in
+  let events = Inverted_index.frequent_events idx ~min_sup in
+  Alcotest.(check bool) "several roots" true (List.length events >= 3);
+  let bad_root = List.nth events 1 in
+  let bad_index = 1 in
+  let full, _ = Clogsgrow.mine ~max_length:4 idx ~min_sup in
+  let survivors =
+    List.filter (fun r -> Pattern.get r.Mined.pattern 1 <> bad_root) full
+  in
+  let results, stats =
+    Budget.Fault.with_hook
+      (function
+        | Budget.Fault.Worker k when k = bad_index -> raise exn_injected
+        | _ -> ())
+      (fun () -> Parallel_miner.mine_closed ~domains:3 ~max_length:4 idx ~min_sup)
+  in
+  Alcotest.(check (list (pair string int)))
+    "other roots' patterns intact" (signatures survivors) (signatures results);
+  Alcotest.(check bool) "worker failed" true (stats.Clogsgrow.outcome = Budget.Worker_failed)
+
+(* A root crashing once recovers through the sequential retry: full results,
+   Completed outcome. *)
+let test_worker_crash_retry_recovers () =
+  let db = Lazy.force mid_db in
+  let idx = Inverted_index.build db in
+  let min_sup = 5 in
+  let full, _ = Clogsgrow.mine ~max_length:4 idx ~min_sup in
+  let fired = Atomic.make false in
+  let results, stats =
+    Budget.Fault.with_hook
+      (function
+        | Budget.Fault.Worker 0 when not (Atomic.exchange fired true) ->
+          raise exn_injected
+        | _ -> ())
+      (fun () -> Parallel_miner.mine_closed ~domains:3 ~max_length:4 idx ~min_sup)
+  in
+  Alcotest.(check (list (pair string int)))
+    "retry recovers everything" (signatures full) (signatures results);
+  Alcotest.(check bool) "completed" true (stats.Clogsgrow.outcome = Budget.Completed)
+
+(* Crashes injected at INSgrow granularity inside the sequential miner
+   propagate to the caller (no pool to contain them). *)
+let test_insgrow_fault_sequential () =
+  let db = Seqdb.of_strings [ "ABCABC"; "ABCABC" ] in
+  let idx = Inverted_index.build db in
+  match
+    Budget.Fault.with_hook
+      (function Budget.Fault.Insgrow -> raise exn_injected | _ -> ())
+      (fun () -> Gsgrow.mine idx ~min_sup:2)
+  with
+  | exception Failure msg -> Alcotest.(check string) "fault surfaces" "injected fault" msg
+  | _ -> Alcotest.fail "expected the injected fault to escape"
+
+(* An expired deadline stops the search immediately with partial (here:
+   empty) results instead of raising. *)
+let test_deadline_immediate () =
+  let db = Lazy.force mid_db in
+  let idx = Inverted_index.build db in
+  let budget = Budget.create ~deadline_s:0.0 () in
+  let results, stats = Clogsgrow.mine ~budget idx ~min_sup:5 in
+  Alcotest.(check bool) "deadline outcome" true
+    (stats.Clogsgrow.outcome = Budget.Deadline_exceeded);
+  Alcotest.(check int) "no patterns mined" 0 (List.length results);
+  (* parallel flavour: pool drains gracefully, same outcome *)
+  let presults, pstats = Parallel_miner.mine_closed ~domains:3 ~budget idx ~min_sup:5 in
+  Alcotest.(check int) "parallel empty too" 0 (List.length presults);
+  Alcotest.(check bool) "parallel deadline outcome" true
+    (pstats.Clogsgrow.outcome = Budget.Deadline_exceeded)
+
+(* A DFS-node budget yields a partial result that is a sub-multiset of the
+   full closed set, with outcome Truncated. *)
+let test_node_budget_partial_subset () =
+  let db = Lazy.force mid_db in
+  let idx = Inverted_index.build db in
+  let min_sup = 5 in
+  let full, _ = Clogsgrow.mine ~max_length:4 idx ~min_sup in
+  let budget = Budget.create ~max_nodes:40 () in
+  let partial, stats = Clogsgrow.mine ~max_length:4 ~budget idx ~min_sup in
+  Alcotest.(check bool) "truncated" true (stats.Clogsgrow.outcome = Budget.Truncated);
+  Alcotest.(check bool) "strictly partial" true
+    (List.length partial < List.length full);
+  let full_set = multiset full in
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s in full set" (fst s))
+        true (List.mem s full_set))
+    (multiset partial)
+
+let test_cancellation () =
+  let db = Lazy.force mid_db in
+  let idx = Inverted_index.build db in
+  let budget = Budget.create () in
+  Budget.cancel budget;
+  let _, stats = Gsgrow.mine ~budget idx ~min_sup:5 in
+  Alcotest.(check bool) "cancelled" true (stats.Gsgrow.outcome = Budget.Cancelled)
+
+let test_memory_limit () =
+  let db = Lazy.force mid_db in
+  let idx = Inverted_index.build db in
+  (* one word: trips on the first check *)
+  let budget = Budget.create ~max_words:1 () in
+  let _, stats = Clogsgrow.mine ~budget idx ~min_sup:5 in
+  Alcotest.(check bool) "memory limit" true
+    (stats.Clogsgrow.outcome = Budget.Memory_limit)
+
+(* run_pool directly: exceptions are contained per root, the call returns
+   (all domains joined), and untouched roots still complete. *)
+let test_run_pool_isolation () =
+  let mine_root k = if k mod 2 = 1 then raise exn_injected else k * 10 in
+  let slots, halt = Parallel_miner.run_pool ~domains:4 ~num_roots:9 ~mine_root () in
+  Alcotest.(check bool) "no budget halt" true (halt = None);
+  Array.iteri
+    (fun k status ->
+      match status with
+      | Parallel_miner.Done v when k mod 2 = 0 ->
+        Alcotest.(check int) "even root mined" (k * 10) v
+      | Parallel_miner.Failed e when k mod 2 = 1 ->
+        Alcotest.(check bool) "odd root failed" true (e = exn_injected)
+      | _ -> Alcotest.failf "unexpected status for root %d" k)
+    slots;
+  (* retry with a now-clean mine_root heals every failure *)
+  let healed = Parallel_miner.retry_failed ~mine_root:(fun k -> k * 10) slots in
+  Array.iteri
+    (fun k status ->
+      match status with
+      | Parallel_miner.Done v -> Alcotest.(check int) "healed" (k * 10) v
+      | _ -> Alcotest.failf "root %d not healed" k)
+    healed
+
+let with_temp_checkpoint f =
+  let path = Filename.temp_file "rgs_ckpt" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path)
+
+(* The acceptance scenario: a node-budget-stopped run checkpoints its
+   completed roots; resuming with the limit lifted yields the exact pattern
+   multiset (and order) of an uninterrupted run. *)
+let test_checkpoint_resume_equals_uninterrupted () =
+  with_temp_checkpoint (fun path ->
+      let db = Lazy.force mid_db in
+      let min_sup = 5 in
+      let full = Miner.mine ~config:(Miner.config ~min_sup ~max_length:4 ()) db in
+      let stopped =
+        Miner.mine_resumable ~checkpoint:path
+          (Miner.config ~min_sup ~max_length:4 ~max_nodes:60 ())
+          db
+      in
+      Alcotest.(check bool) "stopped early" true
+        (stopped.Miner.outcome = Budget.Truncated);
+      Alcotest.(check bool) "partial is smaller" true
+        (List.length stopped.Miner.results < List.length full.Miner.results);
+      (* partial results are a sub-multiset of the full answer *)
+      let full_set = multiset full.Miner.results in
+      List.iter
+        (fun s -> Alcotest.(check bool) "partial in full" true (List.mem s full_set))
+        (multiset stopped.Miner.results);
+      (* resume without the node budget: must complete and match exactly *)
+      let resumed =
+        Miner.mine_resumable ~checkpoint:path ~resume:true
+          (Miner.config ~min_sup ~max_length:4 ())
+          db
+      in
+      Alcotest.(check bool) "resume completed" true
+        (resumed.Miner.outcome = Budget.Completed);
+      Alcotest.(check (list (pair string int)))
+        "resumed = uninterrupted (order included)"
+        (signatures full.Miner.results) (signatures resumed.Miner.results))
+
+(* Resuming repeatedly under the same small budget also converges to the
+   uninterrupted answer: each leg banks at least the roots it finished. *)
+let test_checkpoint_resume_iterated () =
+  with_temp_checkpoint (fun path ->
+      let db = Lazy.force mid_db in
+      let min_sup = 6 in
+      let full = Miner.mine ~config:(Miner.config ~min_sup ~max_length:3 ()) db in
+      let budgeted = Miner.config ~min_sup ~max_length:3 ~max_nodes:200 () in
+      let rec converge resume n =
+        if n > 50 then Alcotest.fail "did not converge in 50 resumes"
+        else
+          let report = Miner.mine_resumable ~checkpoint:path ~resume budgeted db in
+          if report.Miner.outcome = Budget.Completed then report else converge true (n + 1)
+      in
+      let final = converge false 0 in
+      Alcotest.(check (list (pair string int)))
+        "iterated resume converges to the full answer"
+        (signatures full.Miner.results) (signatures final.Miner.results))
+
+(* A worker crash under the pool still checkpoints the surviving roots, and
+   a resume (fault cleared) completes the failed root. *)
+let test_checkpoint_after_worker_crash () =
+  with_temp_checkpoint (fun path ->
+      let db = Lazy.force mid_db in
+      let min_sup = 5 in
+      let cfg = Miner.config ~min_sup ~max_length:4 ~domains:3 () in
+      let full = Miner.mine ~config:(Miner.config ~min_sup ~max_length:4 ()) db in
+      let crashed =
+        Budget.Fault.with_hook
+          (function Budget.Fault.Worker 0 -> raise exn_injected | _ -> ())
+          (fun () -> Miner.mine_resumable ~checkpoint:path cfg db)
+      in
+      Alcotest.(check bool) "worker failed" true
+        (crashed.Miner.outcome = Budget.Worker_failed);
+      let resumed = Miner.mine_resumable ~checkpoint:path ~resume:true cfg db in
+      Alcotest.(check bool) "resume completed" true
+        (resumed.Miner.outcome = Budget.Completed);
+      Alcotest.(check (list (pair string int)))
+        "resume fills in the crashed root"
+        (signatures full.Miner.results) (signatures resumed.Miner.results))
+
+(* Checkpoints refuse to resume against different parameters or data. *)
+let test_checkpoint_fingerprint_mismatch () =
+  with_temp_checkpoint (fun path ->
+      let db = Lazy.force mid_db in
+      let _ =
+        Miner.mine_resumable ~checkpoint:path
+          (Miner.config ~min_sup:5 ~max_length:3 ~max_nodes:60 ())
+          db
+      in
+      match
+        Miner.mine_resumable ~checkpoint:path ~resume:true
+          (Miner.config ~min_sup:6 ~max_length:3 ())
+          db
+      with
+      | exception Checkpoint.Corrupt _ -> ()
+      | _ -> Alcotest.fail "expected Corrupt on changed min_sup")
+
+let test_checkpoint_corrupt_file () =
+  with_temp_checkpoint (fun path ->
+      let oc = open_out_bin path in
+      output_string oc "not a checkpoint at all";
+      close_out oc;
+      match Checkpoint.load ~path ~expected_fingerprint:"x" with
+      | exception Checkpoint.Corrupt _ -> ()
+      | _ -> Alcotest.fail "expected Corrupt on garbage file")
+
+let test_config_validation () =
+  Alcotest.check_raises "min_sup 0" (Invalid_argument "Miner: min_sup must be >= 1")
+    (fun () -> ignore (Miner.config ~min_sup:0 ()));
+  Alcotest.check_raises "negative min_sup"
+    (Invalid_argument "Miner: min_sup must be >= 1") (fun () ->
+      ignore (Miner.config ~min_sup:(-3) ()));
+  Alcotest.check_raises "negative deadline"
+    (Invalid_argument "Miner: deadline_s must be >= 0") (fun () ->
+      ignore (Miner.config ~min_sup:1 ~deadline_s:(-1.0) ()));
+  (* hand-built configs cannot bypass validation either *)
+  let bad = { (Miner.config ~min_sup:1 ()) with Miner.min_sup = 0 } in
+  Alcotest.check_raises "mine rejects bad record"
+    (Invalid_argument "Miner: min_sup must be >= 1") (fun () ->
+      ignore (Miner.mine ~config:bad (Seqdb.of_strings [ "AB" ])))
+
+let test_outcome_severity () =
+  Alcotest.(check bool) "completed not stop" false (Budget.is_stop Budget.Completed);
+  Alcotest.(check bool) "worker_failed dominates" true
+    (Budget.combine Budget.Deadline_exceeded Budget.Worker_failed
+    = Budget.Worker_failed);
+  Alcotest.(check bool) "combine is max" true
+    (Budget.combine Budget.Truncated Budget.Completed = Budget.Truncated)
+
 let suite =
   [
     prop_strict_le_support;
@@ -127,4 +407,22 @@ let suite =
     Alcotest.test_case "empty database" `Quick test_empty_database;
     Alcotest.test_case "empty sequences" `Quick test_empty_sequences_in_db;
     Alcotest.test_case "min_sup above everything" `Quick test_min_sup_above_everything;
+    Alcotest.test_case "worker crash loses one root" `Quick test_worker_crash_loses_one_root;
+    Alcotest.test_case "worker crash retry recovers" `Quick test_worker_crash_retry_recovers;
+    Alcotest.test_case "insgrow fault sequential" `Quick test_insgrow_fault_sequential;
+    Alcotest.test_case "deadline immediate" `Quick test_deadline_immediate;
+    Alcotest.test_case "node budget partial subset" `Quick test_node_budget_partial_subset;
+    Alcotest.test_case "cancellation" `Quick test_cancellation;
+    Alcotest.test_case "memory limit" `Quick test_memory_limit;
+    Alcotest.test_case "run_pool isolation" `Quick test_run_pool_isolation;
+    Alcotest.test_case "checkpoint resume = uninterrupted" `Quick
+      test_checkpoint_resume_equals_uninterrupted;
+    Alcotest.test_case "checkpoint resume iterated" `Quick test_checkpoint_resume_iterated;
+    Alcotest.test_case "checkpoint after worker crash" `Quick
+      test_checkpoint_after_worker_crash;
+    Alcotest.test_case "checkpoint fingerprint mismatch" `Quick
+      test_checkpoint_fingerprint_mismatch;
+    Alcotest.test_case "checkpoint corrupt file" `Quick test_checkpoint_corrupt_file;
+    Alcotest.test_case "config validation" `Quick test_config_validation;
+    Alcotest.test_case "outcome severity" `Quick test_outcome_severity;
   ]

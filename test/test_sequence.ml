@@ -121,12 +121,38 @@ let test_io_spmf_roundtrip () =
   Alcotest.(check bool) "roundtrip" true (Seqdb.equal parsed reparsed)
 
 let test_io_spmf_malformed () =
-  Alcotest.check_raises "trailing" (Failure "Seq_io.parse_spmf: trailing events without -2 terminator")
+  Alcotest.check_raises "trailing"
+    (Seq_io.Parse_error { line = 1; msg = "trailing events without -2 terminator" })
     (fun () -> ignore (Seq_io.parse_spmf "1 2 3"));
-  Alcotest.check_raises "bad token" (Failure "Seq_io.parse_spmf: bad token \"x\"")
-    (fun () -> ignore (Seq_io.parse_spmf "1 x -2"));
-  Alcotest.check_raises "bad event" (Failure "Seq_io.parse_spmf: bad event -7")
+  Alcotest.check_raises "bad token"
+    (Seq_io.Parse_error { line = 2; msg = "bad token \"x\"" })
+    (fun () -> ignore (Seq_io.parse_spmf "1 -2\n1 x -2"));
+  Alcotest.check_raises "bad event"
+    (Seq_io.Parse_error { line = 1; msg = "bad event -7" })
     (fun () -> ignore (Seq_io.parse_spmf "-7 -2"))
+
+let test_io_spmf_lenient () =
+  (* skip the malformed middle line, keep the well-formed rest *)
+  let db, skipped = Seq_io.parse_spmf_report ~strict:false "1 2 -2\n1 x -2\n3 -2\n" in
+  Alcotest.(check int) "skipped count" 1 skipped;
+  Alcotest.(check int) "2 sequences kept" 2 (Seqdb.size db);
+  Alcotest.(check (list int)) "seq 2" [ 3 ] (Sequence.to_list (Seqdb.seq db 2));
+  (* trailing events at EOF count as one skipped line *)
+  let db, skipped = Seq_io.parse_spmf_report ~strict:false "1 -2\n2 3" in
+  Alcotest.(check int) "trailing skipped" 1 skipped;
+  Alcotest.(check int) "1 sequence" 1 (Seqdb.size db);
+  (* strict report never skips *)
+  let _, skipped = Seq_io.parse_spmf_report "1 -2\n" in
+  Alcotest.(check int) "strict skips none" 0 skipped
+
+let test_io_chars_malformed () =
+  (match Seq_io.parse_chars "AB\na!\n" with
+  | exception Seq_io.Parse_error { line = 2; _ } -> ()
+  | exception e -> raise e
+  | _ -> Alcotest.fail "expected Parse_error on line 2");
+  let db, skipped = Seq_io.parse_chars_report ~strict:false "AB\na!\nBA\n" in
+  Alcotest.(check int) "skipped" 1 skipped;
+  Alcotest.(check int) "kept" 2 (Seqdb.size db)
 
 let test_io_chars () =
   let parsed = Seq_io.parse_chars "AB\nBA\n" in
@@ -216,6 +242,8 @@ let suite =
     Alcotest.test_case "io tokens roundtrip" `Quick test_io_tokens_roundtrip;
     Alcotest.test_case "io spmf roundtrip" `Quick test_io_spmf_roundtrip;
     Alcotest.test_case "io spmf malformed" `Quick test_io_spmf_malformed;
+    Alcotest.test_case "io spmf lenient" `Quick test_io_spmf_lenient;
+    Alcotest.test_case "io chars malformed" `Quick test_io_chars_malformed;
     Alcotest.test_case "io chars" `Quick test_io_chars;
     Alcotest.test_case "io files" `Quick test_io_files;
     Alcotest.test_case "index positions" `Quick test_index_positions;
