@@ -6,7 +6,11 @@
    Knobs (environment):
      RGS_BENCH_SCALE    dataset scale relative to the paper (default 0.05)
      RGS_BENCH_TIMEOUT  per-mining-run cut-off in seconds (default 5)
-     RGS_BENCH_SKIP_TABLES / RGS_BENCH_SKIP_MICRO  set to 1 to skip a section
+     RGS_BENCH_SKIP_TABLES / RGS_BENCH_SKIP_LAYOUT / RGS_BENCH_SKIP_MICRO
+                        set to 1 to skip a section
+     RGS_DATA_DIR       where the checked-in datasets live (default data)
+     RGS_BENCH_JSON_PATH  layout-comparison JSON output (default BENCH_core.json)
+     RGS_BENCH_LAYOUT_REPS  timing repetitions per layout run (default 3)
 
    The tables here are shape-checks at reduced scale; EXPERIMENTS.md records
    the larger-budget runs produced with bin/experiments.exe. *)
@@ -55,6 +59,135 @@ let section_tables () =
     (E.Ablation.report (E.Ablation.run ~timeout_s tcas ~min_sup:100));
   let o = E.Case_study.run ~max_patterns:2000 () in
   print_table "Sec IV-B case study — JBoss-like traces, min_sup=18" (E.Case_study.report o)
+
+(* --- Section C: columnar layout, old vs new index backend ---
+
+   Mines the two checked-in datasets with the seed hashtable index and the
+   CSR index, verifies both backends produce the identical pattern set, and
+   reports wall time, patterns/sec and the Metrics counters side by side.
+   Also written as machine-readable JSON (RGS_BENCH_JSON_PATH, default
+   BENCH_core.json) so CI can track the speedup. *)
+
+let section_layout () =
+  let open Rgs_sequence in
+  let open Rgs_core in
+  let data_dir = Option.value (Sys.getenv_opt "RGS_DATA_DIR") ~default:"data" in
+  let json_path =
+    Option.value (Sys.getenv_opt "RGS_BENCH_JSON_PATH") ~default:"BENCH_core.json"
+  in
+  let reps =
+    int_of_float (env_float "RGS_BENCH_LAYOUT_REPS" 3.) |> max 1
+  in
+  Format.printf
+    "@.### Section C: columnar layout — legacy (seed) vs CSR index (best of %d)@.@."
+    reps;
+  let datasets =
+    List.filter_map
+      (fun (name, file, min_sup, max_length) ->
+        let path = Filename.concat data_dir file in
+        if Sys.file_exists path then Some (name, path, min_sup, max_length)
+        else begin
+          Format.printf "(skipping %s: %s not found)@." name path;
+          None
+        end)
+      [
+        (* low min_sup on quest_small: the INSgrow-dominated regime *)
+        ("quest_small", "quest_small.txt", 4, Some 5);
+        ("jboss_traces", "jboss_traces.txt", 18, Some 4);
+      ]
+  in
+  let signatures results =
+    List.map (fun r -> (Pattern.to_string r.Mined.pattern, r.Mined.support)) results
+  in
+  let runs = ref [] in
+  let speedups = ref [] in
+  let t =
+    Rgs_post.Report.create
+      ~columns:
+        [ "dataset"; "algo"; "backend"; "time_s"; "patterns"; "patterns/s";
+          "next_calls"; "cursor_adv"; "peak_words" ]
+  in
+  List.iter
+    (fun (name, path, min_sup, max_length) ->
+      let db, _codec = Seq_io.load_tokens path in
+      let algos =
+        [
+          ("gsgrow", fun idx -> fst (Gsgrow.mine ?max_length idx ~min_sup));
+          ("clogsgrow", fun idx -> fst (Clogsgrow.mine ?max_length idx ~min_sup));
+        ]
+      in
+      List.iter
+        (fun (algo, mine) ->
+          let measure kind =
+            let idx = Inverted_index.build_kind kind db in
+            (* warm-up run also yields the output for the equality check *)
+            let out = signatures (mine idx) in
+            Metrics.reset ();
+            let wall = ref infinity in
+            for _ = 1 to reps do
+              let _, elapsed = E.Exp_common.time (fun () -> mine idx) in
+              if elapsed < !wall then wall := elapsed
+            done;
+            ignore (Metrics.sample_live_words ());
+            ( out,
+              !wall,
+              Metrics.value Metrics.next_calls / reps,
+              Metrics.value Metrics.cursor_advances / reps,
+              Metrics.value Metrics.peak_live_words )
+          in
+          let out_legacy, wall_legacy, next_legacy, adv_legacy, words_legacy =
+            measure Inverted_index.Klegacy
+          in
+          let out_csr, wall_csr, next_csr, adv_csr, words_csr =
+            measure Inverted_index.Kcsr
+          in
+          if out_legacy <> out_csr then
+            failwith
+              (Printf.sprintf "layout bench: %s/%s: CSR output differs from legacy"
+                 name algo);
+          let patterns = List.length out_csr in
+          let row backend wall next_calls cursor_adv peak_words =
+            let per_sec = float_of_int patterns /. wall in
+            Rgs_post.Report.add_row t
+              [ name; algo; backend; Rgs_post.Report.cell_float wall;
+                string_of_int patterns; Printf.sprintf "%.0f" per_sec;
+                string_of_int next_calls; string_of_int cursor_adv;
+                string_of_int peak_words ];
+            runs :=
+              Printf.sprintf
+                "    {\"dataset\": %S, \"algo\": %S, \"backend\": %S, \
+                 \"min_sup\": %d, \"wall_s\": %.6f, \"patterns\": %d, \
+                 \"patterns_per_sec\": %.1f, \"next_calls\": %d, \
+                 \"cursor_advances\": %d, \"peak_live_words\": %d}"
+                name algo backend min_sup wall patterns per_sec next_calls
+                cursor_adv peak_words
+              :: !runs
+          in
+          row "legacy" wall_legacy next_legacy adv_legacy words_legacy;
+          row "csr" wall_csr next_csr adv_csr words_csr;
+          let speedup = wall_legacy /. wall_csr in
+          speedups :=
+            Printf.sprintf
+              "    {\"dataset\": %S, \"algo\": %S, \"csr_speedup_x\": %.2f, \
+               \"outputs_identical\": true}"
+              name algo speedup
+            :: !speedups;
+          Format.printf "%s/%s: csr %.2fx vs legacy (outputs identical)@." name
+            algo speedup)
+        algos)
+    datasets;
+  print_table "old vs new layout (identical outputs checked)" t;
+  if datasets <> [] then begin
+    let oc = open_out json_path in
+    Printf.fprintf oc
+      "{\n  \"bench\": \"columnar layout, legacy vs CSR\",\n  \"reps\": %d,\n  \
+       \"runs\": [\n%s\n  ],\n  \"speedups\": [\n%s\n  ]\n}\n"
+      reps
+      (String.concat ",\n" (List.rev !runs))
+      (String.concat ",\n" (List.rev !speedups));
+    close_out oc;
+    Format.printf "wrote %s@." json_path
+  end
 
 (* --- Section B: bechamel micro-benchmarks, one per experiment id --- *)
 
@@ -169,6 +302,7 @@ let section_micro () =
 
 let () =
   if not (env_flag "RGS_BENCH_SKIP_TABLES") then section_tables ();
+  if not (env_flag "RGS_BENCH_SKIP_LAYOUT") then section_layout ();
   if not (env_flag "RGS_BENCH_SKIP_MICRO") then begin
     section_micro ();
     section_parallel ()

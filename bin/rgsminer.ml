@@ -34,7 +34,7 @@ let setup_logs verbose =
   Logs.set_level (Some (if verbose then Logs.Info else Logs.Warning))
 
 let run input format min_sup all max_length max_patterns limit instances max_gap parallel
-    deadline max_nodes max_words checkpoint resume verbose =
+    index_kind deadline max_nodes max_words checkpoint resume verbose =
   setup_logs verbose;
   match
     let db, codec = load format input in
@@ -44,7 +44,7 @@ let run input format min_sup all max_length max_patterns limit instances max_gap
     let max_patterns = if parallel then None else max_patterns in
     let config =
       Miner.config ~mode ?max_length ?max_patterns ?max_gap ?domains
-        ?deadline_s:deadline ?max_nodes ?max_words ~min_sup ()
+        ?index_kind ?deadline_s:deadline ?max_nodes ?max_words ~min_sup ()
     in
     let report =
       if checkpoint <> None || resume then
@@ -130,6 +130,19 @@ let parallel =
   Arg.(value & flag & info [ "parallel"; "p" ]
          ~doc:"Mine with one domain per core (ignored with $(b,--max-gap)).")
 
+let index_kind =
+  let kind_conv =
+    Arg.enum
+      [
+        ("csr", Inverted_index.Kcsr);
+        ("legacy", Inverted_index.Klegacy);
+        ("paged", Inverted_index.Kpaged);
+      ]
+  in
+  Arg.(value & opt (some kind_conv) None & info [ "index" ] ~docv:"KIND"
+         ~doc:"Inverted-index backend: $(b,csr) (columnar, default), \
+               $(b,legacy) (per-event hashtables), or $(b,paged) (B-trees).")
+
 let deadline =
   Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SECONDS"
          ~doc:"Wall-clock budget. When it expires the run stops gracefully and \
@@ -164,7 +177,7 @@ let cmd =
   Cmd.v
     (Cmd.info "rgsminer" ~version:"1.1.0" ~doc)
     Term.(const run $ input $ format $ min_sup $ all $ max_length $ max_patterns $ limit
-          $ instances $ max_gap $ parallel $ deadline $ max_nodes $ max_words
-          $ checkpoint $ resume $ verbose)
+          $ instances $ max_gap $ parallel $ index_kind $ deadline $ max_nodes
+          $ max_words $ checkpoint $ resume $ verbose)
 
 let () = exit (Cmd.eval' cmd)

@@ -5,21 +5,6 @@ type verdict = {
   prunable : bool;
 }
 
-(* Theorem 5 condition (ii): the k-th instance of the extension's leftmost
-   support set must sit in the same sequence and end no later than the k-th
-   instance of P's, for every k (both sets in right-shift order and of equal
-   size). *)
-let border_dominated ~extension_lasts ~pattern_lasts =
-  Array.length extension_lasts = Array.length pattern_lasts
-  &&
-  let ok = ref true in
-  Array.iteri
-    (fun k (seq', last') ->
-      let seq, last = pattern_lasts.(k) in
-      if seq' <> seq || last' > last then ok := false)
-    extension_lasts;
-  !ok
-
 exception Prunable
 
 (* Greedy leftmost landmark of [p] in [s]; [None] when [p] does not occur. *)
@@ -59,7 +44,6 @@ let check ?event_sets idx ~candidate_events ~prefix_sets ~pattern ~support_set
   in
   let m = Pattern.length pattern in
   let sup_p = Support_set.size support_set in
-  let pattern_lasts = Support_set.lasts support_set in
   let arr = Pattern.to_array pattern in
   let db = Inverted_index.db idx in
   let events =
@@ -130,8 +114,9 @@ let check ?event_sets idx ~candidate_events ~prefix_sets ~pattern ~support_set
                equality. *)
             Metrics.hit Metrics.closure_full_grows;
             non_closed := true;
-            if border_dominated ~extension_lasts:(Support_set.lasts i') ~pattern_lasts
-            then raise Prunable
+            (* Theorem 5 condition (ii), on the packed lasts arrays. *)
+            if Support_set.border_dominated ~extension:i' ~pattern:support_set then
+              raise Prunable
       end
     in
     List.iter scan_event events

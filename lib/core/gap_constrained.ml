@@ -8,31 +8,50 @@ let validate_gaps ~min_gap ~max_gap =
 (* Skip-on-failure instance growth with per-step gap bounds. Instances are
    still processed in right-shift order and take the earliest admissible
    occurrence after max(last_position, last + min_gap), but the occurrence
-   must also lie within last + max_gap + 1. *)
+   must also lie within last + max_gap + 1. Both components of the lowest
+   bound are nondecreasing along a group, so one monotone index cursor
+   serves the whole per-sequence pass, exactly as in Support_set.grow —
+   a miss (occurrence beyond the deadline) leaves the cursor parked at
+   that occurrence, which later instances can still consume. *)
 let grow ?(min_gap = 0) idx ~max_gap s e =
   validate_gaps ~min_gap ~max_gap;
   Metrics.hit Metrics.insgrow_calls;
-  let out = ref [] in
-  Support_set.fold_groups
-    (fun () i g ->
-      let extended = ref [] in
+  let num = Support_set.num_groups s in
+  if num = 0 then Support_set.empty
+  else begin
+    let out = ref [] in
+    let c = Inverted_index.cursor idx ~seq:(Support_set.group_seq s 0) e in
+    for gi = num - 1 downto 0 do
+      let i = Support_set.group_seq s gi in
+      let firsts = Support_set.group_firsts s gi in
+      let lasts = Support_set.group_lasts s gi in
+      let n = Array.length lasts in
+      Inverted_index.reseat c ~seq:i;
+      let new_firsts = Array.make n 0 in
+      let new_lasts = Array.make n 0 in
+      let count = ref 0 in
       let last_position = ref 0 in
-      Array.iter
-        (fun (inst : Instance.t) ->
-          let lowest = max !last_position (inst.Instance.last + min_gap) in
-          let deadline = inst.Instance.last + max_gap + 1 in
-          if lowest < deadline then
-            match Inverted_index.next idx ~seq:i e ~lowest with
-            | Some lj when lj <= deadline ->
-              last_position := lj;
-              extended := { inst with Instance.last = lj } :: !extended
-            | Some _ | None -> ())
-        g;
-      match !extended with
-      | [] -> ()
-      | l -> out := (i, Array.of_list (List.rev l)) :: !out)
-    () s;
-  Support_set.unsafe_of_groups (Array.of_list (List.rev !out))
+      for k = 0 to n - 1 do
+        let lowest = max !last_position (lasts.(k) + min_gap) in
+        let deadline = lasts.(k) + max_gap + 1 in
+        if lowest < deadline then begin
+          let lj = Inverted_index.seek_pos c ~lowest in
+          if lj >= 0 && lj <= deadline then begin
+            last_position := lj;
+            new_firsts.(!count) <- firsts.(k);
+            new_lasts.(!count) <- lj;
+            incr count
+          end
+        end
+      done;
+      let cnt = !count in
+      if cnt > 0 then
+        out :=
+          (i, Array.sub new_firsts 0 cnt, Array.sub new_lasts 0 cnt) :: !out
+    done;
+    Inverted_index.cursor_finish c;
+    Support_set.unsafe_of_packed (Array.of_list !out)
+  end
 
 let support_set ?min_gap idx ~max_gap p =
   if Pattern.is_empty p then Support_set.empty

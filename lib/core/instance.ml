@@ -18,8 +18,23 @@ let right_shift_compare_full a b =
     let n = Array.length f.landmark in
     if n = 0 then 0 else f.landmark.(n - 1)
   in
+  (* Lexicographic tie-break over the earlier landmark positions keeps the
+     order total on distinct instances and consistent with
+     [right_shift_compare]'s first-position tie-break on the compressed
+     view (Def 3.1). *)
+  let lex a b =
+    let na = Array.length a.landmark and nb = Array.length b.landmark in
+    let rec cmp j =
+      if j >= na || j >= nb then Int.compare na nb
+      else
+        match Int.compare a.landmark.(j) b.landmark.(j) with
+        | 0 -> cmp (j + 1)
+        | c -> c
+    in
+    cmp 0
+  in
   match Int.compare a.fseq b.fseq with
-  | 0 -> Int.compare (last a) (last b)
+  | 0 -> ( match Int.compare (last a) (last b) with 0 -> lex a b | c -> c)
   | c -> c
 
 let overlap a b =

@@ -30,6 +30,10 @@ val right_shift_compare : t -> t -> int
     total on distinct compressed instances. *)
 
 val right_shift_compare_full : full -> full -> int
+(** The same order on full instances: sequence, then last landmark
+    position, with ties broken lexicographically over the earlier landmark
+    positions (then by landmark length). Total on distinct instances and
+    consistent with {!right_shift_compare} on the compressed views. *)
 
 val overlap : full -> full -> bool
 (** Definition 2.3: instances of the {e same} pattern overlap iff they are in

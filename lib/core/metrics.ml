@@ -1,27 +1,4 @@
-type counter = int Atomic.t
-
-let hit c = Atomic.incr c
-let value = Atomic.get
-let insgrow_calls = Atomic.make 0
-let closure_bound_checks = Atomic.make 0
-let closure_bound_rejects = Atomic.make 0
-let closure_base_grows = Atomic.make 0
-let closure_full_grows = Atomic.make 0
-
-let all =
-  [
-    ("insgrow_calls", insgrow_calls);
-    ("closure_bound_checks", closure_bound_checks);
-    ("closure_bound_rejects", closure_bound_rejects);
-    ("closure_base_grows", closure_base_grows);
-    ("closure_full_grows", closure_full_grows);
-  ]
-
-let reset () = List.iter (fun (_, c) -> Atomic.set c 0) all
-
-let dump () =
-  List.filter (fun (_, v) -> v <> 0) (List.map (fun (n, c) -> (n, Atomic.get c)) all)
-  |> List.sort compare
-
-let pp ppf () =
-  List.iter (fun (n, v) -> Format.fprintf ppf "%s = %d@." n v) (dump ())
+(* Re-export: the counters live in Rgs_sequence so the index/cursor layer
+   can bump them without a dependency cycle; Rgs_core.Metrics remains the
+   historical access path for tests, benches and downstream code. *)
+include Rgs_sequence.Metrics

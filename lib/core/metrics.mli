@@ -1,39 +1,7 @@
-(** Lightweight global counters for observing the mining hot paths.
+(** Alias of {!Rgs_sequence.Metrics}.
 
-    Counters are atomic so they stay accurate under {!Parallel_miner}'s
-    domain-parallel mining; they cost one atomic increment when hit.
-    Benches and tests use them to explain where time goes (e.g. how many
-    extension growths the closure check's pre-filter avoided). *)
+    The counters moved into [rgs_sequence] when the inverted index gained
+    its own hot-path counters ([next_calls], [cursor_advances]); this alias
+    keeps the historical [Rgs_core.Metrics] access path working. *)
 
-type counter = int Atomic.t
-
-val hit : counter -> unit
-(** Increment (atomic). *)
-
-val value : counter -> int
-(** Current reading. *)
-
-val reset : unit -> unit
-(** Zero every counter. *)
-
-val dump : unit -> (string * int) list
-(** Current [(name, value)] pairs, name-sorted, zeros omitted. *)
-
-val pp : Format.formatter -> unit -> unit
-
-(** The counters themselves (bumped by library code): *)
-
-val insgrow_calls : counter
-(** Compressed instance-growth invocations ({!Support_set.grow}). *)
-
-val closure_bound_checks : counter
-(** Pre-filter evaluations in {!Closure.check}. *)
-
-val closure_bound_rejects : counter
-(** Candidate extensions the pre-filter proved hopeless (no growth run). *)
-
-val closure_base_grows : counter
-(** Extension candidates that survived the filter and grew their base. *)
-
-val closure_full_grows : counter
-(** Extensions grown to completion (equal support found). *)
+include module type of Rgs_sequence.Metrics

@@ -10,6 +10,7 @@ type config = {
   max_gap : int option;
   domains : int option;
   paged_index : bool;
+  index_kind : Inverted_index.kind option;
   deadline_s : float option;
   max_nodes : int option;
   max_words : int option;
@@ -28,7 +29,8 @@ let validate_config cfg =
   | _ -> ()
 
 let config ?(mode = Closed) ?max_length ?max_patterns ?max_gap ?domains
-    ?(paged_index = false) ?deadline_s ?max_nodes ?max_words ~min_sup () =
+    ?(paged_index = false) ?index_kind ?deadline_s ?max_nodes ?max_words
+    ~min_sup () =
   let cfg =
     {
       min_sup;
@@ -38,6 +40,7 @@ let config ?(mode = Closed) ?max_length ?max_patterns ?max_gap ?domains
       max_gap;
       domains;
       paged_index;
+      index_kind;
       deadline_s;
       max_nodes;
       max_words;
@@ -45,6 +48,14 @@ let config ?(mode = Closed) ?max_length ?max_patterns ?max_gap ?domains
   in
   validate_config cfg;
   cfg
+
+(* [index_kind] wins over the older [paged_index] flag when both are set. *)
+let build_index cfg db =
+  match cfg.index_kind with
+  | Some kind -> Inverted_index.build_kind kind db
+  | None ->
+    if cfg.paged_index then Inverted_index.build_paged db
+    else Inverted_index.build db
 
 type report = {
   results : Mined.t list;
@@ -134,9 +145,7 @@ let mine ?config:cfg ?min_sup db =
     | None, Some min_sup -> config ~min_sup ()
     | None, None -> invalid_arg "Miner.mine: provide ~config or ~min_sup"
   in
-  let idx =
-    if cfg.paged_index then Inverted_index.build_paged db else Inverted_index.build db
-  in
+  let idx = build_index cfg db in
   mine_indexed cfg idx
 
 (* --- checkpoint/resume driver --- *)
@@ -160,9 +169,7 @@ let mine_resumable ?checkpoint ?(resume = false) cfg db =
   if resume && checkpoint = None then
     invalid_arg "Miner: resume requires a checkpoint path";
   let start = Unix.gettimeofday () in
-  let idx =
-    if cfg.paged_index then Inverted_index.build_paged db else Inverted_index.build db
-  in
+  let idx = build_index cfg db in
   let events = Inverted_index.frequent_events idx ~min_sup:cfg.min_sup in
   let fp = checkpoint_fingerprint cfg db in
   let prior =

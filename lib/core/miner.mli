@@ -30,6 +30,10 @@ type config = {
       (** mine in parallel with this many domains ({!Parallel_miner});
           incompatible with [max_patterns] and [max_gap] *)
   paged_index : bool;  (** build the B-tree index backend instead of arrays *)
+  index_kind : Inverted_index.kind option;
+      (** explicit index backend selection; overrides [paged_index] when
+          set. [None] keeps the default (CSR, or paged via
+          [paged_index]) *)
   deadline_s : float option;
       (** wall-clock budget in seconds; on expiry the run stops with
           [Deadline_exceeded] and partial results *)
@@ -47,6 +51,7 @@ val config :
   ?max_gap:int ->
   ?domains:int ->
   ?paged_index:bool ->
+  ?index_kind:Inverted_index.kind ->
   ?deadline_s:float ->
   ?max_nodes:int ->
   ?max_words:int ->

@@ -1,126 +1,201 @@
 open Rgs_sequence
 
-type t = {
-  groups : (int * Instance.t array) array;
-      (* ascending sequence index; each group non-empty, right-shift order *)
-  total : int;
-}
+(* Columnar group storage: per sequence, the (first, last) landmark borders
+   of its instances live in two parallel int arrays in right-shift order.
+   No per-instance boxing — Instance.t is only materialised at the API
+   boundary. Appending growth never changes first positions, so [firsts]
+   arrays are shared structurally between a set and its extensions. *)
+type group = { gseq : int; firsts : int array; lasts : int array }
+type t = { groups : group array; total : int }
 
 let empty = { groups = [||]; total = 0 }
 
+let total_of groups =
+  Array.fold_left (fun n g -> n + Array.length g.lasts) 0 groups
+
+let group_view g =
+  Array.init (Array.length g.lasts) (fun k ->
+      { Instance.seq = g.gseq; first = g.firsts.(k); last = g.lasts.(k) })
+
 let well_formed s =
   Array.for_all
-    (fun (i, insts) ->
-      Array.length insts > 0
-      && Array.for_all (fun (inst : Instance.t) -> inst.Instance.seq = i) insts
+    (fun g ->
+      let n = Array.length g.lasts in
+      n > 0
+      && Array.length g.firsts = n
       &&
       let sorted = ref true in
-      for k = 1 to Array.length insts - 1 do
-        if Instance.right_shift_compare insts.(k - 1) insts.(k) >= 0 then sorted := false
+      for k = 1 to n - 1 do
+        (* right-shift order, strict: (last, first) lexicographic *)
+        if
+          g.lasts.(k - 1) > g.lasts.(k)
+          || (g.lasts.(k - 1) = g.lasts.(k) && g.firsts.(k - 1) >= g.firsts.(k))
+        then sorted := false
       done;
       !sorted)
     s.groups
-  && s.total = Array.fold_left (fun n (_, g) -> n + Array.length g) 0 s.groups
+  && s.total = total_of s.groups
   &&
   let ascending = ref true in
   for k = 1 to Array.length s.groups - 1 do
-    if fst s.groups.(k - 1) >= fst s.groups.(k) then ascending := false
+    if s.groups.(k - 1).gseq >= s.groups.(k).gseq then ascending := false
   done;
   !ascending
 
 (* [well_formed] is an O(size) scan; it is not asserted on the production
    path (Support_set.grow runs millions of times per mining run) but is
    exposed for the test suite to validate every construction route. *)
+let of_group_array groups = { groups; total = total_of groups }
+
+let unsafe_of_packed groups =
+  of_group_array
+    (Array.map (fun (i, firsts, lasts) -> { gseq = i; firsts; lasts }) groups)
+
 let unsafe_of_groups groups =
-  let total = Array.fold_left (fun n (_, g) -> n + Array.length g) 0 groups in
-  { groups; total }
+  of_group_array
+    (Array.map
+       (fun (i, insts) ->
+         {
+           gseq = i;
+           firsts = Array.map (fun (inst : Instance.t) -> inst.Instance.first) insts;
+           lasts = Array.map (fun (inst : Instance.t) -> inst.Instance.last) insts;
+         })
+       groups)
 
 let of_event idx e =
   let db = Inverted_index.db idx in
   let groups = ref [] in
   for i = Seqdb.size db downto 1 do
     let positions = Inverted_index.positions idx ~seq:i e in
-    if Array.length positions > 0 then begin
-      let insts =
-        Array.map (fun l -> { Instance.seq = i; first = l; last = l }) positions
-      in
-      groups := (i, insts) :: !groups
-    end
+    if Array.length positions > 0 then
+      (* size-1 instances have first = last: share the positions array *)
+      groups := { gseq = i; firsts = positions; lasts = positions } :: !groups
   done;
-  unsafe_of_groups (Array.of_list !groups)
+  of_group_array (Array.of_list !groups)
 
 let size s = s.total
 let is_empty s = s.total = 0
 let num_sequences s = Array.length s.groups
-let sequences s = Array.to_list (Array.map fst s.groups)
+let sequences s = Array.to_list (Array.map (fun g -> g.gseq) s.groups)
+let num_groups s = Array.length s.groups
+let group_seq s k = s.groups.(k).gseq
+let group_firsts s k = s.groups.(k).firsts
+let group_lasts s k = s.groups.(k).lasts
 
 let instances s =
-  List.concat_map (fun (_, g) -> Array.to_list g) (Array.to_list s.groups)
+  List.concat_map (fun g -> Array.to_list (group_view g)) (Array.to_list s.groups)
 
 let instances_in s ~seq =
   let found = ref [||] in
-  Array.iter (fun (i, g) -> if i = seq then found := g) s.groups;
+  Array.iter (fun g -> if g.gseq = seq then found := group_view g) s.groups;
   !found
 
 let per_sequence_counts s =
-  Array.to_list (Array.map (fun (i, g) -> (i, Array.length g)) s.groups)
+  Array.to_list (Array.map (fun g -> (g.gseq, Array.length g.lasts)) s.groups)
 
 let lasts s =
   let out = Array.make s.total (0, 0) in
   let k = ref 0 in
   Array.iter
-    (fun (i, g) ->
+    (fun g ->
       Array.iter
-        (fun (inst : Instance.t) ->
-          out.(!k) <- (i, inst.Instance.last);
+        (fun last ->
+          out.(!k) <- (g.gseq, last);
           incr k)
-        g)
+        g.lasts)
     s.groups;
   out
 
+(* Theorem 5 condition (ii), straight off the packed arrays: pairing the
+   k-th instances of both sets in global right-shift order, every pair must
+   share its sequence and the extension's last may not exceed the
+   pattern's. With both sets grouped by ascending sequence this holds iff
+   the group partitions coincide and the lasts arrays dominate pointwise. *)
+exception Not_dominated
+
+let border_dominated ~extension ~pattern =
+  extension.total = pattern.total
+  && Array.length extension.groups = Array.length pattern.groups
+  &&
+  try
+    Array.iter2
+      (fun ge gp ->
+        let n = Array.length ge.lasts in
+        if ge.gseq <> gp.gseq || n <> Array.length gp.lasts then raise Not_dominated;
+        for k = 0 to n - 1 do
+          if ge.lasts.(k) > gp.lasts.(k) then raise Not_dominated
+        done)
+      extension.groups pattern.groups;
+    true
+  with Not_dominated -> false
+
 let fold_groups f init s =
-  Array.fold_left (fun acc (i, g) -> f acc i g) init s.groups
+  Array.fold_left (fun acc g -> f acc g.gseq (group_view g)) init s.groups
 
 (* Algorithm 2 (INSgrow). For each sequence holding instances, walk them in
    right-shift order; extend each with the earliest occurrence of [e] after
    max(last_position, last); stop the sequence at the first failure (later
-   instances can only fail too, since both bounds are monotone). *)
+   instances can only fail too, since both bounds are monotone). The
+   monotonicity is also what lets one index cursor serve the whole group:
+   each seek resumes where the previous one ended. *)
+let empty_group = { gseq = 0; firsts = [||]; lasts = [||] }
+
 let grow idx s e =
   Metrics.hit Metrics.insgrow_calls;
-  let out = ref [] in
-  let buf = ref [||] in
-  Array.iter
-    (fun (i, g) ->
-      let n = Array.length g in
-      if Array.length !buf < n then buf := Array.make n { Instance.seq = 0; first = 0; last = 0 };
-      let count = ref 0 in
-      let last_position = ref 0 in
-      (try
-         for k = 0 to n - 1 do
-           let inst = g.(k) in
-           match
-             Inverted_index.next idx ~seq:i e
-               ~lowest:(max !last_position inst.Instance.last)
-           with
-           | None -> raise Exit
-           | Some lj ->
+  let num = Array.length s.groups in
+  if num = 0 then empty
+  else begin
+    let out = Array.make num empty_group in
+    let out_count = ref 0 in
+    let total = ref 0 in
+    (* one reseatable cursor and one metrics flush for the whole pass *)
+    let c = Inverted_index.cursor idx ~seq:s.groups.(0).gseq e in
+    for gi = 0 to num - 1 do
+      let g = s.groups.(gi) in
+      if gi > 0 then Inverted_index.reseat c ~seq:g.gseq;
+      let lasts = g.lasts in
+      let n = Array.length lasts in
+      (* Most groups die on the very first seek (the event does not occur
+         after the first instance), so nothing is allocated until one
+         extension succeeds. *)
+      let l0 = Inverted_index.seek_pos c ~lowest:lasts.(0) in
+      if l0 >= 0 then begin
+        let new_lasts = Array.make n 0 in
+        new_lasts.(0) <- l0;
+        let count = ref 1 in
+        let last_position = ref l0 in
+        (try
+           for k = 1 to n - 1 do
+             let last = lasts.(k) in
+             let lowest = if !last_position > last then !last_position else last in
+             let lj = Inverted_index.seek_pos c ~lowest in
+             if lj < 0 then raise Exit;
              last_position := lj;
-             !buf.(!count) <- { inst with Instance.last = lj };
+             new_lasts.(!count) <- lj;
              incr count
-         done
-       with Exit -> ());
-      if !count > 0 then out := (i, Array.sub !buf 0 !count) :: !out)
-    s.groups;
-  unsafe_of_groups (Array.of_list (List.rev !out))
+           done
+         with Exit -> ());
+        let cnt = !count in
+        let firsts = if cnt = n then g.firsts else Array.sub g.firsts 0 cnt in
+        let lasts = if cnt = n then new_lasts else Array.sub new_lasts 0 cnt in
+        out.(!out_count) <- { gseq = g.gseq; firsts; lasts };
+        incr out_count;
+        total := !total + cnt
+      end
+    done;
+    Inverted_index.cursor_finish c;
+    let groups = if !out_count = num then out else Array.sub out 0 !out_count in
+    { groups; total = !total }
+  end
 
 let equal a b = a.total = b.total && a.groups = b.groups
 
 let pp ppf s =
   Format.fprintf ppf "@[<v>{ size = %d@," s.total;
   Array.iter
-    (fun (i, g) ->
-      Format.fprintf ppf "  S%d: %a@," i
+    (fun g ->
+      Format.fprintf ppf "  S%d: %a@," g.gseq
         (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ") Instance.pp)
-        (Array.to_list g))
+        (Array.to_list (group_view g)))
     s.groups;
   Format.fprintf ppf "}@]"

@@ -1,11 +1,17 @@
-(** Support sets in compressed form.
+(** Support sets in compressed, columnar form.
 
     A support set of a pattern [P] is a maximum-size non-redundant set of
     instances of [P] (Definition 2.5). The mining algorithms maintain
     {e leftmost} support sets (Definition 3.2) in the compressed
-    representation of Section III-D: per sequence, an array of
-    [(first, last)] landmark borders, kept in right-shift order (ascending
-    [last]). *)
+    representation of Section III-D: per sequence, the [(first, last)]
+    landmark borders kept in right-shift order (ascending [last]).
+
+    Storage is columnar: each per-sequence group is a pair of parallel
+    [int array]s ([firsts], [lasts]) rather than an array of boxed
+    instance records, and since appending growth never moves first
+    positions, [firsts] arrays are shared between a set and the sets grown
+    from it. {!Instance.t} remains the public view type, materialised on
+    demand by {!instances}, {!instances_in} and {!fold_groups}. *)
 
 open Rgs_sequence
 
@@ -34,8 +40,8 @@ val instances : t -> Instance.t list
 (** All instances in right-shift order (Definition 3.1). *)
 
 val instances_in : t -> seq:int -> Instance.t array
-(** Instances located in sequence [seq], in right-shift order. The array is
-    owned by the set; do not mutate. *)
+(** Instances located in sequence [seq], in right-shift order (fresh
+    array of materialised views). *)
 
 val per_sequence_counts : t -> (int * int) list
 (** [(sequence index, instance count)] pairs, ascending by sequence. Useful
@@ -43,17 +49,41 @@ val per_sequence_counts : t -> (int * int) list
 
 val lasts : t -> (int * int) array
 (** [(sequence, last landmark position)] of every instance in right-shift
-    order — the "landmark border" compared by {!Closure.lb_check}
-    (Theorem 5). *)
+    order — the "landmark border" of Theorem 5. Allocates; the mining path
+    uses {!border_dominated} on the packed arrays instead. *)
+
+val border_dominated : extension:t -> pattern:t -> bool
+(** Theorem 5 condition (ii): both sets have the same size and, pairing
+    instances by rank in right-shift order, each of [extension]'s
+    instances lies in the same sequence as — and ends no later than — the
+    corresponding instance of [pattern]. Scans the packed [lasts] arrays
+    directly; no allocation. *)
 
 val fold_groups : ('a -> int -> Instance.t array -> 'a) -> 'a -> t -> 'a
-(** Folds over per-sequence groups in ascending sequence order. *)
+(** Folds over per-sequence groups in ascending sequence order. The
+    instance arrays are materialised views (fresh; safe to keep). *)
+
+(** {2 Packed accessors}
+
+    Zero-copy access to the columnar storage, for hot paths
+    ({!Closure.check}, {!Gap_constrained.grow}) and the differential test
+    suite. Groups are indexed [0 .. num_groups - 1] in ascending sequence
+    order; the returned arrays are owned by the set — do not mutate. *)
+
+val num_groups : t -> int
+val group_seq : t -> int -> int
+val group_firsts : t -> int -> int array
+val group_lasts : t -> int -> int array
 
 val grow :
   Inverted_index.t -> t -> Event.t -> t
 (** [grow idx i e] is the instance-growth operation [INSgrow(SeqDB, P, I, e)]
     (Algorithm 2): extends the leftmost support set [I] of [P] into the
-    leftmost support set of [P ◦ e]. Runs in [O(size i · log L)]. *)
+    leftmost support set of [P ◦ e]. On the columnar index backend each
+    per-sequence pass drives one monotone {!Inverted_index.cursor}, so a
+    whole group costs O(occurrences of [e]) amortized; on the legacy and
+    paged backends every extension pays the seed's per-call
+    [O(log L)] search. *)
 
 val equal : t -> t -> bool
 
@@ -61,12 +91,17 @@ val pp : Format.formatter -> t -> unit
 
 val well_formed : t -> bool
 (** Structural invariant: groups ascend by sequence, each group is
-    non-empty, in right-shift order, and instances carry the group's
-    sequence index. Checked by the test suite on every construction route
-    (it is too costly to assert inside the mining hot loop). *)
+    non-empty with parallel [firsts]/[lasts] arrays in strict right-shift
+    order. Checked by the test suite on every construction route (it is
+    too costly to assert inside the mining hot loop). *)
 
 (**/**)
 
 val unsafe_of_groups : (int * Instance.t array) array -> t
-(** Internal: build from per-sequence groups; the caller must guarantee
-    {!well_formed}. Exposed for tests and the oracle. *)
+(** Internal: build from per-sequence instance groups; the caller must
+    guarantee {!well_formed}. Exposed for tests and the oracle. *)
+
+val unsafe_of_packed : (int * int array * int array) array -> t
+(** Internal: build directly from packed [(seq, firsts, lasts)] groups;
+    the caller must guarantee {!well_formed} and hand over ownership of
+    the arrays. *)

@@ -1,0 +1,62 @@
+type lookup =
+  | Direct of int array (* raw event -> dense id; -1 when absent *)
+  | Table of (Event.t, int) Hashtbl.t
+
+type t = {
+  events : Event.t array; (* dense id -> raw event, ascending *)
+  lookup : lookup;
+}
+
+(* A direct table spends [max_event + 1] words; worth it whenever the raw
+   event space is not much larger than the alphabet itself (the common case:
+   events already near-dense from Codec interning or generators). *)
+let direct_worthwhile ~min_event ~max_event ~count =
+  min_event >= 0 && max_event < (16 * count) + 1024
+
+let of_sequences seqs =
+  let seen : (Event.t, unit) Hashtbl.t = Hashtbl.create 64 in
+  Array.iter
+    (fun s -> Sequence.iteri (fun _ e -> Hashtbl.replace seen e ()) s)
+    seqs;
+  let events = Array.make (Hashtbl.length seen) 0 in
+  let k = ref 0 in
+  Hashtbl.iter
+    (fun e () ->
+      events.(!k) <- e;
+      incr k)
+    seen;
+  Array.sort Int.compare events;
+  let count = Array.length events in
+  let lookup =
+    if count = 0 then Direct [||]
+    else begin
+      let min_event = events.(0) and max_event = events.(count - 1) in
+      if direct_worthwhile ~min_event ~max_event ~count then begin
+        let table = Array.make (max_event + 1) (-1) in
+        Array.iteri (fun d e -> table.(e) <- d) events;
+        Direct table
+      end
+      else begin
+        let table = Hashtbl.create count in
+        Array.iteri (fun d e -> Hashtbl.replace table e d) events;
+        Table table
+      end
+    end
+  in
+  { events; lookup }
+
+let size a = Array.length a.events
+
+let event a d =
+  if d < 0 || d >= Array.length a.events then
+    invalid_arg (Printf.sprintf "Alphabet.event: dense id %d out of [0;%d)" d (Array.length a.events))
+  else a.events.(d)
+
+let events a = Array.copy a.events
+
+let dense a e =
+  match a.lookup with
+  | Direct table -> if e < 0 || e >= Array.length table then -1 else table.(e)
+  | Table table -> Option.value ~default:(-1) (Hashtbl.find_opt table e)
+
+let mem a e = dense a e >= 0

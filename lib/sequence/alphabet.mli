@@ -1,0 +1,36 @@
+(** Dense event alphabets.
+
+    Mining code treats events as arbitrary integers ({!Event.t}), but the
+    columnar index layout ({!Inverted_index}) wants a dense alphabet
+    [0 .. size-1] so per-event data can live in flat arrays instead of
+    hashtables. An alphabet interns the distinct events of a database into
+    dense identifiers at {!Seqdb} build time — the integer analogue of what
+    {!Codec} does for event names at the I/O boundary.
+
+    Dense identifiers are assigned in ascending event order, so
+    [event a 0 < event a 1 < ...] and iterating dense ids enumerates the
+    alphabet in the same order as {!Seqdb.alphabet}. *)
+
+type t
+
+val of_sequences : Sequence.t array -> t
+(** Interns every distinct event of the sequences, in one [O(total length)]
+    pass (plus a sort of the distinct events). *)
+
+val size : t -> int
+(** Number of distinct events; dense ids range over [0 .. size - 1]. *)
+
+val event : t -> int -> Event.t
+(** [event a d] is the raw event interned as dense id [d].
+    @raise Invalid_argument when [d] is out of [0 .. size - 1]. *)
+
+val events : t -> Event.t array
+(** All interned events, ascending (fresh array). *)
+
+val dense : t -> Event.t -> int
+(** [dense a e] is the dense id of [e], or [-1] when [e] does not occur.
+    [O(1)] when the raw event range is comparable to the alphabet size
+    (direct table), [O(1) expected] otherwise (hashtable fallback for
+    sparse or negative event spaces). *)
+
+val mem : t -> Event.t -> bool

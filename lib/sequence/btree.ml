@@ -103,6 +103,18 @@ let to_list t =
   in
   List.rev (collect [] t.root)
 
+let to_array t =
+  let out = Array.make t.size 0 in
+  let k = ref 0 in
+  let rec fill = function
+    | Leaf keys ->
+      Array.blit keys 0 out !k (Array.length keys);
+      k := !k + Array.length keys
+    | Node { children; _ } -> Array.iter fill children
+  in
+  fill t.root;
+  out
+
 let depth t =
   let rec go = function
     | Leaf _ -> 1

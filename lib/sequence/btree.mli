@@ -32,5 +32,10 @@ val mem : t -> int -> bool
 val to_list : t -> int list
 (** All keys, ascending. *)
 
+val to_array : t -> int array
+(** All keys, ascending, into one preallocated array (no intermediate
+    list) — the materialisation path of {!Inverted_index.positions} on the
+    paged backend. *)
+
 val depth : t -> int
 (** Tree height (leaf = 1); exposed for tests. *)

@@ -1,21 +1,73 @@
-type store =
-  | Flat of int array (* positions, 1-based, ascending *)
-  | Paged of Btree.t
+type csr = {
+  offsets : int array; (* length alphabet+1, indexed by dense event id *)
+  pos : int array; (* sequence positions, 1-based, grouped by dense id, each run ascending *)
+}
+
+type backend =
+  | Csr of csr array
+  | Legacy of (Event.t, int array) Hashtbl.t array
+  | Paged of (Event.t, Btree.t) Hashtbl.t array
+
+type kind = Kcsr | Klegacy | Kpaged
 
 type t = {
   db : Seqdb.t;
-  per_seq : (Event.t, store) Hashtbl.t array;
-  totals : (Event.t, int) Hashtbl.t;
-  paged : bool;
+  alpha : Alphabet.t;
+  totals : int array; (* occurrences per dense event id, over the database *)
+  backend : backend;
 }
 
 let empty_positions : int array = [||]
 
-(* One pass to size the position arrays, one to fill them. *)
+let totals_of db alpha =
+  let totals = Array.make (Alphabet.size alpha) 0 in
+  Seqdb.iter
+    (fun _ s ->
+      Sequence.iteri
+        (fun _ e ->
+          let d = Alphabet.dense alpha e in
+          totals.(d) <- totals.(d) + 1)
+        s)
+    db;
+  totals
+
+(* CSR construction: per sequence, one counting pass sizes the runs, a
+   prefix sum turns counts into offsets, and one fill pass scatters the
+   positions. Everything is a flat int array; no per-event allocation. *)
+let build db =
+  let alpha = Seqdb.dense_alphabet db in
+  let k = Alphabet.size alpha in
+  let n = Seqdb.size db in
+  let stores = Array.make n { offsets = [||]; pos = [||] } in
+  Seqdb.iter
+    (fun i s ->
+      let offsets = Array.make (k + 1) 0 in
+      Sequence.iteri
+        (fun _ e ->
+          let d = Alphabet.dense alpha e in
+          offsets.(d + 1) <- offsets.(d + 1) + 1)
+        s;
+      for d = 1 to k do
+        offsets.(d) <- offsets.(d) + offsets.(d - 1)
+      done;
+      let pos = Array.make (Sequence.length s) 0 in
+      let fill = Array.sub offsets 0 k in
+      Sequence.iteri
+        (fun p e ->
+          let d = Alphabet.dense alpha e in
+          pos.(fill.(d)) <- p;
+          fill.(d) <- fill.(d) + 1)
+        s;
+      stores.(i - 1) <- { offsets; pos })
+    db;
+  { db; alpha; totals = totals_of db alpha; backend = Csr stores }
+
+(* The seed layout: per-sequence hashtables of flat position arrays. Kept
+   as a backend so benches can measure the columnar layout against it and
+   the differential suite can cross-check all backends. *)
 let position_arrays db =
   let n = Seqdb.size db in
   let per_seq = Array.init n (fun _ -> Hashtbl.create 16) in
-  let totals = Hashtbl.create 64 in
   Seqdb.iter
     (fun i s ->
       let counts = Hashtbl.create 16 in
@@ -31,85 +83,235 @@ let position_arrays db =
           let k = Option.value ~default:0 (Hashtbl.find_opt fill e) in
           (Hashtbl.find tbl e).(k) <- pos;
           Hashtbl.replace fill e (k + 1))
-        s;
-      Hashtbl.iter
-        (fun e c ->
-          Hashtbl.replace totals e (c + Option.value ~default:0 (Hashtbl.find_opt totals e)))
-        counts)
+        s)
     db;
-  (per_seq, totals)
+  per_seq
 
-let build db =
-  let arrays, totals = position_arrays db in
-  let per_seq =
-    Array.map
-      (fun tbl ->
-        let out = Hashtbl.create (Hashtbl.length tbl) in
-        Hashtbl.iter (fun e a -> Hashtbl.add out e (Flat a)) tbl;
-        out)
-      arrays
-  in
-  { db; per_seq; totals; paged = false }
+let build_legacy db =
+  let alpha = Seqdb.dense_alphabet db in
+  { db; alpha; totals = totals_of db alpha; backend = Legacy (position_arrays db) }
 
 let build_paged ?fanout db =
-  let arrays, totals = position_arrays db in
+  let alpha = Seqdb.dense_alphabet db in
   let per_seq =
     Array.map
       (fun tbl ->
         let out = Hashtbl.create (Hashtbl.length tbl) in
-        Hashtbl.iter (fun e a -> Hashtbl.add out e (Paged (Btree.of_sorted_array ?fanout a))) tbl;
+        Hashtbl.iter (fun e a -> Hashtbl.add out e (Btree.of_sorted_array ?fanout a)) tbl;
         out)
-      arrays
+      (position_arrays db)
   in
-  { db; per_seq; totals; paged = true }
+  { db; alpha; totals = totals_of db alpha; backend = Paged per_seq }
+
+let build_kind ?fanout kind db =
+  match kind with
+  | Kcsr -> build db
+  | Klegacy -> build_legacy db
+  | Kpaged -> build_paged ?fanout db
 
 let db t = t.db
-let is_paged t = t.paged
 
-let store t ~seq e =
-  if seq < 1 || seq > Array.length t.per_seq then
+let kind t =
+  match t.backend with Csr _ -> Kcsr | Legacy _ -> Klegacy | Paged _ -> Kpaged
+
+let kind_name = function Kcsr -> "csr" | Klegacy -> "legacy" | Kpaged -> "paged"
+let backend_name t = kind_name (kind t)
+let is_paged t = match t.backend with Paged _ -> true | _ -> false
+
+let check_seq t seq =
+  if seq < 1 || seq > Seqdb.size t.db then
     invalid_arg (Printf.sprintf "Inverted_index: bad sequence index %d" seq)
-  else Hashtbl.find_opt t.per_seq.(seq - 1) e
+
+(* CSR slice of event [e] in sequence [seq]: [lo] inclusive, [hi] exclusive
+   into [store.pos]; the empty slice (0, 0) when [e] does not occur. *)
+let csr_slice t (stores : csr array) ~seq e =
+  let d = Alphabet.dense t.alpha e in
+  if d < 0 then (empty_positions, 0, 0)
+  else begin
+    let store = stores.(seq - 1) in
+    (store.pos, store.offsets.(d), store.offsets.(d + 1))
+  end
 
 let positions t ~seq e =
-  match store t ~seq e with
-  | None -> empty_positions
-  | Some (Flat a) -> a
-  | Some (Paged bt) -> Array.of_list (Btree.to_list bt)
+  check_seq t seq;
+  match t.backend with
+  | Csr stores ->
+    let pos, lo, hi = csr_slice t stores ~seq e in
+    Array.sub pos lo (hi - lo)
+  | Legacy per_seq ->
+    Option.value ~default:empty_positions (Hashtbl.find_opt per_seq.(seq - 1) e)
+  | Paged per_seq -> (
+    match Hashtbl.find_opt per_seq.(seq - 1) e with
+    | None -> empty_positions
+    | Some bt -> Btree.to_array bt)
 
-(* Least index k with a.(k) > lowest, by binary search over the sorted
-   positions; [Array.length a] when none. *)
-let first_above a lowest =
-  let lo = ref 0 and hi = ref (Array.length a) in
+(* Least index k in [lo, hi) with a.(k) > lowest, by binary search over the
+   sorted slice; [hi] when none. *)
+let first_above a ~lo ~hi lowest =
+  let lo = ref lo and hi = ref hi in
   while !lo < !hi do
     let mid = (!lo + !hi) / 2 in
     if a.(mid) > lowest then hi := mid else lo := mid + 1
   done;
   !lo
 
+(* Core of [next], uncounted and option-free: -1 when no position
+   qualifies. The counted [next] and the cursors (which batch their own
+   counts) both route here. *)
+let next_pos t ~seq e ~lowest =
+  match t.backend with
+  | Csr stores ->
+    let pos, lo, hi = csr_slice t stores ~seq e in
+    let k = first_above pos ~lo ~hi lowest in
+    if k >= hi then -1 else pos.(k)
+  | Legacy per_seq -> (
+    match Hashtbl.find_opt per_seq.(seq - 1) e with
+    | None -> -1
+    | Some a ->
+      let k = first_above a ~lo:0 ~hi:(Array.length a) lowest in
+      if k >= Array.length a then -1 else a.(k))
+  | Paged per_seq -> (
+    match Hashtbl.find_opt per_seq.(seq - 1) e with
+    | None -> -1
+    | Some bt -> ( match Btree.successor bt lowest with None -> -1 | Some p -> p))
+
 let next t ~seq e ~lowest =
-  match store t ~seq e with
-  | None -> None
-  | Some (Flat a) ->
-    let k = first_above a lowest in
-    if k >= Array.length a then None else Some a.(k)
-  | Some (Paged bt) -> Btree.successor bt lowest
+  check_seq t seq;
+  Metrics.hit Metrics.next_calls;
+  let p = next_pos t ~seq e ~lowest in
+  if p < 0 then None else Some p
 
 let count_between t ~seq e ~lo ~hi =
+  check_seq t seq;
   if hi <= lo + 1 then 0
   else
-    match store t ~seq e with
-    | None -> 0
-    | Some (Flat a) ->
-      let first = first_above a lo in
-      let beyond = first_above a (hi - 1) in
+    match t.backend with
+    | Csr stores ->
+      let pos, slo, shi = csr_slice t stores ~seq e in
+      let first = first_above pos ~lo:slo ~hi:shi lo in
+      let beyond = first_above pos ~lo:slo ~hi:shi (hi - 1) in
       beyond - first
-    | Some (Paged bt) -> Btree.count_in bt ~lo ~hi
+    | Legacy per_seq -> (
+      match Hashtbl.find_opt per_seq.(seq - 1) e with
+      | None -> 0
+      | Some a ->
+        let n = Array.length a in
+        let first = first_above a ~lo:0 ~hi:n lo in
+        let beyond = first_above a ~lo:0 ~hi:n (hi - 1) in
+        beyond - first)
+    | Paged per_seq -> (
+      match Hashtbl.find_opt per_seq.(seq - 1) e with
+      | None -> 0
+      | Some bt -> Btree.count_in bt ~lo ~hi)
 
-let occurrence_count t e = Option.value ~default:0 (Hashtbl.find_opt t.totals e)
+(* --- cursors --- *)
 
-let events t =
-  List.sort Event.compare (Hashtbl.fold (fun e _ acc -> e :: acc) t.totals [])
+type slice_cursor = {
+  cstores : csr array;
+  cd : int; (* dense event id; -1 when the event is absent from the db *)
+  mutable spos : int array;
+  mutable shi : int;
+  mutable sk : int; (* next candidate index; positions below sk are spent *)
+  mutable seeks : int;
+  mutable advanced : int;
+}
+
+type fallback_cursor = {
+  ft : t;
+  fe : Event.t;
+  mutable fseq : int;
+  mutable fseeks : int;
+}
+
+type cursor =
+  | Cslice of slice_cursor
+  | Cfallback of fallback_cursor
+
+let cursor t ~seq e =
+  check_seq t seq;
+  match t.backend with
+  | Csr stores ->
+    let d = Alphabet.dense t.alpha e in
+    if d < 0 then
+      Cslice
+        { cstores = stores; cd = d; spos = empty_positions; shi = 0; sk = 0;
+          seeks = 0; advanced = 0 }
+    else begin
+      let store = stores.(seq - 1) in
+      Cslice
+        { cstores = stores; cd = d; spos = store.pos;
+          shi = store.offsets.(d + 1); sk = store.offsets.(d);
+          seeks = 0; advanced = 0 }
+    end
+  | Legacy _ | Paged _ -> Cfallback { ft = t; fe = e; fseq = seq; fseeks = 0 }
+
+(* Re-point a cursor at another sequence's position list for the same
+   event, keeping the locally batched counts. Lets a whole INSgrow pass
+   over a support set use a single cursor allocation and a single metrics
+   flush. *)
+let reseat c ~seq =
+  match c with
+  | Cfallback c -> c.fseq <- seq
+  | Cslice c ->
+    if c.cd >= 0 then begin
+      let store = c.cstores.(seq - 1) in
+      c.spos <- store.pos;
+      c.shi <- store.offsets.(c.cd + 1);
+      c.sk <- store.offsets.(c.cd)
+    end
+
+(* Hot cursor entry: -1 when no position qualifies. Counts are batched in
+   the cursor and flushed by [cursor_finish] so the per-seek cost carries
+   no atomic operation on any backend. *)
+let seek_pos c ~lowest =
+  match c with
+  | Cfallback c ->
+    c.fseeks <- c.fseeks + 1;
+    next_pos c.ft ~seq:c.fseq c.fe ~lowest
+  | Cslice c ->
+    c.seeks <- c.seeks + 1;
+    let pos = c.spos and hi = c.shi and k = c.sk in
+    if k >= hi then -1
+    else if pos.(k) > lowest then pos.(k)
+    else begin
+      (* Gallop: position [k] is spent; find the least j > k with
+         pos.(j) > lowest by doubling probes, then binary search the last
+         bracket. Cost is O(log gap), and summed over a monotone pass the
+         cursor never revisits an index, hence O(occurrences) amortized. *)
+      let step = ref 1 in
+      let prev = ref k in
+      let probe = ref (k + 1) in
+      while !probe < hi && pos.(!probe) <= lowest do
+        prev := !probe;
+        step := !step * 2;
+        probe := k + !step
+      done;
+      let j = first_above pos ~lo:(!prev + 1) ~hi:(min !probe hi) lowest in
+      c.advanced <- c.advanced + (j - k);
+      c.sk <- j;
+      if j >= hi then -1 else pos.(j)
+    end
+
+let seek c ~lowest =
+  let p = seek_pos c ~lowest in
+  if p < 0 then None else Some p
+
+let cursor_finish c =
+  match c with
+  | Cfallback c ->
+    Metrics.add Metrics.next_calls c.fseeks;
+    c.fseeks <- 0
+  | Cslice c ->
+    Metrics.add Metrics.next_calls c.seeks;
+    Metrics.add Metrics.cursor_advances c.advanced;
+    c.seeks <- 0;
+    c.advanced <- 0
+
+let occurrence_count t e =
+  let d = Alphabet.dense t.alpha e in
+  if d < 0 then 0 else t.totals.(d)
+
+let events t = Array.to_list (Alphabet.events t.alpha)
 
 let frequent_events t ~min_sup =
   List.filter (fun e -> occurrence_count t e >= min_sup) (events t)

@@ -6,46 +6,116 @@
     binary search in [O(log L)], exactly as the paper's subroutine
     [next(S, e, lowest)].
 
-    Two storage backends implement the paper's two regimes:
+    Three storage backends share the same query semantics (property-tested
+    equal; every mining algorithm runs on any of them):
 
-    - {!build}: flat sorted arrays — "if the main memory is large enough
-      for the index structure [L_{e,Si}]'s, we can use arrays";
+    - {!build} (default, columnar): CSR layout — per sequence, one
+      contiguous positions buffer grouped by dense event id
+      ({!Alphabet}) plus an offsets table indexed by dense id, so
+      [positions]/[next]/[count_between] are pure array-slice arithmetic
+      with zero hashing. Only this backend supports the stateful
+      {!cursor} fast path.
+    - {!build_legacy}: the seed layout — per-sequence hashtables of flat
+      sorted arrays ("if the main memory is large enough for the index
+      structure [L_{e,Si}]'s, we can use arrays"). Kept for old-vs-new
+      benchmarking and differential testing.
     - {!build_paged}: bulk-loaded B+-trees ({!Btree}) — "otherwise,
       B-trees can be employed".
 
-    Queries behave identically on both (property-tested); every mining
-    algorithm runs on either. *)
+    The CSR backend spends [alphabet_size + 1] words of offsets per
+    sequence; for databases whose alphabet vastly exceeds typical sequence
+    length under tight memory, prefer {!build_paged}. *)
 
 type t
 
+type kind = Kcsr | Klegacy | Kpaged
+
 val build : Seqdb.t -> t
-(** Array-backed index, built in one pass over the database,
-    [O(total length)]. *)
+(** Columnar (CSR) index, built in one counting pass and one fill pass over
+    the database, [O(total length + N * alphabet)]. *)
+
+val build_legacy : Seqdb.t -> t
+(** Hashtable-of-arrays index (the pre-columnar seed layout). *)
 
 val build_paged : ?fanout:int -> Seqdb.t -> t
 (** B+-tree-backed index ([fanout] defaults to 16). Same query semantics;
     node-per-level access pattern suited to paged storage. *)
 
+val build_kind : ?fanout:int -> kind -> Seqdb.t -> t
+(** Dispatch on {!kind} ([fanout] only affects [Kpaged]). *)
+
 val db : t -> Seqdb.t
 (** The database the index was built from. *)
+
+val kind : t -> kind
+val kind_name : kind -> string
+
+val backend_name : t -> string
+(** ["csr"], ["legacy"] or ["paged"] — for benches and reports. *)
 
 val next : t -> seq:int -> Event.t -> lowest:int -> int option
 (** [next idx ~seq:i e ~lowest] is the minimum position [l] such that
     [l > lowest] and [S_i[l] = e], or [None] if no such position exists.
-    [seq] is 1-based. *)
+    [seq] is 1-based. Counts into {!Metrics.next_calls}. *)
 
 val count_between : t -> seq:int -> Event.t -> lo:int -> hi:int -> int
 (** Number of positions [p] of [e] in [S_i] with [lo < p < hi] (exclusive
     bounds) — [O(log L)]. *)
 
 val positions : t -> seq:int -> Event.t -> int array
-(** All positions of [e] in [S_i], ascending, 1-based. On the array
+(** All positions of [e] in [S_i], ascending, 1-based. On the legacy
     backend the result is owned by the index and must not be mutated; on
-    the paged backend it is materialised on each call. *)
+    the CSR and paged backends it is materialised on each call. *)
+
+(** {2 Cursors}
+
+    A cursor answers a {e monotone} sequence of [next] queries against one
+    [(sequence, event)] position list. INSgrow's per-sequence pass is
+    exactly that: by Lemma 3 the [lowest] bound — [max(last_position,
+    inst.last)] — never decreases while walking a support-set group in
+    right-shift order, so instead of re-running a full binary search per
+    instance the cursor remembers where the previous seek ended and
+    advances by galloping. A whole-group pass therefore costs
+    O(occurrences of [e] in [S_i]) amortized, independent of the number of
+    instances extended. *)
+
+type cursor
+
+val cursor : t -> seq:int -> Event.t -> cursor
+(** A fresh cursor over [L_{e,Si}]. On the CSR backend this resolves the
+    slice once (no hashing, no per-seek lookup); on the legacy and paged
+    backends the cursor is stateless and each {!seek} falls back to
+    {!next} — deliberately preserving those backends' per-call cost for
+    honest old-vs-new comparison. *)
+
+val seek : cursor -> lowest:int -> int option
+(** [seek c ~lowest] is [next idx ~seq e ~lowest] for the cursor's list.
+    Calls on a CSR cursor must pass nondecreasing [lowest] values
+    (INSgrow's monotone bound); positions at or below an earlier [lowest]
+    are spent and will not be revisited. *)
+
+val seek_pos : cursor -> lowest:int -> int
+(** As {!seek} but option-free: the position, or [-1] when none qualifies.
+    The mining hot loops use this entry to avoid one allocation per
+    successful seek. *)
+
+val reseat : cursor -> seq:int -> unit
+(** Re-point the cursor at sequence [seq]'s position list for the same
+    event, resetting the monotone frontier but keeping the batched counts.
+    An INSgrow pass over a whole support set thereby costs one cursor
+    allocation and one {!cursor_finish} flush total. The sequence index is
+    not re-validated — callers iterate a support set's groups, which are
+    in range by construction. *)
+
+val cursor_finish : cursor -> unit
+(** Flush the cursor's locally batched counts into {!Metrics.next_calls}
+    and {!Metrics.cursor_advances} (one atomic add per counter, instead of
+    contending on shared counters inside the seek loop). Safe to skip —
+    only metrics accuracy is affected. *)
 
 val occurrence_count : t -> Event.t -> int
 (** Total occurrences of [e] over the database — the repetitive support of
-    the single-event pattern [e]. *)
+    the single-event pattern [e]. [O(1)] (dense-alphabet table lookup). *)
 
 val events : t -> Event.t list
 (** Distinct events in the database, ascending. *)

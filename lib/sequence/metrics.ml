@@ -1,0 +1,47 @@
+type counter = int Atomic.t
+
+let hit c = Atomic.incr c
+let add c n = if n <> 0 then ignore (Atomic.fetch_and_add c n)
+let value = Atomic.get
+
+let observe_max c v =
+  let rec loop () =
+    let cur = Atomic.get c in
+    if v > cur && not (Atomic.compare_and_set c cur v) then loop ()
+  in
+  loop ()
+
+let insgrow_calls = Atomic.make 0
+let next_calls = Atomic.make 0
+let cursor_advances = Atomic.make 0
+let closure_bound_checks = Atomic.make 0
+let closure_bound_rejects = Atomic.make 0
+let closure_base_grows = Atomic.make 0
+let closure_full_grows = Atomic.make 0
+let peak_live_words = Atomic.make 0
+
+let sample_live_words () =
+  let live = (Gc.stat ()).Gc.live_words in
+  observe_max peak_live_words live;
+  live
+
+let all =
+  [
+    ("insgrow_calls", insgrow_calls);
+    ("next_calls", next_calls);
+    ("cursor_advances", cursor_advances);
+    ("closure_bound_checks", closure_bound_checks);
+    ("closure_bound_rejects", closure_bound_rejects);
+    ("closure_base_grows", closure_base_grows);
+    ("closure_full_grows", closure_full_grows);
+    ("peak_live_words", peak_live_words);
+  ]
+
+let reset () = List.iter (fun (_, c) -> Atomic.set c 0) all
+
+let dump () =
+  List.filter (fun (_, v) -> v <> 0) (List.map (fun (n, c) -> (n, Atomic.get c)) all)
+  |> List.sort compare
+
+let pp ppf () =
+  List.iter (fun (n, v) -> Format.fprintf ppf "%s = %d@." n v) (dump ())

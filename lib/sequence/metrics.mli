@@ -1,0 +1,64 @@
+(** Lightweight global counters for observing the mining hot paths.
+
+    Counters are atomic so they stay accurate under domain-parallel mining;
+    they cost one atomic operation when hit. The index/cursor hot path
+    ({!Inverted_index.seek}) batches its counts locally and flushes them
+    once per group ({!Inverted_index.cursor_finish}) so parallel mining
+    does not contend on a shared cache line per extension. Benches and
+    tests use the counters to explain where time goes. *)
+
+type counter = int Atomic.t
+
+val hit : counter -> unit
+(** Increment (atomic). *)
+
+val add : counter -> int -> unit
+(** Add [n] (atomic); no-op when [n = 0]. *)
+
+val value : counter -> int
+(** Current reading. *)
+
+val observe_max : counter -> int -> unit
+(** Raise the counter to [v] if [v] exceeds its current value (atomic
+    max — used for peak gauges such as {!peak_live_words}). *)
+
+val sample_live_words : unit -> int
+(** Sample the GC's live heap words ([Gc.stat], which walks the major
+    heap — call between runs, not inside hot loops), fold the sample into
+    {!peak_live_words}, and return it. *)
+
+val reset : unit -> unit
+(** Zero every counter. *)
+
+val dump : unit -> (string * int) list
+(** Current [(name, value)] pairs, name-sorted, zeros omitted. *)
+
+val pp : Format.formatter -> unit -> unit
+
+(** The counters themselves (bumped by library code): *)
+
+val insgrow_calls : counter
+(** Compressed instance-growth invocations (Support_set.grow). *)
+
+val next_calls : counter
+(** [next]-subroutine evaluations: direct {!Inverted_index.next} calls plus
+    cursor {!Inverted_index.seek}s. *)
+
+val cursor_advances : counter
+(** Total positions a CSR cursor stepped over while seeking — the
+    amortized-O(occurrences) work of a whole-sequence INSgrow pass. *)
+
+val closure_bound_checks : counter
+(** Pre-filter evaluations in Closure.check. *)
+
+val closure_bound_rejects : counter
+(** Candidate extensions the pre-filter proved hopeless (no growth run). *)
+
+val closure_base_grows : counter
+(** Extension candidates that survived the filter and grew their base. *)
+
+val closure_full_grows : counter
+(** Extensions grown to completion (equal support found). *)
+
+val peak_live_words : counter
+(** Peak GC live words observed via {!sample_live_words} (max gauge). *)

@@ -1,9 +1,14 @@
-type t = { seqs : Sequence.t array }
+type t = { seqs : Sequence.t array; alpha : Alphabet.t }
 
-let of_array seqs = { seqs = Array.copy seqs }
-let of_sequences l = { seqs = Array.of_list l }
+(* The dense alphabet is interned eagerly: one O(total length) pass at build
+   time buys hashing-free, array-indexed event lookups for the lifetime of
+   the database (Inverted_index's CSR layout keys on dense ids). *)
+let of_owned_array seqs = { seqs; alpha = Alphabet.of_sequences seqs }
+let of_array seqs = of_owned_array (Array.copy seqs)
+let of_sequences l = of_owned_array (Array.of_list l)
 let of_strings l = of_sequences (List.map Sequence.of_string l)
 let size db = Array.length db.seqs
+let dense_alphabet db = db.alpha
 
 let seq db i =
   if i < 1 || i > Array.length db.seqs then
@@ -20,12 +25,8 @@ let avg_length db =
   if Array.length db.seqs = 0 then 0.
   else float_of_int (total_length db) /. float_of_int (Array.length db.seqs)
 
-let alphabet db =
-  let module ISet = Set.Make (Int) in
-  let add acc s = List.fold_left (fun acc e -> ISet.add e acc) acc (Sequence.events s) in
-  ISet.elements (Array.fold_left add ISet.empty db.seqs)
-
-let alphabet_size db = List.length (alphabet db)
+let alphabet db = Array.to_list (Alphabet.events db.alpha)
+let alphabet_size db = Alphabet.size db.alpha
 
 let event_count db e =
   Array.fold_left (fun n s -> n + Sequence.count s e) 0 db.seqs

@@ -34,6 +34,12 @@ val alphabet : t -> Event.t list
 
 val alphabet_size : t -> int
 
+val dense_alphabet : t -> Alphabet.t
+(** The dense event alphabet interned at build time: every distinct event
+    mapped to a dense id in [0 .. alphabet_size - 1], in ascending event
+    order. The columnar index layout ({!Inverted_index}) keys its
+    per-sequence offset tables on these ids. *)
+
 val event_count : t -> Event.t -> int
 (** Total number of occurrences of an event across all sequences. This equals
     the repetitive support of the size-1 pattern made of that event. *)

@@ -57,6 +57,30 @@ let test_queries_exhaustive () =
       done)
     [ 2; 3; 4; 16; 64 ]
 
+let test_to_array () =
+  Alcotest.(check (list int)) "empty" []
+    (Array.to_list (Btree.to_array (Btree.of_sorted_array [||])));
+  List.iter
+    (fun fanout ->
+      List.iter
+        (fun n ->
+          let keys = Array.init n (fun i -> (i * 2) + 1) in
+          let t = Btree.of_sorted_array ~fanout keys in
+          let arr = Btree.to_array t in
+          Alcotest.(check (list int))
+            (Printf.sprintf "f%d n%d" fanout n)
+            (Array.to_list keys) (Array.to_list arr);
+          (* fresh array, not a view into the tree *)
+          if n > 0 then begin
+            arr.(0) <- -1;
+            Alcotest.(check (list int))
+              (Printf.sprintf "f%d n%d unaliased" fanout n)
+              (Array.to_list keys)
+              (Array.to_list (Btree.to_array t))
+          end)
+        [ 0; 1; 2; 7; 64; 257 ])
+    [ 2; 3; 16 ]
+
 (* qcheck: tree queries = array binary-search queries on random key sets *)
 let prop_btree_equals_array =
   let gen =
@@ -153,6 +177,7 @@ let suite =
     Alcotest.test_case "empty and single" `Quick test_empty_and_single;
     Alcotest.test_case "validation" `Quick test_validation;
     Alcotest.test_case "queries exhaustive" `Quick test_queries_exhaustive;
+    Alcotest.test_case "to_array" `Quick test_to_array;
     prop_btree_equals_array;
     Alcotest.test_case "index equivalence" `Quick test_index_equivalence;
     Alcotest.test_case "paged mining equivalence" `Quick test_paged_mining_equivalence;

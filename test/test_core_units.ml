@@ -26,6 +26,38 @@ let test_right_shift_order () =
   Alcotest.(check bool) "b before c" true (Instance.right_shift_compare b c < 0);
   Alcotest.(check int) "reflexive" 0 (Instance.right_shift_compare a a)
 
+let test_right_shift_order_full_tiebreak () =
+  (* Regression: instances agreeing on sequence and last landmark used to
+     compare equal even when earlier landmark positions differed, making
+     the "order" non-total — sorting could then interleave distinct
+     instances nondeterministically. Earlier positions now break ties
+     lexicographically. *)
+  let a = inst 1 [ 1; 3; 9 ] in
+  let b = inst 1 [ 1; 4; 9 ] in
+  Alcotest.(check bool) "lex tie-break a<b" true
+    (Instance.right_shift_compare_full a b < 0);
+  Alcotest.(check bool) "antisymmetric" true
+    (Instance.right_shift_compare_full b a > 0);
+  Alcotest.(check int) "reflexive" 0 (Instance.right_shift_compare_full a a);
+  (* first position decides, consistent with the compressed order *)
+  let c = inst 1 [ 2; 3; 9 ] in
+  Alcotest.(check bool) "first decides" true
+    (Instance.right_shift_compare_full a c < 0);
+  Alcotest.(check bool) "matches compressed" true
+    (Instance.right_shift_compare (Instance.compress a) (Instance.compress c) < 0);
+  (* equal last but different length: lex scan decides at the first
+     divergence *)
+  let short = inst 1 [ 9 ] in
+  let long = inst 1 [ 3; 9 ] in
+  Alcotest.(check bool) "lex across lengths" true
+    (Instance.right_shift_compare_full long short < 0);
+  (* last landmark still dominates everything after the sequence *)
+  let early = inst 1 [ 7; 8 ] in
+  Alcotest.(check bool) "last dominates" true
+    (Instance.right_shift_compare_full early a < 0);
+  Alcotest.(check bool) "seq dominates" true
+    (Instance.right_shift_compare_full a (inst 2 [ 1 ]) < 0)
+
 let test_overlap_mismatched () =
   Alcotest.check_raises "length mismatch"
     (Invalid_argument "Instance.overlap: landmark lengths differ") (fun () ->
@@ -184,6 +216,8 @@ let suite =
   [
     Alcotest.test_case "instance compress" `Quick test_compress;
     Alcotest.test_case "right-shift order" `Quick test_right_shift_order;
+    Alcotest.test_case "right-shift order full tie-break" `Quick
+      test_right_shift_order_full_tiebreak;
     Alcotest.test_case "overlap length mismatch" `Quick test_overlap_mismatched;
     Alcotest.test_case "cross-sequence overlap" `Quick test_different_sequences_never_overlap;
     Alcotest.test_case "is_landmark_of" `Quick test_is_landmark_of;

@@ -1,0 +1,217 @@
+(* Differential suite for the columnar (CSR) index backend.
+
+   The refactor's contract is bit-identical behavior: on every database the
+   CSR backend must answer positions/next/count_between exactly like the
+   legacy hashtable layout and the paged B-tree layout, the monotone cursor
+   must agree with repeated [next] calls, and the full miners must produce
+   identical outputs on all three backends. Each property runs on 100+
+   random databases. *)
+
+open Rgs_sequence
+open Rgs_core
+
+let backends db =
+  [
+    Inverted_index.build_kind Inverted_index.Kcsr db;
+    Inverted_index.build_kind Inverted_index.Klegacy db;
+    Inverted_index.build_kind ~fanout:4 Inverted_index.Kpaged db;
+  ]
+
+let small_db = Gens.db ~num_seqs:6 ~alphabet:5 ~max_len:14
+
+(* positions / next / count_between / occurrence_count / events answer
+   identically on all three backends, including absent events. *)
+let prop_queries_equal =
+  Gens.make ~name:"csr = legacy = paged: queries" ~count:120 small_db
+    Gens.print_db (fun db ->
+      match backends db with
+      | [ csr; legacy; paged ] ->
+        let events = [ 0; 1; 2; 3; 4; 5; 99 ] (* 5 and 99 are absent *) in
+        List.for_all
+          (fun alt ->
+            Inverted_index.events csr = Inverted_index.events alt
+            && Inverted_index.frequent_events csr ~min_sup:3
+               = Inverted_index.frequent_events alt ~min_sup:3
+            && List.for_all
+                 (fun e ->
+                   Inverted_index.occurrence_count csr e
+                   = Inverted_index.occurrence_count alt e
+                   &&
+                   let ok = ref true in
+                   Seqdb.iter
+                     (fun i s ->
+                       let n = Sequence.length s in
+                       if
+                         Inverted_index.positions csr ~seq:i e
+                         <> Inverted_index.positions alt ~seq:i e
+                       then ok := false;
+                       for lowest = 0 to n + 1 do
+                         if
+                           Inverted_index.next csr ~seq:i e ~lowest
+                           <> Inverted_index.next alt ~seq:i e ~lowest
+                         then ok := false
+                       done;
+                       for lo = 0 to n do
+                         if
+                           Inverted_index.count_between csr ~seq:i e ~lo
+                             ~hi:(lo + 5)
+                           <> Inverted_index.count_between alt ~seq:i e ~lo
+                                ~hi:(lo + 5)
+                         then ok := false
+                       done;
+                       ())
+                     db;
+                   !ok)
+                 events)
+          [ legacy; paged ]
+      | _ -> assert false)
+
+(* A monotone stream of seeks through a cursor returns exactly what
+   repeated stateless [next] calls return, on every backend. *)
+let prop_cursor_equals_next =
+  Gens.make ~name:"cursor seek = repeated next" ~count:120 small_db
+    Gens.print_db (fun db ->
+      List.for_all
+        (fun idx ->
+          let ok = ref true in
+          List.iter
+            (fun e ->
+              Seqdb.iter
+                (fun i s ->
+                  let c = Inverted_index.cursor idx ~seq:i e in
+                  for lowest = 0 to Sequence.length s + 1 do
+                    if
+                      Inverted_index.seek c ~lowest
+                      <> Inverted_index.next idx ~seq:i e ~lowest
+                    then ok := false
+                  done;
+                  Inverted_index.cursor_finish c)
+                db)
+            [ 0; 1; 2; 3; 4; 7 ];
+          !ok)
+        (backends db))
+
+(* Support-set growth agrees across backends and stays well-formed. *)
+let prop_grow_equal =
+  Gens.make ~name:"Support_set.grow across backends" ~count:120
+    QCheck2.Gen.(pair small_db (Gens.pattern ~alphabet:5 ~max_len:4))
+    Gens.print_db_pattern (fun (db, pat) ->
+      match backends db with
+      | [ csr; legacy; paged ] ->
+        let grow_all idx =
+          let sets = ref [] in
+          let i = ref (Support_set.of_event idx (Pattern.get pat 1)) in
+          sets := [ !i ];
+          for j = 2 to Pattern.length pat do
+            i := Support_set.grow idx !i (Pattern.get pat j);
+            sets := !i :: !sets
+          done;
+          List.rev !sets
+        in
+        let on_csr = grow_all csr in
+        List.for_all Support_set.well_formed on_csr
+        && List.for_all2 Support_set.equal on_csr (grow_all legacy)
+        && List.for_all2 Support_set.equal on_csr (grow_all paged)
+      | _ -> assert false)
+
+let signatures results =
+  List.map
+    (fun r -> (Pattern.to_string r.Mined.pattern, r.Mined.support))
+    results
+
+(* Full-miner differential: GSgrow and CloGSgrow mine the exact same
+   pattern set (same order, same supports) on all three backends. *)
+let prop_miners_equal =
+  Gens.make ~name:"GSgrow/CloGSgrow across backends" ~count:100 small_db
+    Gens.print_db (fun db ->
+      match backends db with
+      | [ csr; legacy; paged ] ->
+        let all idx = signatures (fst (Gsgrow.mine ~max_length:4 idx ~min_sup:2)) in
+        let closed idx =
+          signatures (fst (Clogsgrow.mine ~max_length:4 idx ~min_sup:2))
+        in
+        all csr = all legacy
+        && all csr = all paged
+        && closed csr = closed legacy
+        && closed csr = closed paged
+      | _ -> assert false)
+
+(* Gap-constrained mining rides the same cursor path; cover it too. *)
+let prop_gap_miner_equal =
+  Gens.make ~name:"gap-constrained across backends" ~count:100 small_db
+    Gens.print_db (fun db ->
+      match backends db with
+      | [ csr; legacy; paged ] ->
+        let mine idx =
+          signatures
+            (fst (Gap_constrained.mine ~max_length:4 idx ~max_gap:2 ~min_sup:2))
+        in
+        mine csr = mine legacy && mine csr = mine paged
+      | _ -> assert false)
+
+(* Deterministic end-to-end runs on generated trace data, closer to the
+   bench workloads than the tiny qcheck databases. *)
+let test_trace_miner_equivalence () =
+  List.iter
+    (fun seed ->
+      let db =
+        Rgs_datagen.Trace_gen.generate
+          (Rgs_datagen.Trace_gen.params ~num_sequences:25 ~num_events:12 ~seed ())
+      in
+      let mine kind =
+        let idx = Inverted_index.build_kind kind db in
+        ( signatures (fst (Gsgrow.mine ~max_length:4 idx ~min_sup:6)),
+          signatures (fst (Clogsgrow.mine ~max_length:4 idx ~min_sup:6)) )
+      in
+      let all_csr, closed_csr = mine Inverted_index.Kcsr in
+      let all_legacy, closed_legacy = mine Inverted_index.Klegacy in
+      Alcotest.(check (list (pair string int)))
+        (Printf.sprintf "gsgrow seed %d" seed)
+        all_legacy all_csr;
+      Alcotest.(check (list (pair string int)))
+        (Printf.sprintf "clogsgrow seed %d" seed)
+        closed_legacy closed_csr;
+      Alcotest.(check bool)
+        (Printf.sprintf "nonempty seed %d" seed)
+        true
+        (List.length all_csr > 0))
+    [ 1; 7; 42 ]
+
+(* Alphabet interning unit checks: dense ids are ascending event rank;
+   Direct vs Table lookup choice must not change answers. *)
+let test_alphabet () =
+  let db = Seqdb.of_strings [ "DBA"; "CAB" ] in
+  let alpha = Seqdb.dense_alphabet db in
+  Alcotest.(check int) "size" 4 (Alphabet.size alpha);
+  Alcotest.(check (list int)) "events sorted"
+    [ 0; 1; 2; 3 ]
+    (Array.to_list (Alphabet.events alpha));
+  Array.iteri
+    (fun want e ->
+      Alcotest.(check int) "dense roundtrip" want (Alphabet.dense alpha e);
+      Alcotest.(check int) "event roundtrip" e (Alphabet.event alpha want))
+    (Alphabet.events alpha);
+  Alcotest.(check int) "absent" (-1) (Alphabet.dense alpha 9);
+  Alcotest.(check bool) "mem" true (Alphabet.mem alpha 2);
+  Alcotest.(check bool) "not mem" false (Alphabet.mem alpha 9);
+  (* sparse ids force the hashtable fallback; semantics must match *)
+  let sparse =
+    Seqdb.of_sequences
+      [ Sequence.of_list [ 1_000_000; 3; 1_000_000 ]; Sequence.of_list [ 3 ] ]
+  in
+  let a = Seqdb.dense_alphabet sparse in
+  Alcotest.(check int) "sparse size" 2 (Alphabet.size a);
+  Alcotest.(check int) "sparse dense 3" 0 (Alphabet.dense a 3);
+  Alcotest.(check int) "sparse dense big" 1 (Alphabet.dense a 1_000_000);
+  Alcotest.(check int) "sparse absent" (-1) (Alphabet.dense a 4)
+
+let suite =
+  [
+    Alcotest.test_case "alphabet interning" `Quick test_alphabet;
+    prop_queries_equal;
+    prop_cursor_equals_next;
+    prop_grow_equal;
+    prop_miners_equal;
+    prop_gap_miner_equal;
+    Alcotest.test_case "trace miner equivalence" `Quick test_trace_miner_equivalence;
+  ]

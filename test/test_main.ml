@@ -5,6 +5,7 @@ let () =
       ("btree", Test_btree.suite);
       ("pattern", Test_pattern.suite);
       ("core-units", Test_core_units.suite);
+      ("csr", Test_csr.suite);
       ("paper-examples", Test_paper_examples.suite);
       ("baselines", Test_baselines.suite);
       ("datagen", Test_datagen.suite);
