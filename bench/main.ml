@@ -177,14 +177,77 @@ let section_layout () =
         algos)
     datasets;
   print_table "old vs new layout (identical outputs checked)" t;
+  (* Tracing overhead: CloGSgrow on the CSR index with the trace disabled
+     (Trace.null — the miners' default, and the configuration every
+     untraced run above exercises), at Roots level and at Nodes level.
+     Disabled tracing must stay a branch-predictable no-op, so "off" here
+     must match the plain runs within noise. *)
+  let trace_rows = ref [] in
+  let tt =
+    Rgs_post.Report.create
+      ~columns:[ "dataset"; "trace"; "time_s"; "overhead"; "events" ]
+  in
+  List.iter
+    (fun (name, path, min_sup, max_length) ->
+      let db, _codec = Seq_io.load_tokens path in
+      let idx = Inverted_index.build_kind Inverted_index.Kcsr db in
+      let measure trace =
+        ignore (Clogsgrow.mine ?max_length ~trace idx ~min_sup);
+        let wall = ref infinity in
+        for _ = 1 to reps do
+          let _, elapsed =
+            E.Exp_common.time (fun () -> Clogsgrow.mine ?max_length ~trace idx ~min_sup)
+          in
+          if elapsed < !wall then wall := elapsed
+        done;
+        !wall
+      in
+      let wall_off = measure Trace.null in
+      let levels =
+        [ ("roots", Trace.Roots); ("nodes", Trace.Nodes) ]
+      in
+      let row label wall events =
+        let overhead = (wall /. wall_off -. 1.) *. 100. in
+        Rgs_post.Report.add_row tt
+          [ name; label; Rgs_post.Report.cell_float wall;
+            Printf.sprintf "%+.1f%%" overhead; string_of_int events ];
+        trace_rows :=
+          Printf.sprintf
+            "    {\"dataset\": %S, \"trace\": %S, \"wall_s\": %.6f, \
+             \"overhead_pct\": %.1f, \"events_per_run\": %d}"
+            name label wall overhead events
+          :: !trace_rows
+      in
+      row "off" wall_off 0;
+      List.iter
+        (fun (label, level) ->
+          (* fresh trace per timed run so the ring never saturates *)
+          let wall = ref infinity in
+          let events = ref 0 in
+          ignore (measure Trace.null);
+          for _ = 1 to reps do
+            let trace = Trace.create ~level () in
+            let _, elapsed =
+              E.Exp_common.time (fun () ->
+                  Clogsgrow.mine ?max_length ~trace idx ~min_sup)
+            in
+            events := List.length (Trace.events trace) + Trace.dropped trace;
+            if elapsed < !wall then wall := elapsed
+          done;
+          row label !wall !events)
+        levels)
+    datasets;
+  print_table "tracing overhead — CloGSgrow on CSR (best of reps)" tt;
   if datasets <> [] then begin
     let oc = open_out json_path in
     Printf.fprintf oc
       "{\n  \"bench\": \"columnar layout, legacy vs CSR\",\n  \"reps\": %d,\n  \
-       \"runs\": [\n%s\n  ],\n  \"speedups\": [\n%s\n  ]\n}\n"
+       \"runs\": [\n%s\n  ],\n  \"speedups\": [\n%s\n  ],\n  \
+       \"trace_overhead\": [\n%s\n  ]\n}\n"
       reps
       (String.concat ",\n" (List.rev !runs))
-      (String.concat ",\n" (List.rev !speedups));
+      (String.concat ",\n" (List.rev !speedups))
+      (String.concat ",\n" (List.rev !trace_rows));
     close_out oc;
     Format.printf "wrote %s@." json_path
   end

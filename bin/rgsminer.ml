@@ -6,7 +6,9 @@
      rgsminer --min-sup 18 --all --max-length 10 --limit 50 traces.txt
      rgsminer --min-sup 5 --format spmf data.spmf --instances
      rgsminer --min-sup 2 --deadline 5 --checkpoint run.ckpt data.txt
-     rgsminer --min-sup 2 --checkpoint run.ckpt --resume data.txt *)
+     rgsminer --min-sup 2 --checkpoint run.ckpt --resume data.txt
+     rgsminer --min-sup 3 --trace run.json --trace-level nodes data.txt
+     rgsminer --min-sup 3 --stats stats.prom data.txt *)
 
 open Cmdliner
 open Rgs_sequence
@@ -34,7 +36,8 @@ let setup_logs verbose =
   Logs.set_level (Some (if verbose then Logs.Info else Logs.Warning))
 
 let run input format min_sup all max_length max_patterns limit instances max_gap parallel
-    index_kind deadline max_nodes max_words checkpoint resume verbose =
+    index_kind deadline max_nodes max_words checkpoint resume trace_file
+    trace_level stats_file verbose =
   setup_logs verbose;
   match
     let db, codec = load format input in
@@ -46,11 +49,32 @@ let run input format min_sup all max_length max_patterns limit instances max_gap
       Miner.config ~mode ?max_length ?max_patterns ?max_gap ?domains
         ?index_kind ?deadline_s:deadline ?max_nodes ?max_words ~min_sup ()
     in
+    let trace =
+      match trace_file with
+      | None -> Trace.null
+      | Some _ -> Trace.create ~level:trace_level ()
+    in
+    let before = if stats_file <> None then Some (Metrics.snapshot ()) else None in
     let report =
       if checkpoint <> None || resume then
-        Miner.mine_resumable ?checkpoint ~resume config db
-      else Miner.mine ~config db
+        Miner.mine_resumable ?checkpoint ~resume ~trace config db
+      else Miner.mine ~config ~trace db
     in
+    (match trace_file with
+    | None -> ()
+    | Some path ->
+      Trace.write_chrome path trace;
+      Format.printf "trace: %d event(s) written to %s%s@."
+        (List.length (Trace.events trace))
+        path
+        (let d = Trace.dropped trace in
+         if d > 0 then Printf.sprintf " (%d dropped: ring full)" d else ""));
+    (match (stats_file, before) with
+    | Some path, Some before ->
+      let delta = Metrics.diff ~before ~after:(Metrics.snapshot ()) in
+      Metrics.write_stats ~path delta;
+      Format.printf "stats: written to %s@." path
+    | _ -> ());
     (match codec with
     | Some codec -> Format.printf "%a@." (Miner.pp_report ~codec ~limit) report
     | None -> Format.printf "%a@." (fun ppf r -> Miner.pp_report ~limit ppf r) report);
@@ -169,6 +193,27 @@ let resume =
                does not already cover. The checkpoint must match the input data, \
                threshold, mode and $(b,--max-length).")
 
+let trace_file =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+         ~doc:"Write a Chrome trace_event JSON timeline of the run to FILE. \
+               Open it in ui.perfetto.dev or chrome://tracing. Event volume is \
+               set by $(b,--trace-level).")
+
+let trace_level =
+  let level_conv =
+    Arg.enum [ ("off", Trace.Off); ("roots", Trace.Roots); ("nodes", Trace.Nodes) ]
+  in
+  Arg.(value & opt level_conv Trace.Roots & info [ "trace-level" ] ~docv:"LEVEL"
+         ~doc:"Trace detail: $(b,roots) (default; per-root DFS spans and run \
+               milestones), $(b,nodes) (adds one event per DFS node, extension \
+               and closure check), or $(b,off).")
+
+let stats_file =
+  Arg.(value & opt (some string) None & info [ "stats" ] ~docv:"FILE"
+         ~doc:"Write the run's metric deltas to FILE: JSON when FILE ends in \
+               $(b,.json), Prometheus text exposition otherwise. See \
+               OBSERVABILITY.md for every metric.")
+
 let verbose =
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Log mining progress to stderr.")
 
@@ -178,6 +223,7 @@ let cmd =
     (Cmd.info "rgsminer" ~version:"1.1.0" ~doc)
     Term.(const run $ input $ format $ min_sup $ all $ max_length $ max_patterns $ limit
           $ instances $ max_gap $ parallel $ index_kind $ deadline $ max_nodes
-          $ max_words $ checkpoint $ resume $ verbose)
+          $ max_words $ checkpoint $ resume $ trace_file $ trace_level
+          $ stats_file $ verbose)
 
 let () = exit (Cmd.eval' cmd)

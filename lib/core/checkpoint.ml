@@ -46,7 +46,8 @@ let save ~path t =
    with e ->
      (try Sys.remove tmp with Sys_error _ -> ());
      raise e);
-  Sys.rename tmp path
+  Sys.rename tmp path;
+  Rgs_sequence.Metrics.hit Rgs_sequence.Metrics.checkpoint_writes
 
 let load ~path ~expected_fingerprint =
   let ic =

@@ -13,7 +13,8 @@ type stats = {
 exception Budget_exhausted
 
 let run ?max_length ?events ?roots ?(use_lb_check = true) ?(use_c_check = true)
-    ?(should_stop = fun () -> false) ?budget idx ~min_sup ~emit =
+    ?(should_stop = fun () -> false) ?budget ?(trace = Trace.null) idx ~min_sup
+    ~emit =
   if min_sup < 1 then invalid_arg "Clogsgrow: min_sup must be >= 1";
   let events =
     match events with
@@ -48,6 +49,7 @@ let run ?max_length ?events ?roots ?(use_lb_check = true) ?(use_c_check = true)
     (match budget with Some b -> Budget.check b | None -> ());
     incr dfs_nodes;
     let sup_p = Support_set.size i in
+    Trace.instant trace Trace.Node ~a0:(Pattern.length p) ~a1:sup_p;
     (* Prunability does not depend on the appended extensions (an append
        always shifts the landmark border right), so the insert/prepend scan
        runs first: a pruned subtree never pays for its appends. *)
@@ -55,8 +57,8 @@ let run ?max_length ?events ?roots ?(use_lb_check = true) ?(use_c_check = true)
       if use_c_check || use_lb_check then begin
         let prefix_sets = Array.of_list (List.rev rev_chain) in
         let v =
-          Closure.check ~event_sets idx ~candidate_events:events ~prefix_sets
-            ~pattern:p ~support_set:i ~has_equal_append:false
+          Closure.check ~event_sets ~trace idx ~candidate_events:events
+            ~prefix_sets ~pattern:p ~support_set:i ~has_equal_append:false
         in
         if not use_lb_check then { v with Closure.prunable = false }
         else if not use_c_check then { v with Closure.closed = true }
@@ -64,7 +66,10 @@ let run ?max_length ?events ?roots ?(use_lb_check = true) ?(use_c_check = true)
       end
       else { Closure.closed = true; prunable = false }
     in
-    if verdict.Closure.prunable then incr lb_pruned
+    if verdict.Closure.prunable then begin
+      incr lb_pruned;
+      Trace.instant trace Trace.Lb_prune ~a0:(Pattern.length p) ~a1:sup_p
+    end
     else begin
       let appends =
         List.map
@@ -83,24 +88,47 @@ let run ?max_length ?events ?roots ?(use_lb_check = true) ?(use_c_check = true)
         emit { Mined.pattern = p; support = sup_p; support_set = i }
       end
       else incr non_closed_dropped;
-      if within_length p then
+      if within_length p then begin
+        let recursed = ref 0 in
         List.iter
           (fun (e, i_plus) ->
-            if Support_set.size i_plus >= min_sup then
-              mine_fre (Pattern.grow p e) i_plus (i_plus :: rev_chain))
-          appends
+            if Support_set.size i_plus >= min_sup then begin
+              incr recursed;
+              mine_fre (Pattern.grow p e) i_plus (i_plus :: rev_chain)
+            end)
+          appends;
+        Trace.instant trace Trace.Extension ~a0:(Pattern.length p) ~a1:!recursed
+      end
     end
   in
-  (try
-     List.iter
-       (fun e ->
-         let i = Support_set.of_event idx e in
-         if Support_set.size i >= min_sup then
-           mine_fre (Pattern.of_list [ e ]) i [ i ])
-       roots
-   with
-  | Budget_exhausted -> outcome := Budget.Truncated
-  | Budget.Stop reason -> outcome := reason);
+  let mine_root e =
+    let i = Support_set.of_event idx e in
+    if Support_set.size i >= min_sup then begin
+      let t0 = Trace.now trace in
+      let before = !patterns in
+      let finish () =
+        Trace.span trace Trace.Root ~a0:e ~a1:(!patterns - before) ~start:t0
+      in
+      match mine_fre (Pattern.of_list [ e ]) i [ i ] with
+      | () -> finish ()
+      | exception ex ->
+        finish ();
+        raise ex
+    end
+  in
+  (try List.iter mine_root roots with
+  | Budget_exhausted ->
+    outcome := Budget.Truncated;
+    Metrics.hit Metrics.budget_stops;
+    Trace.instant trace Trace.Budget_stop
+      ~a0:(Budget.severity Budget.Truncated) ~a1:0
+  | Budget.Stop reason ->
+    outcome := reason;
+    Metrics.hit Metrics.budget_stops;
+    Trace.instant trace Trace.Budget_stop ~a0:(Budget.severity reason) ~a1:0);
+  Metrics.add Metrics.dfs_nodes !dfs_nodes;
+  Metrics.add Metrics.patterns_emitted !patterns;
+  Metrics.add Metrics.lb_prunes !lb_pruned;
   {
     patterns = !patterns;
     dfs_nodes = !dfs_nodes;
@@ -112,7 +140,7 @@ let run ?max_length ?events ?roots ?(use_lb_check = true) ?(use_c_check = true)
   }
 
 let mine ?max_length ?max_patterns ?events ?roots ?use_lb_check ?use_c_check ?should_stop
-    ?budget idx ~min_sup =
+    ?budget ?trace idx ~min_sup =
   let results = ref [] in
   let count = ref 0 in
   let emit r =
@@ -123,12 +151,12 @@ let mine ?max_length ?max_patterns ?events ?roots ?use_lb_check ?use_c_check ?sh
     | _ -> ()
   in
   let stats =
-    run ?max_length ?events ?roots ?use_lb_check ?use_c_check ?should_stop ?budget idx
-      ~min_sup ~emit
+    run ?max_length ?events ?roots ?use_lb_check ?use_c_check ?should_stop ?budget
+      ?trace idx ~min_sup ~emit
   in
   (List.rev !results, stats)
 
-let iter ?max_length ?events ?roots ?use_lb_check ?use_c_check ?should_stop ?budget idx
-    ~min_sup ~f =
-  run ?max_length ?events ?roots ?use_lb_check ?use_c_check ?should_stop ?budget idx
-    ~min_sup ~emit:f
+let iter ?max_length ?events ?roots ?use_lb_check ?use_c_check ?should_stop ?budget
+    ?trace idx ~min_sup ~f =
+  run ?max_length ?events ?roots ?use_lb_check ?use_c_check ?should_stop ?budget
+    ?trace idx ~min_sup ~emit:f

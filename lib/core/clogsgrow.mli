@@ -39,6 +39,7 @@ val mine :
   ?use_c_check:bool ->
   ?should_stop:(unit -> bool) ->
   ?budget:Budget.t ->
+  ?trace:Trace.t ->
   Inverted_index.t ->
   min_sup:int ->
   Mined.t list * stats
@@ -47,7 +48,9 @@ val mine :
     every DFS node and aborts the search when it returns [true] (sets
     [stats.outcome = Truncated]); [budget] is {!Budget.check}ed at every
     DFS node and its stop reason lands in [stats.outcome], with the
-    patterns mined so far still returned.
+    patterns mined so far still returned; [trace] (default {!Trace.null})
+    records per-root [Root] spans plus, at the [Nodes] level, per-node
+    [Node]/[Extension] instants, closure verdicts and [Lb_prune] events.
     @raise Invalid_argument when [min_sup < 1]. *)
 
 val iter :
@@ -58,6 +61,7 @@ val iter :
   ?use_c_check:bool ->
   ?should_stop:(unit -> bool) ->
   ?budget:Budget.t ->
+  ?trace:Trace.t ->
   Inverted_index.t ->
   min_sup:int ->
   f:(Mined.t -> unit) ->

@@ -37,8 +37,8 @@ let rightmost_landmark s p =
   in
   if m = 0 then Some [||] else walk m n
 
-let check ?event_sets idx ~candidate_events ~prefix_sets ~pattern ~support_set
-    ~has_equal_append =
+let check ?event_sets ?(trace = Trace.null) idx ~candidate_events ~prefix_sets
+    ~pattern ~support_set ~has_equal_append =
   let event_sets =
     match event_sets with Some f -> f | None -> Support_set.of_event idx
   in
@@ -126,8 +126,14 @@ let check ?event_sets idx ~candidate_events ~prefix_sets ~pattern ~support_set
       scan_position j
     done
   with
-  | () -> { closed = not !non_closed; prunable = false }
-  | exception Prunable -> { closed = false; prunable = true }
+  | () ->
+    Trace.instant trace Trace.Closure_check
+      ~a0:(if !non_closed then 1 else 0)
+      ~a1:m;
+    { closed = not !non_closed; prunable = false }
+  | exception Prunable ->
+    Trace.instant trace Trace.Closure_check ~a0:2 ~a1:m;
+    { closed = false; prunable = true }
 
 let prefix_sets_of idx pattern =
   let m = Pattern.length pattern in

@@ -22,6 +22,7 @@ type verdict = {
 
 val check :
   ?event_sets:(Event.t -> Support_set.t) ->
+  ?trace:Trace.t ->
   Inverted_index.t ->
   candidate_events:Event.t list ->
   prefix_sets:Support_set.t array ->
@@ -47,7 +48,11 @@ val check :
     [event_sets] supplies the size-1 leftmost support sets used as prepend
     bases; pass a memoised function (as CloGSgrow does) to avoid
     re-materialising them at every DFS node. Defaults to
-    [Support_set.of_event idx]. *)
+    [Support_set.of_event idx].
+
+    [trace] (default {!Trace.null}) records one [Closure_check] instant per
+    call at the [Nodes] level, carrying the verdict (0 closed, 1
+    non-closed, 2 LB-prunable). *)
 
 val is_closed : ?events:Event.t list -> Inverted_index.t -> Pattern.t -> bool
 (** Standalone Theorem-4 check (Definition 2.6): computes supports of all

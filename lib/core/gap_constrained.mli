@@ -51,6 +51,7 @@ val mine :
   ?max_patterns:int ->
   ?min_gap:int ->
   ?budget:Budget.t ->
+  ?trace:Trace.t ->
   Inverted_index.t ->
   max_gap:int ->
   min_sup:int ->

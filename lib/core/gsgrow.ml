@@ -12,8 +12,8 @@ exception Budget_exhausted
 (* Shared DFS skeleton for [mine] and [iter]. [emit] receives each frequent
    pattern; raising [Budget_exhausted] from it aborts the search, as does
    [Budget.Stop] from the budget's per-node check. *)
-let run ?max_length ?events ?roots ?(should_stop = fun () -> false) ?budget idx
-    ~min_sup ~emit =
+let run ?max_length ?events ?roots ?(should_stop = fun () -> false) ?budget
+    ?(trace = Trace.null) idx ~min_sup ~emit =
   if min_sup < 1 then invalid_arg "Gsgrow: min_sup must be >= 1";
   let events =
     match events with
@@ -31,26 +31,52 @@ let run ?max_length ?events ?roots ?(should_stop = fun () -> false) ?budget idx
     if should_stop () then raise Budget_exhausted;
     (match budget with Some b -> Budget.check b | None -> ());
     incr patterns;
+    Trace.instant trace Trace.Node ~a0:(Pattern.length p)
+      ~a1:(Support_set.size i);
     emit { Mined.pattern = p; support = Support_set.size i; support_set = i };
-    if within_length p then
+    if within_length p then begin
+      let recursed = ref 0 in
       List.iter
         (fun e ->
           incr insgrow_calls;
           Budget.Fault.fire Budget.Fault.Insgrow;
           let i_plus = Support_set.grow idx i e in
-          if Support_set.size i_plus >= min_sup then mine_fre (Pattern.grow p e) i_plus)
-        events
+          if Support_set.size i_plus >= min_sup then begin
+            incr recursed;
+            mine_fre (Pattern.grow p e) i_plus
+          end)
+        events;
+      Trace.instant trace Trace.Extension ~a0:(Pattern.length p) ~a1:!recursed
+    end
   in
-  (try
-     List.iter
-       (fun e ->
-         let i = Support_set.of_event idx e in
-         if Support_set.size i >= min_sup then
-           mine_fre (Pattern.of_list [ e ]) i)
-       roots
-   with
-  | Budget_exhausted -> outcome := Budget.Truncated
-  | Budget.Stop reason -> outcome := reason);
+  let mine_root e =
+    let i = Support_set.of_event idx e in
+    if Support_set.size i >= min_sup then begin
+      let t0 = Trace.now trace in
+      let before = !patterns in
+      let finish () =
+        Trace.span trace Trace.Root ~a0:e ~a1:(!patterns - before) ~start:t0
+      in
+      match mine_fre (Pattern.of_list [ e ]) i with
+      | () -> finish ()
+      | exception ex ->
+        finish ();
+        raise ex
+    end
+  in
+  (try List.iter mine_root roots with
+  | Budget_exhausted ->
+    outcome := Budget.Truncated;
+    Metrics.hit Metrics.budget_stops;
+    Trace.instant trace Trace.Budget_stop
+      ~a0:(Budget.severity Budget.Truncated) ~a1:0
+  | Budget.Stop reason ->
+    outcome := reason;
+    Metrics.hit Metrics.budget_stops;
+    Trace.instant trace Trace.Budget_stop ~a0:(Budget.severity reason) ~a1:0);
+  (* every GSgrow node emits its pattern, so nodes = patterns *)
+  Metrics.add Metrics.dfs_nodes !patterns;
+  Metrics.add Metrics.patterns_emitted !patterns;
   {
     patterns = !patterns;
     insgrow_calls = !insgrow_calls;
@@ -58,7 +84,8 @@ let run ?max_length ?events ?roots ?(should_stop = fun () -> false) ?budget idx
     outcome = !outcome;
   }
 
-let mine ?max_length ?max_patterns ?events ?roots ?should_stop ?budget idx ~min_sup =
+let mine ?max_length ?max_patterns ?events ?roots ?should_stop ?budget ?trace idx
+    ~min_sup =
   let results = ref [] in
   let count = ref 0 in
   let emit r =
@@ -68,8 +95,10 @@ let mine ?max_length ?max_patterns ?events ?roots ?should_stop ?budget idx ~min_
     | Some budget when !count >= budget -> raise Budget_exhausted
     | _ -> ()
   in
-  let stats = run ?max_length ?events ?roots ?should_stop ?budget idx ~min_sup ~emit in
+  let stats =
+    run ?max_length ?events ?roots ?should_stop ?budget ?trace idx ~min_sup ~emit
+  in
   (List.rev !results, stats)
 
-let iter ?max_length ?events ?roots ?should_stop ?budget idx ~min_sup ~f =
-  run ?max_length ?events ?roots ?should_stop ?budget idx ~min_sup ~emit:f
+let iter ?max_length ?events ?roots ?should_stop ?budget ?trace idx ~min_sup ~f =
+  run ?max_length ?events ?roots ?should_stop ?budget ?trace idx ~min_sup ~emit:f

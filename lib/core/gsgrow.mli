@@ -28,6 +28,7 @@ val mine :
   ?roots:Event.t list ->
   ?should_stop:(unit -> bool) ->
   ?budget:Budget.t ->
+  ?trace:Trace.t ->
   Inverted_index.t ->
   min_sup:int ->
   Mined.t list * stats
@@ -45,7 +46,9 @@ val mine :
     DFS node and aborts the search when it returns [true] (sets
     [stats.outcome = Truncated]); [budget] is {!Budget.check}ed at every
     DFS node and its stop reason is recorded in [stats.outcome] — the
-    patterns mined before the stop are always returned.
+    patterns mined before the stop are always returned; [trace] (default
+    {!Trace.null}, i.e. off) records per-root [Root] spans plus, at the
+    [Nodes] level, per-node [Node]/[Extension] instants and budget stops.
 
     @raise Invalid_argument when [min_sup < 1]. *)
 
@@ -55,6 +58,7 @@ val iter :
   ?roots:Event.t list ->
   ?should_stop:(unit -> bool) ->
   ?budget:Budget.t ->
+  ?trace:Trace.t ->
   Inverted_index.t ->
   min_sup:int ->
   f:(Mined.t -> unit) ->

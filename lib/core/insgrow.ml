@@ -18,6 +18,7 @@ let full_of_event idx e =
    with per-sequence [last_position] state implements lines 1-7 of
    Algorithm 2. *)
 let run_full idx insts e =
+  Metrics.hit Metrics.full_insgrow_calls;
   let out = ref [] in
   let current_seq = ref 0 in
   let last_position = ref 0 in

@@ -89,7 +89,7 @@ let budget_of cfg =
   | deadline_s, max_nodes, max_words ->
     Some (Budget.create ?deadline_s ?max_nodes ?max_words ())
 
-let mine_indexed cfg idx =
+let mine_indexed ?trace cfg idx =
   validate_config cfg;
   (match (cfg.domains, cfg.max_patterns, cfg.max_gap) with
   | Some _, Some _, _ ->
@@ -104,31 +104,31 @@ let mine_indexed cfg idx =
     | Some max_gap, _, _ ->
       let results, stats =
         Gap_constrained.mine ?max_length:cfg.max_length ?max_patterns:cfg.max_patterns
-          ?budget idx ~max_gap ~min_sup:cfg.min_sup
+          ?budget ?trace idx ~max_gap ~min_sup:cfg.min_sup
       in
       (results, stats.Gap_constrained.outcome)
     | None, Some domains, All ->
       let results, stats =
-        Parallel_miner.mine_all ~domains ?max_length:cfg.max_length ?budget idx
-          ~min_sup:cfg.min_sup
+        Parallel_miner.mine_all ~domains ?max_length:cfg.max_length ?budget ?trace
+          idx ~min_sup:cfg.min_sup
       in
       (results, stats.Gsgrow.outcome)
     | None, Some domains, Closed ->
       let results, stats =
-        Parallel_miner.mine_closed ~domains ?max_length:cfg.max_length ?budget idx
-          ~min_sup:cfg.min_sup
+        Parallel_miner.mine_closed ~domains ?max_length:cfg.max_length ?budget
+          ?trace idx ~min_sup:cfg.min_sup
       in
       (results, stats.Clogsgrow.outcome)
     | None, None, All ->
       let results, stats =
         Gsgrow.mine ?max_length:cfg.max_length ?max_patterns:cfg.max_patterns ?budget
-          idx ~min_sup:cfg.min_sup
+          ?trace idx ~min_sup:cfg.min_sup
       in
       (results, stats.Gsgrow.outcome)
     | None, None, Closed ->
       let results, stats =
         Clogsgrow.mine ?max_length:cfg.max_length ?max_patterns:cfg.max_patterns
-          ?budget idx ~min_sup:cfg.min_sup
+          ?budget ?trace idx ~min_sup:cfg.min_sup
       in
       (results, stats.Clogsgrow.outcome)
   in
@@ -138,7 +138,7 @@ let mine_indexed cfg idx =
         elapsed_s);
   { results; truncated = Budget.is_stop outcome; outcome; elapsed_s }
 
-let mine ?config:cfg ?min_sup db =
+let mine ?config:cfg ?min_sup ?trace db =
   let cfg =
     match (cfg, min_sup) with
     | Some c, _ -> c
@@ -146,7 +146,7 @@ let mine ?config:cfg ?min_sup db =
     | None, None -> invalid_arg "Miner.mine: provide ~config or ~min_sup"
   in
   let idx = build_index cfg db in
-  mine_indexed cfg idx
+  mine_indexed ?trace cfg idx
 
 (* --- checkpoint/resume driver --- *)
 
@@ -160,7 +160,7 @@ let checkpoint_fingerprint cfg db =
       ]
     db
 
-let mine_resumable ?checkpoint ?(resume = false) cfg db =
+let mine_resumable ?checkpoint ?(resume = false) ?(trace = Trace.null) cfg db =
   validate_config cfg;
   if cfg.max_gap <> None then
     invalid_arg "Miner: checkpointing is not supported with max_gap";
@@ -200,23 +200,25 @@ let mine_resumable ?checkpoint ?(resume = false) cfg db =
     match cfg.mode with
     | All ->
       let results, stats =
-        Gsgrow.mine ?max_length:cfg.max_length ?budget ~events ~roots:[ roots.(k) ]
-          idx ~min_sup:cfg.min_sup
+        Gsgrow.mine ?max_length:cfg.max_length ?budget
+          ~trace:(Trace.for_domain trace) ~events ~roots:[ roots.(k) ] idx
+          ~min_sup:cfg.min_sup
       in
       (results, stats.Gsgrow.outcome)
     | Closed ->
       let results, stats =
-        Clogsgrow.mine ?max_length:cfg.max_length ?budget ~events
-          ~roots:[ roots.(k) ] idx ~min_sup:cfg.min_sup
+        Clogsgrow.mine ?max_length:cfg.max_length ?budget
+          ~trace:(Trace.for_domain trace) ~events ~roots:[ roots.(k) ] idx
+          ~min_sup:cfg.min_sup
       in
       (results, stats.Clogsgrow.outcome)
   in
   let slots, halt_reason =
-    Parallel_miner.run_pool
+    Parallel_miner.run_pool ~trace
       ~halt_on:(fun (_, outcome) -> Budget.is_stop outcome)
       ~domains ~num_roots:(Array.length roots) ~mine_root ()
   in
-  let slots = Parallel_miner.retry_failed ~mine_root slots in
+  let slots = Parallel_miner.retry_failed ~trace ~mine_root slots in
   (* Classify each freshly mined root: fully completed roots advance the
      checkpoint frontier; partially mined and crashed roots stay on it, but
      partial results still reach the report. *)
@@ -269,7 +271,10 @@ let mine_resumable ?checkpoint ?(resume = false) cfg db =
     let remaining =
       List.filter (fun root -> not (Hashtbl.mem completed_results root)) events
     in
-    Checkpoint.save ~path { Checkpoint.fingerprint = fp; completed; remaining; outcome });
+    let t0 = Trace.now trace in
+    Checkpoint.save ~path { Checkpoint.fingerprint = fp; completed; remaining; outcome };
+    Trace.span trace Trace.Checkpoint_write ~a0:(List.length completed)
+      ~a1:(List.length remaining) ~start:t0);
   let elapsed_s = Unix.gettimeofday () -. start in
   Log.info (fun m ->
       m "found %d pattern(s) (%a) in %.3fs" (List.length results) Budget.pp outcome

@@ -68,19 +68,20 @@ type report = {
   elapsed_s : float;
 }
 
-val mine : ?config:config -> ?min_sup:int -> Seqdb.t -> report
+val mine : ?config:config -> ?min_sup:int -> ?trace:Trace.t -> Seqdb.t -> report
 (** Mines [db]. Pass either a full [config] or just [min_sup] (with the
-    defaults of {!config}).
+    defaults of {!config}). A live [trace] (default {!Trace.null}) records
+    the run's DFS spans and instants — see {!Trace}.
     @raise Invalid_argument when neither [config] nor [min_sup] is given,
     when [min_sup < 1], or when [domains] is combined with [max_patterns]
     or [max_gap]. *)
 
-val mine_indexed : config -> Inverted_index.t -> report
+val mine_indexed : ?trace:Trace.t -> config -> Inverted_index.t -> report
 (** As {!mine} on a prebuilt index (amortises index construction across
     parameter sweeps; [config.paged_index] is ignored). *)
 
 val mine_resumable :
-  ?checkpoint:string -> ?resume:bool -> config -> Seqdb.t -> report
+  ?checkpoint:string -> ?resume:bool -> ?trace:Trace.t -> config -> Seqdb.t -> report
 (** Root-partitioned mining with checkpoint/resume. Roots (frequent size-1
     patterns) are mined independently — sequentially, or with
     [config.domains] pool workers; a crashing root is retried once and at
@@ -93,7 +94,8 @@ val mine_resumable :
     uninterrupted run's. A checkpoint written for a different database,
     [min_sup], [mode] or [max_length] is rejected
     ({!Checkpoint.Corrupt}). Runtime limits may differ between the original
-    and the resumed run.
+    and the resumed run. Each checkpoint write is recorded into [trace] as
+    a [Checkpoint_write] span ([a0] = completed roots, [a1] = remaining).
 
     @raise Invalid_argument with [max_gap] or [max_patterns] (those paths
     are not root-partitioned), or when [resume] is set without

@@ -13,17 +13,30 @@ type 'a root_status = Done of 'a | Failed of exn | Skipped
    so [Domain.join] cannot re-raise and the main domain always joins every
    spawned domain, even when its own worker fails. When a completed root
    satisfies [halt_on] (e.g. a shared budget reported a stop) the pool
-   stops claiming further roots; unclaimed slots stay [Skipped]. *)
-let run_pool ?(halt_on = fun _ -> false) ~domains ~num_roots ~mine_root () =
+   stops claiming further roots; unclaimed slots stay [Skipped].
+
+   Observability: each worker samples [Metrics.peak_live_words] for its own
+   domain as it exits (OCaml 5 keeps per-domain minor heaps, so the main
+   domain's view alone undercounts a parallel run) and, when [trace] is
+   live, records its lifecycle as a [Worker] span in its per-domain child
+   buffer ([Trace.for_domain] — no cross-domain contention; the buffers are
+   read merged after the joins). *)
+let run_pool ?(trace = Trace.null) ?(halt_on = fun _ -> false) ~domains
+    ~num_roots ~mine_root () =
   let next = Atomic.make 0 in
   let halted = Atomic.make false in
   let halt_reason = Atomic.make None in
   let slots = Array.make num_roots Skipped in
-  let worker () =
+  let worker slot () =
+    Metrics.hit Metrics.pool_workers;
+    let wtr = Trace.for_domain trace in
+    let t0 = Trace.now wtr in
+    let claimed = ref 0 in
     let rec loop () =
       if not (Atomic.get halted) then begin
         let k = Atomic.fetch_and_add next 1 in
         if k < num_roots then begin
+          incr claimed;
           (match
              Budget.Fault.fire (Budget.Fault.Worker k);
              mine_root k
@@ -35,6 +48,9 @@ let run_pool ?(halt_on = fun _ -> false) ~domains ~num_roots ~mine_root () =
             (* a shared budget tripped outside the miner's own handler; the
                root is not complete — leave it [Skipped] so a resume can
                re-claim it, but remember why the pool halted *)
+            Metrics.hit Metrics.budget_stops;
+            Trace.instant wtr Trace.Budget_stop ~a0:(Budget.severity reason)
+              ~a1:0;
             Atomic.set halt_reason (Some reason);
             Atomic.set halted true
           | exception e -> slots.(k) <- Failed e);
@@ -42,23 +58,27 @@ let run_pool ?(halt_on = fun _ -> false) ~domains ~num_roots ~mine_root () =
         end
       end
     in
-    try loop () with _ -> ()
+    (try loop () with _ -> ());
+    ignore (Metrics.sample_live_words ());
+    Trace.span wtr Trace.Worker ~a0:slot ~a1:!claimed ~start:t0
   in
-  let spawned = List.init (domains - 1) (fun _ -> Domain.spawn worker) in
+  let spawned = List.init (domains - 1) (fun i -> Domain.spawn (worker (i + 1))) in
   Fun.protect
     ~finally:(fun () ->
       List.iter (fun d -> try Domain.join d with _ -> ()) spawned)
-    worker;
+    (worker 0);
   (slots, Atomic.get halt_reason)
 
 (* One sequential retry for roots that crashed in the pool: transient
    failures (and fault hooks armed to fire once) recover; a second failure
    leaves the root [Failed] and only its patterns are lost. *)
-let retry_failed ~mine_root slots =
+let retry_failed ?(trace = Trace.null) ~mine_root slots =
   Array.iteri
     (fun k status ->
       match status with
       | Failed _ -> (
+        Metrics.hit Metrics.root_retries;
+        Trace.instant trace Trace.Root_retry ~a0:k ~a1:0;
         match
           Budget.Fault.fire (Budget.Fault.Worker k);
           mine_root k
@@ -113,18 +133,19 @@ let collect ?halt_reason ~stats_of ~outcome_of ~with_outcome ~zero slots =
 let halt_on_gsgrow (_, s) = Budget.is_stop s.Gsgrow.outcome
 let halt_on_clogsgrow (_, s) = Budget.is_stop s.Clogsgrow.outcome
 
-let mine_all ?domains ?max_length ?budget idx ~min_sup =
+let mine_all ?domains ?max_length ?budget ?(trace = Trace.null) idx ~min_sup =
   let domains = validate ?domains ~min_sup () in
   let events = Inverted_index.frequent_events idx ~min_sup in
   let roots = Array.of_list events in
   let mine_root k =
-    Gsgrow.mine ?max_length ?budget ~events ~roots:[ roots.(k) ] idx ~min_sup
+    Gsgrow.mine ?max_length ?budget ~trace:(Trace.for_domain trace) ~events
+      ~roots:[ roots.(k) ] idx ~min_sup
   in
   let slots, halt_reason =
-    run_pool ~halt_on:halt_on_gsgrow ~domains ~num_roots:(Array.length roots)
-      ~mine_root ()
+    run_pool ~trace ~halt_on:halt_on_gsgrow ~domains
+      ~num_roots:(Array.length roots) ~mine_root ()
   in
-  let slots = retry_failed ~mine_root slots in
+  let slots = retry_failed ~trace ~mine_root slots in
   collect slots ?halt_reason
     ~stats_of:(fun (_, s) -> s)
     ~outcome_of:(fun s -> s.Gsgrow.outcome)
@@ -142,19 +163,20 @@ let mine_all ?domains ?max_length ?budget idx ~min_sup =
         insgrow_calls = acc.Gsgrow.insgrow_calls + s.Gsgrow.insgrow_calls;
       })
 
-let mine_closed ?domains ?max_length ?use_lb_check ?budget idx ~min_sup =
+let mine_closed ?domains ?max_length ?use_lb_check ?budget ?(trace = Trace.null)
+    idx ~min_sup =
   let domains = validate ?domains ~min_sup () in
   let events = Inverted_index.frequent_events idx ~min_sup in
   let roots = Array.of_list events in
   let mine_root k =
-    Clogsgrow.mine ?max_length ?use_lb_check ?budget ~events ~roots:[ roots.(k) ] idx
-      ~min_sup
+    Clogsgrow.mine ?max_length ?use_lb_check ?budget
+      ~trace:(Trace.for_domain trace) ~events ~roots:[ roots.(k) ] idx ~min_sup
   in
   let slots, halt_reason =
-    run_pool ~halt_on:halt_on_clogsgrow ~domains ~num_roots:(Array.length roots)
-      ~mine_root ()
+    run_pool ~trace ~halt_on:halt_on_clogsgrow ~domains
+      ~num_roots:(Array.length roots) ~mine_root ()
   in
-  let slots = retry_failed ~mine_root slots in
+  let slots = retry_failed ~trace ~mine_root slots in
   collect slots ?halt_reason
     ~stats_of:(fun (_, s) -> s)
     ~outcome_of:(fun s -> s.Clogsgrow.outcome)

@@ -31,6 +31,7 @@ type 'a root_status =
   | Skipped  (** never claimed: the pool halted on a budget stop first *)
 
 val run_pool :
+  ?trace:Trace.t ->
   ?halt_on:('a -> bool) ->
   domains:int ->
   num_roots:int ->
@@ -44,19 +45,30 @@ val run_pool :
     holds for a completed root, or a {!Budget.Stop} escapes [mine_root],
     the pool stops claiming further roots; the second component is the
     escaped stop reason, if any. No retry is performed here — see
-    {!retry_failed}. *)
+    {!retry_failed}.
+
+    Every worker samples {!Metrics.peak_live_words} for its own domain as
+    it exits, so the merged snapshot reflects parallel memory use, and
+    records its lifecycle as a [Worker] span into its per-domain buffer of
+    [trace] (default {!Trace.null}); [mine_root] implementations that want
+    per-root spans should record through [Trace.for_domain trace]. *)
 
 val retry_failed :
-  mine_root:(int -> 'a) -> 'a root_status array -> 'a root_status array
+  ?trace:Trace.t ->
+  mine_root:(int -> 'a) ->
+  'a root_status array ->
+  'a root_status array
 (** Retries every [Failed] slot once, sequentially, in the calling domain;
     updates the array in place and returns it. The {!Budget.Fault.Worker}
     site fires again for each retried root, so a persistent injected fault
-    fails both attempts. *)
+    fails both attempts. Each retry bumps {!Metrics.root_retries} and
+    records a [Root_retry] instant into [trace]. *)
 
 val mine_all :
   ?domains:int ->
   ?max_length:int ->
   ?budget:Budget.t ->
+  ?trace:Trace.t ->
   Inverted_index.t ->
   min_sup:int ->
   Mined.t list * Gsgrow.stats
@@ -72,6 +84,7 @@ val mine_closed :
   ?max_length:int ->
   ?use_lb_check:bool ->
   ?budget:Budget.t ->
+  ?trace:Trace.t ->
   Inverted_index.t ->
   min_sup:int ->
   Mined.t list * Clogsgrow.stats

@@ -1,0 +1,4 @@
+(* Re-export: tracing lives in Rgs_sequence (next to Metrics) so the index
+   layer could record too; Rgs_core.Trace is the access path the miners,
+   CLI and tests use, mirroring Rgs_core.Metrics. *)
+include Rgs_sequence.Trace

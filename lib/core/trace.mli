@@ -1,0 +1,7 @@
+(** Alias of {!Rgs_sequence.Trace}.
+
+    Structured tracing lives in [rgs_sequence] beside {!Metrics}; this
+    alias gives core code, the CLI and tests the same [Rgs_core.Trace]
+    access path they already use for counters. *)
+
+include module type of Rgs_sequence.Trace

@@ -1,13 +1,28 @@
-(** Lightweight global counters for observing the mining hot paths.
+(** Registry of named global counters and gauges for the mining hot paths.
 
     Counters are atomic so they stay accurate under domain-parallel mining;
     they cost one atomic operation when hit. The index/cursor hot path
     ({!Inverted_index.seek}) batches its counts locally and flushes them
     once per group ({!Inverted_index.cursor_finish}) so parallel mining
-    does not contend on a shared cache line per extension. Benches and
-    tests use the counters to explain where time goes. *)
+    does not contend on a shared cache line per extension; the miners batch
+    their per-run totals ([dfs_nodes], [lb_prunes], ...) the same way.
+
+    Every counter lives in a registry with a stable name and a {!kind};
+    {!snapshot} captures all of them at once and {!diff} subtracts two
+    snapshots, which is how a caller attributes work to one run without
+    resetting global state. {!pp_prometheus} and {!pp_json} render a
+    snapshot for operators ([rgsminer --stats]); OBSERVABILITY.md documents
+    each metric, its unit and its paper anchor. *)
 
 type counter = int Atomic.t
+
+type kind =
+  | Counter  (** monotonically increasing count; {!diff} subtracts *)
+  | Gauge  (** sampled level (e.g. a peak); {!diff} keeps the newer value *)
+
+val register : string -> kind -> counter
+(** Add a named metric to the registry and return its cell. Thread-safe.
+    Raises [Invalid_argument] on a duplicate name. *)
 
 val hit : counter -> unit
 (** Increment (atomic). *)
@@ -28,25 +43,68 @@ val sample_live_words : unit -> int
     {!peak_live_words}, and return it. *)
 
 val reset : unit -> unit
-(** Zero every counter. *)
+(** Zero every registered metric. *)
 
 val dump : unit -> (string * int) list
 (** Current [(name, value)] pairs, name-sorted, zeros omitted. *)
 
 val pp : Format.formatter -> unit -> unit
 
-(** The counters themselves (bumped by library code): *)
+(** {1 Snapshots} *)
+
+type snapshot = (string * kind * int) list
+(** A point-in-time reading of every registered metric, name-sorted. *)
+
+val snapshot : unit -> snapshot
+
+val diff : before:snapshot -> after:snapshot -> snapshot
+(** Per-metric change between two snapshots: counters subtract ([after] -
+    [before]), gauges keep the [after] value. Metrics registered after
+    [before] was taken count from zero. *)
+
+val to_list : snapshot -> (string * int) list
+val find : snapshot -> string -> int
+(** Value of a named metric in a snapshot; [0] when absent. *)
+
+val pp_prometheus : Format.formatter -> snapshot -> unit
+(** Prometheus text exposition format, each metric prefixed [rgs_] with a
+    [# TYPE] line. *)
+
+val pp_json : Format.formatter -> snapshot -> unit
+(** Flat JSON object: [{"name": {"kind": ..., "value": ...}, ...}]. *)
+
+val write_stats : path:string -> snapshot -> unit
+(** Write a snapshot to [path]: {!pp_json} when the path ends in [.json],
+    {!pp_prometheus} otherwise. *)
+
+(** {1 The metrics themselves} (bumped by library code): *)
 
 val insgrow_calls : counter
-(** Compressed instance-growth invocations (Support_set.grow). *)
+(** Compressed instance-growth invocations (Support_set.grow), i.e. runs
+    of Algorithm 2 (INSgrow). *)
+
+val full_insgrow_calls : counter
+(** Uncompressed (full-landmark) instance-growth passes
+    ([Insgrow.run_full]), used when reconstructing landmarks. *)
 
 val next_calls : counter
 (** [next]-subroutine evaluations: direct {!Inverted_index.next} calls plus
-    cursor {!Inverted_index.seek}s. *)
+    cursor {!Inverted_index.seek}s (Sec III-D inverted-index lookups). *)
 
 val cursor_advances : counter
 (** Total positions a CSR cursor stepped over while seeking — the
     amortized-O(occurrences) work of a whole-sequence INSgrow pass. *)
+
+val dfs_nodes : counter
+(** Pattern-tree nodes visited by GSgrow/CloGSgrow/gap-constrained DFS
+    (batched per run). *)
+
+val patterns_emitted : counter
+(** Patterns reported to the caller (frequent for GSgrow, closed for
+    CloGSgrow; batched per run). *)
+
+val lb_prunes : counter
+(** DFS subtrees pruned by LBCheck, Theorem 5 (batched per run). *)
 
 val closure_bound_checks : counter
 (** Pre-filter evaluations in Closure.check. *)
@@ -60,5 +118,20 @@ val closure_base_grows : counter
 val closure_full_grows : counter
 (** Extensions grown to completion (equal support found). *)
 
+val budget_stops : counter
+(** Times a budget ([Budget] deadline / node / memory limit, or a
+    [max_patterns] cap) stopped a search early. *)
+
+val checkpoint_writes : counter
+(** Checkpoint files written ([Checkpoint.save]). *)
+
+val pool_workers : counter
+(** Pool worker bodies started by [Parallel_miner.run_pool] (one per
+    domain per pool run, including the main domain's). *)
+
+val root_retries : counter
+(** Crashed DFS roots retried sequentially after a pool run. *)
+
 val peak_live_words : counter
-(** Peak GC live words observed via {!sample_live_words} (max gauge). *)
+(** Peak GC live words observed via {!sample_live_words} (max gauge;
+    sampled per domain at pool-worker exit and by benches between runs). *)

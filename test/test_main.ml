@@ -13,6 +13,7 @@ let () =
       ("miner", Test_miner.suite);
       ("extensions", Test_extensions.suite);
       ("parallel", Test_parallel.suite);
+      ("trace", Test_trace.suite);
       ("properties", Test_properties.suite);
       ("robustness", Test_robustness.suite);
       ("experiments", Test_experiments.suite);
