@@ -105,7 +105,7 @@ let section_layout () =
     Rgs_post.Report.create
       ~columns:
         [ "dataset"; "algo"; "backend"; "time_s"; "patterns"; "patterns/s";
-          "next_calls"; "cursor_adv"; "peak_words" ]
+          "next_calls"; "cursor_adv"; "cursor_gal"; "peak_words" ]
   in
   List.iter
     (fun (name, path, min_sup, max_length) ->
@@ -123,48 +123,68 @@ let section_layout () =
             (* warm-up run also yields the output for the equality check *)
             let out = signatures (mine idx) in
             Metrics.reset ();
+            (* level the heap: collect the previous backend's garbage now
+               so it is not collected inside this backend's timed reps *)
+            Gc.compact ();
             let wall = ref infinity in
             for _ = 1 to reps do
               let _, elapsed = E.Exp_common.time (fun () -> mine idx) in
               if elapsed < !wall then wall := elapsed
             done;
-            ignore (Metrics.sample_live_words ());
-            ( out,
+            ( idx,
+              out,
               !wall,
               Metrics.value Metrics.next_calls / reps,
               Metrics.value Metrics.cursor_advances / reps,
-              Metrics.value Metrics.peak_live_words )
+              Metrics.value Metrics.cursor_gallops / reps )
           in
-          let out_legacy, wall_legacy, next_legacy, adv_legacy, words_legacy =
+          (* Memory is measured after both backends' timing so the big
+             retained runs cannot skew the timed reps: one extra untimed
+             run per backend, sampled with its full result set still live —
+             the retained support sets are the run's memory peak. The read
+             through opaque_identity after the sample keeps the compiler
+             from proving the list dead and collecting it early. *)
+          let words_of idx =
+            Gc.compact ();
+            let keep = mine idx in
+            let words = Metrics.sample_live_words () in
+            ignore (Sys.opaque_identity (List.length keep));
+            words
+          in
+          let idx_legacy, out_legacy, wall_legacy, next_legacy, adv_legacy,
+              gal_legacy =
             measure Inverted_index.Klegacy
           in
-          let out_csr, wall_csr, next_csr, adv_csr, words_csr =
+          let idx_csr, out_csr, wall_csr, next_csr, adv_csr, gal_csr =
             measure Inverted_index.Kcsr
           in
+          let words_legacy = words_of idx_legacy in
+          let words_csr = words_of idx_csr in
           if out_legacy <> out_csr then
             failwith
               (Printf.sprintf "layout bench: %s/%s: CSR output differs from legacy"
                  name algo);
           let patterns = List.length out_csr in
-          let row backend wall next_calls cursor_adv peak_words =
+          let row backend wall next_calls cursor_adv cursor_gal peak_words =
             let per_sec = float_of_int patterns /. wall in
             Rgs_post.Report.add_row t
               [ name; algo; backend; Rgs_post.Report.cell_float wall;
                 string_of_int patterns; Printf.sprintf "%.0f" per_sec;
                 string_of_int next_calls; string_of_int cursor_adv;
-                string_of_int peak_words ];
+                string_of_int cursor_gal; string_of_int peak_words ];
             runs :=
               Printf.sprintf
                 "    {\"dataset\": %S, \"algo\": %S, \"backend\": %S, \
                  \"min_sup\": %d, \"wall_s\": %.6f, \"patterns\": %d, \
                  \"patterns_per_sec\": %.1f, \"next_calls\": %d, \
-                 \"cursor_advances\": %d, \"peak_live_words\": %d}"
+                 \"cursor_advances\": %d, \"cursor_gallops\": %d, \
+                 \"peak_live_words\": %d}"
                 name algo backend min_sup wall patterns per_sec next_calls
-                cursor_adv peak_words
+                cursor_adv cursor_gal peak_words
               :: !runs
           in
-          row "legacy" wall_legacy next_legacy adv_legacy words_legacy;
-          row "csr" wall_csr next_csr adv_csr words_csr;
+          row "legacy" wall_legacy next_legacy adv_legacy gal_legacy words_legacy;
+          row "csr" wall_csr next_csr adv_csr gal_csr words_csr;
           let speedup = wall_legacy /. wall_csr in
           speedups :=
             Printf.sprintf
@@ -238,16 +258,164 @@ let section_layout () =
         levels)
     datasets;
   print_table "tracing overhead — CloGSgrow on CSR (best of reps)" tt;
+  (* Galloping seek: decompose each backend's seek work into linear
+     advances (short hops) and gallop steps (doubling probes, bisection
+     halvings, B+-tree descent levels). Counters are deterministic, so one
+     fresh run per cell suffices. *)
+  let gallop_rows = ref [] in
+  let gt =
+    Rgs_post.Report.create
+      ~columns:
+        [ "dataset"; "backend"; "next_calls"; "advances"; "gallops";
+          "adv/seek" ]
+  in
+  List.iter
+    (fun (name, path, min_sup, max_length) ->
+      let db, _codec = Seq_io.load_tokens path in
+      List.iter
+        (fun kind ->
+          let idx = Inverted_index.build_kind kind db in
+          ignore (Gsgrow.mine ?max_length idx ~min_sup);
+          Metrics.reset ();
+          ignore (Gsgrow.mine ?max_length idx ~min_sup);
+          let next_calls = Metrics.value Metrics.next_calls in
+          let adv = Metrics.value Metrics.cursor_advances in
+          let gal = Metrics.value Metrics.cursor_gallops in
+          let per_seek =
+            if next_calls = 0 then 0.
+            else float_of_int adv /. float_of_int next_calls
+          in
+          let backend = Inverted_index.kind_name kind in
+          Rgs_post.Report.add_row gt
+            [ name; backend; string_of_int next_calls; string_of_int adv;
+              string_of_int gal; Printf.sprintf "%.3f" per_seek ];
+          gallop_rows :=
+            Printf.sprintf
+              "    {\"dataset\": %S, \"backend\": %S, \"algo\": \"gsgrow\", \
+               \"min_sup\": %d, \"next_calls\": %d, \"cursor_advances\": %d, \
+               \"cursor_gallops\": %d, \"advances_per_seek\": %.4f}"
+              name backend min_sup next_calls adv gal per_seek
+            :: !gallop_rows)
+        Inverted_index.[ Kcsr; Klegacy; Kpaged ])
+    datasets;
+  print_table "galloping seek — per-backend seek-work decomposition (GSgrow)" gt;
+  (* Pool scheduling: largest-root-first vs index-order claiming. The
+     output must be bit-identical (the pool's merge is claim-order
+     independent); only wall time may move. *)
+  let schedule_rows = ref [] in
+  let st =
+    Rgs_post.Report.create
+      ~columns:[ "dataset"; "schedule"; "domains"; "time_s"; "patterns" ]
+  in
+  List.iter
+    (fun (name, path, min_sup, max_length) ->
+      let db, _codec = Seq_io.load_tokens path in
+      let idx = Inverted_index.build_kind Inverted_index.Kcsr db in
+      let domains = Parallel_miner.default_domains () in
+      let run schedule =
+        ignore
+          (Parallel_miner.mine_closed ~domains ?max_length ~schedule idx
+             ~min_sup);
+        let out = ref [] in
+        let wall = ref infinity in
+        for _ = 1 to reps do
+          let (results, _), elapsed =
+            E.Exp_common.time (fun () ->
+                Parallel_miner.mine_closed ~domains ?max_length ~schedule idx
+                  ~min_sup)
+          in
+          out := signatures results;
+          if elapsed < !wall then wall := elapsed
+        done;
+        (!out, !wall)
+      in
+      let out_index, wall_index = run `Index in
+      let out_largest, wall_largest = run `Largest_first in
+      if out_index <> out_largest then
+        failwith
+          (Printf.sprintf
+             "pool schedule bench: %s: largest-first output differs from \
+              index order"
+             name);
+      let row label wall =
+        Rgs_post.Report.add_row st
+          [ name; label; string_of_int domains;
+            Rgs_post.Report.cell_float wall;
+            string_of_int (List.length out_index) ];
+        schedule_rows :=
+          Printf.sprintf
+            "    {\"dataset\": %S, \"schedule\": %S, \"domains\": %d, \
+             \"min_sup\": %d, \"wall_s\": %.6f, \"patterns\": %d, \
+             \"outputs_identical\": true}"
+            name label domains min_sup wall (List.length out_index)
+          :: !schedule_rows
+      in
+      row "index" wall_index;
+      row "largest_first" wall_largest;
+      Format.printf "%s: largest-first %.2fx vs index order (outputs identical)@."
+        name
+        (wall_index /. wall_largest))
+    datasets;
+  print_table
+    "pool scheduling — CloGSgrow, index order vs largest-root-first" st;
+  (* Closure funnel: how the Theorem 5 pre-filter splits candidate
+     extensions as min_sup tightens — checks that were rejected outright
+     vs those that had to grow their base (and of these, how many grew to
+     completion). quest_small only: the low-support regime is where the
+     funnel shape changes. *)
+  let funnel_rows = ref [] in
+  let ft =
+    Rgs_post.Report.create
+      ~columns:
+        [ "dataset"; "min_sup"; "bound_checks"; "bound_rejects"; "base_grows";
+          "full_grows"; "reject%" ]
+  in
+  List.iter
+    (fun (name, path, _min_sup, max_length) ->
+      if name = "quest_small" then begin
+        let db, _codec = Seq_io.load_tokens path in
+        let idx = Inverted_index.build_kind Inverted_index.Kcsr db in
+        List.iter
+          (fun min_sup ->
+            Metrics.reset ();
+            ignore (Clogsgrow.mine ?max_length idx ~min_sup);
+            let checks = Metrics.value Metrics.closure_bound_checks in
+            let rejects = Metrics.value Metrics.closure_bound_rejects in
+            let base = Metrics.value Metrics.closure_base_grows in
+            let full = Metrics.value Metrics.closure_full_grows in
+            let reject_pct =
+              if checks = 0 then 0.
+              else 100. *. float_of_int rejects /. float_of_int checks
+            in
+            Rgs_post.Report.add_row ft
+              [ name; string_of_int min_sup; string_of_int checks;
+                string_of_int rejects; string_of_int base;
+                string_of_int full; Printf.sprintf "%.1f%%" reject_pct ];
+            funnel_rows :=
+              Printf.sprintf
+                "    {\"dataset\": %S, \"min_sup\": %d, \
+                 \"closure_bound_checks\": %d, \"closure_bound_rejects\": %d, \
+                 \"closure_base_grows\": %d, \"closure_full_grows\": %d}"
+                name min_sup checks rejects base full
+              :: !funnel_rows)
+          [ 2; 3; 4; 6; 8 ]
+      end)
+    datasets;
+  print_table "closure funnel — pre-filter outcome counts vs min_sup" ft;
   if datasets <> [] then begin
     let oc = open_out json_path in
     Printf.fprintf oc
       "{\n  \"bench\": \"columnar layout, legacy vs CSR\",\n  \"reps\": %d,\n  \
        \"runs\": [\n%s\n  ],\n  \"speedups\": [\n%s\n  ],\n  \
-       \"trace_overhead\": [\n%s\n  ]\n}\n"
+       \"trace_overhead\": [\n%s\n  ],\n  \"seek_gallop\": [\n%s\n  ],\n  \
+       \"pool_schedule\": [\n%s\n  ],\n  \"closure_funnel\": [\n%s\n  ]\n}\n"
       reps
       (String.concat ",\n" (List.rev !runs))
       (String.concat ",\n" (List.rev !speedups))
-      (String.concat ",\n" (List.rev !trace_rows));
+      (String.concat ",\n" (List.rev !trace_rows))
+      (String.concat ",\n" (List.rev !gallop_rows))
+      (String.concat ",\n" (List.rev !schedule_rows))
+      (String.concat ",\n" (List.rev !funnel_rows));
     close_out oc;
     Format.printf "wrote %s@." json_path
   end

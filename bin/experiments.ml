@@ -77,11 +77,34 @@ let timeout =
   Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECONDS"
          ~doc:"Per-run time budget (cut-off).")
 
-let simple name doc f = Cmd.v (Cmd.info name ~doc) Term.(const f $ const ())
+let stats_arg =
+  Arg.(value & opt (some string) None & info [ "stats" ] ~docv:"FILE"
+         ~doc:"Write the experiment's Metrics counter delta to $(docv) \
+               (JSON when it ends in .json, Prometheus text exposition \
+               otherwise) — same format as rgsminer --stats.")
+
+(* Snapshot around the experiment so the written stats attribute only this
+   run's work, not whatever ran earlier in the process. *)
+let with_stats stats f =
+  let before = Rgs_sequence.Metrics.snapshot () in
+  let r = f () in
+  (match stats with
+  | None -> ()
+  | Some path ->
+    Rgs_sequence.Metrics.write_stats ~path
+      (Rgs_sequence.Metrics.diff ~before ~after:(Rgs_sequence.Metrics.snapshot ()));
+    Format.eprintf "wrote %s@." path);
+  r
+
+let simple name doc f =
+  Cmd.v (Cmd.info name ~doc)
+    Term.(const (fun stats -> with_stats stats f) $ stats_arg)
 
 let sweep_cmd name doc make =
-  let run scale timeout_s = make ~scale ?timeout_s (); 0 in
-  Cmd.v (Cmd.info name ~doc) Term.(const run $ scale $ timeout)
+  let run scale timeout_s stats =
+    with_stats stats (fun () -> make ~scale ?timeout_s (); 0)
+  in
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ scale $ timeout $ stats_arg)
 
 let fig2_cmd =
   sweep_cmd "fig2" "Figure 2: vary min_sup on D5C20N10S20" (fun ~scale ?timeout_s () ->
@@ -96,39 +119,49 @@ let fig4_cmd =
       run_sweep "Figure 4" (E.Sweeps.fig4 ~scale:(max scale 0.25) ?timeout_s ()))
 
 let fig5_cmd =
-  let run scale timeout_s = run_fig5 scale timeout_s; 0 in
+  let run scale timeout_s stats =
+    with_stats stats (fun () -> run_fig5 scale timeout_s; 0)
+  in
   Cmd.v (Cmd.info "fig5" ~doc:"Figure 5: vary the number of sequences")
-    Term.(const run $ scale $ timeout)
+    Term.(const run $ scale $ timeout $ stats_arg)
 
 let fig6_cmd =
-  let run scale timeout_s = run_fig6 scale timeout_s; 0 in
+  let run scale timeout_s stats =
+    with_stats stats (fun () -> run_fig6 scale timeout_s; 0)
+  in
   Cmd.v (Cmd.info "fig6" ~doc:"Figure 6: vary the average sequence length")
-    Term.(const run $ scale $ timeout)
+    Term.(const run $ scale $ timeout $ stats_arg)
 
 let comparators_cmd =
-  let run scale timeout_s = run_comparators scale timeout_s; 0 in
+  let run scale timeout_s stats =
+    with_stats stats (fun () -> run_comparators scale timeout_s; 0)
+  in
   Cmd.v (Cmd.info "comparators" ~doc:"Sequential-miner runtime comparison")
-    Term.(const run $ scale $ timeout)
+    Term.(const run $ scale $ timeout $ stats_arg)
 
 let ablation_cmd =
-  let run timeout_s = run_ablation timeout_s; 0 in
+  let run timeout_s stats =
+    with_stats stats (fun () -> run_ablation timeout_s; 0)
+  in
   Cmd.v (Cmd.info "ablation" ~doc:"CloGSgrow checking-strategy ablation")
-    Term.(const run $ timeout)
+    Term.(const run $ timeout $ stats_arg)
 
 let all_cmd =
-  let run scale timeout_s =
-    run_table1 ();
-    run_sweep "Figure 2" (E.Sweeps.fig2 ~scale ?timeout_s ());
-    run_sweep "Figure 3" (E.Sweeps.fig3 ~scale ?timeout_s ());
-    run_sweep "Figure 4" (E.Sweeps.fig4 ~scale:(max scale 0.25) ?timeout_s ());
-    run_fig5 scale timeout_s;
-    run_fig6 scale timeout_s;
-    run_comparators scale timeout_s;
-    run_ablation timeout_s;
-    run_casestudy ();
-    0
+  let run scale timeout_s stats =
+    with_stats stats (fun () ->
+        run_table1 ();
+        run_sweep "Figure 2" (E.Sweeps.fig2 ~scale ?timeout_s ());
+        run_sweep "Figure 3" (E.Sweeps.fig3 ~scale ?timeout_s ());
+        run_sweep "Figure 4" (E.Sweeps.fig4 ~scale:(max scale 0.25) ?timeout_s ());
+        run_fig5 scale timeout_s;
+        run_fig6 scale timeout_s;
+        run_comparators scale timeout_s;
+        run_ablation timeout_s;
+        run_casestudy ();
+        0)
   in
-  Cmd.v (Cmd.info "all" ~doc:"Run every experiment") Term.(const run $ scale $ timeout)
+  Cmd.v (Cmd.info "all" ~doc:"Run every experiment")
+    Term.(const run $ scale $ timeout $ stats_arg)
 
 let cmd =
   let doc =

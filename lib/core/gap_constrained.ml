@@ -25,7 +25,7 @@ let grow ?(min_gap = 0) idx ~max_gap s e =
       let i = Support_set.group_seq s gi in
       let firsts = Support_set.group_firsts s gi in
       let lasts = Support_set.group_lasts s gi in
-      let n = Array.length lasts in
+      let n = Support_set.group_len s gi in
       Inverted_index.reseat c ~seq:i;
       let new_firsts = Array.make n 0 in
       let new_lasts = Array.make n 0 in

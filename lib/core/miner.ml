@@ -216,6 +216,7 @@ let mine_resumable ?checkpoint ?(resume = false) ?(trace = Trace.null) cfg db =
   let slots, halt_reason =
     Parallel_miner.run_pool ~trace
       ~halt_on:(fun (_, outcome) -> Budget.is_stop outcome)
+      ~order:(Parallel_miner.largest_first_order idx roots)
       ~domains ~num_roots:(Array.length roots) ~mine_root ()
   in
   let slots = Parallel_miner.retry_failed ~trace ~mine_root slots in

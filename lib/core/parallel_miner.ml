@@ -15,14 +15,25 @@ type 'a root_status = Done of 'a | Failed of exn | Skipped
    satisfies [halt_on] (e.g. a shared budget reported a stop) the pool
    stops claiming further roots; unclaimed slots stay [Skipped].
 
+   Scheduling: [order], when given, maps claim slots to root indices, so
+   workers pull roots in that order while everything keyed by root — the
+   slot array, fault sites, checkpoints, the collected output — is
+   untouched by the permutation. The pool's merge is claim-order
+   independent, so any [order] yields the identical result; it only moves
+   wall-clock around (see [largest_first_order]).
+
    Observability: each worker samples [Metrics.peak_live_words] for its own
    domain as it exits (OCaml 5 keeps per-domain minor heaps, so the main
    domain's view alone undercounts a parallel run) and, when [trace] is
    live, records its lifecycle as a [Worker] span in its per-domain child
    buffer ([Trace.for_domain] — no cross-domain contention; the buffers are
    read merged after the joins). *)
-let run_pool ?(trace = Trace.null) ?(halt_on = fun _ -> false) ~domains
+let run_pool ?(trace = Trace.null) ?(halt_on = fun _ -> false) ?order ~domains
     ~num_roots ~mine_root () =
+  (match order with
+  | Some o when Array.length o <> num_roots ->
+    invalid_arg "Parallel_miner.run_pool: order length <> num_roots"
+  | _ -> ());
   let next = Atomic.make 0 in
   let halted = Atomic.make false in
   let halt_reason = Atomic.make None in
@@ -36,6 +47,7 @@ let run_pool ?(trace = Trace.null) ?(halt_on = fun _ -> false) ~domains
       if not (Atomic.get halted) then begin
         let k = Atomic.fetch_and_add next 1 in
         if k < num_roots then begin
+          let k = match order with None -> k | Some o -> o.(k) in
           incr claimed;
           (match
              Budget.Fault.fire (Budget.Fault.Worker k);
@@ -133,7 +145,29 @@ let collect ?halt_reason ~stats_of ~outcome_of ~with_outcome ~zero slots =
 let halt_on_gsgrow (_, s) = Budget.is_stop s.Gsgrow.outcome
 let halt_on_clogsgrow (_, s) = Budget.is_stop s.Clogsgrow.outcome
 
-let mine_all ?domains ?max_length ?budget ?(trace = Trace.null) idx ~min_sup =
+(* Largest DFS subtrees first. A root's size-1 support (its event's total
+   occurrence count) is a cheap proxy for its subtree's mining cost; with
+   index-order claiming a heavy root claimed late leaves one domain mining
+   alone while the rest idle — the classic LPT scheduling fix. Ties break
+   toward the lower index so the permutation is deterministic. *)
+let largest_first_order idx roots =
+  let n = Array.length roots in
+  let weight = Array.map (fun e -> Inverted_index.occurrence_count idx e) roots in
+  let order = Array.init n (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      if weight.(a) <> weight.(b) then compare weight.(b) weight.(a)
+      else compare a b)
+    order;
+  order
+
+let resolve_order schedule idx roots =
+  match schedule with
+  | `Index -> None
+  | `Largest_first -> Some (largest_first_order idx roots)
+
+let mine_all ?domains ?max_length ?budget ?(trace = Trace.null)
+    ?(schedule = `Largest_first) idx ~min_sup =
   let domains = validate ?domains ~min_sup () in
   let events = Inverted_index.frequent_events idx ~min_sup in
   let roots = Array.of_list events in
@@ -142,7 +176,8 @@ let mine_all ?domains ?max_length ?budget ?(trace = Trace.null) idx ~min_sup =
       ~roots:[ roots.(k) ] idx ~min_sup
   in
   let slots, halt_reason =
-    run_pool ~trace ~halt_on:halt_on_gsgrow ~domains
+    run_pool ~trace ~halt_on:halt_on_gsgrow
+      ?order:(resolve_order schedule idx roots) ~domains
       ~num_roots:(Array.length roots) ~mine_root ()
   in
   let slots = retry_failed ~trace ~mine_root slots in
@@ -164,7 +199,7 @@ let mine_all ?domains ?max_length ?budget ?(trace = Trace.null) idx ~min_sup =
       })
 
 let mine_closed ?domains ?max_length ?use_lb_check ?budget ?(trace = Trace.null)
-    idx ~min_sup =
+    ?(schedule = `Largest_first) idx ~min_sup =
   let domains = validate ?domains ~min_sup () in
   let events = Inverted_index.frequent_events idx ~min_sup in
   let roots = Array.of_list events in
@@ -173,7 +208,8 @@ let mine_closed ?domains ?max_length ?use_lb_check ?budget ?(trace = Trace.null)
       ~trace:(Trace.for_domain trace) ~events ~roots:[ roots.(k) ] idx ~min_sup
   in
   let slots, halt_reason =
-    run_pool ~trace ~halt_on:halt_on_clogsgrow ~domains
+    run_pool ~trace ~halt_on:halt_on_clogsgrow
+      ?order:(resolve_order schedule idx roots) ~domains
       ~num_roots:(Array.length roots) ~mine_root ()
   in
   let slots = retry_failed ~trace ~mine_root slots in

@@ -33,6 +33,7 @@ type 'a root_status =
 val run_pool :
   ?trace:Trace.t ->
   ?halt_on:('a -> bool) ->
+  ?order:int array ->
   domains:int ->
   num_roots:int ->
   mine_root:(int -> 'a) ->
@@ -46,6 +47,13 @@ val run_pool :
     the pool stops claiming further roots; the second component is the
     escaped stop reason, if any. No retry is performed here — see
     {!retry_failed}.
+
+    [order], when given, must be a permutation of [0 .. num_roots-1]: the
+    [k]-th claim mines root [order.(k)]. Slots, fault sites
+    ({!Budget.Fault.Worker}) and checkpoints stay keyed by root index, so
+    the mined output and per-root statuses are identical for every order —
+    a permutation only changes which roots are in flight when the pool
+    halts. @raise Invalid_argument when its length is not [num_roots].
 
     Every worker samples {!Metrics.peak_live_words} for its own domain as
     it exits, so the merged snapshot reflects parallel memory use, and
@@ -64,11 +72,20 @@ val retry_failed :
     fails both attempts. Each retry bumps {!Metrics.root_retries} and
     records a [Root_retry] instant into [trace]. *)
 
+val largest_first_order :
+  Inverted_index.t -> Rgs_sequence.Event.t array -> int array
+(** A claim order for [run_pool]'s [?order]: root indices sorted by their
+    event's occurrence count descending (ties toward the lower index).
+    Heavy DFS subtrees start first, so no domain is left mining a large
+    root alone at the tail of the pool run — longest-processing-time-first
+    scheduling on the size-1 support proxy. *)
+
 val mine_all :
   ?domains:int ->
   ?max_length:int ->
   ?budget:Budget.t ->
   ?trace:Trace.t ->
+  ?schedule:[ `Index | `Largest_first ] ->
   Inverted_index.t ->
   min_sup:int ->
   Mined.t list * Gsgrow.stats
@@ -77,6 +94,8 @@ val mine_all :
     across domains. Crashing roots lose only their own patterns after one
     sequential retry ([stats.outcome = Worker_failed]); budget stops return
     the roots finished so far ([stats.outcome] carries the reason).
+    [schedule] picks the claim order — [`Largest_first] (default,
+    {!largest_first_order}) or [`Index]; both yield the identical output.
     @raise Invalid_argument when [min_sup < 1] or [domains < 1]. *)
 
 val mine_closed :
@@ -85,6 +104,7 @@ val mine_closed :
   ?use_lb_check:bool ->
   ?budget:Budget.t ->
   ?trace:Trace.t ->
+  ?schedule:[ `Index | `Largest_first ] ->
   Inverted_index.t ->
   min_sup:int ->
   Mined.t list * Clogsgrow.stats

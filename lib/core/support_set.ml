@@ -3,26 +3,34 @@ open Rgs_sequence
 (* Columnar group storage: per sequence, the (first, last) landmark borders
    of its instances live in two parallel int arrays in right-shift order.
    No per-instance boxing — Instance.t is only materialised at the API
-   boundary. Appending growth never changes first positions, so [firsts]
-   arrays are shared structurally between a set and its extensions. *)
-type group = { gseq : int; firsts : int array; lasts : int array }
+   boundary.
+
+   Sharing: only the first [len] slots of [firsts]/[lasts] belong to the
+   group; the arrays may be longer. Appending growth never changes first
+   positions and can only kill a suffix of a group (INSgrow stops a
+   sequence at the first failed extension), so a grown group reuses its
+   parent's [firsts] array outright — whatever its length — with a shorter
+   [len]. Without the slack slots, every partially surviving group on an
+   append-heavy DFS path copied its firsts prefix at every level,
+   amplifying live words O(depth * size). *)
+type group = { gseq : int; len : int; firsts : int array; lasts : int array }
 type t = { groups : group array; total : int }
 
 let empty = { groups = [||]; total = 0 }
 
-let total_of groups =
-  Array.fold_left (fun n g -> n + Array.length g.lasts) 0 groups
+let total_of groups = Array.fold_left (fun n g -> n + g.len) 0 groups
 
 let group_view g =
-  Array.init (Array.length g.lasts) (fun k ->
+  Array.init g.len (fun k ->
       { Instance.seq = g.gseq; first = g.firsts.(k); last = g.lasts.(k) })
 
 let well_formed s =
   Array.for_all
     (fun g ->
-      let n = Array.length g.lasts in
+      let n = g.len in
       n > 0
-      && Array.length g.firsts = n
+      && Array.length g.firsts >= n
+      && Array.length g.lasts >= n
       &&
       let sorted = ref true in
       for k = 1 to n - 1 do
@@ -47,9 +55,10 @@ let well_formed s =
    exposed for the test suite to validate every construction route. *)
 let of_group_array groups = { groups; total = total_of groups }
 
-let unsafe_of_packed groups =
-  of_group_array
-    (Array.map (fun (i, firsts, lasts) -> { gseq = i; firsts; lasts }) groups)
+let packed_group (i, firsts, lasts) =
+  { gseq = i; len = Array.length lasts; firsts; lasts }
+
+let unsafe_of_packed groups = of_group_array (Array.map packed_group groups)
 
 let unsafe_of_groups groups =
   of_group_array
@@ -57,6 +66,7 @@ let unsafe_of_groups groups =
        (fun (i, insts) ->
          {
            gseq = i;
+           len = Array.length insts;
            firsts = Array.map (fun (inst : Instance.t) -> inst.Instance.first) insts;
            lasts = Array.map (fun (inst : Instance.t) -> inst.Instance.last) insts;
          })
@@ -67,9 +77,10 @@ let of_event idx e =
   let groups = ref [] in
   for i = Seqdb.size db downto 1 do
     let positions = Inverted_index.positions idx ~seq:i e in
-    if Array.length positions > 0 then
+    let n = Array.length positions in
+    if n > 0 then
       (* size-1 instances have first = last: share the positions array *)
-      groups := { gseq = i; firsts = positions; lasts = positions } :: !groups
+      groups := { gseq = i; len = n; firsts = positions; lasts = positions } :: !groups
   done;
   of_group_array (Array.of_list !groups)
 
@@ -79,6 +90,7 @@ let num_sequences s = Array.length s.groups
 let sequences s = Array.to_list (Array.map (fun g -> g.gseq) s.groups)
 let num_groups s = Array.length s.groups
 let group_seq s k = s.groups.(k).gseq
+let group_len s k = s.groups.(k).len
 let group_firsts s k = s.groups.(k).firsts
 let group_lasts s k = s.groups.(k).lasts
 
@@ -91,18 +103,17 @@ let instances_in s ~seq =
   !found
 
 let per_sequence_counts s =
-  Array.to_list (Array.map (fun g -> (g.gseq, Array.length g.lasts)) s.groups)
+  Array.to_list (Array.map (fun g -> (g.gseq, g.len)) s.groups)
 
 let lasts s =
   let out = Array.make s.total (0, 0) in
   let k = ref 0 in
   Array.iter
     (fun g ->
-      Array.iter
-        (fun last ->
-          out.(!k) <- (g.gseq, last);
-          incr k)
-        g.lasts)
+      for j = 0 to g.len - 1 do
+        out.(!k) <- (g.gseq, g.lasts.(j));
+        incr k
+      done)
     s.groups;
   out
 
@@ -120,8 +131,8 @@ let border_dominated ~extension ~pattern =
   try
     Array.iter2
       (fun ge gp ->
-        let n = Array.length ge.lasts in
-        if ge.gseq <> gp.gseq || n <> Array.length gp.lasts then raise Not_dominated;
+        let n = ge.len in
+        if ge.gseq <> gp.gseq || n <> gp.len then raise Not_dominated;
         for k = 0 to n - 1 do
           if ge.lasts.(k) > gp.lasts.(k) then raise Not_dominated
         done)
@@ -138,7 +149,7 @@ let fold_groups f init s =
    instances can only fail too, since both bounds are monotone). The
    monotonicity is also what lets one index cursor serve the whole group:
    each seek resumes where the previous one ended. *)
-let empty_group = { gseq = 0; firsts = [||]; lasts = [||] }
+let empty_group = { gseq = 0; len = 0; firsts = [||]; lasts = [||] }
 
 let grow idx s e =
   Metrics.hit Metrics.insgrow_calls;
@@ -154,7 +165,7 @@ let grow idx s e =
       let g = s.groups.(gi) in
       if gi > 0 then Inverted_index.reseat c ~seq:g.gseq;
       let lasts = g.lasts in
-      let n = Array.length lasts in
+      let n = g.len in
       (* Most groups die on the very first seek (the event does not occur
          after the first instance), so nothing is allocated until one
          extension succeeds. *)
@@ -175,12 +186,13 @@ let grow idx s e =
              incr count
            done
          with Exit -> ());
-        let cnt = !count in
-        let firsts = if cnt = n then g.firsts else Array.sub g.firsts 0 cnt in
-        let lasts = if cnt = n then new_lasts else Array.sub new_lasts 0 cnt in
-        out.(!out_count) <- { gseq = g.gseq; firsts; lasts };
+        (* share the parent's firsts array whole — the surviving prefix is
+           a prefix of it — and keep new_lasts at its allocated size; only
+           [len] slots are live. Zero copies on partial survival. *)
+        out.(!out_count) <- { gseq = g.gseq; len = !count; firsts = g.firsts;
+                              lasts = new_lasts };
         incr out_count;
-        total := !total + cnt
+        total := !total + !count
       end
     done;
     Inverted_index.cursor_finish c;
@@ -188,7 +200,26 @@ let grow idx s e =
     { groups; total = !total }
   end
 
-let equal a b = a.total = b.total && a.groups = b.groups
+(* Content equality over the live prefixes — the arrays may carry slack
+   slots and be shared, so structural array equality would be wrong in both
+   directions. *)
+let group_equal a b =
+  a.gseq = b.gseq && a.len = b.len
+  &&
+  let same = ref true in
+  for k = 0 to a.len - 1 do
+    if a.firsts.(k) <> b.firsts.(k) || a.lasts.(k) <> b.lasts.(k) then
+      same := false
+  done;
+  !same
+
+let equal a b =
+  a.total = b.total
+  && Array.length a.groups = Array.length b.groups
+  &&
+  let same = ref true in
+  Array.iteri (fun k ga -> if not (group_equal ga b.groups.(k)) then same := false) a.groups;
+  !same
 
 let pp ppf s =
   Format.fprintf ppf "@[<v>{ size = %d@," s.total;

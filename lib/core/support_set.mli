@@ -8,10 +8,13 @@
 
     Storage is columnar: each per-sequence group is a pair of parallel
     [int array]s ([firsts], [lasts]) rather than an array of boxed
-    instance records, and since appending growth never moves first
-    positions, [firsts] arrays are shared between a set and the sets grown
-    from it. {!Instance.t} remains the public view type, materialised on
-    demand by {!instances}, {!instances_in} and {!fold_groups}. *)
+    instance records, with an explicit live length ([group_len]) that may
+    be shorter than the arrays. Appending growth never moves first
+    positions and only ever kills a suffix of a group, so a grown group
+    shares its parent's [firsts] array outright (no prefix copies on
+    append-heavy DFS paths). {!Instance.t} remains the public view type,
+    materialised on demand by {!instances}, {!instances_in} and
+    {!fold_groups}. *)
 
 open Rgs_sequence
 
@@ -72,6 +75,13 @@ val fold_groups : ('a -> int -> Instance.t array -> 'a) -> 'a -> t -> 'a
 
 val num_groups : t -> int
 val group_seq : t -> int -> int
+
+val group_len : t -> int -> int
+(** Number of live instances in the group. The packed arrays may be longer
+    than this (growth shares a parent's [firsts] array wholesale and keeps
+    [lasts] at its allocated size); only the first [group_len] slots are
+    meaningful. *)
+
 val group_firsts : t -> int -> int array
 val group_lasts : t -> int -> int array
 
@@ -79,13 +89,15 @@ val grow :
   Inverted_index.t -> t -> Event.t -> t
 (** [grow idx i e] is the instance-growth operation [INSgrow(SeqDB, P, I, e)]
     (Algorithm 2): extends the leftmost support set [I] of [P] into the
-    leftmost support set of [P ◦ e]. On the columnar index backend each
-    per-sequence pass drives one monotone {!Inverted_index.cursor}, so a
-    whole group costs O(occurrences of [e]) amortized; on the legacy and
-    paged backends every extension pays the seed's per-call
-    [O(log L)] search. *)
+    leftmost support set of [P ◦ e]. Each per-sequence pass drives one
+    monotone {!Inverted_index.cursor} (all three backends are stateful),
+    so a whole group costs O(occurrences of [e]) amortized rather than one
+    full [O(log L)] search per instance. Surviving groups share the
+    parent's [firsts] array; no arrays are copied on partial survival. *)
 
 val equal : t -> t -> bool
+(** Content equality over live prefixes (slack slots and sharing are
+    representation details and do not affect it). *)
 
 val pp : Format.formatter -> t -> unit
 

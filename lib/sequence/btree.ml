@@ -121,3 +121,100 @@ let depth t =
     | Node { children; _ } -> 1 + go children.(0)
   in
   go t.root
+
+(* --- monotone cursor ---
+
+   A finger into the tree for monotone successor streams: the cursor
+   remembers the leaf the previous answer came from and its index inside
+   it, so a seek whose answer lies in the same leaf costs a few array
+   probes instead of a root-to-leaf descent. Work is counted into
+   [advanced] (linear probes over spent keys) and [gallops] (in-leaf
+   bisection halvings plus descent levels) so callers can attribute
+   seek cost exactly like the flat-array cursors do. *)
+
+type cursor = {
+  mutable ctree : t;
+  mutable cleaf : int array; (* keys of the current leaf; [||] before first descent *)
+  mutable ci : int; (* next candidate index in cleaf *)
+  mutable exhausted : bool; (* no key of the tree exceeds the last lowest *)
+  mutable advanced : int;
+  mutable gallops : int;
+}
+
+let cursor t =
+  { ctree = t; cleaf = [||]; ci = 0; exhausted = false; advanced = 0; gallops = 0 }
+
+let cursor_reset c t =
+  c.ctree <- t;
+  c.cleaf <- [||];
+  c.ci <- 0;
+  c.exhausted <- false
+
+let cursor_advanced c = c.advanced
+let cursor_gallops c = c.gallops
+
+let cursor_drain_counts c =
+  let a = c.advanced and g = c.gallops in
+  c.advanced <- 0;
+  c.gallops <- 0;
+  (a, g)
+
+(* Root-to-leaf descent to the leaf holding the successor of [lowest];
+   each level costs one separator bisection, counted as one gallop. *)
+let descend c lowest =
+  let rec go = function
+    | Leaf keys ->
+      c.cleaf <- keys;
+      c.gallops <- c.gallops + 1;
+      c.ci <- first_above keys lowest;
+      if c.ci >= Array.length keys then begin
+        (* only possible at the rightmost leaf: seps routed us here *)
+        c.exhausted <- true;
+        -1
+      end
+      else keys.(c.ci)
+    | Node { seps; children; _ } ->
+      c.gallops <- c.gallops + 1;
+      let i = first_above seps lowest in
+      if i >= Array.length children then begin
+        c.exhausted <- true;
+        -1
+      end
+      else go children.(i)
+  in
+  go c.ctree.root
+
+let cursor_linear_limit = 4
+
+let cursor_seek c ~lowest =
+  if c.exhausted then -1
+  else begin
+    let keys = c.cleaf and k = c.ci in
+    let n = Array.length keys in
+    if k < n && keys.(k) > lowest then keys.(k)
+    else if k < n && keys.(n - 1) > lowest then begin
+      (* answer is in the current leaf: a few linear probes, else bisect *)
+      let j = ref (k + 1) in
+      let lin = ref 0 in
+      while !lin < cursor_linear_limit && !j < n && keys.(!j) <= lowest do
+        incr lin;
+        incr j
+      done;
+      c.advanced <- c.advanced + !lin;
+      let j =
+        if !j >= n || keys.(!j) > lowest then !j
+        else begin
+          let lo = ref (!j + 1) and hi = ref n in
+          while !lo < !hi do
+            c.gallops <- c.gallops + 1;
+            let mid = (!lo + !hi) / 2 in
+            if keys.(mid) > lowest then hi := mid else lo := mid + 1
+          done;
+          !lo
+        end
+      in
+      c.ci <- j;
+      keys.(j)
+    end
+    else descend c lowest
+  end

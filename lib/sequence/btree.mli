@@ -39,3 +39,34 @@ val to_array : t -> int array
 
 val depth : t -> int
 (** Tree height (leaf = 1); exposed for tests. *)
+
+(** {2 Monotone cursor}
+
+    A stateful finger for monotone successor streams ({!Inverted_index}'s
+    paged cursors). The cursor remembers the leaf the previous answer came
+    from: a seek whose answer stays in that leaf costs a handful of linear
+    probes (or one in-leaf bisection), and only a seek that leaves the leaf
+    pays a fresh root-to-leaf descent. Seeks must pass nondecreasing
+    [lowest] values. *)
+
+type cursor
+
+val cursor : t -> cursor
+(** A fresh cursor positioned before the first key. *)
+
+val cursor_seek : cursor -> lowest:int -> int
+(** Smallest key strictly greater than [lowest], or [-1] when none
+    remains. Equivalent to {!successor} under the monotonicity contract. *)
+
+val cursor_reset : cursor -> t -> unit
+(** Re-point the cursor at (possibly another) tree, resetting the monotone
+    frontier but keeping the batched work counts. *)
+
+val cursor_advanced : cursor -> int
+(** Linear probes over spent keys since the last drain. *)
+
+val cursor_gallops : cursor -> int
+(** Bisection halvings and descent levels since the last drain. *)
+
+val cursor_drain_counts : cursor -> int * int
+(** [(advanced, gallops)] since the last drain, zeroing both. *)

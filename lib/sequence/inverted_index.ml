@@ -206,44 +206,80 @@ let count_between t ~seq e ~lo ~hi =
 
 (* --- cursors --- *)
 
-type slice_cursor = {
-  cstores : csr array;
-  cd : int; (* dense event id; -1 when the event is absent from the db *)
+(* Where a window cursor's flat position slice comes from — consulted by
+   [reseat] to re-point the window at another sequence's list. The CSR and
+   legacy backends share the whole seek machinery; only the slice lookup
+   differs (offset arithmetic vs one hashtable probe per sequence). *)
+type window_source =
+  | Wcsr of { stores : csr array; d : int (* -1 when absent from the db *) }
+  | Wlegacy of { lper : (Event.t, int array) Hashtbl.t array; le : Event.t }
+
+type window_cursor = {
+  src : window_source;
   mutable spos : int array;
   mutable shi : int;
   mutable sk : int; (* next candidate index; positions below sk are spent *)
   mutable seeks : int;
   mutable advanced : int;
+  mutable gallops : int;
 }
 
-type fallback_cursor = {
-  ft : t;
-  fe : Event.t;
-  mutable fseq : int;
-  mutable fseeks : int;
+type paged_cursor = {
+  pper : (Event.t, Btree.t) Hashtbl.t array;
+  pe : Event.t;
+  pbc : Btree.cursor; (* re-pointed per sequence; parked on [empty_btree]
+                         when the event is absent *)
+  mutable pseeks : int;
 }
 
 type cursor =
-  | Cslice of slice_cursor
-  | Cfallback of fallback_cursor
+  | Cwindow of window_cursor
+  | Cpaged of paged_cursor
+
+let empty_btree = lazy (Btree.of_sorted_array [||])
+
+let set_window c ~seq =
+  match c.src with
+  | Wcsr { stores; d } ->
+    if d >= 0 then begin
+      let store = stores.(seq - 1) in
+      c.spos <- store.pos;
+      c.shi <- store.offsets.(d + 1);
+      c.sk <- store.offsets.(d)
+    end
+  | Wlegacy { lper; le } -> (
+    match Hashtbl.find_opt lper.(seq - 1) le with
+    | Some a ->
+      c.spos <- a;
+      c.shi <- Array.length a;
+      c.sk <- 0
+    | None ->
+      c.spos <- empty_positions;
+      c.shi <- 0;
+      c.sk <- 0)
+
+let window src =
+  { src; spos = empty_positions; shi = 0; sk = 0; seeks = 0; advanced = 0;
+    gallops = 0 }
 
 let cursor t ~seq e =
   check_seq t seq;
   match t.backend with
   | Csr stores ->
-    let d = Alphabet.dense t.alpha e in
-    if d < 0 then
-      Cslice
-        { cstores = stores; cd = d; spos = empty_positions; shi = 0; sk = 0;
-          seeks = 0; advanced = 0 }
-    else begin
-      let store = stores.(seq - 1) in
-      Cslice
-        { cstores = stores; cd = d; spos = store.pos;
-          shi = store.offsets.(d + 1); sk = store.offsets.(d);
-          seeks = 0; advanced = 0 }
-    end
-  | Legacy _ | Paged _ -> Cfallback { ft = t; fe = e; fseq = seq; fseeks = 0 }
+    let c = window (Wcsr { stores; d = Alphabet.dense t.alpha e }) in
+    set_window c ~seq;
+    Cwindow c
+  | Legacy per_seq ->
+    let c = window (Wlegacy { lper = per_seq; le = e }) in
+    set_window c ~seq;
+    Cwindow c
+  | Paged per_seq ->
+    let bt =
+      match Hashtbl.find_opt per_seq.(seq - 1) e with
+      | Some bt -> bt
+      | None -> Lazy.force empty_btree
+    in
+    Cpaged { pper = per_seq; pe = e; pbc = Btree.cursor bt; pseeks = 0 }
 
 (* Re-point a cursor at another sequence's position list for the same
    event, keeping the locally batched counts. Lets a whole INSgrow pass
@@ -251,46 +287,84 @@ let cursor t ~seq e =
    flush. *)
 let reseat c ~seq =
   match c with
-  | Cfallback c -> c.fseq <- seq
-  | Cslice c ->
-    if c.cd >= 0 then begin
-      let store = c.cstores.(seq - 1) in
-      c.spos <- store.pos;
-      c.shi <- store.offsets.(c.cd + 1);
-      c.sk <- store.offsets.(c.cd)
-    end
+  | Cwindow c -> set_window c ~seq
+  | Cpaged c ->
+    Btree.cursor_reset c.pbc
+      (match Hashtbl.find_opt c.pper.(seq - 1) c.pe with
+      | Some bt -> bt
+      | None -> Lazy.force empty_btree)
 
-(* Hot cursor entry: -1 when no position qualifies. Counts are batched in
-   the cursor and flushed by [cursor_finish] so the per-seek cost carries
-   no atomic operation on any backend. *)
+(* How many positions past the frontier a seek probes linearly before
+   switching to galloping. Short hops dominate INSgrow passes (the next
+   qualifying occurrence is usually a step or two away), so a handful of
+   straight-line probes beats starting a doubling search every time. *)
+let linear_probe_limit = 4
+
+(* Hot cursor entry on the flat-array backends: -1 when no position
+   qualifies. [lowest] must be nondecreasing across calls (the cursor never
+   revisits an index below [sk]). Counts are batched in the cursor and
+   flushed by [cursor_finish] so the per-seek cost carries no atomic
+   operation: [advanced] counts spent positions stepped over linearly,
+   [gallops] counts doubling probes and bisection halvings — so a long hop
+   over a run of [n] spent positions costs [linear_probe_limit] advances
+   plus O(log n) gallops instead of [n] linear steps. *)
+let window_seek c ~lowest =
+  c.seeks <- c.seeks + 1;
+  let pos = c.spos and hi = c.shi in
+  let k = c.sk in
+  if k >= hi then -1
+  else if pos.(k) > lowest then pos.(k)
+  else begin
+    (* linear fast path: the frontier is spent; probe the next few slots *)
+    let j = ref (k + 1) in
+    let lin = ref 0 in
+    while !lin < linear_probe_limit && !j < hi && pos.(!j) <= lowest do
+      incr lin;
+      incr j
+    done;
+    c.advanced <- c.advanced + !lin;
+    let j =
+      if !j >= hi || pos.(!j) > lowest then !j
+      else begin
+        (* gallop: pos.(!j) is still spent; double the step until a probe
+           exceeds [lowest] (or the window ends), then bisect the last
+           bracket. O(log hop) total, and over a monotone pass the cursor
+           never revisits an index, hence O(occurrences) amortized. *)
+        let base = !j in
+        let g = ref 0 in
+        let step = ref 1 in
+        let prev = ref base in
+        let probe = ref (base + 1) in
+        let bracketed = ref false in
+        while (not !bracketed) && !probe < hi do
+          incr g;
+          if pos.(!probe) <= lowest then begin
+            prev := !probe;
+            step := !step * 2;
+            probe := base + !step
+          end
+          else bracketed := true
+        done;
+        let lo = ref (!prev + 1) and bhi = ref (min !probe hi) in
+        while !lo < !bhi do
+          incr g;
+          let mid = (!lo + !bhi) / 2 in
+          if pos.(mid) > lowest then bhi := mid else lo := mid + 1
+        done;
+        c.gallops <- c.gallops + !g;
+        !lo
+      end
+    in
+    c.sk <- j;
+    if j >= hi then -1 else pos.(j)
+  end
+
 let seek_pos c ~lowest =
   match c with
-  | Cfallback c ->
-    c.fseeks <- c.fseeks + 1;
-    next_pos c.ft ~seq:c.fseq c.fe ~lowest
-  | Cslice c ->
-    c.seeks <- c.seeks + 1;
-    let pos = c.spos and hi = c.shi and k = c.sk in
-    if k >= hi then -1
-    else if pos.(k) > lowest then pos.(k)
-    else begin
-      (* Gallop: position [k] is spent; find the least j > k with
-         pos.(j) > lowest by doubling probes, then binary search the last
-         bracket. Cost is O(log gap), and summed over a monotone pass the
-         cursor never revisits an index, hence O(occurrences) amortized. *)
-      let step = ref 1 in
-      let prev = ref k in
-      let probe = ref (k + 1) in
-      while !probe < hi && pos.(!probe) <= lowest do
-        prev := !probe;
-        step := !step * 2;
-        probe := k + !step
-      done;
-      let j = first_above pos ~lo:(!prev + 1) ~hi:(min !probe hi) lowest in
-      c.advanced <- c.advanced + (j - k);
-      c.sk <- j;
-      if j >= hi then -1 else pos.(j)
-    end
+  | Cwindow c -> window_seek c ~lowest
+  | Cpaged c ->
+    c.pseeks <- c.pseeks + 1;
+    Btree.cursor_seek c.pbc ~lowest
 
 let seek c ~lowest =
   let p = seek_pos c ~lowest in
@@ -298,14 +372,19 @@ let seek c ~lowest =
 
 let cursor_finish c =
   match c with
-  | Cfallback c ->
-    Metrics.add Metrics.next_calls c.fseeks;
-    c.fseeks <- 0
-  | Cslice c ->
+  | Cwindow c ->
     Metrics.add Metrics.next_calls c.seeks;
     Metrics.add Metrics.cursor_advances c.advanced;
+    Metrics.add Metrics.cursor_gallops c.gallops;
     c.seeks <- 0;
-    c.advanced <- 0
+    c.advanced <- 0;
+    c.gallops <- 0
+  | Cpaged c ->
+    Metrics.add Metrics.next_calls c.pseeks;
+    let adv, gal = Btree.cursor_drain_counts c.pbc in
+    Metrics.add Metrics.cursor_advances adv;
+    Metrics.add Metrics.cursor_gallops gal;
+    c.pseeks <- 0
 
 let occurrence_count t e =
   let d = Alphabet.dense t.alpha e in

@@ -82,17 +82,20 @@ val positions : t -> seq:int -> Event.t -> int array
 type cursor
 
 val cursor : t -> seq:int -> Event.t -> cursor
-(** A fresh cursor over [L_{e,Si}]. On the CSR backend this resolves the
-    slice once (no hashing, no per-seek lookup); on the legacy and paged
-    backends the cursor is stateless and each {!seek} falls back to
-    {!next} — deliberately preserving those backends' per-call cost for
-    honest old-vs-new comparison. *)
+(** A fresh cursor over [L_{e,Si}]. All three backends are stateful: the
+    CSR cursor resolves its slice once (no hashing at all), the legacy
+    cursor resolves the position array once per sequence (one hashtable
+    probe at creation/{!reseat} instead of one per seek), and the paged
+    cursor keeps a {!Btree.cursor} finger into the current leaf. *)
 
 val seek : cursor -> lowest:int -> int option
 (** [seek c ~lowest] is [next idx ~seq e ~lowest] for the cursor's list.
-    Calls on a CSR cursor must pass nondecreasing [lowest] values
-    (INSgrow's monotone bound); positions at or below an earlier [lowest]
-    are spent and will not be revisited. *)
+    Calls must pass nondecreasing [lowest] values (INSgrow's monotone
+    bound, Lemma 3); positions at or below an earlier [lowest] are spent
+    and will not be revisited. Short hops are resolved by a few linear
+    probes (counted into {!Metrics.cursor_advances}); longer hops switch
+    to a galloping (doubling) search, O(log hop), counted into
+    {!Metrics.cursor_gallops}. *)
 
 val seek_pos : cursor -> lowest:int -> int
 (** As {!seek} but option-free: the position, or [-1] when none qualifies.
@@ -108,10 +111,10 @@ val reseat : cursor -> seq:int -> unit
     in range by construction. *)
 
 val cursor_finish : cursor -> unit
-(** Flush the cursor's locally batched counts into {!Metrics.next_calls}
-    and {!Metrics.cursor_advances} (one atomic add per counter, instead of
-    contending on shared counters inside the seek loop). Safe to skip —
-    only metrics accuracy is affected. *)
+(** Flush the cursor's locally batched counts into {!Metrics.next_calls},
+    {!Metrics.cursor_advances} and {!Metrics.cursor_gallops} (one atomic
+    add per counter, instead of contending on shared counters inside the
+    seek loop). Safe to skip — only metrics accuracy is affected. *)
 
 val occurrence_count : t -> Event.t -> int
 (** Total occurrences of [e] over the database — the repetitive support of

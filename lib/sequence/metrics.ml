@@ -38,6 +38,7 @@ let insgrow_calls = register "insgrow_calls" Counter
 let full_insgrow_calls = register "full_insgrow_calls" Counter
 let next_calls = register "next_calls" Counter
 let cursor_advances = register "cursor_advances" Counter
+let cursor_gallops = register "cursor_gallops" Counter
 let dfs_nodes = register "dfs_nodes" Counter
 let patterns_emitted = register "patterns_emitted" Counter
 let lb_prunes = register "lb_prunes" Counter
@@ -52,6 +53,11 @@ let root_retries = register "root_retries" Counter
 let peak_live_words = register "peak_live_words" Gauge
 
 let sample_live_words () =
+  (* force a full major first: without it [Gc.stat]'s [live_words] includes
+     whatever floating garbage the last cycle left, which varies with
+     allocation rhythm rather than retention and made backend memory
+     comparisons meaningless *)
+  Gc.full_major ();
   let live = (Gc.stat ()).Gc.live_words in
   observe_max peak_live_words live;
   live

@@ -38,9 +38,11 @@ val observe_max : counter -> int -> unit
     max — used for peak gauges such as {!peak_live_words}). *)
 
 val sample_live_words : unit -> int
-(** Sample the GC's live heap words ([Gc.stat], which walks the major
-    heap — call between runs, not inside hot loops), fold the sample into
-    {!peak_live_words}, and return it. *)
+(** Sample the GC's live heap words, fold the sample into
+    {!peak_live_words}, and return it. Runs [Gc.full_major] first so the
+    reading counts reachable words only (not floating garbage) and is
+    reproducible — call between runs or at worker exit, never inside hot
+    loops. *)
 
 val reset : unit -> unit
 (** Zero every registered metric. *)
@@ -92,8 +94,17 @@ val next_calls : counter
     cursor {!Inverted_index.seek}s (Sec III-D inverted-index lookups). *)
 
 val cursor_advances : counter
-(** Total positions a CSR cursor stepped over while seeking — the
-    amortized-O(occurrences) work of a whole-sequence INSgrow pass. *)
+(** Spent positions an index cursor stepped over {e linearly} while
+    seeking (the short-hop fast path, at most a few per seek). Before the
+    galloping seek this counted every position consumed; now long hops are
+    resolved by doubling probes counted in {!cursor_gallops} instead, so
+    [cursor_advances + cursor_gallops] is the total per-seek work beyond
+    the O(1) frontier check. *)
+
+val cursor_gallops : counter
+(** Galloping work while seeking: doubling probes and bisection halvings
+    (flat-array cursors), plus B+-tree descent levels (paged cursors).
+    Each unit is one position comparison, O(log hop) per long hop. *)
 
 val dfs_nodes : counter
 (** Pattern-tree nodes visited by GSgrow/CloGSgrow/gap-constrained DFS

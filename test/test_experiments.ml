@@ -98,6 +98,40 @@ let test_case_study_smoke () =
   let rendered = Rgs_post.Report.to_string (E.Case_study.report o) in
   Alcotest.(check bool) "report non-empty" true (String.length rendered > 100)
 
+(* --stats smoke: the experiments CLI must write the same Metrics JSON as
+   rgsminer --stats, scoped to the experiment's own work (a snapshot diff,
+   so counters from process startup are excluded). *)
+let test_stats_flag_smoke () =
+  (* resolve against the test binary, not the cwd: dune runtest and a bare
+     dune exec run from different directories *)
+  let exe =
+    Filename.concat
+      (Filename.dirname Sys.executable_name)
+      (Filename.concat ".." (Filename.concat "bin" "experiments.exe"))
+  in
+  if not (Sys.file_exists exe) then Alcotest.fail "experiments.exe not built";
+  Test_trace.with_temp_file (fun path ->
+      let cmd =
+        Printf.sprintf "%s table1 --stats %s >/dev/null 2>/dev/null"
+          (Filename.quote exe) (Filename.quote path)
+      in
+      Alcotest.(check int) "exit code" 0 (Sys.command cmd);
+      let j = Test_trace.Json.parse (Test_trace.read_file path) in
+      let counter name =
+        let entry = Test_trace.Json.get name j in
+        Alcotest.(check string)
+          (name ^ " kind") "counter"
+          (Test_trace.Json.(to_str (get "kind" entry)));
+        int_of_float Test_trace.Json.(to_num (get "value" entry))
+      in
+      (* Table I mines Example 1.1, so the hot-path counters must have
+         registered real work *)
+      Alcotest.(check bool) "next_calls > 0" true (counter "next_calls" > 0);
+      Alcotest.(check bool) "insgrow_calls > 0" true
+        (counter "insgrow_calls" > 0);
+      Alcotest.(check bool) "cursor_gallops present" true
+        (counter "cursor_gallops" >= 0))
+
 let suite =
   [
     Alcotest.test_case "timed run counts" `Quick test_run_counts;
@@ -107,4 +141,5 @@ let suite =
     Alcotest.test_case "comparators entries" `Quick test_comparators_entries;
     Alcotest.test_case "ablation entries" `Quick test_ablation_entries;
     Alcotest.test_case "case study smoke" `Quick test_case_study_smoke;
+    Alcotest.test_case "--stats flag smoke" `Quick test_stats_flag_smoke;
   ]

