@@ -6,7 +6,8 @@
    Knobs (environment):
      RGS_BENCH_SCALE    dataset scale relative to the paper (default 0.05)
      RGS_BENCH_TIMEOUT  per-mining-run cut-off in seconds (default 5)
-     RGS_BENCH_SKIP_TABLES / RGS_BENCH_SKIP_LAYOUT / RGS_BENCH_SKIP_MICRO
+     RGS_BENCH_SKIP_TABLES / RGS_BENCH_SKIP_LAYOUT / RGS_BENCH_SKIP_MICRO /
+     RGS_BENCH_SKIP_CHECKPOINT
                         set to 1 to skip a section
      RGS_DATA_DIR       where the checked-in datasets live (default data)
      RGS_BENCH_JSON_PATH  layout-comparison JSON output (default BENCH_core.json)
@@ -500,6 +501,69 @@ let section_parallel () =
     counts;
   print_table "parallel CloGSgrow scaling — JBoss-like, min_sup=18, max_length=5" t
 
+(* --- Section D: durable checkpoint log — append vs whole-file rewrite ---
+
+   PR 1's checkpoint rewrote the whole file after every completed root, so
+   saving root i cost O(results of roots 1..i) — O(n^2) marshalling over a
+   run. The v2 record log appends one CRC32-framed record per root. This
+   section replays both strategies over the same mined results at several
+   root counts; "rewrite" is what the seed format would have paid. *)
+
+let section_checkpoint () =
+  let open Rgs_core in
+  Format.printf "@.### Section D: checkpoint log — append vs whole-file rewrite@.@.";
+  let db = E.Exp_common.quest_d5c20n10s20 ~scale:0.05 () in
+  let report = Miner.mine ~config:(Miner.config ~min_sup:10 ~max_length:4 ()) db in
+  let results = report.Miner.results in
+  let fp = String.make 32 'b' in
+  let entries n =
+    List.init n (fun k ->
+        { Checkpoint.root = k; results = List.filteri (fun i _ -> i mod n = k) results })
+  in
+  let with_temp f =
+    let path = Filename.temp_file "rgs_bench_ckpt" ".bin" in
+    Fun.protect
+      ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+      (fun () -> f path)
+  in
+  let t =
+    Rgs_post.Report.create
+      ~columns:[ "roots"; "rewrite_s"; "append_s"; "rewrite/append"; "log_bytes" ]
+  in
+  List.iter
+    (fun n ->
+      let es = entries n in
+      let prefix i = List.filteri (fun j _ -> j < i) es in
+      let (), rewrite_s =
+        E.Exp_common.time (fun () ->
+            with_temp (fun path ->
+                for i = 1 to n do
+                  Checkpoint.write ~path ~fingerprint:fp ~completed:(prefix i)
+                    ~quarantined:[] ()
+                done))
+      in
+      let bytes = ref 0 in
+      let (), append_s =
+        E.Exp_common.time (fun () ->
+            with_temp (fun path ->
+                let w = Checkpoint.Writer.create ~path ~fingerprint:fp () in
+                List.iter
+                  (fun e -> Checkpoint.Writer.append w (Checkpoint.Root_done e))
+                  es;
+                Checkpoint.Writer.close w;
+                bytes := (Unix.stat path).Unix.st_size))
+      in
+      Rgs_post.Report.add_row t
+        [ string_of_int n; Rgs_post.Report.cell_float rewrite_s;
+          Rgs_post.Report.cell_float append_s;
+          Printf.sprintf "%.1fx" (rewrite_s /. append_s);
+          string_of_int !bytes ])
+    [ 8; 32; 128 ];
+  print_table
+    (Printf.sprintf "checkpoint save cost over a run (%d mined patterns)"
+       (List.length results))
+    t
+
 let section_micro () =
   Format.printf "@.### Section B: bechamel micro-benchmarks@.@.";
   let instances = Instance.[ monotonic_clock ] in
@@ -537,4 +601,5 @@ let () =
   if not (env_flag "RGS_BENCH_SKIP_MICRO") then begin
     section_micro ();
     section_parallel ()
-  end
+  end;
+  if not (env_flag "RGS_BENCH_SKIP_CHECKPOINT") then section_checkpoint ()

@@ -83,6 +83,23 @@ let stats_arg =
                (JSON when it ends in .json, Prometheus text exposition \
                otherwise) — same format as rgsminer --stats.")
 
+let trace_arg =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+         ~doc:"Write a Chrome trace_event JSON timeline of the experiment's \
+               mining runs to $(docv) — same format as rgsminer --trace; \
+               open in ui.perfetto.dev.")
+
+let trace_level_arg =
+  let level_conv =
+    Arg.enum
+      [ ("off", Rgs_sequence.Trace.Off); ("roots", Rgs_sequence.Trace.Roots);
+        ("nodes", Rgs_sequence.Trace.Nodes) ]
+  in
+  Arg.(value & opt level_conv Rgs_sequence.Trace.Roots
+       & info [ "trace-level" ] ~docv:"LEVEL"
+         ~doc:"Trace detail for $(b,--trace): $(b,roots) (default), \
+               $(b,nodes), or $(b,off).")
+
 (* Snapshot around the experiment so the written stats attribute only this
    run's work, not whatever ran earlier in the process. *)
 let with_stats stats f =
@@ -96,15 +113,35 @@ let with_stats stats f =
     Format.eprintf "wrote %s@." path);
   r
 
+(* The experiment drivers record through Exp_common's ambient trace;
+   install one for the invocation and export it afterwards. *)
+let with_trace trace_file trace_level f =
+  match trace_file with
+  | None -> f ()
+  | Some path ->
+    let trace = Rgs_sequence.Trace.create ~level:trace_level () in
+    E.Exp_common.set_trace trace;
+    let r =
+      Fun.protect ~finally:(fun () -> E.Exp_common.set_trace Rgs_sequence.Trace.null) f
+    in
+    Rgs_sequence.Trace.write_chrome path trace;
+    Format.eprintf "wrote %s@." path;
+    r
+
+let with_obs stats trace_file trace_level f =
+  with_stats stats (fun () -> with_trace trace_file trace_level f)
+
+let obs_args = Term.(const (fun s t l -> (s, t, l)) $ stats_arg $ trace_arg $ trace_level_arg)
+
 let simple name doc f =
   Cmd.v (Cmd.info name ~doc)
-    Term.(const (fun stats -> with_stats stats f) $ stats_arg)
+    Term.(const (fun (stats, tf, tl) -> with_obs stats tf tl f) $ obs_args)
 
 let sweep_cmd name doc make =
-  let run scale timeout_s stats =
-    with_stats stats (fun () -> make ~scale ?timeout_s (); 0)
+  let run scale timeout_s (stats, tf, tl) =
+    with_obs stats tf tl (fun () -> make ~scale ?timeout_s (); 0)
   in
-  Cmd.v (Cmd.info name ~doc) Term.(const run $ scale $ timeout $ stats_arg)
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ scale $ timeout $ obs_args)
 
 let fig2_cmd =
   sweep_cmd "fig2" "Figure 2: vary min_sup on D5C20N10S20" (fun ~scale ?timeout_s () ->
@@ -119,36 +156,36 @@ let fig4_cmd =
       run_sweep "Figure 4" (E.Sweeps.fig4 ~scale:(max scale 0.25) ?timeout_s ()))
 
 let fig5_cmd =
-  let run scale timeout_s stats =
-    with_stats stats (fun () -> run_fig5 scale timeout_s; 0)
+  let run scale timeout_s (stats, tf, tl) =
+    with_obs stats tf tl (fun () -> run_fig5 scale timeout_s; 0)
   in
   Cmd.v (Cmd.info "fig5" ~doc:"Figure 5: vary the number of sequences")
-    Term.(const run $ scale $ timeout $ stats_arg)
+    Term.(const run $ scale $ timeout $ obs_args)
 
 let fig6_cmd =
-  let run scale timeout_s stats =
-    with_stats stats (fun () -> run_fig6 scale timeout_s; 0)
+  let run scale timeout_s (stats, tf, tl) =
+    with_obs stats tf tl (fun () -> run_fig6 scale timeout_s; 0)
   in
   Cmd.v (Cmd.info "fig6" ~doc:"Figure 6: vary the average sequence length")
-    Term.(const run $ scale $ timeout $ stats_arg)
+    Term.(const run $ scale $ timeout $ obs_args)
 
 let comparators_cmd =
-  let run scale timeout_s stats =
-    with_stats stats (fun () -> run_comparators scale timeout_s; 0)
+  let run scale timeout_s (stats, tf, tl) =
+    with_obs stats tf tl (fun () -> run_comparators scale timeout_s; 0)
   in
   Cmd.v (Cmd.info "comparators" ~doc:"Sequential-miner runtime comparison")
-    Term.(const run $ scale $ timeout $ stats_arg)
+    Term.(const run $ scale $ timeout $ obs_args)
 
 let ablation_cmd =
-  let run timeout_s stats =
-    with_stats stats (fun () -> run_ablation timeout_s; 0)
+  let run timeout_s (stats, tf, tl) =
+    with_obs stats tf tl (fun () -> run_ablation timeout_s; 0)
   in
   Cmd.v (Cmd.info "ablation" ~doc:"CloGSgrow checking-strategy ablation")
-    Term.(const run $ timeout $ stats_arg)
+    Term.(const run $ timeout $ obs_args)
 
 let all_cmd =
-  let run scale timeout_s stats =
-    with_stats stats (fun () ->
+  let run scale timeout_s (stats, tf, tl) =
+    with_obs stats tf tl (fun () ->
         run_table1 ();
         run_sweep "Figure 2" (E.Sweeps.fig2 ~scale ?timeout_s ());
         run_sweep "Figure 3" (E.Sweeps.fig3 ~scale ?timeout_s ());
@@ -161,7 +198,7 @@ let all_cmd =
         0)
   in
   Cmd.v (Cmd.info "all" ~doc:"Run every experiment")
-    Term.(const run $ scale $ timeout $ stats_arg)
+    Term.(const run $ scale $ timeout $ obs_args)
 
 let cmd =
   let doc =

@@ -35,10 +35,17 @@ let setup_logs verbose =
   Logs.set_reporter (Logs.format_reporter ());
   Logs.set_level (Some (if verbose then Logs.Info else Logs.Warning))
 
+(* Exit code for a run stopped by SIGINT/SIGTERM: the handlers request a
+   cooperative Budget stop, the final checkpoint records are appended, the
+   partial report is printed, and the process exits 130 (documented in the
+   README's failure-modes runbook). *)
+let exit_interrupted = 130
+
 let run input format min_sup all max_length max_patterns limit instances max_gap parallel
-    index_kind deadline max_nodes max_words checkpoint resume trace_file
-    trace_level stats_file verbose =
+    index_kind deadline max_nodes max_words checkpoint resume retry_quarantined
+    trace_file trace_level trace_ring stats_file verbose =
   setup_logs verbose;
+  Budget.install_signal_handlers ();
   match
     let db, codec = load format input in
     Format.printf "%a@.@." Seqdb.pp_stats (Seqdb.stats db);
@@ -52,12 +59,13 @@ let run input format min_sup all max_length max_patterns limit instances max_gap
     let trace =
       match trace_file with
       | None -> Trace.null
-      | Some _ -> Trace.create ~level:trace_level ()
+      | Some _ -> Trace.create ?capacity:trace_ring ~level:trace_level ()
     in
     let before = if stats_file <> None then Some (Metrics.snapshot ()) else None in
     let report =
       if checkpoint <> None || resume then
-        Miner.mine_resumable ?checkpoint ~resume ~trace config db
+        Miner.mine_resumable ?checkpoint ~resume ~retry_quarantined ~trace
+          config db
       else Miner.mine ~config ~trace db
     in
     (match trace_file with
@@ -86,6 +94,11 @@ let run input format min_sup all max_length max_patterns limit instances max_gap
         (match checkpoint with
         | Some path -> Printf.sprintf " (checkpoint saved to %s; rerun with --resume)" path
         | None -> ""));
+    if report.Miner.quarantined > 0 then
+      Format.printf
+        "%d poison root(s) quarantined — their patterns are missing; rerun \
+         with --resume --retry-quarantined to re-mine them@."
+        report.Miner.quarantined;
     if instances then begin
       let sorted = List.sort Mined.compare_by_support_desc report.Miner.results in
       List.iteri
@@ -97,9 +110,11 @@ let run input format min_sup all max_length max_patterns limit instances max_gap
               (Miner.landmarks db r.Mined.pattern)
           end)
         sorted
-    end
+    end;
+    report.Miner.outcome
   with
-  | () -> 0
+  | Budget.Interrupted -> exit_interrupted
+  | _ -> 0
   | exception Seq_io.Parse_error { line; msg } ->
     Format.eprintf "rgsminer: %s:%d: %s@." input line msg;
     1
@@ -193,6 +208,11 @@ let resume =
                does not already cover. The checkpoint must match the input data, \
                threshold, mode and $(b,--max-length).")
 
+let retry_quarantined =
+  Arg.(value & flag & info [ "retry-quarantined" ]
+         ~doc:"Put roots the checkpoint recorded as quarantined (crashed twice) \
+               back on the mining frontier instead of skipping them.")
+
 let trace_file =
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
          ~doc:"Write a Chrome trace_event JSON timeline of the run to FILE. \
@@ -207,6 +227,14 @@ let trace_level =
          ~doc:"Trace detail: $(b,roots) (default; per-root DFS spans and run \
                milestones), $(b,nodes) (adds one event per DFS node, extension \
                and closure check), or $(b,off).")
+
+let trace_ring =
+  Arg.(value & opt (some int) None & info [ "trace-ring" ] ~docv:"N"
+         ~doc:"Trace ring-buffer capacity in events per buffer (default 65536, \
+               rounded up to a power of two). Once full the ring keeps the \
+               newest events; overwrites are counted in the \
+               $(b,trace_dropped_events) metric and noted next to the trace \
+               file summary.")
 
 let stats_file =
   Arg.(value & opt (some string) None & info [ "stats" ] ~docv:"FILE"
@@ -223,7 +251,7 @@ let cmd =
     (Cmd.info "rgsminer" ~version:"1.1.0" ~doc)
     Term.(const run $ input $ format $ min_sup $ all $ max_length $ max_patterns $ limit
           $ instances $ max_gap $ parallel $ index_kind $ deadline $ max_nodes
-          $ max_words $ checkpoint $ resume $ trace_file $ trace_level
-          $ stats_file $ verbose)
+          $ max_words $ checkpoint $ resume $ retry_quarantined $ trace_file
+          $ trace_level $ trace_ring $ stats_file $ verbose)
 
 let () = exit (Cmd.eval' cmd)

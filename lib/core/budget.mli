@@ -18,6 +18,10 @@ type outcome =
   | Deadline_exceeded  (** the wall-clock deadline passed *)
   | Memory_limit  (** the GC heap-words ceiling was crossed *)
   | Cancelled  (** {!cancel} was called *)
+  | Interrupted
+      (** a {!request_shutdown} (typically a SIGINT/SIGTERM handler) asked
+          the run to stop; results mined so far are returned and a final
+          checkpoint record is written before the process exits *)
   | Worker_failed
       (** at least one parallel root raised and failed its retry; the
           surviving roots' results are still returned *)
@@ -48,8 +52,30 @@ val cancelled : t -> bool
 val nodes : t -> int
 (** DFS nodes counted so far (across all domains sharing the budget). *)
 
+(** {2 Graceful shutdown}
+
+    A single process-global flag, separate from per-run {!cancel}: a signal
+    handler cannot know which budgets are live, so it sets the flag and
+    every budget's next {!check} raises [Stop Interrupted]. *)
+
+val request_shutdown : unit -> unit
+(** Ask every in-flight budgeted run to stop at its next {!check}.
+    Async-signal-safe (one atomic store). *)
+
+val shutdown_requested : unit -> bool
+val reset_shutdown : unit -> unit
+(** Clear the flag — tests, and long-lived callers embedding several runs. *)
+
+val install_signal_handlers : unit -> unit
+(** Route SIGINT and SIGTERM to {!request_shutdown} and remember that
+    handlers are installed ({!signals_installed}), which makes
+    {!Miner.mine}/{!Miner.mine_resumable} create a budget even when no
+    explicit limit is configured, so the flag is actually polled. *)
+
+val signals_installed : unit -> bool
+
 val severity : outcome -> int
-(** [Completed] = 0 rising to [Worker_failed] = 5. *)
+(** [Completed] = 0 rising to [Worker_failed] = 6. *)
 
 val combine : outcome -> outcome -> outcome
 (** Most severe of the two — merging per-root outcomes into a run
@@ -69,6 +95,14 @@ module Fault : sig
   type site =
     | Insgrow  (** fired once per instance-growth call in the DFS *)
     | Worker of int  (** fired by a pool worker as it claims root [i] *)
+    | Checkpoint_io
+        (** fired before every physical checkpoint write
+            ([Checkpoint.Writer] header and record appends); raising here
+            simulates ENOSPC/EIO and exercises the retry/degrade path *)
+
+  val site_name : site -> string
+  (** Stable lowercase class name (["worker"] for every [Worker _]) —
+      {!Chaos} keys its fault plans on it. *)
 
   val set : (site -> unit) -> unit
   val clear : unit -> unit

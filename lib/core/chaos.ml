@@ -1,0 +1,124 @@
+open Rgs_sequence
+
+type site_kind = Insgrow | Worker | Checkpoint_io
+
+type plan = { id : int; kind : site_kind; trigger : int; persistent : bool }
+
+exception Injected of plan
+
+let kind_name = function
+  | Insgrow -> "insgrow"
+  | Worker -> "worker"
+  | Checkpoint_io -> "checkpoint_io"
+
+let pp_plan ppf p =
+  Format.fprintf ppf "plan %d: %s after %d firing(s), %s" p.id
+    (kind_name p.kind) p.trigger
+    (if p.persistent then "persistent" else "transient")
+
+(* splitmix64 — the generator must be self-contained (lib/core cannot see
+   rgs_datagen) and deterministic across runs, which rules out [Random]'s
+   global state. *)
+let splitmix state =
+  state := Int64.add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.to_int (Int64.logxor z (Int64.shift_right_logical z 31)) land max_int
+
+let plans ?(kinds = [ Insgrow; Worker; Checkpoint_io ]) ~seed ~count () =
+  if kinds = [] then invalid_arg "Chaos.plans: kinds must be non-empty";
+  if count < 0 then invalid_arg "Chaos.plans: count must be >= 0";
+  let state = ref (Int64.of_int seed) in
+  let kinds = Array.of_list kinds in
+  List.init count (fun id ->
+      (* cycle kinds so a small sweep still covers every site *)
+      let kind = kinds.(id mod Array.length kinds) in
+      let trigger = 1 + (splitmix state mod 8) in
+      let persistent = splitmix state land 1 = 1 in
+      { id; kind; trigger; persistent })
+
+let matches kind site =
+  match (kind, site) with
+  | Insgrow, Budget.Fault.Insgrow -> true
+  | Worker, Budget.Fault.Worker _ -> true
+  | Checkpoint_io, Budget.Fault.Checkpoint_io -> true
+  | _ -> false
+
+let inject plan f =
+  (* pool workers fire sites from several domains at once *)
+  let fired = Atomic.make 0 in
+  Budget.Fault.with_hook
+    (fun site ->
+      if matches plan.kind site then begin
+        let n = 1 + Atomic.fetch_and_add fired 1 in
+        if n = plan.trigger || (plan.persistent && n > plan.trigger) then
+          raise (Injected plan)
+      end)
+    f
+
+(* --- the invariant --- *)
+
+let root_of m = Pattern.get m.Mined.pattern 1
+
+let signature_of m =
+  (Pattern.to_list m.Mined.pattern, m.Mined.support)
+
+(* Group a result list by DFS root, preserving each root's pattern order —
+   within a root the miners are sequential, so surviving roots must match
+   the baseline exactly, order included. *)
+let group results =
+  let tbl : (Event.t, (Event.t list * int) list) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let roots = ref [] in
+  List.iter
+    (fun m ->
+      let r = root_of m in
+      match Hashtbl.find_opt tbl r with
+      | None ->
+        roots := r :: !roots;
+        Hashtbl.replace tbl r [ signature_of m ]
+      | Some group -> Hashtbl.replace tbl r (signature_of m :: group))
+    results;
+  Hashtbl.iter (fun r g -> Hashtbl.replace tbl r (List.rev g)) tbl;
+  (tbl, List.rev !roots)
+
+let pp_root = Format.pp_print_int
+
+let check_invariant ~baseline ~faulty ~quarantined =
+  let base_tbl, base_roots = group baseline in
+  let faulty_tbl, faulty_roots = group faulty in
+  let invented =
+    List.filter (fun r -> not (Hashtbl.mem base_tbl r)) faulty_roots
+  in
+  match invented with
+  | r :: _ ->
+    Error
+      (Format.asprintf "root %a appears only in the faulty run" pp_root r)
+  | [] -> (
+    let missing = ref 0 in
+    let first_error = ref None in
+    List.iter
+      (fun r ->
+        match Hashtbl.find_opt faulty_tbl r with
+        | None -> incr missing
+        | Some g ->
+          if g <> Hashtbl.find base_tbl r && !first_error = None then
+            first_error :=
+              Some
+                (Format.asprintf
+                   "root %a differs from the fault-free run (%d vs %d \
+                    pattern(s))"
+                   pp_root r (List.length g)
+                   (List.length (Hashtbl.find base_tbl r))))
+      base_roots;
+    match !first_error with
+    | Some e -> Error e
+    | None ->
+      if !missing <> quarantined then
+        Error
+          (Printf.sprintf
+             "%d root(s) missing from the faulty output but %d quarantined"
+             !missing quarantined)
+      else Ok ())

@@ -1,0 +1,70 @@
+(** Deterministic chaos harness over the {!Budget.Fault} sites.
+
+    A {e fault plan} is a small seeded recipe — which site kind to attack,
+    after how many firings, and whether the fault is transient (one shot)
+    or persistent — generated reproducibly from a seed by {!plans}. The
+    harness installs the plan as the process fault hook ({!inject}) and
+    the sweep asserts the resilience invariant the runtime promises:
+
+    {e mined output restricted to non-quarantined roots equals the
+    fault-free run} ({!check_invariant}), and no injected fault ever
+    escapes [mine_all]/[mine_closed]/[mine_resumable] as an uncaught
+    exception.
+
+    Transient faults must be fully absorbed (retry recovers the root, the
+    output is byte-identical); persistent faults may cost quarantined
+    roots but never patterns of surviving roots, and [Checkpoint_io]
+    faults may never change mined output at all — they only degrade
+    checkpoint durability.
+
+    Everything is deterministic given the seed: the generator is an
+    inline splitmix64, and no wall-clock or global randomness is
+    consulted. *)
+
+type site_kind =
+  | Insgrow  (** {!Budget.Fault.Insgrow}: crash inside a root's DFS *)
+  | Worker  (** {!Budget.Fault.Worker}: crash at a root claim/retry *)
+  | Checkpoint_io
+      (** {!Budget.Fault.Checkpoint_io}: fail a physical checkpoint
+          write (ENOSPC/EIO stand-in) *)
+
+type plan = {
+  id : int;  (** position in the generated sweep *)
+  kind : site_kind;
+  trigger : int;  (** inject at the [trigger]-th matching firing (1-based) *)
+  persistent : bool;
+      (** [true]: every firing from [trigger] on fails (poison root /
+          dead disk); [false]: exactly one firing fails (transient blip) *)
+}
+
+exception Injected of plan
+(** The fault raised by an active plan. Deliberately {e not} a
+    [Budget.Stop]: it exercises the crash-isolation path, not the
+    cooperative-stop path. *)
+
+val pp_plan : Format.formatter -> plan -> unit
+
+val plans : ?kinds:site_kind list -> seed:int -> count:int -> unit -> plan list
+(** [count] plans drawn deterministically from [seed], cycling through
+    [kinds] (default: all three) so every site kind is attacked, with
+    pseudo-random triggers in [1, 8] and a persistent/transient mix. *)
+
+val inject : plan -> (unit -> 'a) -> 'a
+(** Run a thunk with the plan installed as the {!Budget.Fault} hook
+    (firing counter starts at zero). The counter is atomic, so plans
+    behave under pool parallelism; with more than one domain the {e root}
+    hit by the nth firing may vary, which the invariant is insensitive
+    to. Not reentrant — plans do not compose with an already-installed
+    hook. *)
+
+val check_invariant :
+  baseline:Mined.t list ->
+  faulty:Mined.t list ->
+  quarantined:int ->
+  (unit, string) result
+(** The chaos invariant. Groups both result lists by DFS root (a mined
+    pattern's first event) and checks that every root's group is either
+    {e identical} to the baseline's (patterns, order and supports) or
+    {e entirely absent}, that no root appears only in the faulty run, and
+    that the number of absent roots equals [quarantined]. [Error]
+    carries a human-readable diagnosis for the failing root. *)

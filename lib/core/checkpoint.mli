@@ -1,20 +1,27 @@
-(** Checkpoint/resume for root-partitioned mining runs.
+(** Durable checkpoint log for root-partitioned mining runs.
 
     The DFS forest mined by {!Gsgrow}/{!Clogsgrow} splits into independent
     subtrees, one per frequent size-1 root — the same decomposition
-    {!Parallel_miner} exploits. A checkpoint persists the results of the
-    roots completed so far plus the frontier of roots still to mine, so a
-    run stopped by a deadline (or killed outright after its last save) can
-    resume without redoing finished roots: resumed results equal an
-    uninterrupted run's, root by root.
+    {!Parallel_miner} exploits. Version 2 of the checkpoint format is an
+    {e append-only record log}: a self-describing header (magic, version,
+    caller-supplied fingerprint) followed by one CRC32-framed record per
+    event — a completed root with its full result list, a quarantined
+    root, or the run outcome. Saving after a root finishes appends one
+    record, O(that root's results), instead of rewriting the whole file;
+    a run killed outright ([kill -9], power loss) loses at most the record
+    being appended.
 
-    Files are written atomically (temp file + rename) and carry a magic
-    header, a format version, and a caller-supplied fingerprint of the
-    mining parameters and database; {!load} refuses anything that does not
-    match, so a checkpoint can never silently resume against a different
-    database or configuration. Serialization uses [Marshal] — checkpoints
-    are valid within one build of the binary, which is the crash-recovery
-    use case, not an interchange format. *)
+    {!load} {e salvages}: it returns every intact prefix record of a
+    truncated or torn log rather than raising, so crash recovery degrades
+    record-by-record ({!Metrics.checkpoint_salvaged_roots} counts what was
+    recovered from a torn file). [Corrupt] is reserved for files that are
+    not usable at all: wrong magic, wrong version, fingerprint mismatch,
+    or a header cut short.
+
+    Record payloads use [Marshal] — checkpoints are valid within one build
+    of the binary, which is the crash-recovery use case, not an
+    interchange format. The CRC32 frame is what makes a torn tail
+    detectable {e before} [Marshal] sees it. *)
 
 open Rgs_sequence
 
@@ -23,28 +30,111 @@ type entry = {
   results : Mined.t list;  (** the completed root's full result list *)
 }
 
+type quarantine = {
+  root : Event.t;
+  reason : string;  (** [Printexc.to_string] of the exception, twice fatal *)
+  backtrace : string;
+}
+
+(** One log record. Later records win per root, so re-mining a quarantined
+    root ({!Miner.mine_resumable} with [retry_quarantined]) simply appends
+    a superseding [Root_done]. *)
+type record =
+  | Root_done of entry
+  | Root_quarantined of quarantine
+  | Run_outcome of Budget.outcome
+      (** how the run ended; appended at the end of every run (latest
+          wins), so a resumed-then-completed run supersedes the stop
+          outcome inherited from its initial image *)
+
 type t = {
   fingerprint : string;
-  completed : entry list;  (** in root order *)
-  remaining : Event.t list;  (** frontier: roots not yet fully mined *)
-  outcome : Budget.outcome;  (** why the checkpointed run stopped *)
+  completed : entry list;  (** in first-logged order *)
+  quarantined : quarantine list;
+  outcome : Budget.outcome;  (** last [Run_outcome] record, or [Completed] *)
+  salvaged_bytes : int;
+      (** trailing bytes dropped by the salvaging loader; [0] = clean *)
 }
 
 exception Corrupt of string
-(** Raised by {!load} on a missing/garbled file or fingerprint mismatch. *)
+(** Raised by {!load} on a missing/unreadable file, wrong magic or
+    version, a header cut short, or a fingerprint mismatch — {e not} on a
+    torn record tail, which is salvaged. *)
 
 val fingerprint : params:string list -> Seqdb.t -> string
 (** Digest of the result-defining mining parameters and the database
     contents. Runtime limits (deadline, node budget) must {e not} be part
     of [params]: resuming with a different budget is the point. *)
 
-val save : path:string -> t -> unit
-(** Atomic write: the file at [path] is either the previous checkpoint or
-    the new one, never a torn mix. *)
-
 val load : path:string -> expected_fingerprint:string -> t
-(** @raise Corrupt when the file is unreadable, malformed, from another
-    format version, or fingerprinted for different parameters/data. *)
+(** Salvaging load: every record of the longest intact prefix, folded into
+    per-root state ([completed]/[quarantined], later records superseding
+    earlier ones for the same root).
+    @raise Corrupt as documented on the exception. *)
 
 val load_opt : path:string -> expected_fingerprint:string -> t option
 (** [None] when the file does not exist; {!load} otherwise. *)
+
+val records_of : t -> record list
+(** A loaded checkpoint as the record list that reproduces it — the
+    [?initial] image for {!Writer.create} when resuming. *)
+
+val write :
+  ?outcome:Budget.outcome ->
+  path:string ->
+  fingerprint:string ->
+  completed:entry list ->
+  quarantined:quarantine list ->
+  unit ->
+  unit
+(** Whole-file convenience: create a writer with all records and close it.
+    For incremental per-root saves use {!Writer} directly. *)
+
+val sweep_stale_temps : string -> unit
+(** Remove leftover [rgs-ckpt*.tmp] files in a directory — temp files a
+    killed process never got to rename. {!Writer.create} calls this for
+    the checkpoint's directory before creating its own temp. *)
+
+val crc32 : string -> int
+(** The frame checksum (zlib polynomial), exposed for tests and fixture
+    generation. *)
+
+(** Incremental appender. Physical writes never raise: each one is
+    retried with exponential backoff and deterministic jitter
+    ({!Metrics.checkpoint_io_retries}, [Checkpoint_retry] trace instants)
+    and then abandoned ({!Metrics.checkpoint_io_failures}) so a full disk
+    degrades checkpoint durability, not the mining run. A failed write
+    leaves the file flagged dirty; the next attempt first truncates back
+    to the last whole record, so a torn tail can never be followed by
+    live records the salvaging loader would miss. Every write is fsynced.
+    The [Budget.Fault.Checkpoint_io] site fires before each physical
+    attempt. [append] is mutex-serialised — pool workers log roots as
+    they finish. *)
+module Writer : sig
+  type w
+
+  val create :
+    ?attempts:int ->
+    ?backoff_s:float ->
+    ?trace:Trace.t ->
+    ?initial:record list ->
+    path:string ->
+    fingerprint:string ->
+    unit ->
+    w
+  (** Atomically replace [path] with a fresh log holding [initial]
+      (default empty) via temp-file + rename, keeping the channel open for
+      appends; sweeps stale temps first. [attempts] (default 4) bounds the
+      tries per physical write; [backoff_s] (default 0.01) is the first
+      retry's base delay, doubling per attempt with jitter in
+      [0.5x, 1.5x]. On persistent failure the writer is created unhealthy
+      and appends are no-ops (the run still mines). *)
+
+  val healthy : w -> bool
+  (** The log file is open and the last create/append round succeeded. *)
+
+  val append : w -> record -> unit
+  (** Append one CRC32-framed record, retrying as documented; thread-safe. *)
+
+  val close : w -> unit
+end

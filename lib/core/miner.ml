@@ -62,6 +62,7 @@ type report = {
   truncated : bool;
   outcome : Budget.outcome;
   elapsed_s : float;
+  quarantined : int;
 }
 
 let log_src = Logs.Src.create "rgs.miner" ~doc:"Repetitive gapped subsequence mining"
@@ -83,9 +84,13 @@ let describe cfg =
       (match cfg.max_words with Some w -> Printf.sprintf ", max_words=%d" w | None -> "");
     ]
 
+(* With signal handlers installed every run needs a budget, even a
+   limitless one: [Budget.check] is where the process-global shutdown flag
+   is polled, so without it SIGTERM could not stop the DFS gracefully. *)
 let budget_of cfg =
   match (cfg.deadline_s, cfg.max_nodes, cfg.max_words) with
-  | None, None, None -> None
+  | None, None, None ->
+    if Budget.signals_installed () then Some (Budget.create ()) else None
   | deadline_s, max_nodes, max_words ->
     Some (Budget.create ?deadline_s ?max_nodes ?max_words ())
 
@@ -136,7 +141,7 @@ let mine_indexed ?trace cfg idx =
   Log.info (fun m ->
       m "found %d pattern(s) (%a) in %.3fs" (List.length results) Budget.pp outcome
         elapsed_s);
-  { results; truncated = Budget.is_stop outcome; outcome; elapsed_s }
+  { results; truncated = Budget.is_stop outcome; outcome; elapsed_s; quarantined = 0 }
 
 let mine ?config:cfg ?min_sup ?trace db =
   let cfg =
@@ -160,7 +165,17 @@ let checkpoint_fingerprint cfg db =
       ]
     db
 
-let mine_resumable ?checkpoint ?(resume = false) ?(trace = Trace.null) cfg db =
+(* Chaos/testing knob: slow every root down so an external harness has a
+   deterministic window to deliver signals or kill -9 mid-run. Unset (the
+   default) costs one load per root. *)
+let chaos_root_delay_s =
+  lazy
+    (match Sys.getenv_opt "RGS_CHAOS_ROOT_DELAY_MS" with
+    | None -> 0.0
+    | Some v -> ( try float_of_string v /. 1000.0 with Failure _ -> 0.0))
+
+let mine_resumable ?checkpoint ?(resume = false) ?(retry_quarantined = false)
+    ?(trace = Trace.null) cfg db =
   validate_config cfg;
   if cfg.max_gap <> None then
     invalid_arg "Miner: checkpointing is not supported with max_gap";
@@ -180,13 +195,39 @@ let mine_resumable ?checkpoint ?(resume = false) ?(trace = Trace.null) cfg db =
   let prior_completed =
     match prior with None -> [] | Some c -> c.Checkpoint.completed
   in
+  let prior_quarantined =
+    match prior with None -> [] | Some c -> c.Checkpoint.quarantined
+  in
+  let completed_results : (Event.t, Mined.t list) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun { Checkpoint.root; results } ->
+      Hashtbl.replace completed_results root results)
+    prior_completed;
+  (* Quarantined roots stay off the frontier — a poison root must not
+     re-crash every resume — unless the caller explicitly asks to re-mine
+     them ([retry_quarantined], e.g. after fixing the cause). *)
+  let skip_quarantined = not retry_quarantined in
+  let quarantined_skipped : (Event.t, unit) Hashtbl.t = Hashtbl.create 8 in
+  if skip_quarantined then
+    List.iter
+      (fun (q : Checkpoint.quarantine) ->
+        if not (Hashtbl.mem completed_results q.root) then
+          Hashtbl.replace quarantined_skipped q.root ())
+      prior_quarantined;
   let remaining =
-    match prior with None -> events | Some c -> c.Checkpoint.remaining
+    List.filter
+      (fun root ->
+        (not (Hashtbl.mem completed_results root))
+        && not (Hashtbl.mem quarantined_skipped root))
+      events
   in
   Log.info (fun m ->
-      m "mining %s patterns, min_sup=%d: %d/%d root(s) to mine%s" (describe cfg)
+      m "mining %s patterns, min_sup=%d: %d/%d root(s) to mine%s%s" (describe cfg)
         cfg.min_sup (List.length remaining) (List.length events)
-        (if prior <> None then " (resumed)" else ""));
+        (if prior <> None then " (resumed)" else "")
+        (match Hashtbl.length quarantined_skipped with
+        | 0 -> ""
+        | n -> Printf.sprintf " (%d quarantined root(s) skipped)" n));
   let budget = budget_of cfg in
   let roots = Array.of_list remaining in
   let domains =
@@ -196,22 +237,53 @@ let mine_resumable ?checkpoint ?(resume = false) ?(trace = Trace.null) cfg db =
       d
     | None -> 1
   in
+  let writer =
+    Option.map
+      (fun path ->
+        let initial =
+          match prior with Some c -> Checkpoint.records_of c | None -> []
+        in
+        Checkpoint.Writer.create ~trace ~initial ~path ~fingerprint:fp ())
+      checkpoint
+  in
+  (* Append one [Root_done] record the moment a root completes — that is
+     the durability unit: a kill -9 loses at most the root being appended.
+     [logged] feeds the Checkpoint_write span args (completed, remaining). *)
+  let total_roots = List.length events in
+  let logged = Atomic.make (Hashtbl.length completed_results) in
+  let log_root_done root results =
+    match writer with
+    | None -> ()
+    | Some w ->
+      let t0 = Trace.now trace in
+      Checkpoint.Writer.append w (Checkpoint.Root_done { root; results });
+      let done_now = 1 + Atomic.fetch_and_add logged 1 in
+      Trace.span trace Trace.Checkpoint_write ~a0:done_now
+        ~a1:(total_roots - done_now) ~start:t0
+  in
   let mine_root k =
-    match cfg.mode with
-    | All ->
-      let results, stats =
-        Gsgrow.mine ?max_length:cfg.max_length ?budget
-          ~trace:(Trace.for_domain trace) ~events ~roots:[ roots.(k) ] idx
-          ~min_sup:cfg.min_sup
-      in
-      (results, stats.Gsgrow.outcome)
-    | Closed ->
-      let results, stats =
-        Clogsgrow.mine ?max_length:cfg.max_length ?budget
-          ~trace:(Trace.for_domain trace) ~events ~roots:[ roots.(k) ] idx
-          ~min_sup:cfg.min_sup
-      in
-      (results, stats.Clogsgrow.outcome)
+    (match Lazy.force chaos_root_delay_s with
+    | 0.0 -> ()
+    | d -> ( try Unix.sleepf d with Unix.Unix_error (Unix.EINTR, _, _) -> ()));
+    let ((results, outcome) as r) =
+      match cfg.mode with
+      | All ->
+        let results, stats =
+          Gsgrow.mine ?max_length:cfg.max_length ?budget
+            ~trace:(Trace.for_domain trace) ~events ~roots:[ roots.(k) ] idx
+            ~min_sup:cfg.min_sup
+        in
+        (results, stats.Gsgrow.outcome)
+      | Closed ->
+        let results, stats =
+          Clogsgrow.mine ?max_length:cfg.max_length ?budget
+            ~trace:(Trace.for_domain trace) ~events ~roots:[ roots.(k) ] idx
+            ~min_sup:cfg.min_sup
+        in
+        (results, stats.Clogsgrow.outcome)
+    in
+    if outcome = Budget.Completed then log_root_done roots.(k) results;
+    r
   in
   let slots, halt_reason =
     Parallel_miner.run_pool ~trace
@@ -222,31 +294,38 @@ let mine_resumable ?checkpoint ?(resume = false) ?(trace = Trace.null) cfg db =
   let slots = Parallel_miner.retry_failed ~trace ~mine_root slots in
   (* Classify each freshly mined root: fully completed roots advance the
      checkpoint frontier; partially mined and crashed roots stay on it, but
-     partial results still reach the report. *)
-  let newly_completed = Hashtbl.create 16 in
+     partial results still reach the report; quarantined roots are recorded
+     so the next resume skips them. *)
   let partials = Hashtbl.create 16 in
+  let quarantined_now = ref [] in
   let outcome = ref (Option.value halt_reason ~default:Budget.Completed) in
+  if Hashtbl.length quarantined_skipped > 0 then
+    (* the output is missing the skipped roots' patterns *)
+    outcome := Budget.combine !outcome Budget.Worker_failed;
   Array.iteri
     (fun k status ->
       let root = roots.(k) in
       match status with
       | Parallel_miner.Done (results, Budget.Completed) ->
-        Hashtbl.replace newly_completed root results
+        Hashtbl.replace completed_results root results
       | Parallel_miner.Done (results, stop) ->
         Hashtbl.replace partials root results;
         outcome := Budget.combine !outcome stop
-      | Parallel_miner.Failed _ -> outcome := Budget.combine !outcome Budget.Worker_failed
+      | Parallel_miner.Failed _ ->
+        (* only reachable if retry_failed was skipped for this slot *)
+        outcome := Budget.combine !outcome Budget.Worker_failed
+      | Parallel_miner.Quarantined { exn; backtrace } ->
+        quarantined_now :=
+          { Checkpoint.root; reason = Printexc.to_string exn; backtrace }
+          :: !quarantined_now;
+        outcome := Budget.combine !outcome Budget.Worker_failed
       | Parallel_miner.Skipped ->
         (* the pool halted before this root; the halt reason (or another
            root's stop outcome) already accounts for it *)
         ())
     slots;
+  let quarantined_now = List.rev !quarantined_now in
   let outcome = !outcome in
-  let completed_results = Hashtbl.create 16 in
-  List.iter
-    (fun { Checkpoint.root; results } -> Hashtbl.replace completed_results root results)
-    prior_completed;
-  Hashtbl.iter (Hashtbl.replace completed_results) newly_completed;
   (* Assemble the report in the full root order, so a resumed run completes
      to exactly the uninterrupted run's output. *)
   let results =
@@ -258,29 +337,22 @@ let mine_resumable ?checkpoint ?(resume = false) ?(trace = Trace.null) cfg db =
           match Hashtbl.find_opt partials root with Some rs -> rs | None -> []))
       events
   in
-  (match checkpoint with
+  (match writer with
   | None -> ()
-  | Some path ->
-    let completed =
-      List.filter_map
-        (fun root ->
-          Option.map
-            (fun results -> { Checkpoint.root; results })
-            (Hashtbl.find_opt completed_results root))
-        events
-    in
-    let remaining =
-      List.filter (fun root -> not (Hashtbl.mem completed_results root)) events
-    in
-    let t0 = Trace.now trace in
-    Checkpoint.save ~path { Checkpoint.fingerprint = fp; completed; remaining; outcome };
-    Trace.span trace Trace.Checkpoint_write ~a0:(List.length completed)
-      ~a1:(List.length remaining) ~start:t0);
+  | Some w ->
+    List.iter
+      (fun q -> Checkpoint.Writer.append w (Checkpoint.Root_quarantined q))
+      quarantined_now;
+    Checkpoint.Writer.append w (Checkpoint.Run_outcome outcome);
+    Checkpoint.Writer.close w);
+  let quarantined =
+    Hashtbl.length quarantined_skipped + List.length quarantined_now
+  in
   let elapsed_s = Unix.gettimeofday () -. start in
   Log.info (fun m ->
       m "found %d pattern(s) (%a) in %.3fs" (List.length results) Budget.pp outcome
         elapsed_s);
-  { results; truncated = Budget.is_stop outcome; outcome; elapsed_s }
+  { results; truncated = Budget.is_stop outcome; outcome; elapsed_s; quarantined }
 
 let landmarks db p = Sup_comp.landmarks (Inverted_index.build db) p
 let support db p = Sup_comp.support (Inverted_index.build db) p

@@ -66,6 +66,10 @@ type report = {
   truncated : bool;  (** [true] iff [outcome <> Completed] *)
   outcome : Budget.outcome;  (** why the run ended *)
   elapsed_s : float;
+  quarantined : int;
+      (** poison roots excluded from [results]: quarantined this run after
+          crashing twice, or skipped on resume because a prior run
+          quarantined them. Always [0] outside {!mine_resumable}. *)
 }
 
 val mine : ?config:config -> ?min_sup:int -> ?trace:Trace.t -> Seqdb.t -> report
@@ -81,21 +85,41 @@ val mine_indexed : ?trace:Trace.t -> config -> Inverted_index.t -> report
     parameter sweeps; [config.paged_index] is ignored). *)
 
 val mine_resumable :
-  ?checkpoint:string -> ?resume:bool -> ?trace:Trace.t -> config -> Seqdb.t -> report
-(** Root-partitioned mining with checkpoint/resume. Roots (frequent size-1
-    patterns) are mined independently — sequentially, or with
-    [config.domains] pool workers; a crashing root is retried once and at
-    worst loses only its own patterns ([Worker_failed]).
+  ?checkpoint:string ->
+  ?resume:bool ->
+  ?retry_quarantined:bool ->
+  ?trace:Trace.t ->
+  config ->
+  Seqdb.t ->
+  report
+(** Root-partitioned mining with durable checkpoint/resume. Roots
+    (frequent size-1 patterns) are mined independently — sequentially, or
+    with [config.domains] pool workers; a crashing root is retried once
+    (with backoff) and, if it crashes again, {e quarantined}: its patterns
+    are missing from [results] ([Worker_failed] outcome,
+    [report.quarantined] counts it) and the checkpoint records it so a
+    resumed run skips it instead of re-crashing. Pass
+    [retry_quarantined:true] to put previously quarantined roots back on
+    the frontier (e.g. after fixing the cause) — a successful re-mine
+    appends a superseding record.
 
-    With [checkpoint:path], the set of fully completed roots and their
-    results is saved to [path] (atomically) when the run ends for any
-    reason; with [resume:true] a matching checkpoint is loaded first and
-    only the remaining roots are mined, so the finished report equals an
+    With [checkpoint:path], the log at [path] gains one record {e per
+    completed root, as it completes} ({!Checkpoint.Writer}) — a run killed
+    outright loses at most the record being appended — plus quarantine
+    records and a final {!Checkpoint.Run_outcome}. With [resume:true] a
+    matching checkpoint is loaded first (salvaging a torn tail) and only
+    the remaining roots are mined, so the finished report equals an
     uninterrupted run's. A checkpoint written for a different database,
-    [min_sup], [mode] or [max_length] is rejected
-    ({!Checkpoint.Corrupt}). Runtime limits may differ between the original
-    and the resumed run. Each checkpoint write is recorded into [trace] as
-    a [Checkpoint_write] span ([a0] = completed roots, [a1] = remaining).
+    [min_sup], [mode] or [max_length] is rejected ({!Checkpoint.Corrupt}).
+    Runtime limits may differ between the original and the resumed run.
+    Checkpoint appends are recorded into [trace] as [Checkpoint_write]
+    spans ([a0] = completed roots, [a1] = remaining); I/O failures degrade
+    gracefully (see {!Checkpoint.Writer}) rather than killing the run.
+
+    When {!Budget.install_signal_handlers} has been called, a limitless
+    cooperative budget is created even without configured limits, so
+    SIGINT/SIGTERM stop the run with [Interrupted] after the final
+    checkpoint records are appended.
 
     @raise Invalid_argument with [max_gap] or [max_patterns] (those paths
     are not root-partitioned), or when [resume] is set without

@@ -2,7 +2,11 @@ open Rgs_sequence
 
 let default_domains () = max 1 (min (Domain.recommended_domain_count ()) 8)
 
-type 'a root_status = Done of 'a | Failed of exn | Skipped
+type 'a root_status =
+  | Done of 'a
+  | Failed of exn
+  | Skipped
+  | Quarantined of { exn : exn; backtrace : string }
 
 (* Claim roots from an atomic counter until exhausted; store each root's
    status into its slot. [mine_root] must be thread-compatible: it only
@@ -81,23 +85,31 @@ let run_pool ?(trace = Trace.null) ?(halt_on = fun _ -> false) ?order ~domains
     (worker 0);
   (slots, Atomic.get halt_reason)
 
-(* One sequential retry for roots that crashed in the pool: transient
-   failures (and fault hooks armed to fire once) recover; a second failure
-   leaves the root [Failed] and only its patterns are lost. *)
-let retry_failed ?(trace = Trace.null) ~mine_root slots =
+(* One sequential retry for roots that crashed in the pool, after a short
+   backoff (transient failures — an injected once-armed fault, a blip of
+   memory pressure — recover); a root that fails its retry too is poison
+   and gets quarantined: the exception and backtrace are preserved so a
+   checkpoint can record it and a resumed run can skip it instead of
+   re-crashing forever. *)
+let retry_failed ?(trace = Trace.null) ?(backoff_s = 0.01) ~mine_root slots =
   Array.iteri
     (fun k status ->
       match status with
       | Failed _ -> (
         Metrics.hit Metrics.root_retries;
         Trace.instant trace Trace.Root_retry ~a0:k ~a1:0;
+        if backoff_s > 0.0 then Unix.sleepf backoff_s;
         match
           Budget.Fault.fire (Budget.Fault.Worker k);
           mine_root k
         with
         | r -> slots.(k) <- Done r
-        | exception e -> slots.(k) <- Failed e)
-      | Done _ | Skipped -> ())
+        | exception e ->
+          let backtrace = Printexc.get_backtrace () in
+          Metrics.hit Metrics.quarantined_roots;
+          Trace.instant trace Trace.Quarantine ~a0:k ~a1:0;
+          slots.(k) <- Quarantined { exn = e; backtrace })
+      | Done _ | Skipped | Quarantined _ -> ())
     slots;
   slots
 
@@ -117,7 +129,7 @@ let collect ?halt_reason ~stats_of ~outcome_of ~with_outcome ~zero slots =
       (fun acc status ->
         match status with
         | Done r -> Budget.combine acc (outcome_of (stats_of r))
-        | Failed _ -> Budget.combine acc Budget.Worker_failed
+        | Failed _ | Quarantined _ -> Budget.combine acc Budget.Worker_failed
         | Skipped -> acc)
       (Option.value halt_reason ~default:Budget.Completed)
       slots
@@ -132,7 +144,7 @@ let collect ?halt_reason ~stats_of ~outcome_of ~with_outcome ~zero slots =
   in
   let results =
     List.concat_map
-      (function Done (rs, _) -> rs | Failed _ | Skipped -> [])
+      (function Done (rs, _) -> rs | Failed _ | Skipped | Quarantined _ -> [])
       (Array.to_list slots)
   in
   let stats =

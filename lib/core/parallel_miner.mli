@@ -27,8 +27,12 @@ val default_domains : unit -> int
 type 'a root_status =
   | Done of 'a  (** the root's miner returned (possibly with partial results
                     and a stop outcome recorded in its stats) *)
-  | Failed of exn  (** raised in the pool {e and} in the sequential retry *)
+  | Failed of exn  (** raised in the pool; {!retry_failed} not yet run *)
   | Skipped  (** never claimed: the pool halted on a budget stop first *)
+  | Quarantined of { exn : exn; backtrace : string }
+      (** poison root: raised in the pool {e and} in the sequential retry.
+          {!Miner.mine_resumable} records these in the checkpoint so a
+          resumed run skips them instead of re-crashing. *)
 
 val run_pool :
   ?trace:Trace.t ->
@@ -63,14 +67,18 @@ val run_pool :
 
 val retry_failed :
   ?trace:Trace.t ->
+  ?backoff_s:float ->
   mine_root:(int -> 'a) ->
   'a root_status array ->
   'a root_status array
-(** Retries every [Failed] slot once, sequentially, in the calling domain;
-    updates the array in place and returns it. The {!Budget.Fault.Worker}
-    site fires again for each retried root, so a persistent injected fault
-    fails both attempts. Each retry bumps {!Metrics.root_retries} and
-    records a [Root_retry] instant into [trace]. *)
+(** Retries every [Failed] slot once, sequentially, in the calling domain,
+    sleeping [backoff_s] (default 0.01) before each retry so transient
+    pressure has a moment to clear; updates the array in place and returns
+    it. The {!Budget.Fault.Worker} site fires again for each retried root,
+    so a persistent injected fault fails both attempts — the slot then
+    becomes [Quarantined] with the exception and backtrace preserved
+    ({!Metrics.quarantined_roots}, [Quarantine] trace instant). Each retry
+    bumps {!Metrics.root_retries} and records a [Root_retry] instant. *)
 
 val largest_first_order :
   Inverted_index.t -> Rgs_sequence.Event.t array -> int array

@@ -23,7 +23,7 @@ let run ?(min_sup = 18) ?(max_patterns = 100_000) ?(seed = 42) () =
   let db, codec = Jboss_gen.generate (Jboss_gen.params ~seed ()) in
   let stats = Seqdb.stats db in
   let report =
-    Miner.mine
+    Miner.mine ~trace:(Exp_common.trace ())
       ~config:(Miner.config ~mode:Miner.Closed ~min_sup ~max_patterns ())
       db
   in

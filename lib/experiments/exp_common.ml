@@ -7,6 +7,13 @@ type run = {
   timed_out : bool;
 }
 
+(* Ambient trace for the experiment drivers: the sweeps thread dozens of
+   timed runs through here, so the CLI sets one trace for the whole
+   invocation instead of threading ?trace through every sweep signature. *)
+let ambient_trace = ref Rgs_sequence.Trace.null
+let set_trace t = ambient_trace := t
+let trace () = !ambient_trace
+
 (* Polling gettimeofday at every DFS node is measurable; check every 64th
    call. *)
 let deadline_checker ?timeout_s start =
@@ -23,7 +30,8 @@ let run_gsgrow ?timeout_s ?max_length idx ~min_sup =
   let count = ref 0 in
   let should_stop = deadline_checker ?timeout_s start in
   let stats =
-    Gsgrow.iter ?max_length ~should_stop idx ~min_sup ~f:(fun _ -> incr count)
+    Gsgrow.iter ?max_length ~should_stop ~trace:(trace ()) idx ~min_sup
+      ~f:(fun _ -> incr count)
   in
   {
     elapsed_s = Unix.gettimeofday () -. start;
@@ -36,8 +44,8 @@ let run_clogsgrow ?timeout_s ?max_length ?use_lb_check ?use_c_check idx ~min_sup
   let count = ref 0 in
   let should_stop = deadline_checker ?timeout_s start in
   let stats =
-    Clogsgrow.iter ?max_length ?use_lb_check ?use_c_check ~should_stop idx ~min_sup
-      ~f:(fun _ -> incr count)
+    Clogsgrow.iter ?max_length ?use_lb_check ?use_c_check ~should_stop
+      ~trace:(trace ()) idx ~min_sup ~f:(fun _ -> incr count)
   in
   {
     elapsed_s = Unix.gettimeofday () -. start;

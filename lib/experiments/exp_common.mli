@@ -28,6 +28,14 @@ val run_clogsgrow :
 val time : (unit -> 'a) -> 'a * float
 (** Wall-clock timing of a thunk. *)
 
+val set_trace : Trace.t -> unit
+(** Install the ambient trace every {!run_gsgrow}/{!run_clogsgrow} (and the
+    case study's miner call) records into — the [experiments --trace FILE]
+    hook. Default {!Trace.null}; reset it after the traced work. *)
+
+val trace : unit -> Trace.t
+(** The currently installed ambient trace. *)
+
 val pp_run : Format.formatter -> run -> unit
 (** ["0.123s / 456 patterns"] with a ["(timeout)"] suffix when hit. *)
 

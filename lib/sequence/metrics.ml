@@ -48,8 +48,13 @@ let closure_base_grows = register "closure_base_grows" Counter
 let closure_full_grows = register "closure_full_grows" Counter
 let budget_stops = register "budget_stops" Counter
 let checkpoint_writes = register "checkpoint_writes" Counter
+let checkpoint_io_retries = register "checkpoint_io_retries" Counter
+let checkpoint_io_failures = register "checkpoint_io_failures" Counter
+let checkpoint_salvaged_roots = register "checkpoint_salvaged_roots" Counter
 let pool_workers = register "pool_workers" Counter
 let root_retries = register "root_retries" Counter
+let quarantined_roots = register "quarantined_roots" Counter
+let trace_dropped_events = register "trace_dropped_events" Counter
 let peak_live_words = register "peak_live_words" Gauge
 
 let sample_live_words () =

@@ -134,7 +134,21 @@ val budget_stops : counter
     [max_patterns] cap) stopped a search early. *)
 
 val checkpoint_writes : counter
-(** Checkpoint files written ([Checkpoint.save]). *)
+(** Checkpoint records physically written ([Checkpoint.Writer] header
+    rewrites and record appends that reached the disk). *)
+
+val checkpoint_io_retries : counter
+(** Checkpoint writes that failed (ENOSPC, EIO, an injected
+    [Checkpoint_io] fault) and were retried after a backoff. *)
+
+val checkpoint_io_failures : counter
+(** Checkpoint writes abandoned after exhausting their retries; the run
+    keeps mining, but the affected roots are not durable until a later
+    write succeeds. *)
+
+val checkpoint_salvaged_roots : counter
+(** Intact root records recovered by [Checkpoint.load] from a truncated or
+    torn checkpoint file (only bumped when trailing bytes were dropped). *)
 
 val pool_workers : counter
 (** Pool worker bodies started by [Parallel_miner.run_pool] (one per
@@ -142,6 +156,15 @@ val pool_workers : counter
 
 val root_retries : counter
 (** Crashed DFS roots retried sequentially after a pool run. *)
+
+val quarantined_roots : counter
+(** Roots whose sequential retry also failed and were quarantined
+    ([Parallel_miner.retry_failed]); a resumed run skips them. *)
+
+val trace_dropped_events : counter
+(** Trace-ring events overwritten by wrap-around ([Trace] ring full) —
+    non-zero means the written trace is lossy; raise the ring capacity
+    ([rgsminer --trace-ring]). *)
 
 val peak_live_words : counter
 (** Peak GC live words observed via {!sample_live_words} (max gauge;

@@ -6,10 +6,14 @@ type kind =
   | Checkpoint_write
   | Budget_stop
   | Root_retry
+  | Quarantine
+  | Checkpoint_retry
   | Node
   | Extension
   | Closure_check
   | Lb_prune
+
+let num_kinds = 11
 
 let kind_code = function
   | Root -> 0
@@ -17,10 +21,12 @@ let kind_code = function
   | Checkpoint_write -> 2
   | Budget_stop -> 3
   | Root_retry -> 4
-  | Node -> 5
-  | Extension -> 6
-  | Closure_check -> 7
-  | Lb_prune -> 8
+  | Quarantine -> 5
+  | Checkpoint_retry -> 6
+  | Node -> 7
+  | Extension -> 8
+  | Closure_check -> 9
+  | Lb_prune -> 10
 
 let kind_of_code = function
   | 0 -> Root
@@ -28,10 +34,12 @@ let kind_of_code = function
   | 2 -> Checkpoint_write
   | 3 -> Budget_stop
   | 4 -> Root_retry
-  | 5 -> Node
-  | 6 -> Extension
-  | 7 -> Closure_check
-  | 8 -> Lb_prune
+  | 5 -> Quarantine
+  | 6 -> Checkpoint_retry
+  | 7 -> Node
+  | 8 -> Extension
+  | 9 -> Closure_check
+  | 10 -> Lb_prune
   | c -> invalid_arg (Printf.sprintf "Trace: bad kind code %d" c)
 
 let kind_name = function
@@ -40,6 +48,8 @@ let kind_name = function
   | Checkpoint_write -> "checkpoint_write"
   | Budget_stop -> "budget_stop"
   | Root_retry -> "root_retry"
+  | Quarantine -> "quarantine"
+  | Checkpoint_retry -> "checkpoint_retry"
   | Node -> "node"
   | Extension -> "extension"
   | Closure_check -> "closure_check"
@@ -139,7 +149,9 @@ let rec for_domain t =
   end
 
 let enabled t = function
-  | Root | Worker | Checkpoint_write | Budget_stop | Root_retry -> t.roots_on
+  | Root | Worker | Checkpoint_write | Budget_stop | Root_retry | Quarantine
+  | Checkpoint_retry ->
+    t.roots_on
   | Node | Extension | Closure_check | Lb_prune -> t.nodes_on
 
 let now t =
@@ -152,6 +164,9 @@ let now t =
   end
 
 let record t k ~ts ~dur ~a0 ~a1 =
+  (* once the ring is full every record overwrites the oldest event; count
+     the loss where operators look for it, not only in [dropped] *)
+  if t.n >= Array.length t.ts then Metrics.hit Metrics.trace_dropped_events;
   let i = t.n land (Array.length t.ts - 1) in
   Bytes.unsafe_set t.kinds i (Char.unsafe_chr (kind_code k));
   t.ts.(i) <- ts;
@@ -217,7 +232,7 @@ let dropped t =
     0 (buffers t)
 
 let counts t =
-  let tally = Array.make 9 0 in
+  let tally = Array.make num_kinds 0 in
   List.iter
     (fun b ->
       let cap = Array.length b.ts in
@@ -229,7 +244,7 @@ let counts t =
       done)
     (buffers t);
   let out = ref [] in
-  for c = 8 downto 0 do
+  for c = num_kinds - 1 downto 0 do
     if tally.(c) > 0 then out := (kind_of_code c, tally.(c)) :: !out
   done;
   !out
@@ -242,6 +257,8 @@ let arg_fields = function
   | Checkpoint_write -> [| "completed"; "remaining" |]
   | Budget_stop -> [| "outcome" |]
   | Root_retry -> [| "slot" |]
+  | Quarantine -> [| "slot" |]
+  | Checkpoint_retry -> [| "attempt"; "gave_up" |]
   | Node -> [| "depth"; "support" |]
   | Extension -> [| "depth"; "frequent_extensions" |]
   | Closure_check -> [| "verdict"; "depth" |]

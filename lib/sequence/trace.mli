@@ -37,6 +37,11 @@ type level =
       [Budget.severity]-style outcome code.
     - [Root_retry]: instant when a crashed root is retried sequentially;
       [a0] = root slot index.
+    - [Quarantine]: instant when a root's retry also failed and the root
+      was quarantined; [a0] = root slot index.
+    - [Checkpoint_retry]: instant when a checkpoint write failed and was
+      retried after a backoff; [a0] = attempt number (from 1), [a1] = 1
+      when this failure exhausted the retries (the write was abandoned).
 
     The [Nodes]-level kinds:
 
@@ -54,6 +59,8 @@ type kind =
   | Checkpoint_write
   | Budget_stop
   | Root_retry
+  | Quarantine
+  | Checkpoint_retry
   | Node
   | Extension
   | Closure_check
@@ -121,7 +128,9 @@ val counts : t -> (kind * int) list
     number of recording calls only while {!dropped} is [0]. *)
 
 val dropped : t -> int
-(** Events overwritten by ring wrap-around, across all buffers. *)
+(** Events overwritten by ring wrap-around, across all buffers. Each
+    overwrite also bumps {!Metrics.trace_dropped_events}, so a lossy trace
+    shows up in [--stats] output too. *)
 
 val kind_name : kind -> string
 (** Stable lowercase name used by the exporters (e.g. ["closure_check"]). *)

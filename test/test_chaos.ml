@@ -1,0 +1,195 @@
+(* Seeded chaos sweep over the Budget.Fault sites (Chaos harness).
+
+   For every generated plan — site kind x trigger firing count x
+   transient/persistent — the faulted run must uphold the resilience
+   invariant: mined output restricted to non-quarantined roots equals the
+   fault-free run, and no injected fault escapes mine_all / mine_closed /
+   mine_resumable as an uncaught exception. The sweep is bounded so tier-1
+   stays fast; RGS_CHAOS_PLANS raises the plan count for a deeper run
+   (e.g. RGS_CHAOS_PLANS=100 dune build @chaos). *)
+
+open Rgs_sequence
+open Rgs_core
+
+let chaos_db =
+  lazy
+    (Rgs_datagen.Quest_gen.generate
+       (Rgs_datagen.Quest_gen.params ~d:40 ~c:12 ~n:30 ~s:3 ~seed:11 ()))
+
+let min_sup = 5
+
+let plan_count =
+  match Sys.getenv_opt "RGS_CHAOS_PLANS" with
+  | Some v -> ( try max 1 (int_of_string v) with Failure _ -> 12)
+  | None -> 12
+
+let plan_str plan = Format.asprintf "%a" Chaos.pp_plan plan
+
+let check plan ~baseline ~faulty ~quarantined =
+  match Chaos.check_invariant ~baseline ~faulty ~quarantined with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "%s: %s" (plan_str plan) msg
+
+let quarantined_delta before =
+  Metrics.find
+    (Metrics.diff ~before ~after:(Metrics.snapshot ()))
+    "quarantined_roots"
+
+let with_temp_checkpoint f =
+  let path = Filename.temp_file "rgs-chaos" ".ckpt" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+(* --- generator determinism --- *)
+
+let test_plans_deterministic () =
+  let a = Chaos.plans ~seed:42 ~count:20 () in
+  let b = Chaos.plans ~seed:42 ~count:20 () in
+  Alcotest.(check bool) "same seed, same plans" true (a = b);
+  let c = Chaos.plans ~seed:43 ~count:20 () in
+  Alcotest.(check bool) "different seed, different plans" true (a <> c);
+  List.iter
+    (fun (p : Chaos.plan) ->
+      Alcotest.(check bool) "trigger in [1,8]" true
+        (p.trigger >= 1 && p.trigger <= 8))
+    a;
+  (* cycling guarantees kind coverage even in a small sweep *)
+  let kinds = List.sort_uniq compare (List.map (fun p -> p.Chaos.kind) a) in
+  Alcotest.(check int) "all three kinds attacked" 3 (List.length kinds)
+
+let test_inject_counts_firings () =
+  let fire () = Budget.Fault.fire Budget.Fault.Insgrow in
+  let plan = { Chaos.id = 0; kind = Chaos.Insgrow; trigger = 3; persistent = false } in
+  Chaos.inject plan (fun () ->
+      fire ();
+      fire ();
+      (match fire () with
+      | exception Chaos.Injected p -> Alcotest.(check int) "plan id" 0 p.Chaos.id
+      | () -> Alcotest.fail "third firing should inject");
+      (* transient: the fourth firing passes *)
+      fire ());
+  let persistent = { plan with Chaos.persistent = true } in
+  Chaos.inject persistent (fun () ->
+      fire ();
+      fire ();
+      (match fire () with
+      | exception Chaos.Injected _ -> ()
+      | () -> Alcotest.fail "third firing should inject");
+      match fire () with
+      | exception Chaos.Injected _ -> ()
+      | () -> Alcotest.fail "persistent fault must keep firing")
+
+(* --- invariant checker is itself testable --- *)
+
+let mined root support =
+  {
+    Mined.pattern = Pattern.of_list [ root ];
+    support;
+    support_set = Support_set.empty;
+  }
+
+let test_invariant_checker () =
+  let baseline = [ mined 1 5; mined 2 4 ] in
+  Alcotest.(check bool) "identical ok" true
+    (Chaos.check_invariant ~baseline ~faulty:baseline ~quarantined:0 = Ok ());
+  Alcotest.(check bool) "missing root needs quarantine count" true
+    (Result.is_error
+       (Chaos.check_invariant ~baseline ~faulty:[ mined 1 5 ] ~quarantined:0));
+  Alcotest.(check bool) "missing root matches quarantine count" true
+    (Chaos.check_invariant ~baseline ~faulty:[ mined 1 5 ] ~quarantined:1 = Ok ());
+  Alcotest.(check bool) "changed support detected" true
+    (Result.is_error
+       (Chaos.check_invariant ~baseline
+          ~faulty:[ mined 1 6; mined 2 4 ]
+          ~quarantined:0));
+  Alcotest.(check bool) "invented root detected" true
+    (Result.is_error
+       (Chaos.check_invariant ~baseline
+          ~faulty:[ mined 1 5; mined 2 4; mined 3 2 ]
+          ~quarantined:0))
+
+(* --- the sweeps --- *)
+
+let test_sweep_mine_all () =
+  let db = Lazy.force chaos_db in
+  let idx = Inverted_index.build db in
+  let baseline, _ = Parallel_miner.mine_all ~domains:2 ~max_length:3 idx ~min_sup in
+  Alcotest.(check bool) "baseline mined something" true (baseline <> []);
+  List.iter
+    (fun plan ->
+      let before = Metrics.snapshot () in
+      match
+        Chaos.inject plan (fun () ->
+            Parallel_miner.mine_all ~domains:2 ~max_length:3 idx ~min_sup)
+      with
+      | faulty, _ ->
+        check plan ~baseline ~faulty ~quarantined:(quarantined_delta before)
+      | exception e ->
+        Alcotest.failf "%s: escaped exception %s" (plan_str plan)
+          (Printexc.to_string e))
+    (Chaos.plans
+       ~kinds:[ Chaos.Insgrow; Chaos.Worker ]
+       ~seed:101 ~count:plan_count ())
+
+let test_sweep_mine_closed () =
+  let db = Lazy.force chaos_db in
+  let idx = Inverted_index.build db in
+  let baseline, _ =
+    Parallel_miner.mine_closed ~domains:2 ~max_length:3 idx ~min_sup
+  in
+  Alcotest.(check bool) "baseline mined something" true (baseline <> []);
+  List.iter
+    (fun plan ->
+      let before = Metrics.snapshot () in
+      match
+        Chaos.inject plan (fun () ->
+            Parallel_miner.mine_closed ~domains:2 ~max_length:3 idx ~min_sup)
+      with
+      | faulty, _ ->
+        check plan ~baseline ~faulty ~quarantined:(quarantined_delta before)
+      | exception e ->
+        Alcotest.failf "%s: escaped exception %s" (plan_str plan)
+          (Printexc.to_string e))
+    (Chaos.plans
+       ~kinds:[ Chaos.Insgrow; Chaos.Worker ]
+       ~seed:202 ~count:plan_count ())
+
+(* mine_resumable additionally exposes the Checkpoint_io site; a
+   checkpoint-write fault may never change mined output, only degrade
+   durability (report.quarantined stays 0 for those plans). *)
+let test_sweep_mine_resumable () =
+  let db = Lazy.force chaos_db in
+  let cfg = Miner.config ~min_sup ~max_length:3 ~domains:2 () in
+  let baseline = Miner.mine_resumable cfg db in
+  Alcotest.(check bool) "baseline completed" true
+    (baseline.Miner.outcome = Budget.Completed);
+  List.iter
+    (fun plan ->
+      with_temp_checkpoint (fun path ->
+          match
+            Chaos.inject plan (fun () ->
+                Miner.mine_resumable ~checkpoint:path cfg db)
+          with
+          | report ->
+            check plan ~baseline:baseline.Miner.results
+              ~faulty:report.Miner.results
+              ~quarantined:report.Miner.quarantined;
+            if plan.Chaos.kind = Chaos.Checkpoint_io then
+              Alcotest.(check int)
+                (plan_str plan ^ ": checkpoint faults quarantine nothing")
+                0 report.Miner.quarantined
+          | exception e ->
+            Alcotest.failf "%s: escaped exception %s" (plan_str plan)
+              (Printexc.to_string e)))
+    (Chaos.plans ~seed:303 ~count:plan_count ())
+
+let suite =
+  [
+    Alcotest.test_case "plans deterministic" `Quick test_plans_deterministic;
+    Alcotest.test_case "inject counts firings" `Quick test_inject_counts_firings;
+    Alcotest.test_case "invariant checker" `Quick test_invariant_checker;
+    Alcotest.test_case "sweep mine_all" `Quick test_sweep_mine_all;
+    Alcotest.test_case "sweep mine_closed" `Quick test_sweep_mine_closed;
+    Alcotest.test_case "sweep mine_resumable" `Quick test_sweep_mine_resumable;
+  ]

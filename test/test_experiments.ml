@@ -132,6 +132,33 @@ let test_stats_flag_smoke () =
       Alcotest.(check bool) "cursor_gallops present" true
         (counter "cursor_gallops" >= 0))
 
+(* --trace smoke: the experiments CLI exports the ambient trace its sweeps
+   record into as the same Chrome trace_event JSON rgsminer writes. *)
+let test_trace_flag_smoke () =
+  let exe =
+    Filename.concat
+      (Filename.dirname Sys.executable_name)
+      (Filename.concat ".." (Filename.concat "bin" "experiments.exe"))
+  in
+  if not (Sys.file_exists exe) then Alcotest.fail "experiments.exe not built";
+  Test_trace.with_temp_file (fun path ->
+      let cmd =
+        Printf.sprintf
+          "%s fig2 --scale 0.01 --timeout 1 --trace %s >/dev/null 2>/dev/null"
+          (Filename.quote exe) (Filename.quote path)
+      in
+      Alcotest.(check int) "exit code" 0 (Sys.command cmd);
+      let doc = Test_trace.Json.parse (Test_trace.read_file path) in
+      let events = Test_trace.Json.(to_arr (get "traceEvents" doc)) in
+      Alcotest.(check bool) "trace nonempty" true (events <> []);
+      (* the sweep's mining runs show up as complete ("X") spans *)
+      let spans =
+        List.filter
+          (fun e -> Test_trace.Json.(to_str (get "ph" e)) = "X")
+          events
+      in
+      Alcotest.(check bool) "has spans" true (spans <> []))
+
 let suite =
   [
     Alcotest.test_case "timed run counts" `Quick test_run_counts;
@@ -142,4 +169,5 @@ let suite =
     Alcotest.test_case "ablation entries" `Quick test_ablation_entries;
     Alcotest.test_case "case study smoke" `Quick test_case_study_smoke;
     Alcotest.test_case "--stats flag smoke" `Quick test_stats_flag_smoke;
+    Alcotest.test_case "--trace flag smoke" `Quick test_trace_flag_smoke;
   ]

@@ -17,6 +17,7 @@ let () =
       ("trace", Test_trace.suite);
       ("properties", Test_properties.suite);
       ("robustness", Test_robustness.suite);
+      ("chaos", Test_chaos.suite);
       ("experiments", Test_experiments.suite);
       ("export", Test_export.suite);
       ("regressions", Test_regressions.suite);

@@ -180,6 +180,7 @@ let test_schedule_fault_injection () =
     | Parallel_miner.Done r -> "done " ^ String.concat "," (List.map fst r)
     | Parallel_miner.Failed _ -> "failed"
     | Parallel_miner.Skipped -> "skipped"
+    | Parallel_miner.Quarantined _ -> "quarantined"
   in
   Array.iteri
     (fun k expected ->
@@ -193,7 +194,8 @@ let test_schedule_fault_injection () =
         expect
         (status_sig by_reverse.(k));
       if k = crash_root then
-        Alcotest.(check string) "crashed root stays Failed" "failed" expect)
+        Alcotest.(check string)
+          "twice-crashed root is quarantined" "quarantined" expect)
     by_index
 
 (* A halted pool skips unclaimed roots; reordering changes WHICH claims

@@ -323,8 +323,10 @@ let test_checkpoint_resume_iterated () =
         "iterated resume converges to the full answer"
         (signatures full.Miner.results) (signatures final.Miner.results))
 
-(* A worker crash under the pool still checkpoints the surviving roots, and
-   a resume (fault cleared) completes the failed root. *)
+(* A worker crash under the pool still checkpoints the surviving roots.
+   The persistent fault crashes root 0 in the pool AND in the retry, so it
+   is quarantined; a plain resume (fault cleared) skips it, and a resume
+   with [retry_quarantined] re-mines it and completes. *)
 let test_checkpoint_after_worker_crash () =
   with_temp_checkpoint (fun path ->
       let db = Lazy.force mid_db in
@@ -338,9 +340,20 @@ let test_checkpoint_after_worker_crash () =
       in
       Alcotest.(check bool) "worker failed" true
         (crashed.Miner.outcome = Budget.Worker_failed);
-      let resumed = Miner.mine_resumable ~checkpoint:path ~resume:true cfg db in
-      Alcotest.(check bool) "resume completed" true
+      Alcotest.(check int) "root quarantined" 1 crashed.Miner.quarantined;
+      let skipped = Miner.mine_resumable ~checkpoint:path ~resume:true cfg db in
+      Alcotest.(check int) "plain resume skips the poison root" 1
+        skipped.Miner.quarantined;
+      Alcotest.(check bool) "plain resume still Worker_failed" true
+        (skipped.Miner.outcome = Budget.Worker_failed);
+      let resumed =
+        Miner.mine_resumable ~checkpoint:path ~resume:true
+          ~retry_quarantined:true cfg db
+      in
+      Alcotest.(check bool) "retry_quarantined resume completed" true
         (resumed.Miner.outcome = Budget.Completed);
+      Alcotest.(check int) "no roots quarantined anymore" 0
+        resumed.Miner.quarantined;
       Alcotest.(check (list (pair string int)))
         "resume fills in the crashed root"
         (signatures full.Miner.results) (signatures resumed.Miner.results))
@@ -394,6 +407,345 @@ let test_outcome_severity () =
   Alcotest.(check bool) "combine is max" true
     (Budget.combine Budget.Truncated Budget.Completed = Budget.Truncated)
 
+(* --- durable log: checked-in corrupt-checkpoint corpus --- *)
+
+(* The fixtures under test/fixtures/ pin the exact bytes a crash can leave
+   behind; test/tools/gen_fixtures.ml regenerates them when the framing
+   changes. *)
+let fixture name =
+  Filename.concat
+    (Filename.concat (Filename.dirname Sys.executable_name) "fixtures")
+    name
+
+let fixture_fp = String.make 32 'a'
+
+let completed_roots (t : Checkpoint.t) =
+  List.map (fun (e : Checkpoint.entry) -> e.Checkpoint.root) t.Checkpoint.completed
+
+let test_fixture_full () =
+  let t = Checkpoint.load ~path:(fixture "full.ckpt") ~expected_fingerprint:fixture_fp in
+  Alcotest.(check (list int)) "all roots" [ 1; 2; 3 ] (completed_roots t);
+  Alcotest.(check int) "clean load" 0 t.Checkpoint.salvaged_bytes;
+  Alcotest.(check bool) "completed outcome" true (t.Checkpoint.outcome = Budget.Completed)
+
+let test_fixture_truncated_mid_record () =
+  let t =
+    Checkpoint.load
+      ~path:(fixture "truncated_mid_record.ckpt")
+      ~expected_fingerprint:fixture_fp
+  in
+  Alcotest.(check (list int)) "whole-record prefix" [ 1; 2 ] (completed_roots t);
+  Alcotest.(check bool) "torn tail measured" true (t.Checkpoint.salvaged_bytes > 0)
+
+let test_fixture_flipped_crc () =
+  let t =
+    Checkpoint.load ~path:(fixture "flipped_crc.ckpt") ~expected_fingerprint:fixture_fp
+  in
+  (* record 2's CRC is corrupted: salvage stops before it even though
+     record 3 is intact — a log is only trusted up to the first bad frame *)
+  Alcotest.(check (list int)) "stops at first bad frame" [ 1 ] (completed_roots t);
+  Alcotest.(check bool) "torn tail measured" true (t.Checkpoint.salvaged_bytes > 0)
+
+let test_fixture_unusable () =
+  let expect_corrupt name =
+    match Checkpoint.load ~path:(fixture name) ~expected_fingerprint:fixture_fp with
+    | exception Checkpoint.Corrupt _ -> ()
+    | _ -> Alcotest.failf "%s: expected Corrupt" name
+  in
+  expect_corrupt "wrong_version.ckpt";
+  expect_corrupt "empty.ckpt"
+
+(* --- salvage at arbitrary truncation points --- *)
+
+let header_len = String.length "RGS-CHECKPOINT\n" + String.length ("v2 " ^ fixture_fp ^ "\n")
+
+(* A realistic log image: real mined results marshalled into 7 roots. *)
+let salvage_image =
+  lazy
+    (let db = Lazy.force mid_db in
+     let report = Miner.mine ~config:(Miner.config ~min_sup:5 ~max_length:3 ()) db in
+     let chunk k = List.filteri (fun i _ -> i mod 7 = k) report.Miner.results in
+     let completed = List.init 7 (fun k -> { Checkpoint.root = k; results = chunk k }) in
+     let path = Filename.temp_file "rgs_ckpt_img" ".bin" in
+     Fun.protect
+       ~finally:(fun () -> Sys.remove path)
+       (fun () ->
+         Checkpoint.write ~path ~fingerprint:fixture_fp ~completed ~quarantined:[] ();
+         let ic = open_in_bin path in
+         Fun.protect
+           ~finally:(fun () -> close_in_noerr ic)
+           (fun () -> (really_input_string ic (in_channel_length ic), completed))))
+
+(* Load the image cut at byte [cut] and check the salvage contract: Corrupt
+   iff the header itself is torn, otherwise a whole-record prefix of the
+   original log with intact payloads and no invented records. *)
+let check_cut image completed cut =
+  let path = Filename.temp_file "rgs_ckpt_cut" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out_bin path in
+      output_string oc (String.sub image 0 cut);
+      close_out oc;
+      match Checkpoint.load ~path ~expected_fingerprint:fixture_fp with
+      | exception Checkpoint.Corrupt _ -> cut < header_len
+      | t ->
+        (* a header torn exactly at its final newline still carries the whole
+           fingerprint (input_line EOF-terminates), so loading it as an empty
+           log is acceptable — hence header_len - 1 *)
+        cut >= header_len - 1
+        && t.Checkpoint.salvaged_bytes >= 0
+        && t.Checkpoint.salvaged_bytes <= max 0 (cut - header_len)
+        && (cut < String.length image || t.Checkpoint.salvaged_bytes = 0)
+        && List.length t.Checkpoint.completed <= List.length completed
+        && List.for_all2
+             (fun (got : Checkpoint.entry) (want : Checkpoint.entry) ->
+               got.Checkpoint.root = want.Checkpoint.root
+               && multiset got.Checkpoint.results = multiset want.Checkpoint.results)
+             t.Checkpoint.completed
+             (List.filteri
+                (fun i _ -> i < List.length t.Checkpoint.completed)
+                completed))
+
+let prop_salvage_any_truncation =
+  make ~name:"checkpoint salvage at any truncation point" ~count:120
+    QCheck2.Gen.(int_bound 10_000)
+    string_of_int
+    (fun permille ->
+      let image, completed = Lazy.force salvage_image in
+      let len = String.length image in
+      let cut = min len (permille * len / 10_000) in
+      check_cut image completed cut)
+
+(* the random property rarely lands inside the 51-byte header or the first
+   frame boundary; sweep those cuts exhaustively *)
+let test_salvage_header_cuts () =
+  let image, completed = Lazy.force salvage_image in
+  for cut = 0 to min (String.length image) (header_len + 64) do
+    if not (check_cut image completed cut) then
+      Alcotest.failf "salvage contract violated at cut %d" cut
+  done
+
+(* --- stale temp files from a killed process are swept on the next save --- *)
+
+let test_stale_temp_sweep () =
+  with_temp_checkpoint (fun path ->
+      let stale =
+        Filename.concat (Filename.dirname path) "rgs-ckpt-killed-123.tmp"
+      in
+      close_out (open_out stale);
+      Fun.protect
+        ~finally:(fun () -> if Sys.file_exists stale then Sys.remove stale)
+        (fun () ->
+          Checkpoint.write ~path ~fingerprint:fixture_fp ~completed:[] ~quarantined:[] ();
+          Alcotest.(check bool) "stale temp swept" false (Sys.file_exists stale);
+          Alcotest.(check bool) "checkpoint written" true (Sys.file_exists path)))
+
+(* --- checkpoint I/O faults degrade durability, never the mining run --- *)
+
+let test_checkpoint_io_transient () =
+  with_temp_checkpoint (fun path ->
+      let db = Lazy.force mid_db in
+      let cfg = Miner.config ~min_sup:5 ~max_length:3 () in
+      let full = Miner.mine ~config:cfg db in
+      let before = Metrics.snapshot () in
+      let fired = ref false in
+      let report =
+        Budget.Fault.with_hook
+          (function
+            | Budget.Fault.Checkpoint_io when not !fired ->
+              fired := true;
+              failwith "injected: transient disk error"
+            | _ -> ())
+          (fun () -> Miner.mine_resumable ~checkpoint:path cfg db)
+      in
+      let delta = Metrics.diff ~before ~after:(Metrics.snapshot ()) in
+      Alcotest.(check bool) "run completed" true (report.Miner.outcome = Budget.Completed);
+      Alcotest.(check (list (pair string int))) "results unaffected"
+        (multiset full.Miner.results) (multiset report.Miner.results);
+      Alcotest.(check bool) "write retried" true
+        (Metrics.find delta "checkpoint_io_retries" >= 1);
+      Alcotest.(check int) "no write abandoned" 0
+        (Metrics.find delta "checkpoint_io_failures");
+      (* the log survived the hiccup: a resume replays it cleanly *)
+      let resumed = Miner.mine_resumable ~checkpoint:path ~resume:true cfg db in
+      Alcotest.(check (list (pair string int))) "log still resumable"
+        (multiset full.Miner.results) (multiset resumed.Miner.results))
+
+let test_checkpoint_io_persistent () =
+  with_temp_checkpoint (fun path ->
+      let db = Lazy.force mid_db in
+      let cfg = Miner.config ~min_sup:5 ~max_length:3 () in
+      let full = Miner.mine ~config:cfg db in
+      let before = Metrics.snapshot () in
+      let report =
+        Budget.Fault.with_hook
+          (function
+            | Budget.Fault.Checkpoint_io -> failwith "injected: disk gone"
+            | _ -> ())
+          (fun () -> Miner.mine_resumable ~checkpoint:path cfg db)
+      in
+      let delta = Metrics.diff ~before ~after:(Metrics.snapshot ()) in
+      (* durability is lost, the answer is not *)
+      Alcotest.(check bool) "run completed" true (report.Miner.outcome = Budget.Completed);
+      Alcotest.(check (list (pair string int))) "results unaffected"
+        (multiset full.Miner.results) (multiset report.Miner.results);
+      Alcotest.(check bool) "write abandoned" true
+        (Metrics.find delta "checkpoint_io_failures" >= 1))
+
+(* --- cooperative shutdown: the flag stops the run, the log records it,
+       and a resume finishes the job --- *)
+
+let test_shutdown_flag_interrupts_and_resumes () =
+  with_temp_checkpoint (fun path ->
+      let db = Lazy.force mid_db in
+      (* max_nodes far above the run's size: present only so a budget is
+         created (the shutdown flag is polled by Budget.check) *)
+      let cfg = Miner.config ~min_sup:5 ~max_length:3 ~max_nodes:10_000_000 () in
+      let full = Miner.mine ~config:cfg db in
+      Budget.reset_shutdown ();
+      let calls = ref 0 in
+      let interrupted =
+        Fun.protect ~finally:Budget.reset_shutdown (fun () ->
+            Budget.Fault.with_hook
+              (function
+                | Budget.Fault.Insgrow ->
+                  incr calls;
+                  if !calls = 20 then Budget.request_shutdown ()
+                | _ -> ())
+              (fun () -> Miner.mine_resumable ~checkpoint:path cfg db))
+      in
+      Alcotest.(check bool) "interrupted" true
+        (interrupted.Miner.outcome = Budget.Interrupted);
+      Alcotest.(check bool) "partial results" true
+        (List.length interrupted.Miner.results < List.length full.Miner.results);
+      let resumed = Miner.mine_resumable ~checkpoint:path ~resume:true cfg db in
+      Alcotest.(check bool) "resume completed" true
+        (resumed.Miner.outcome = Budget.Completed);
+      Alcotest.(check (list (pair string int))) "resume heals the interruption"
+        (multiset full.Miner.results) (multiset resumed.Miner.results))
+
+(* --- end-to-end: the real binary under kill -9 and SIGTERM --- *)
+
+let rgsminer_exe =
+  Filename.concat
+    (Filename.dirname Sys.executable_name)
+    (Filename.concat ".." (Filename.concat "bin" "rgsminer.exe"))
+
+let quest_small =
+  Filename.concat
+    (Filename.dirname Sys.executable_name)
+    (Filename.concat ".." (Filename.concat "data" "quest_small.txt"))
+
+let read_all fd =
+  let buf = Buffer.create 8192 in
+  let chunk = Bytes.create 8192 in
+  let rec loop () =
+    let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+    if n > 0 then (
+      Buffer.add_subbytes buf chunk 0 n;
+      loop ())
+  in
+  loop ();
+  Unix.close fd;
+  Buffer.contents buf
+
+(* Run rgsminer as a real child process, optionally slowing each root down
+   (the RGS_CHAOS_ROOT_DELAY_MS knob) and signalling it mid-run. Returns
+   the wait status and the captured stdout (stderr is discarded). *)
+let run_rgsminer ?root_delay_ms ?kill args =
+  if not (Sys.file_exists rgsminer_exe) then Alcotest.fail "rgsminer.exe not built";
+  let env =
+    match root_delay_ms with
+    | None -> Unix.environment ()
+    | Some ms ->
+      Array.append (Unix.environment ())
+        [| Printf.sprintf "RGS_CHAOS_ROOT_DELAY_MS=%d" ms |]
+  in
+  let out_read, out_write = Unix.pipe () in
+  let dev_null = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  let pid =
+    Unix.create_process_env rgsminer_exe
+      (Array.of_list (rgsminer_exe :: args))
+      env Unix.stdin out_write dev_null
+  in
+  Unix.close out_write;
+  Unix.close dev_null;
+  (match kill with
+  | None -> ()
+  | Some (after_s, signal) ->
+    Unix.sleepf after_s;
+    (try Unix.kill pid signal with Unix.Unix_error (Unix.ESRCH, _, _) -> ()));
+  let out = read_all out_read in
+  let _, status = Unix.waitpid [] pid in
+  (status, out)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* pp_report prints the wall-clock time; strip it before comparing two
+   runs' stdout byte-for-byte. *)
+let normalize_report out =
+  String.split_on_char '\n' out
+  |> List.map (fun line ->
+         if contains line " pattern" && contains line " in " then
+           let rec cut i =
+             if i + 4 > String.length line then line
+             else if String.sub line i 4 = " in " then String.sub line 0 i
+             else cut (i + 1)
+           in
+           cut 0
+         else line)
+  |> String.concat "\n"
+
+let e2e_args extra = [ "--min-sup"; "3"; "--max-length"; "3"; "--limit"; "100000" ] @ extra @ [ quest_small ]
+
+(* The acceptance scenario for the durable log: a run killed outright
+   (kill -9, no handler runs, the in-flight record may be torn) leaves a
+   salvageable log, and resuming reproduces the uninterrupted run's stdout
+   exactly. *)
+let test_e2e_kill9_resume () =
+  with_temp_checkpoint (fun ckpt ->
+      let status_base, out_base = run_rgsminer (e2e_args []) in
+      Alcotest.(check bool) "baseline exit 0" true (status_base = Unix.WEXITED 0);
+      let status_killed, _ =
+        run_rgsminer ~root_delay_ms:50 ~kill:(0.6, Sys.sigkill)
+          (e2e_args [ "--checkpoint"; ckpt ])
+      in
+      Alcotest.(check bool) "killed outright" true
+        (status_killed = Unix.WSIGNALED Sys.sigkill);
+      Alcotest.(check bool) "log left behind" true (Sys.file_exists ckpt);
+      let status_res, out_res =
+        run_rgsminer (e2e_args [ "--checkpoint"; ckpt; "--resume" ])
+      in
+      Alcotest.(check bool) "resume exit 0" true (status_res = Unix.WEXITED 0);
+      Alcotest.(check string) "resumed stdout = uninterrupted stdout"
+        (normalize_report out_base) (normalize_report out_res))
+
+(* SIGTERM is the graceful path: the run stops at the next budget poll,
+   appends its final Run_outcome record, reports the interruption on
+   stdout, and exits with the documented code 130. *)
+let test_e2e_sigterm_graceful () =
+  with_temp_checkpoint (fun ckpt ->
+      let status_base, out_base = run_rgsminer (e2e_args []) in
+      Alcotest.(check bool) "baseline exit 0" true (status_base = Unix.WEXITED 0);
+      let status_term, out_term =
+        run_rgsminer ~root_delay_ms:50 ~kill:(0.6, Sys.sigterm)
+          (e2e_args [ "--checkpoint"; ckpt ])
+      in
+      Alcotest.(check bool) "documented exit code 130" true
+        (status_term = Unix.WEXITED 130);
+      Alcotest.(check bool) "reports the interruption" true
+        (contains out_term "interrupted");
+      let status_res, out_res =
+        run_rgsminer (e2e_args [ "--checkpoint"; ckpt; "--resume" ])
+      in
+      Alcotest.(check bool) "resume exit 0" true (status_res = Unix.WEXITED 0);
+      Alcotest.(check string) "resumed stdout = uninterrupted stdout"
+        (normalize_report out_base) (normalize_report out_res))
+
 let suite =
   [
     prop_strict_le_support;
@@ -425,4 +777,20 @@ let suite =
     Alcotest.test_case "checkpoint corrupt file" `Quick test_checkpoint_corrupt_file;
     Alcotest.test_case "config validation" `Quick test_config_validation;
     Alcotest.test_case "outcome severity" `Quick test_outcome_severity;
+    Alcotest.test_case "fixture: full log" `Quick test_fixture_full;
+    Alcotest.test_case "fixture: truncated mid-record" `Quick
+      test_fixture_truncated_mid_record;
+    Alcotest.test_case "fixture: flipped CRC" `Quick test_fixture_flipped_crc;
+    Alcotest.test_case "fixture: unusable files" `Quick test_fixture_unusable;
+    prop_salvage_any_truncation;
+    Alcotest.test_case "salvage: header-area cuts" `Quick test_salvage_header_cuts;
+    Alcotest.test_case "stale temp sweep" `Quick test_stale_temp_sweep;
+    Alcotest.test_case "checkpoint io fault transient" `Quick
+      test_checkpoint_io_transient;
+    Alcotest.test_case "checkpoint io fault persistent" `Quick
+      test_checkpoint_io_persistent;
+    Alcotest.test_case "shutdown flag interrupts and resumes" `Quick
+      test_shutdown_flag_interrupts_and_resumes;
+    Alcotest.test_case "e2e: kill -9 then resume" `Quick test_e2e_kill9_resume;
+    Alcotest.test_case "e2e: SIGTERM graceful exit" `Quick test_e2e_sigterm_graceful;
   ]

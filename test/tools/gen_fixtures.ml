@@ -1,0 +1,72 @@
+(* Regenerate the corrupt-checkpoint corpus under test/fixtures/.
+
+   Usage: dune exec test/tools/gen_fixtures.exe -- test/fixtures
+
+   The corpus is checked in, so the salvage tests exercise the exact bytes
+   a crash can leave behind; rerun this tool (and re-commit) whenever the
+   checkpoint record format changes. The record payloads deliberately use
+   empty result lists, so the fixtures survive representation changes in
+   Mined.t/Support_set.t and only pin the framing. *)
+
+open Rgs_core
+
+let fingerprint = String.make 32 'a'
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path s =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc s)
+
+(* Split a v2 checkpoint image into header + framed records, using the
+   length field of each frame. *)
+let frames_of image =
+  let header_len = String.index_from image (String.index image '\n' + 1) '\n' + 1 in
+  let header = String.sub image 0 header_len in
+  let le32 off =
+    let b i = Char.code image.[off + i] in
+    b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24)
+  in
+  let rec split off acc =
+    if off >= String.length image then List.rev acc
+    else
+      let len = 8 + le32 off in
+      split (off + len) (String.sub image off len :: acc)
+  in
+  (header, split header_len [])
+
+let () =
+  let dir = Sys.argv.(1) in
+  let base = Filename.concat dir "full.ckpt" in
+  let entry root = { Checkpoint.root; results = [] } in
+  Checkpoint.write ~path:base ~fingerprint
+    ~completed:[ entry 1; entry 2; entry 3 ]
+    ~quarantined:[] ();
+  let image = read_file base in
+  let header, frames = frames_of image in
+  let r1, r2, r3 =
+    match frames with
+    | [ a; b; c; _outcome ] -> (a, b, c)
+    | _ -> failwith "expected 3 Root_done frames + 1 Run_outcome frame"
+  in
+  (* cut inside the third record's payload *)
+  write_file
+    (Filename.concat dir "truncated_mid_record.ckpt")
+    (header ^ r1 ^ r2 ^ String.sub r3 0 (String.length r3 - 3));
+  (* corrupt the CRC of the second record: only the first survives *)
+  let bad = Bytes.of_string r2 in
+  Bytes.set bad 4 (Char.chr (Char.code (Bytes.get bad 4) lxor 0xFF));
+  write_file
+    (Filename.concat dir "flipped_crc.ckpt")
+    (header ^ r1 ^ Bytes.to_string bad ^ r3);
+  write_file
+    (Filename.concat dir "wrong_version.ckpt")
+    (Printf.sprintf "RGS-CHECKPOINT\nv1 %s\n" fingerprint);
+  write_file (Filename.concat dir "empty.ckpt") "";
+  Printf.printf "wrote 5 fixture(s) to %s (fingerprint %s)\n" dir fingerprint
