@@ -43,9 +43,13 @@ let exit_interrupted = 130
 
 let run input format min_sup all max_length max_patterns limit instances max_gap parallel
     index_kind deadline max_nodes max_words checkpoint resume retry_quarantined
-    trace_file trace_level trace_ring stats_file verbose =
+    trace_file trace_level trace_ring stats_file stats_interval verbose =
   setup_logs verbose;
   Budget.install_signal_handlers ();
+  if stats_interval <> None && stats_file = None then begin
+    Format.eprintf "rgsminer: --stats-interval requires --stats@.";
+    exit 1
+  end;
   match
     let db, codec = load format input in
     Format.printf "%a@.@." Seqdb.pp_stats (Seqdb.stats db);
@@ -62,11 +66,27 @@ let run input format min_sup all max_length max_patterns limit instances max_gap
       | Some _ -> Trace.create ?capacity:trace_ring ~level:trace_level ()
     in
     let before = if stats_file <> None then Some (Metrics.snapshot ()) else None in
+    (* With --stats-interval the run's metric deltas are written
+       periodically while mining (and once more at the end) instead of
+       only at exit; the same helper drives the daemon's periodic dump. *)
+    let ticker =
+      match (stats_file, stats_interval, before) with
+      | Some path, Some interval_s, Some baseline ->
+        Some (Rgs_server.Stats_dump.start ~baseline ~interval_s ~path ())
+      | _ -> None
+    in
+    let finish_ticker () = Option.iter Rgs_server.Stats_dump.stop ticker in
     let report =
-      if checkpoint <> None || resume then
-        Miner.mine_resumable ?checkpoint ~resume ~retry_quarantined ~trace
-          config db
-      else Miner.mine ~config ~trace db
+      match
+        if checkpoint <> None || resume then
+          Miner.mine_resumable ?checkpoint ~resume ~retry_quarantined ~trace
+            config db
+        else Miner.mine ~config ~trace db
+      with
+      | report -> report
+      | exception e ->
+        finish_ticker ();
+        raise e
     in
     (match trace_file with
     | None -> ()
@@ -77,8 +97,11 @@ let run input format min_sup all max_length max_patterns limit instances max_gap
         path
         (let d = Trace.dropped trace in
          if d > 0 then Printf.sprintf " (%d dropped: ring full)" d else ""));
-    (match (stats_file, before) with
-    | Some path, Some before ->
+    (match (stats_file, before, ticker) with
+    | Some path, _, Some _ ->
+      finish_ticker ();
+      Format.printf "stats: written to %s@." path
+    | Some path, Some before, None ->
       let delta = Metrics.diff ~before ~after:(Metrics.snapshot ()) in
       Metrics.write_stats ~path delta;
       Format.printf "stats: written to %s@." path
@@ -242,6 +265,12 @@ let stats_file =
                $(b,.json), Prometheus text exposition otherwise. See \
                OBSERVABILITY.md for every metric.")
 
+let stats_interval =
+  Arg.(value & opt (some float) None & info [ "stats-interval" ] ~docv:"SECONDS"
+         ~doc:"With $(b,--stats), rewrite FILE every SECONDS while mining \
+               (atomically, via rename) instead of only at exit, so a long run \
+               can be watched live. The final write still lands at exit.")
+
 let verbose =
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Log mining progress to stderr.")
 
@@ -252,6 +281,6 @@ let cmd =
     Term.(const run $ input $ format $ min_sup $ all $ max_length $ max_patterns $ limit
           $ instances $ max_gap $ parallel $ index_kind $ deadline $ max_nodes
           $ max_words $ checkpoint $ resume $ retry_quarantined $ trace_file
-          $ trace_level $ trace_ring $ stats_file $ verbose)
+          $ trace_level $ trace_ring $ stats_file $ stats_interval $ verbose)
 
 let () = exit (Cmd.eval' cmd)

@@ -88,12 +88,13 @@ let to_string = function
 let pp ppf o = Format.pp_print_string ppf (to_string o)
 
 module Fault = struct
-  type site = Insgrow | Worker of int | Checkpoint_io
+  type site = Insgrow | Worker of int | Checkpoint_io | Socket_write
 
   let site_name = function
     | Insgrow -> "insgrow"
     | Worker _ -> "worker"
     | Checkpoint_io -> "checkpoint_io"
+    | Socket_write -> "socket_write"
 
   let hook : (site -> unit) option Atomic.t = Atomic.make None
 

@@ -99,6 +99,10 @@ module Fault : sig
         (** fired before every physical checkpoint write
             ([Checkpoint.Writer] header and record appends); raising here
             simulates ENOSPC/EIO and exercises the retry/degrade path *)
+    | Socket_write
+        (** fired by the daemon ({!Rgs_server}) before every response
+            frame write; raising here simulates EPIPE/ECONNRESET and
+            exercises the client-shedding path *)
 
   val site_name : site -> string
   (** Stable lowercase class name (["worker"] for every [Worker _]) —

@@ -1,6 +1,6 @@
 open Rgs_sequence
 
-type site_kind = Insgrow | Worker | Checkpoint_io
+type site_kind = Insgrow | Worker | Checkpoint_io | Socket_write
 
 type plan = { id : int; kind : site_kind; trigger : int; persistent : bool }
 
@@ -10,6 +10,7 @@ let kind_name = function
   | Insgrow -> "insgrow"
   | Worker -> "worker"
   | Checkpoint_io -> "checkpoint_io"
+  | Socket_write -> "socket_write"
 
 let pp_plan ppf p =
   Format.fprintf ppf "plan %d: %s after %d firing(s), %s" p.id
@@ -43,6 +44,7 @@ let matches kind site =
   | Insgrow, Budget.Fault.Insgrow -> true
   | Worker, Budget.Fault.Worker _ -> true
   | Checkpoint_io, Budget.Fault.Checkpoint_io -> true
+  | Socket_write, Budget.Fault.Socket_write -> true
   | _ -> false
 
 let inject plan f =
@@ -56,6 +58,44 @@ let inject plan f =
           raise (Injected plan)
       end)
     f
+
+(* --- job-level plans (daemon chaos) --- *)
+
+type job_site =
+  | Client_disconnect
+  | Overlapping_resume
+  | Socket_write_fail
+  | Kill_mid_drain
+
+type job_plan = { jid : int; site : job_site; delay : int }
+
+let job_site_name = function
+  | Client_disconnect -> "client_disconnect"
+  | Overlapping_resume -> "overlapping_resume"
+  | Socket_write_fail -> "socket_write_fail"
+  | Kill_mid_drain -> "kill_mid_drain"
+
+let pp_job_plan ppf p =
+  Format.fprintf ppf "job plan %d: %s, delay %d" p.jid (job_site_name p.site)
+    p.delay
+
+let job_plans ?(sites = [ Client_disconnect; Overlapping_resume; Socket_write_fail; Kill_mid_drain ])
+    ~seed ~count () =
+  if sites = [] then invalid_arg "Chaos.job_plans: sites must be non-empty";
+  if count < 0 then invalid_arg "Chaos.job_plans: count must be >= 0";
+  let state = ref (Int64.of_int seed) in
+  let sites = Array.of_list sites in
+  List.init count (fun jid ->
+      (* cycle sites so a small sweep still covers every failure mode *)
+      let site = sites.(jid mod Array.length sites) in
+      let delay = 1 + (splitmix state mod 8) in
+      { jid; site; delay })
+
+let fault_plan_of_job { jid; site; delay } =
+  match site with
+  | Socket_write_fail ->
+    Some { id = jid; kind = Socket_write; trigger = delay; persistent = false }
+  | Client_disconnect | Overlapping_resume | Kill_mid_drain -> None
 
 (* --- the invariant --- *)
 

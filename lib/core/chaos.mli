@@ -27,6 +27,9 @@ type site_kind =
   | Checkpoint_io
       (** {!Budget.Fault.Checkpoint_io}: fail a physical checkpoint
           write (ENOSPC/EIO stand-in) *)
+  | Socket_write
+      (** {!Budget.Fault.Socket_write}: fail a daemon response-frame
+          write (EPIPE/ECONNRESET stand-in) *)
 
 type plan = {
   id : int;  (** position in the generated sweep *)
@@ -46,8 +49,10 @@ val pp_plan : Format.formatter -> plan -> unit
 
 val plans : ?kinds:site_kind list -> seed:int -> count:int -> unit -> plan list
 (** [count] plans drawn deterministically from [seed], cycling through
-    [kinds] (default: all three) so every site kind is attacked, with
-    pseudo-random triggers in [1, 8] and a persistent/transient mix. *)
+    [kinds] (default: the three miner-side sites — [Socket_write] is
+    daemon-side and attacked through {!job_plans}) so every site kind is
+    attacked, with pseudo-random triggers in [1, 8] and a
+    persistent/transient mix. *)
 
 val inject : plan -> (unit -> 'a) -> 'a
 (** Run a thunk with the plan installed as the {!Budget.Fault} hook
@@ -56,6 +61,47 @@ val inject : plan -> (unit -> 'a) -> 'a
     hit by the nth firing may vary, which the invariant is insensitive
     to. Not reentrant — plans do not compose with an already-installed
     hook. *)
+
+(** {2 Job-level plans}
+
+    Whole-scenario fault recipes for the mining daemon ({!Rgs_server}):
+    instead of one crashing call site, a job plan names a failure mode of
+    the serving path — a client that vanishes mid-job, a second submission
+    of a live job id, a response write that fails, a kill -9 landing
+    mid-drain. The daemon test harness interprets each site (it owns the
+    sockets and processes); the invariant asserted is the same as above —
+    after recovery, the daemon's output for the job modulo quarantined
+    roots equals a fault-free batch run. *)
+
+type job_site =
+  | Client_disconnect  (** abruptly close the client socket mid-job *)
+  | Overlapping_resume
+      (** submit the same job id again while the first run is live *)
+  | Socket_write_fail
+      (** fail a daemon response write ({!Budget.Fault.Socket_write}) *)
+  | Kill_mid_drain
+      (** SIGTERM the daemon, then kill -9 before the drain finishes *)
+
+type job_plan = {
+  jid : int;  (** position in the generated sweep *)
+  site : job_site;
+  delay : int;
+      (** scenario pacing knob in [1, 8] — the harness scales it into a
+          trigger count ([Socket_write_fail]) or a delay before striking *)
+}
+
+val job_site_name : job_site -> string
+val pp_job_plan : Format.formatter -> job_plan -> unit
+
+val job_plans :
+  ?sites:job_site list -> seed:int -> count:int -> unit -> job_plan list
+(** [count] job plans drawn deterministically from [seed], cycling through
+    [sites] (default: all four) with pseudo-random delays in [1, 8]. *)
+
+val fault_plan_of_job : job_plan -> plan option
+(** The {!plan} to {!inject} while the scenario runs: [Socket_write_fail]
+    maps to a transient {!Socket_write} plan triggered at the [delay]-th
+    write; the other sites are enacted by the harness itself ([None]). *)
 
 val check_invariant :
   baseline:Mined.t list ->

@@ -174,8 +174,8 @@ let chaos_root_delay_s =
     | None -> 0.0
     | Some v -> ( try float_of_string v /. 1000.0 with Failure _ -> 0.0))
 
-let mine_resumable ?checkpoint ?(resume = false) ?(retry_quarantined = false)
-    ?(trace = Trace.null) cfg db =
+let mine_resumable ?budget ?checkpoint ?(resume = false)
+    ?(retry_quarantined = false) ?(trace = Trace.null) cfg db =
   validate_config cfg;
   if cfg.max_gap <> None then
     invalid_arg "Miner: checkpointing is not supported with max_gap";
@@ -228,7 +228,11 @@ let mine_resumable ?checkpoint ?(resume = false) ?(retry_quarantined = false)
         (match Hashtbl.length quarantined_skipped with
         | 0 -> ""
         | n -> Printf.sprintf " (%d quarantined root(s) skipped)" n));
-  let budget = budget_of cfg in
+  (* An external budget (the daemon's per-job budget) wins over the
+     config-derived one: the caller owns its limits and its cancellation. *)
+  let budget =
+    match budget with Some b -> Some b | None -> budget_of cfg
+  in
   let roots = Array.of_list remaining in
   let domains =
     match cfg.domains with

@@ -85,6 +85,7 @@ val mine_indexed : ?trace:Trace.t -> config -> Inverted_index.t -> report
     parameter sweeps; [config.paged_index] is ignored). *)
 
 val mine_resumable :
+  ?budget:Budget.t ->
   ?checkpoint:string ->
   ?resume:bool ->
   ?retry_quarantined:bool ->
@@ -120,6 +121,11 @@ val mine_resumable :
     cooperative budget is created even without configured limits, so
     SIGINT/SIGTERM stop the run with [Interrupted] after the final
     checkpoint records are appended.
+
+    An explicit [budget] overrides the config-derived one entirely (the
+    config's [deadline_s]/[max_nodes]/[max_words] are ignored): the caller
+    owns the limits and may {!Budget.cancel} from another domain — this is
+    how the daemon ({!Rgs_server}) cancels a job whose client vanished.
 
     @raise Invalid_argument with [max_gap] or [max_patterns] (those paths
     are not root-partitioned), or when [resume] is set without

@@ -55,6 +55,7 @@ let pool_workers = register "pool_workers" Counter
 let root_retries = register "root_retries" Counter
 let quarantined_roots = register "quarantined_roots" Counter
 let trace_dropped_events = register "trace_dropped_events" Counter
+let parse_errors_skipped = register "parse_errors_skipped" Counter
 let peak_live_words = register "peak_live_words" Gauge
 
 let sample_live_words () =

@@ -166,6 +166,11 @@ val trace_dropped_events : counter
     non-zero means the written trace is lossy; raise the ring capacity
     ([rgsminer --trace-ring]). *)
 
+val parse_errors_skipped : counter
+(** Malformed input lines dropped by {!Seq_io} in non-strict mode
+    ([~strict:false]); each skipped line counts once. Non-zero means the
+    loaded database silently misses sequences — check the input file. *)
+
 val peak_live_words : counter
 (** Peak GC live words observed via {!sample_live_words} (max gauge;
     sampled per domain at pool-worker exit and by benches between runs). *)

@@ -29,7 +29,11 @@ let parse_chars_report ?(strict = true) s =
       match Sequence.of_string l with
       | seq -> seqs := seq :: !seqs
       | exception Invalid_argument msg ->
-        if strict then raise (Parse_error { line; msg }) else incr skipped)
+        if strict then raise (Parse_error { line; msg })
+        else begin
+          Metrics.hit Metrics.parse_errors_skipped;
+          incr skipped
+        end)
     (numbered_lines s);
   (Seqdb.of_sequences (List.rev !seqs), !skipped)
 
@@ -50,6 +54,7 @@ let parse_spmf_report ?(strict = true) s =
   let error line msg =
     if strict then raise (Parse_error { line; msg })
     else begin
+      Metrics.hit Metrics.parse_errors_skipped;
       incr skipped;
       current := [];
       raise Skip_line
@@ -78,7 +83,10 @@ let parse_spmf_report ?(strict = true) s =
       raise
         (Parse_error
            { line = !current_line; msg = "trailing events without -2 terminator" })
-    else incr skipped;
+    else begin
+      Metrics.hit Metrics.parse_errors_skipped;
+      incr skipped
+    end;
   (Seqdb.of_sequences (List.rev !seqs), !skipped)
 
 let parse_spmf ?strict s = fst (parse_spmf_report ?strict s)

@@ -13,7 +13,9 @@
 
     Malformed [chars]/[spmf] input raises {!Parse_error} carrying the
     1-based line number — or, with [~strict:false], the offending lines are
-    skipped and counted ([*_report] variants return the count). *)
+    skipped and counted: the [*_report] variants return the count, and
+    every skip also bumps the {!Metrics.parse_errors_skipped} counter so
+    non-strict loads stay observable ([--stats], daemon stats frames). *)
 
 exception Parse_error of { line : int; msg : string }
 (** A malformed input line. [line] is 1-based in the original text,

@@ -1,0 +1,552 @@
+open Rgs_core
+
+let log_src = Logs.Src.create "rgs.daemon" ~doc:"Mining service daemon"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type config = {
+  socket_path : string;
+  state_dir : string;
+  queue_capacity : int;
+  workers : int;
+  limits : Job.limits;
+  idle_timeout_s : float option;
+  drain_grace_s : float;
+  send_timeout_s : float;
+  result_chunk : int;
+  stats_path : string option;
+  stats_interval_s : float;
+  tick_s : float;
+}
+
+let config ?(queue_capacity = 16) ?(workers = 2) ?(limits = Job.no_limits)
+    ?idle_timeout_s ?(drain_grace_s = 5.0) ?(send_timeout_s = 10.0)
+    ?(result_chunk = 512) ?stats_path ?(stats_interval_s = 10.0)
+    ?(tick_s = 0.05) ~socket_path ~state_dir () =
+  if queue_capacity < 1 then invalid_arg "Daemon.config: queue_capacity >= 1";
+  if workers < 1 then invalid_arg "Daemon.config: workers >= 1";
+  if drain_grace_s < 0.0 then invalid_arg "Daemon.config: drain_grace_s >= 0";
+  if send_timeout_s <= 0.0 then invalid_arg "Daemon.config: send_timeout_s > 0";
+  if result_chunk < 1 then invalid_arg "Daemon.config: result_chunk >= 1";
+  if stats_interval_s <= 0.0 then
+    invalid_arg "Daemon.config: stats_interval_s > 0";
+  if tick_s <= 0.0 then invalid_arg "Daemon.config: tick_s > 0";
+  (match idle_timeout_s with
+  | Some s when s <= 0.0 -> invalid_arg "Daemon.config: idle_timeout_s > 0"
+  | _ -> ());
+  {
+    socket_path;
+    state_dir;
+    queue_capacity;
+    workers;
+    limits;
+    idle_timeout_s;
+    drain_grace_s;
+    send_timeout_s;
+    result_chunk;
+    stats_path;
+    stats_interval_s;
+    tick_s;
+  }
+
+type conn = {
+  cid : int;
+  fd : Unix.file_descr;
+  inbuf : Buffer.t;
+  mutable hello_done : bool;
+  mutable alive : bool;
+}
+
+type job_result =
+  | Finished of Miner.report
+  | Job_error of string  (* load/checkpoint/crash: typed rejection *)
+
+type completion = { job : Job.t; result : job_result }
+
+type t = {
+  cfg : config;
+  listen_fd : Unix.file_descr;
+  sched : Scheduler.t;
+  drain_flag : bool Atomic.t;
+  pipe_r : Unix.file_descr;
+  pipe_w : Unix.file_descr;
+  completions : completion Queue.t;
+  comp_lock : Mutex.t;
+  conns : (int, conn) Hashtbl.t;  (* keyed by client id *)
+  mutable next_cid : int;
+  mutable draining : bool;
+  mutable drain_started : float;
+  mutable drain_forced : bool;
+  mutable interrupted : bool;  (* a drain dropped or cancelled a job *)
+  mutable comp_seq : int;  (* daemon-wide completion sequence *)
+}
+
+let create cfg =
+  if not (Sys.file_exists cfg.state_dir) then Unix.mkdir cfg.state_dir 0o755;
+  (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket_path);
+     Unix.listen listen_fd 64;
+     Unix.set_nonblock listen_fd
+   with e ->
+     (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+     raise e);
+  let pipe_r, pipe_w = Unix.pipe () in
+  Unix.set_nonblock pipe_r;
+  Unix.set_nonblock pipe_w;
+  {
+    cfg;
+    listen_fd;
+    sched = Scheduler.create ~capacity:cfg.queue_capacity;
+    drain_flag = Atomic.make false;
+    pipe_r;
+    pipe_w;
+    completions = Queue.create ();
+    comp_lock = Mutex.create ();
+    conns = Hashtbl.create 16;
+    next_cid = 0;
+    draining = false;
+    drain_started = 0.0;
+    drain_forced = false;
+    interrupted = false;
+    comp_seq = 0;
+  }
+
+let request_drain t = Atomic.set t.drain_flag true
+
+(* --- event-loop side: connections --- *)
+
+let disconnect t conn =
+  if conn.alive then begin
+    conn.alive <- false;
+    Hashtbl.remove t.conns conn.cid;
+    (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+    Atomic.set Server_metrics.clients_connected (Hashtbl.length t.conns);
+    let dropped = Scheduler.cancel_client t.sched ~client:conn.cid in
+    Metrics.add Server_metrics.jobs_disconnected (List.length dropped);
+    Log.info (fun m ->
+        m "client %d gone (%d queued job(s) dropped)" conn.cid
+          (List.length dropped))
+  end
+
+(* All response writes funnel through here: any failure — EPIPE from a
+   vanished client, a send timeout on a stuck one, an injected
+   Socket_write fault — sheds the client instead of crashing the loop. *)
+let send t conn resp =
+  if not conn.alive then false
+  else
+    match
+      Protocol.write_frame ~fire_fault:true conn.fd
+        (Protocol.response_to_string resp)
+    with
+    | () -> true
+    | exception
+        ( Unix.Unix_error _ | Protocol.Protocol_error _ | Chaos.Injected _
+        | Sys_error _ ) ->
+      Metrics.hit Server_metrics.socket_write_failures;
+      disconnect t conn;
+      false
+
+let accept_conn t =
+  match Unix.accept t.listen_fd with
+  | fd, _ ->
+    Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.cfg.send_timeout_s;
+    let cid = t.next_cid in
+    t.next_cid <- cid + 1;
+    let conn =
+      { cid; fd; inbuf = Buffer.create 256; hello_done = false; alive = true }
+    in
+    Hashtbl.replace t.conns cid conn;
+    Atomic.set Server_metrics.clients_connected (Hashtbl.length t.conns);
+    Log.info (fun m -> m "client %d connected" cid)
+  | exception
+      Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+    ()
+
+(* --- requests --- *)
+
+let stats_frame () = Metrics.snapshot () |> Metrics.to_list
+
+let handle_request t conn (req : Protocol.request) =
+  match req with
+  | Protocol.Ping -> ignore (send t conn Protocol.Pong)
+  | Protocol.Stats -> ignore (send t conn (Protocol.Stats_frame (stats_frame ())))
+  | Protocol.Submit spec -> (
+    match Job.validate spec with
+    | Error reason ->
+      Metrics.hit Server_metrics.jobs_rejected;
+      ignore
+        (send t conn
+           (Protocol.Rejected { job_id = spec.Protocol.job_id; reason }))
+    | Ok () -> (
+      Metrics.hit Server_metrics.jobs_submitted;
+      let spec = Job.clamp t.cfg.limits spec in
+      let job = Job.create ~client:conn.cid spec in
+      let job_id = spec.Protocol.job_id in
+      match Scheduler.submit t.sched job with
+      | Scheduler.Admitted position ->
+        Log.info (fun m ->
+            m "job %s admitted for client %d (queue depth %d)" job_id conn.cid
+              position);
+        ignore (send t conn (Protocol.Accepted { job_id; position }))
+      | Scheduler.Overloaded { pending; capacity } ->
+        Metrics.hit Server_metrics.jobs_overloaded;
+        Log.info (fun m -> m "job %s load-shed (queue full)" job_id);
+        ignore (send t conn (Protocol.Overloaded { job_id; pending; capacity }))
+      | Scheduler.Duplicate ->
+        Metrics.hit Server_metrics.jobs_duplicate;
+        ignore (send t conn (Protocol.Duplicate { job_id }))
+      | Scheduler.Draining ->
+        Metrics.hit Server_metrics.jobs_rejected;
+        ignore
+          (send t conn (Protocol.Rejected { job_id; reason = "draining" }))))
+
+(* Incremental frame parser over the connection's input buffer; returns
+   [false] when the connection violated the protocol and must be shed. *)
+let parse_conn t conn =
+  let data = Buffer.contents conn.inbuf in
+  let len = String.length data in
+  let pos = ref 0 in
+  let ok = ref true in
+  let u32 off =
+    (Char.code data.[off] lsl 24)
+    lor (Char.code data.[off + 1] lsl 16)
+    lor (Char.code data.[off + 2] lsl 8)
+    lor Char.code data.[off + 3]
+  in
+  (try
+     if (not conn.hello_done) && len - !pos >= String.length Protocol.hello
+     then begin
+       let n = String.length Protocol.hello in
+       if String.sub data !pos n <> Protocol.hello then begin
+         ok := false;
+         raise Exit
+       end;
+       pos := !pos + n;
+       conn.hello_done <- true;
+       (* echo the hello; a failed write sheds the client below *)
+       try Protocol.send_hello conn.fd
+       with Unix.Unix_error _ | Sys_error _ ->
+         ok := false;
+         raise Exit
+     end;
+     if conn.hello_done then begin
+       let continue = ref true in
+       while !continue && conn.alive do
+         if len - !pos < 8 then continue := false
+         else begin
+           let flen = u32 !pos in
+           let crc = u32 (!pos + 4) in
+           if flen > Protocol.max_frame_bytes then begin
+             ok := false;
+             raise Exit
+           end;
+           if len - !pos < 8 + flen then continue := false
+           else begin
+             let payload = String.sub data (!pos + 8) flen in
+             pos := !pos + 8 + flen;
+             if Checkpoint.crc32 payload <> crc then begin
+               ok := false;
+               raise Exit
+             end;
+             match Protocol.request_of_string payload with
+             | req -> handle_request t conn req
+             | exception Protocol.Protocol_error _ ->
+               ok := false;
+               raise Exit
+           end
+         end
+       done
+     end
+   with Exit -> ());
+  let rest = String.sub data !pos (len - !pos) in
+  Buffer.clear conn.inbuf;
+  Buffer.add_string conn.inbuf rest;
+  !ok
+
+let on_readable t conn =
+  let chunk_len = 65536 in
+  let chunk = Bytes.create chunk_len in
+  match Unix.read conn.fd chunk 0 chunk_len with
+  | 0 -> disconnect t conn
+  | n ->
+    Buffer.add_subbytes conn.inbuf chunk 0 n;
+    if not (parse_conn t conn) then begin
+      ignore (send t conn (Protocol.Error_frame "protocol error"));
+      disconnect t conn
+    end
+  | exception
+      Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+    ()
+  | exception Unix.Unix_error _ -> disconnect t conn
+
+(* --- worker side --- *)
+
+let push_completion t comp =
+  Mutex.lock t.comp_lock;
+  Queue.push comp t.completions;
+  Mutex.unlock t.comp_lock;
+  (* self-pipe wakeup; a full pipe already guarantees a wakeup *)
+  try ignore (Unix.write t.pipe_w (Bytes.make 1 '!') 0 1)
+  with Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+    ()
+
+let run_job t (job : Job.t) =
+  match Job.load_db job.Job.spec with
+  | Error msg -> Job_error msg
+  | Ok db -> (
+    (* the budget exists from here on, so the deadline is relative to
+       start and the watchdog can observe node progress *)
+    let budget = Job.budget_of job.Job.spec in
+    Scheduler.start_budget t.sched job budget;
+    let cfg = Job.config_of job.Job.spec in
+    let ckpt =
+      Job.checkpoint_path ~state_dir:t.cfg.state_dir job.Job.spec.Protocol.job_id
+    in
+    match Miner.mine_resumable ~budget ~checkpoint:ckpt ~resume:true cfg db with
+    | report -> Finished report
+    | exception Checkpoint.Corrupt msg ->
+      Job_error ("checkpoint: " ^ msg)
+    | exception e -> Job_error ("internal error: " ^ Printexc.to_string e))
+
+let worker_loop t () =
+  let rec loop () =
+    match Scheduler.next_job t.sched with
+    | `Drain -> ()
+    | `Job job ->
+      let result =
+        match run_job t job with
+        | r -> r
+        | exception e -> Job_error ("internal error: " ^ Printexc.to_string e)
+      in
+      Scheduler.finish t.sched job;
+      push_completion t { job; result };
+      loop ()
+  in
+  loop ()
+
+(* --- completions --- *)
+
+let signatures results =
+  List.map
+    (fun m -> (Pattern.to_list m.Mined.pattern, m.Mined.support))
+    results
+
+let rec chunked n = function
+  | [] -> []
+  | l ->
+    let rec take k acc = function
+      | x :: tl when k > 0 -> take (k - 1) (x :: acc) tl
+      | rest -> (List.rev acc, rest)
+    in
+    let chunk, rest = take n [] l in
+    chunk :: chunked n rest
+
+let next_seq t =
+  t.comp_seq <- t.comp_seq + 1;
+  t.comp_seq
+
+let send_job_done t conn ~job_id ~outcome ~stopped_by ~quarantined ~total
+    ~elapsed_s =
+  let seq = next_seq t in
+  match conn with
+  | None -> ()
+  | Some conn ->
+    ignore
+      (send t conn
+         (Protocol.Job_done
+            {
+              Protocol.job_id;
+              outcome;
+              stopped_by;
+              quarantined;
+              total;
+              elapsed_s;
+              seq;
+            }))
+
+let handle_completion t { job; result } =
+  let job_id = job.Job.spec.Protocol.job_id in
+  let conn = Hashtbl.find_opt t.conns job.Job.client in
+  match (result, job.Job.cancel_reason) with
+  | _, Some Job.Disconnect ->
+    (* the client is gone; its checkpoint stays for a future resume *)
+    Metrics.hit Server_metrics.jobs_disconnected;
+    Log.info (fun m -> m "job %s cancelled: client disconnected" job_id)
+  | Job_error msg, _ ->
+    Metrics.hit Server_metrics.jobs_rejected;
+    Log.warn (fun m -> m "job %s failed: %s" job_id msg);
+    ignore
+      (Option.map
+         (fun c -> send t c (Protocol.Rejected { job_id; reason = msg }))
+         conn)
+  | Finished report, reason ->
+    (match reason with
+    | Some Job.Stalled -> Metrics.hit Server_metrics.jobs_stalled
+    | Some Job.Drain -> Metrics.hit Server_metrics.jobs_drained
+    | Some Job.Disconnect -> ()
+    | None -> Metrics.hit Server_metrics.jobs_completed);
+    let patterns = signatures report.Miner.results in
+    let total = List.length patterns in
+    (* stream result chunks; a failed write sheds the client and the
+       remaining sends become no-ops *)
+    List.iteri
+      (fun i chunk ->
+        match conn with
+        | Some c ->
+          ignore
+            (send t c (Protocol.Results { job_id; patterns = chunk; seq = i }))
+        | None -> ())
+      (chunked t.cfg.result_chunk patterns);
+    send_job_done t conn ~job_id
+      ~outcome:(Budget.to_string report.Miner.outcome)
+      ~stopped_by:(Option.map Job.cancel_reason_name reason)
+      ~quarantined:report.Miner.quarantined ~total
+      ~elapsed_s:report.Miner.elapsed_s;
+    Log.info (fun m ->
+        m "job %s done: %d pattern(s), %s%s" job_id total
+          (Budget.to_string report.Miner.outcome)
+          (match reason with
+          | Some r -> " (stopped by " ^ Job.cancel_reason_name r ^ ")"
+          | None -> ""))
+
+let process_completions t =
+  let rec go () =
+    Mutex.lock t.comp_lock;
+    let c = Queue.take_opt t.completions in
+    Mutex.unlock t.comp_lock;
+    match c with
+    | None -> ()
+    | Some comp ->
+      handle_completion t comp;
+      go ()
+  in
+  go ()
+
+let completions_pending t =
+  Mutex.lock t.comp_lock;
+  let n = Queue.length t.completions in
+  Mutex.unlock t.comp_lock;
+  n > 0
+
+let drain_pipe t =
+  let buf = Bytes.create 256 in
+  let rec go () =
+    match Unix.read t.pipe_r buf 0 256 with
+    | 256 -> go ()
+    | _ -> ()
+    | exception
+        Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      ->
+      ()
+  in
+  go ()
+
+(* --- the event loop --- *)
+
+let begin_drain t =
+  t.draining <- true;
+  t.drain_started <- Unix.gettimeofday ();
+  Log.info (fun m -> m "drain requested: no longer admitting jobs");
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  let dropped = Scheduler.drain t.sched in
+  if dropped <> [] then t.interrupted <- true;
+  List.iter
+    (fun (job : Job.t) ->
+      Metrics.hit Server_metrics.jobs_drained;
+      send_job_done t
+        (Hashtbl.find_opt t.conns job.Job.client)
+        ~job_id:job.Job.spec.Protocol.job_id ~outcome:"cancelled"
+        ~stopped_by:(Some "drain") ~quarantined:0 ~total:0 ~elapsed_s:0.0)
+    dropped
+
+let force_drain t =
+  t.drain_forced <- true;
+  let cancelled = Scheduler.cancel_running_for_drain t.sched in
+  if cancelled <> [] then begin
+    t.interrupted <- true;
+    Log.info (fun m ->
+        m "drain grace expired: cancelling %d running job(s)"
+          (List.length cancelled))
+  end
+
+let serve t =
+  let workers = List.init t.cfg.workers (fun _ -> Domain.spawn (worker_loop t)) in
+  let stats =
+    Option.map
+      (fun path ->
+        Stats_dump.start ~interval_s:t.cfg.stats_interval_s ~path ())
+      t.cfg.stats_path
+  in
+  Log.info (fun m ->
+      m "serving on %s (%d worker(s), queue capacity %d)" t.cfg.socket_path
+        t.cfg.workers t.cfg.queue_capacity);
+  let rec loop () =
+    let now = Unix.gettimeofday () in
+    if Atomic.get t.drain_flag && not t.draining then begin_drain t;
+    if
+      t.draining && (not t.drain_forced)
+      && now -. t.drain_started > t.cfg.drain_grace_s
+    then force_drain t;
+    (match t.cfg.idle_timeout_s with
+    | Some idle_timeout_s ->
+      ignore (Scheduler.scan_watchdog t.sched ~now ~idle_timeout_s)
+    | None -> ());
+    if
+      t.draining
+      && Scheduler.running t.sched = 0
+      && not (completions_pending t)
+    then ()
+    else begin
+      let read_fds =
+        t.pipe_r
+        :: ((if t.draining then [] else [ t.listen_fd ])
+           @ Hashtbl.fold (fun _ c acc -> c.fd :: acc) t.conns [])
+      in
+      let ready, _, _ =
+        try Unix.select read_fds [] [] t.cfg.tick_s
+        with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+      in
+      List.iter
+        (fun fd ->
+          if fd = t.pipe_r then begin
+            drain_pipe t;
+            process_completions t
+          end
+          else if (not t.draining) && fd = t.listen_fd then accept_conn t
+          else
+            match
+              Hashtbl.fold
+                (fun _ c acc -> if c.fd = fd then Some c else acc)
+                t.conns None
+            with
+            | Some conn -> on_readable t conn
+            | None -> ())
+        ready;
+      loop ()
+    end
+  in
+  loop ();
+  List.iter Domain.join workers;
+  (* a worker may have finished between the last pipe read and its join *)
+  process_completions t;
+  Option.iter Stats_dump.stop stats;
+  Hashtbl.iter
+    (fun _ c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
+    t.conns;
+  Hashtbl.reset t.conns;
+  (try Unix.close t.pipe_r with Unix.Unix_error _ -> ());
+  (try Unix.close t.pipe_w with Unix.Unix_error _ -> ());
+  (try Sys.remove t.cfg.socket_path with Sys_error _ -> ());
+  Log.info (fun m ->
+      m "drain complete (%s)" (if t.interrupted then "jobs interrupted" else "clean"));
+  if t.interrupted then 130 else 0
+
+let run cfg =
+  let t = create cfg in
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let handler = Sys.Signal_handle (fun _ -> request_drain t) in
+  Sys.set_signal Sys.sigterm handler;
+  Sys.set_signal Sys.sigint handler;
+  serve t

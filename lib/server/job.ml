@@ -1,0 +1,105 @@
+open Rgs_sequence
+open Rgs_core
+
+type limits = {
+  max_deadline_s : float option;
+  max_nodes : int option;
+  max_words : int option;
+}
+
+let no_limits = { max_deadline_s = None; max_nodes = None; max_words = None }
+
+type cancel_reason = Disconnect | Stalled | Drain
+
+let cancel_reason_name = function
+  | Disconnect -> "disconnect"
+  | Stalled -> "watchdog"
+  | Drain -> "drain"
+
+type t = {
+  spec : Protocol.job_spec;
+  client : int;
+  mutable budget : Budget.t option;
+  mutable cancel_reason : cancel_reason option;
+  mutable last_nodes : int;
+  mutable last_progress_at : float;
+}
+
+let create ~client spec =
+  {
+    spec;
+    client;
+    budget = None;
+    cancel_reason = None;
+    last_nodes = 0;
+    last_progress_at = Unix.gettimeofday ();
+  }
+
+let validate (spec : Protocol.job_spec) =
+  if not (Protocol.valid_job_id spec.job_id) then
+    Error "invalid job id (want [A-Za-z0-9._-]{1,64})"
+  else if spec.min_sup < 1 then Error "min_sup must be >= 1"
+  else if spec.max_gap <> None then
+    Error "max_gap jobs are not resumable; use the rgsminer CLI"
+  else if
+    match spec.deadline_s with Some d -> d < 0.0 | None -> false
+  then Error "deadline_s must be >= 0"
+  else if match spec.max_nodes with Some n -> n < 0 | None -> false then
+    Error "max_nodes must be >= 0"
+  else if match spec.max_words with Some w -> w < 1 | None -> false then
+    Error "max_words must be >= 1"
+  else Ok ()
+
+(* each axis: min(requested, ceiling); an unrequested axis inherits the
+   ceiling, so "no limit asked" still cannot exceed the server's. *)
+let clamp_axis ceiling requested ~min:min_v =
+  match (requested, ceiling) with
+  | None, c -> c
+  | (Some _ as r), None -> r
+  | Some r, Some c -> Some (min_v r c)
+
+let clamp limits (spec : Protocol.job_spec) =
+  {
+    spec with
+    deadline_s = clamp_axis limits.max_deadline_s spec.deadline_s ~min:Float.min;
+    max_nodes = clamp_axis limits.max_nodes spec.max_nodes ~min:Int.min;
+    max_words = clamp_axis limits.max_words spec.max_words ~min:Int.min;
+  }
+
+let budget_of (spec : Protocol.job_spec) =
+  Budget.create ?deadline_s:spec.deadline_s ?max_nodes:spec.max_nodes
+    ?max_words:spec.max_words ()
+
+let config_of (spec : Protocol.job_spec) =
+  Miner.config
+    ~mode:(match spec.mode with Protocol.All -> Miner.All | Protocol.Closed -> Miner.Closed)
+    ?max_length:spec.max_length ~min_sup:spec.min_sup ()
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse format text =
+  match (format : Protocol.format) with
+  | Protocol.Tokens -> fst (Seq_io.parse_tokens text)
+  | Protocol.Chars -> Seq_io.parse_chars ~strict:true text
+  | Protocol.Spmf -> Seq_io.parse_spmf ~strict:true text
+
+let load_db (spec : Protocol.job_spec) =
+  match spec.db with
+  | Protocol.Inline { format; text } -> (
+    match parse format text with
+    | db -> Ok db
+    | exception Seq_io.Parse_error { line; msg } ->
+      Error (Printf.sprintf "inline db: line %d: %s" line msg))
+  | Protocol.File { format; path } -> (
+    match parse format (read_file path) with
+    | db -> Ok db
+    | exception Sys_error msg -> Error msg
+    | exception Seq_io.Parse_error { line; msg } ->
+      Error (Printf.sprintf "%s:%d: %s" path line msg))
+
+let checkpoint_path ~state_dir job_id =
+  Filename.concat state_dir ("job-" ^ job_id ^ ".ckpt")

@@ -1,0 +1,68 @@
+(** Admission control and fair dispatch for daemon jobs.
+
+    A bounded pending queue (admission beyond [capacity] is load-shed with
+    a typed {!admit} result, never queued unboundedly), organised as one
+    FIFO per client with a round-robin ring across clients, so one noisy
+    client cannot starve the others: with clients A and B both backlogged,
+    dispatch alternates A, B, A, B regardless of how many jobs A queued
+    first.
+
+    The structure is shared between the event-loop domain (submissions,
+    cancellations, the watchdog) and the pool-worker domains
+    ({!next_job}); one internal mutex guards every operation, and workers
+    block on a condition variable when idle. Live job ids — queued or
+    running — are unique: a second submission of a live id is rejected as
+    a duplicate, which is what makes an overlapping resume of the same job
+    id safe. *)
+
+type t
+
+val create : capacity:int -> t
+(** [capacity] bounds the {e pending} queue (running jobs do not count).
+    @raise Invalid_argument when [capacity < 1]. *)
+
+type admit =
+  | Admitted of int  (** queue position (1-based depth after enqueue) *)
+  | Overloaded of { pending : int; capacity : int }
+  | Duplicate  (** this job id is already queued or running *)
+  | Draining  (** the daemon no longer admits work *)
+
+val submit : t -> Job.t -> admit
+
+val next_job : t -> [ `Job of Job.t | `Drain ]
+(** Worker side: block until a job is available (round-robin across
+    clients) or the scheduler is draining and empty, which tells the
+    worker to exit. *)
+
+val start_budget : t -> Job.t -> Rgs_core.Budget.t -> unit
+(** Worker side, at job start: attach the freshly created budget. If the
+    job was cancelled while queued (client vanished, drain), the budget is
+    cancelled immediately so the first {!Rgs_core.Budget.check} stops the
+    run. *)
+
+val finish : t -> Job.t -> unit
+(** Worker side: release the job's slot and retire its id (the id may be
+    submitted again — that is a resume). *)
+
+val cancel_client : t -> client:int -> Job.t list
+(** Event-loop side, on disconnect: drop the client's queued jobs
+    (returned) and cancel its running jobs' budgets with reason
+    [Disconnect]. *)
+
+val scan_watchdog : t -> now:float -> idle_timeout_s:float -> Job.t list
+(** Event-loop side, periodically: compare every running job's budget
+    node count against the last scan; a job with no progress for
+    [idle_timeout_s] is cancelled with reason [Stalled] and returned
+    (already-cancelled jobs are not re-reported). *)
+
+val drain : t -> Job.t list
+(** Stop admitting, mark the scheduler draining, wake all idle workers,
+    and return the queued jobs that were dropped (marked [Drain]). *)
+
+val cancel_running_for_drain : t -> Job.t list
+(** Force the drain's grace deadline: cancel every still-running job's
+    budget with reason [Drain]; returns the jobs newly cancelled. *)
+
+val draining : t -> bool
+val pending : t -> int
+val running : t -> int

@@ -1,0 +1,21 @@
+open Rgs_sequence
+
+let jobs_submitted = Metrics.register "daemon_jobs_submitted" Metrics.Counter
+let jobs_completed = Metrics.register "daemon_jobs_completed" Metrics.Counter
+let jobs_overloaded = Metrics.register "daemon_jobs_overloaded" Metrics.Counter
+let jobs_duplicate = Metrics.register "daemon_jobs_duplicate" Metrics.Counter
+let jobs_rejected = Metrics.register "daemon_jobs_rejected" Metrics.Counter
+
+let jobs_disconnected =
+  Metrics.register "daemon_jobs_disconnected" Metrics.Counter
+
+let jobs_stalled = Metrics.register "daemon_jobs_stalled" Metrics.Counter
+let jobs_drained = Metrics.register "daemon_jobs_drained" Metrics.Counter
+let jobs_running = Metrics.register "daemon_jobs_running" Metrics.Gauge
+let jobs_pending = Metrics.register "daemon_jobs_pending" Metrics.Gauge
+
+let clients_connected =
+  Metrics.register "daemon_clients_connected" Metrics.Gauge
+
+let socket_write_failures =
+  Metrics.register "daemon_socket_write_failures" Metrics.Counter

@@ -1,0 +1,49 @@
+(** Daemon-side metrics, registered in the process-wide {!Metrics}
+    registry (so they appear in stats frames, periodic dumps and
+    [--stats] files next to the mining counters). All names carry a
+    [daemon_] prefix; OBSERVABILITY.md documents each one. *)
+
+open Rgs_sequence
+
+val jobs_submitted : Metrics.counter
+(** [Submit] requests that passed spec validation (before admission). *)
+
+val jobs_completed : Metrics.counter
+(** Jobs that ran to a natural finish and streamed a [Job_done]. *)
+
+val jobs_overloaded : Metrics.counter
+(** Submissions load-shed with a typed [Overloaded] response because the
+    bounded queue was full. *)
+
+val jobs_duplicate : Metrics.counter
+(** Submissions rejected because the job id was already live
+    (overlapping resume attempt). *)
+
+val jobs_rejected : Metrics.counter
+(** Submissions rejected for any other reason (bad spec, unreadable
+    database, draining daemon). *)
+
+val jobs_disconnected : Metrics.counter
+(** Jobs cancelled — budget cancelled, queue entry dropped — because
+    their client's connection went away. *)
+
+val jobs_stalled : Metrics.counter
+(** Jobs the idle watchdog cancelled because their roots stopped making
+    progress for longer than the configured idle timeout. *)
+
+val jobs_drained : Metrics.counter
+(** Jobs dropped from the queue or cancelled in flight by a graceful
+    drain (SIGTERM). *)
+
+val jobs_running : Metrics.counter
+(** Gauge: jobs currently executing on the pool. *)
+
+val jobs_pending : Metrics.counter
+(** Gauge: jobs admitted but not yet started. *)
+
+val clients_connected : Metrics.counter
+(** Gauge: live client connections. *)
+
+val socket_write_failures : Metrics.counter
+(** Response-frame writes that failed (EPIPE, timeout, injected
+    {!Budget.Fault.Socket_write}); each one sheds the client. *)

@@ -1,0 +1,67 @@
+open Rgs_sequence
+
+type t = {
+  stop_flag : bool Atomic.t;
+  ticker : unit Domain.t;
+  baseline : Metrics.snapshot option;
+  path : string;
+  mutable stopped : bool;
+}
+
+let write ?baseline ~path () =
+  let now = Metrics.snapshot () in
+  let snap =
+    match baseline with
+    | Some before -> Metrics.diff ~before ~after:now
+    | None -> now
+  in
+  (* temp + rename in the target directory: readers never see a torn
+     file, and the rename stays on one filesystem. The temp keeps the
+     target's [.json] suffix so [Metrics.write_stats] picks the same
+     format it would for the final path. *)
+  let tmp =
+    if Filename.check_suffix path ".json" then path ^ ".tmp.json"
+    else path ^ ".tmp"
+  in
+  match
+    Metrics.write_stats ~path:tmp snap;
+    Sys.rename tmp path
+  with
+  | () -> ()
+  | exception Sys_error _ ->
+    (* a stats dump must never kill the run it observes *)
+    (try Sys.remove tmp with Sys_error _ -> ())
+
+let start ?baseline ~interval_s ~path () =
+  if interval_s <= 0.0 then
+    invalid_arg "Stats_dump.start: interval_s must be > 0";
+  let stop_flag = Atomic.make false in
+  let ticker =
+    Domain.spawn (fun () ->
+        (* sleep in short slices so [stop] is prompt even with long
+           intervals *)
+        let rec tick elapsed =
+          if not (Atomic.get stop_flag) then
+            if elapsed >= interval_s then begin
+              write ?baseline ~path ();
+              tick 0.0
+            end
+            else begin
+              let slice = Float.min 0.05 (interval_s -. elapsed) in
+              (try Unix.sleepf slice
+               with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+              tick (elapsed +. slice)
+            end
+        in
+        tick 0.0)
+  in
+  { stop_flag; ticker; baseline; path; stopped = false }
+
+let stop t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    Atomic.set t.stop_flag true;
+    Domain.join t.ticker;
+    (* final write: the file always ends with the run's last reading *)
+    write ?baseline:t.baseline ~path:t.path ()
+  end

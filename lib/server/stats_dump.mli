@@ -1,0 +1,24 @@
+(** Periodic metrics snapshots to a file — the shared helper behind
+    [rgsminer --stats-interval] and the daemon's periodic stats dump.
+
+    A background domain wakes every [interval_s], captures a
+    {!Metrics.snapshot} (diffed against [baseline] when one is given, as
+    the one-shot [--stats] behaviour does; absolute otherwise, which is
+    what a long-running daemon wants) and writes it to [path] via a
+    temp-file-plus-rename, so readers never observe a torn file. {!stop}
+    performs one final write, making the no-interval behaviour a special
+    case of interval [infinity]. *)
+
+open Rgs_sequence
+
+type t
+
+val start :
+  ?baseline:Metrics.snapshot -> interval_s:float -> path:string -> unit -> t
+(** Spawn the ticker. [path]'s format follows {!Metrics.write_stats}
+    (JSON for [.json], Prometheus text otherwise).
+    @raise Invalid_argument when [interval_s <= 0]. *)
+
+val stop : t -> unit
+(** Stop the ticker, join its domain and write the final snapshot.
+    Idempotent. *)

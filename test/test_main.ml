@@ -18,6 +18,7 @@ let () =
       ("properties", Test_properties.suite);
       ("robustness", Test_robustness.suite);
       ("chaos", Test_chaos.suite);
+      ("daemon", Test_daemon.suite);
       ("experiments", Test_experiments.suite);
       ("export", Test_export.suite);
       ("regressions", Test_regressions.suite);
