@@ -595,6 +595,188 @@ let section_micro () =
     (micro_tests ());
   print_table "micro-benchmarks (OLS time per run)" t
 
+(* --- Section E: query answer modes — in-DFS pruning vs mine-all ---
+
+   The query layer's one claim worth benching: a top-k or targeted answer
+   is computed by visiting fewer DFS nodes, not by post-filtering a full
+   enumeration. Every mode's answer is checked against the mine-all run
+   (the k best supports for top-k, the exact filtered subset for
+   targeted) and the node counts land in BENCH_query.json
+   (RGS_BENCH_QUERY_JSON_PATH). Two budgets are enforced, so a pruning
+   regression fails the bench instead of drifting silently: top-100 on
+   jboss_traces must expand under 25% of mine-all's nodes, and the
+   answers must match mine-all exactly. *)
+
+let section_query () =
+  let open Rgs_sequence in
+  let open Rgs_core in
+  let data_dir = Option.value (Sys.getenv_opt "RGS_DATA_DIR") ~default:"data" in
+  let json_path =
+    Option.value
+      (Sys.getenv_opt "RGS_BENCH_QUERY_JSON_PATH")
+      ~default:"BENCH_query.json"
+  in
+  Format.printf
+    "@.### Section E: query answer modes — in-DFS pruning vs mine-all@.@.";
+  let datasets =
+    List.filter_map
+      (fun (name, file, min_sup, max_length) ->
+        let path = Filename.concat data_dir file in
+        if Sys.file_exists path then Some (name, path, min_sup, max_length)
+        else begin
+          Format.printf "(skipping %s: %s not found)@." name path;
+          None
+        end)
+      [
+        ("quest_small", "quest_small.txt", 4, Some 5);
+        ("jboss_traces", "jboss_traces.txt", 18, Some 4);
+      ]
+  in
+  let all_rows = ref [] in
+  let topk_rows = ref [] in
+  let target_rows = ref [] in
+  let delta_rows = ref [] in
+  let t =
+    Rgs_post.Report.create
+      ~columns:[ "dataset"; "mode"; "dfs_nodes"; "node%"; "patterns"; "time_s" ]
+  in
+  List.iter
+    (fun (name, path, min_sup, max_length) ->
+      let db, _codec = Seq_io.load_tokens path in
+      let idx = Inverted_index.build_kind Inverted_index.Kcsr db in
+      (* queries prune hardest where the pattern universe is largest: the
+         all-patterns mode (the closed sets of these datasets are smaller
+         than k = 100, which would make top-k pruning a no-op) *)
+      let run ?(mode = Miner.All) query =
+        Metrics.reset ();
+        let report, wall =
+          E.Exp_common.time (fun () ->
+              Miner.mine_indexed
+                (Miner.config ~mode ~query ?max_length ~min_sup ())
+                idx)
+        in
+        (report.Miner.results, Metrics.value Metrics.dfs_nodes, wall)
+      in
+      let sig_of m = (Pattern.to_list m.Mined.pattern, m.Mined.support) in
+      let all, nodes_all, wall_all = run Query.All in
+      let row mode nodes patterns wall =
+        let pct =
+          100. *. float_of_int nodes /. float_of_int (max 1 nodes_all)
+        in
+        Rgs_post.Report.add_row t
+          [ name; mode; string_of_int nodes; Printf.sprintf "%.1f%%" pct;
+            string_of_int patterns; Rgs_post.Report.cell_float wall ];
+        pct
+      in
+      ignore (row "all" nodes_all (List.length all) wall_all);
+      all_rows :=
+        Printf.sprintf
+          "    {\"dataset\": %S, \"min_sup\": %d, \"dfs_nodes\": %d, \
+           \"patterns\": %d, \"wall_s\": %.6f}"
+          name min_sup nodes_all (List.length all) wall_all
+        :: !all_rows;
+      (* top-100: the supports must be exactly the 100 best of mine-all *)
+      let k = 100 in
+      let topk, nodes_topk, wall_topk = run (Query.Top_k k) in
+      let expect_sup =
+        List.filteri (fun i _ -> i < k)
+          (List.sort Mined.compare_by_support_desc all)
+        |> List.map (fun m -> m.Mined.support)
+        |> List.sort compare
+      in
+      let got_sup =
+        List.map (fun m -> m.Mined.support) topk |> List.sort compare
+      in
+      if got_sup <> expect_sup then
+        failwith
+          (Printf.sprintf
+             "query bench: %s: top-%d supports differ from mine-all" name k);
+      let pct =
+        row (Printf.sprintf "top-%d" k) nodes_topk (List.length topk)
+          wall_topk
+      in
+      if name = "jboss_traces" && pct >= 25.0 then
+        failwith
+          (Printf.sprintf
+             "query bench: top-%d on %s expanded %.1f%% of mine-all's nodes \
+              (budget: < 25%%)"
+             k name pct);
+      topk_rows :=
+        Printf.sprintf
+          "    {\"dataset\": %S, \"k\": %d, \"dfs_nodes\": %d, \
+           \"node_ratio\": %.4f, \"patterns\": %d, \"wall_s\": %.6f, \
+           \"outputs_identical\": true}"
+          name k nodes_topk
+          (float_of_int nodes_topk /. float_of_int (max 1 nodes_all))
+          (List.length topk) wall_topk
+        :: !topk_rows;
+      (* targeted: the best length-2 closed pattern as the target; the
+         answer must be the exact containment filter of mine-all *)
+      let by_sup = List.sort Mined.compare_by_support_desc all in
+      let target =
+        match
+          List.filter (fun m -> Pattern.length m.Mined.pattern = 2) by_sup
+        with
+        | m :: _ -> m.Mined.pattern
+        | [] -> (List.hd by_sup).Mined.pattern
+      in
+      let targeted, nodes_t, wall_t = run (Query.Targeted target) in
+      let expect =
+        List.filter
+          (fun m -> Pattern.is_subpattern target ~of_:m.Mined.pattern)
+          all
+      in
+      if List.map sig_of targeted <> List.map sig_of expect then
+        failwith
+          (Printf.sprintf
+             "query bench: %s: targeted answer differs from the post-filter"
+             name);
+      ignore
+        (row
+           (Printf.sprintf "target %s" (Pattern.to_string target))
+           nodes_t (List.length targeted) wall_t);
+      target_rows :=
+        Printf.sprintf
+          "    {\"dataset\": %S, \"target\": %S, \"dfs_nodes\": %d, \
+           \"node_ratio\": %.4f, \"patterns\": %d, \"wall_s\": %.6f, \
+           \"outputs_identical\": true}"
+          name
+          (Pattern.to_string target)
+          nodes_t
+          (float_of_int nodes_t /. float_of_int (max 1 nodes_all))
+          (List.length targeted) wall_t
+        :: !target_rows;
+      (* δ-cover of the closed answer (its natural input) at a few
+         compression bands *)
+      let closed, _, _ = run ~mode:Miner.Closed Query.All in
+      List.iter
+        (fun delta ->
+          let covers = Rgs_post.Compress.delta_cover ~delta closed in
+          let reps = List.length covers in
+          delta_rows :=
+            Printf.sprintf
+              "    {\"dataset\": %S, \"delta\": %.2f, \"patterns\": %d, \
+               \"representatives\": %d, \"covered\": %d}"
+              name delta (List.length closed) reps
+              (List.length closed - reps)
+            :: !delta_rows)
+        [ 0.05; 0.2; 0.5 ])
+    datasets;
+  print_table "query answer modes — DFS nodes vs mine-all (answers checked)" t;
+  if datasets <> [] then begin
+    let oc = open_out json_path in
+    Printf.fprintf oc
+      "{\n  \"bench\": \"query answer modes, in-DFS pruning vs mine-all\",\n  \
+       \"mine_all\": [\n%s\n  ],\n  \"top_k\": [\n%s\n  ],\n  \
+       \"targeted\": [\n%s\n  ],\n  \"delta_cover\": [\n%s\n  ]\n}\n"
+      (String.concat ",\n" (List.rev !all_rows))
+      (String.concat ",\n" (List.rev !topk_rows))
+      (String.concat ",\n" (List.rev !target_rows))
+      (String.concat ",\n" (List.rev !delta_rows));
+    close_out oc;
+    Format.printf "wrote %s@." json_path
+  end
+
 let () =
   if not (env_flag "RGS_BENCH_SKIP_TABLES") then section_tables ();
   if not (env_flag "RGS_BENCH_SKIP_LAYOUT") then section_layout ();
@@ -602,4 +784,5 @@ let () =
     section_micro ();
     section_parallel ()
   end;
-  if not (env_flag "RGS_BENCH_SKIP_CHECKPOINT") then section_checkpoint ()
+  if not (env_flag "RGS_BENCH_SKIP_CHECKPOINT") then section_checkpoint ();
+  if not (env_flag "RGS_BENCH_SKIP_QUERY") then section_query ()

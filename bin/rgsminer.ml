@@ -41,13 +41,52 @@ let setup_logs verbose =
    README's failure-modes runbook). *)
 let exit_interrupted = 130
 
+(* --target follows the input format: a letter string for chars, and
+   comma/space-separated event names (tokens) or ids (spmf) otherwise. *)
+let parse_target format codec s =
+  let split s =
+    String.split_on_char ',' s
+    |> List.concat_map (String.split_on_char ' ')
+    |> List.filter (fun t -> t <> "")
+  in
+  match format with
+  | Chars -> Pattern.of_string s
+  | Spmf ->
+    Pattern.of_list
+      (List.map
+         (fun t ->
+           match int_of_string_opt t with
+           | Some e when e >= 0 -> e
+           | _ -> invalid_arg (Printf.sprintf "--target: bad event id %S" t))
+         (split s))
+  | Tokens ->
+    let codec =
+      match codec with
+      | Some c -> c
+      | None -> invalid_arg "--target: no codec for this input"
+    in
+    Pattern.of_list
+      (List.map
+         (fun t ->
+           match Codec.find codec t with
+           | Some e -> e
+           | None ->
+             invalid_arg
+               (Printf.sprintf "--target: event %S does not occur in the input" t))
+         (split s))
+
 let run input format min_sup all max_length max_patterns limit instances max_gap parallel
-    index_kind deadline max_nodes max_words checkpoint resume retry_quarantined
+    index_kind deadline max_nodes max_words target top_k compress_delta
+    checkpoint resume retry_quarantined
     trace_file trace_level trace_ring stats_file stats_interval verbose =
   setup_logs verbose;
   Budget.install_signal_handlers ();
   if stats_interval <> None && stats_file = None then begin
     Format.eprintf "rgsminer: --stats-interval requires --stats@.";
+    exit 1
+  end;
+  if target <> None && top_k <> None then begin
+    Format.eprintf "rgsminer: --target and --top-k are mutually exclusive@.";
     exit 1
   end;
   match
@@ -56,8 +95,14 @@ let run input format min_sup all max_length max_patterns limit instances max_gap
     let mode = if all then Miner.All else Miner.Closed in
     let domains = if parallel then Some (Parallel_miner.default_domains ()) else None in
     let max_patterns = if parallel then None else max_patterns in
+    let query =
+      match (target, top_k) with
+      | Some t, _ -> Query.Targeted (parse_target format codec t)
+      | None, Some k -> Query.Top_k k
+      | None, None -> Query.All
+    in
     let config =
-      Miner.config ~mode ?max_length ?max_patterns ?max_gap ?domains
+      Miner.config ~mode ~query ?max_length ?max_patterns ?max_gap ?domains
         ?index_kind ?deadline_s:deadline ?max_nodes ?max_words ~min_sup ()
     in
     let trace =
@@ -78,7 +123,13 @@ let run input format min_sup all max_length max_patterns limit instances max_gap
     let finish_ticker () = Option.iter Rgs_server.Stats_dump.stop ticker in
     let report =
       match
-        if checkpoint <> None || resume then
+        (* queried parallel runs also go through the root-partitioned
+           driver: its per-root plans compose with domain pools, which
+           [Miner.mine] rejects *)
+        if
+          checkpoint <> None || resume
+          || (query <> Query.All && domains <> None)
+        then
           Miner.mine_resumable ?checkpoint ~resume ~retry_quarantined ~trace
             config db
         else Miner.mine ~config ~trace db
@@ -106,6 +157,23 @@ let run input format min_sup all max_length max_patterns limit instances max_gap
       Metrics.write_stats ~path delta;
       Format.printf "stats: written to %s@." path
     | _ -> ());
+    (* δ-compression is a post-mining pass: cluster the answer under the
+       support-distance tolerance and report only the representatives. *)
+    let report =
+      match compress_delta with
+      | None -> report
+      | Some delta ->
+        let covers = Rgs_post.Compress.delta_cover ~delta report.Miner.results in
+        let absorbed =
+          List.fold_left
+            (fun a c -> a + List.length c.Rgs_post.Compress.covered)
+            0 covers
+        in
+        Format.printf
+          "delta-cover (delta=%g): %d representative(s), %d pattern(s) absorbed@."
+          delta (List.length covers) absorbed;
+        { report with Miner.results = Rgs_post.Compress.representatives covers }
+    in
     (match codec with
     | Some codec -> Format.printf "%a@." (Miner.pp_report ~codec ~limit) report
     | None -> Format.printf "%a@." (fun ppf r -> Miner.pp_report ~limit ppf r) report);
@@ -219,6 +287,28 @@ let max_words =
          ~doc:"GC heap ceiling in words: stop gracefully when the OCaml heap \
                exceeds N words.")
 
+let target =
+  Arg.(value & opt (some string) None & info [ "target" ] ~docv:"PATTERN"
+         ~doc:"Mine only patterns containing PATTERN as a subsequence, pruning \
+               unreachable DFS subtrees instead of filtering afterwards. \
+               PATTERN follows $(b,--format): comma/space-separated event \
+               names ($(b,tokens)), a letter string ($(b,chars)), or ids \
+               ($(b,spmf)). Mutually exclusive with $(b,--top-k).")
+
+let top_k =
+  Arg.(value & opt (some int) None & info [ "top-k" ] ~docv:"K"
+         ~doc:"Mine only the K best patterns by repetitive support: a rising \
+               support floor prunes subtrees that can no longer reach the \
+               answer. Output is support-descending. Mutually exclusive with \
+               $(b,--target) and $(b,--max-patterns).")
+
+let compress_delta =
+  Arg.(value & opt (some float) None & info [ "compress-delta" ] ~docv:"D"
+         ~doc:"After mining, cluster the answer by greedy delta-cover \
+               (a pattern is absorbed by a supersequence representative \
+               retaining at least a (1-D) fraction of its support, D in \
+               [0,1]) and report only the representatives.")
+
 let checkpoint =
   Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE"
          ~doc:"Checkpoint completed DFS roots to FILE (written atomically when the \
@@ -280,7 +370,8 @@ let cmd =
     (Cmd.info "rgsminer" ~version:"1.1.0" ~doc)
     Term.(const run $ input $ format $ min_sup $ all $ max_length $ max_patterns $ limit
           $ instances $ max_gap $ parallel $ index_kind $ deadline $ max_nodes
-          $ max_words $ checkpoint $ resume $ retry_quarantined $ trace_file
-          $ trace_level $ trace_ring $ stats_file $ stats_interval $ verbose)
+          $ max_words $ target $ top_k $ compress_delta $ checkpoint $ resume
+          $ retry_quarantined $ trace_file $ trace_level $ trace_ring
+          $ stats_file $ stats_interval $ verbose)
 
 let () = exit (Cmd.eval' cmd)

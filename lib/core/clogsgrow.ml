@@ -10,133 +10,63 @@ type stats = {
   outcome : Budget.outcome;
 }
 
-exception Budget_exhausted
+exception Budget_exhausted = Engine.Budget_exhausted
+
+(* CloGSgrow is the engine with plain instance growth plus the closure
+   spec: CCheck/LBCheck before expansion, equal-support appends as free
+   non-closedness proof. The size-1 support sets reused as prepend bases
+   by every closure check are memoised per run. *)
+let strategy ~use_lb_check ~use_c_check =
+  let make_closure idx ~events ~trace =
+    let event_set_cache : (Event.t, Support_set.t) Hashtbl.t =
+      Hashtbl.create 64
+    in
+    let event_sets e =
+      match Hashtbl.find_opt event_set_cache e with
+      | Some s -> s
+      | None ->
+        let s = Support_set.of_event idx e in
+        Hashtbl.add event_set_cache e s;
+        s
+    in
+    {
+      Engine.check =
+        (fun ~pattern ~support_set ~prefix_rev_chain ->
+          if use_c_check || use_lb_check then begin
+            let prefix_sets = Array.of_list (List.rev prefix_rev_chain) in
+            let v =
+              Closure.check ~event_sets ~trace idx ~candidate_events:events
+                ~prefix_sets ~pattern ~support_set ~has_equal_append:false
+            in
+            if not use_lb_check then { v with Closure.prunable = false }
+            else if not use_c_check then { v with Closure.closed = true }
+            else v
+          end
+          else { Closure.closed = true; prunable = false });
+      detect_equal_append = use_c_check;
+    }
+  in
+  {
+    Engine.name = "Clogsgrow";
+    grow = Support_set.grow;
+    closure = Some make_closure;
+  }
 
 let run ?max_length ?events ?roots ?(use_lb_check = true) ?(use_c_check = true)
-    ?(should_stop = fun () -> false) ?budget ?(trace = Trace.null) idx ~min_sup
-    ~emit =
-  if min_sup < 1 then invalid_arg "Clogsgrow: min_sup must be >= 1";
-  let events =
-    match events with
-    | Some es -> es
-    | None -> Inverted_index.frequent_events idx ~min_sup
+    ?should_stop ?budget ?trace idx ~min_sup ~emit =
+  let s =
+    Engine.run ?max_length ?events ?roots ?should_stop ?budget ?trace
+      (strategy ~use_lb_check ~use_c_check)
+      idx ~min_sup ~emit
   in
-  let roots = match roots with Some rs -> rs | None -> events in
-  (* Size-1 support sets are reused as prepend bases by every closure
-     check; memoise them for the whole run. *)
-  let event_set_cache : (Event.t, Support_set.t) Hashtbl.t = Hashtbl.create 64 in
-  let event_sets e =
-    match Hashtbl.find_opt event_set_cache e with
-    | Some s -> s
-    | None ->
-      let s = Support_set.of_event idx e in
-      Hashtbl.add event_set_cache e s;
-      s
-  in
-  let patterns = ref 0 in
-  let dfs_nodes = ref 0 in
-  let insgrow_calls = ref 0 in
-  let lb_pruned = ref 0 in
-  let non_closed_dropped = ref 0 in
-  let outcome = ref Budget.Completed in
-  let within_length p =
-    match max_length with None -> true | Some l -> Pattern.length p < l
-  in
-  (* [rev_chain] holds the leftmost support sets of the proper prefixes and
-     of [p] itself, most recent first (Theorem 7: O(sup_max · len_max)). *)
-  let rec mine_fre p i rev_chain =
-    if should_stop () then raise Budget_exhausted;
-    (match budget with Some b -> Budget.check b | None -> ());
-    incr dfs_nodes;
-    let sup_p = Support_set.size i in
-    Trace.instant trace Trace.Node ~a0:(Pattern.length p) ~a1:sup_p;
-    (* Prunability does not depend on the appended extensions (an append
-       always shifts the landmark border right), so the insert/prepend scan
-       runs first: a pruned subtree never pays for its appends. *)
-    let verdict =
-      if use_c_check || use_lb_check then begin
-        let prefix_sets = Array.of_list (List.rev rev_chain) in
-        let v =
-          Closure.check ~event_sets ~trace idx ~candidate_events:events
-            ~prefix_sets ~pattern:p ~support_set:i ~has_equal_append:false
-        in
-        if not use_lb_check then { v with Closure.prunable = false }
-        else if not use_c_check then { v with Closure.closed = true }
-        else v
-      end
-      else { Closure.closed = true; prunable = false }
-    in
-    if verdict.Closure.prunable then begin
-      incr lb_pruned;
-      Trace.instant trace Trace.Lb_prune ~a0:(Pattern.length p) ~a1:sup_p
-    end
-    else begin
-      let appends =
-        List.map
-          (fun e ->
-            incr insgrow_calls;
-            Budget.Fault.fire Budget.Fault.Insgrow;
-            (e, Support_set.grow idx i e))
-          events
-      in
-      let has_equal_append =
-        use_c_check
-        && List.exists (fun (_, i') -> Support_set.size i' = sup_p) appends
-      in
-      if verdict.Closure.closed && not has_equal_append then begin
-        incr patterns;
-        emit { Mined.pattern = p; support = sup_p; support_set = i }
-      end
-      else incr non_closed_dropped;
-      if within_length p then begin
-        let recursed = ref 0 in
-        List.iter
-          (fun (e, i_plus) ->
-            if Support_set.size i_plus >= min_sup then begin
-              incr recursed;
-              mine_fre (Pattern.grow p e) i_plus (i_plus :: rev_chain)
-            end)
-          appends;
-        Trace.instant trace Trace.Extension ~a0:(Pattern.length p) ~a1:!recursed
-      end
-    end
-  in
-  let mine_root e =
-    let i = Support_set.of_event idx e in
-    if Support_set.size i >= min_sup then begin
-      let t0 = Trace.now trace in
-      let before = !patterns in
-      let finish () =
-        Trace.span trace Trace.Root ~a0:e ~a1:(!patterns - before) ~start:t0
-      in
-      match mine_fre (Pattern.of_list [ e ]) i [ i ] with
-      | () -> finish ()
-      | exception ex ->
-        finish ();
-        raise ex
-    end
-  in
-  (try List.iter mine_root roots with
-  | Budget_exhausted ->
-    outcome := Budget.Truncated;
-    Metrics.hit Metrics.budget_stops;
-    Trace.instant trace Trace.Budget_stop
-      ~a0:(Budget.severity Budget.Truncated) ~a1:0
-  | Budget.Stop reason ->
-    outcome := reason;
-    Metrics.hit Metrics.budget_stops;
-    Trace.instant trace Trace.Budget_stop ~a0:(Budget.severity reason) ~a1:0);
-  Metrics.add Metrics.dfs_nodes !dfs_nodes;
-  Metrics.add Metrics.patterns_emitted !patterns;
-  Metrics.add Metrics.lb_prunes !lb_pruned;
   {
-    patterns = !patterns;
-    dfs_nodes = !dfs_nodes;
-    insgrow_calls = !insgrow_calls;
-    lb_pruned = !lb_pruned;
-    non_closed_dropped = !non_closed_dropped;
-    truncated = Budget.is_stop !outcome;
-    outcome = !outcome;
+    patterns = s.Engine.emitted;
+    dfs_nodes = s.Engine.dfs_nodes;
+    insgrow_calls = s.Engine.insgrow_calls;
+    lb_pruned = s.Engine.lb_pruned;
+    non_closed_dropped = s.Engine.non_closed_dropped;
+    truncated = s.Engine.truncated;
+    outcome = s.Engine.outcome;
   }
 
 let mine ?max_length ?max_patterns ?events ?roots ?use_lb_check ?use_c_check ?should_stop

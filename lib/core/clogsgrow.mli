@@ -30,6 +30,13 @@ type stats = {
   outcome : Budget.outcome;  (** why the search ended *)
 }
 
+val strategy : use_lb_check:bool -> use_c_check:bool -> Engine.strategy
+(** CloGSgrow as an {!Engine} strategy: plain instance growth plus the
+    closure spec (CCheck first, LBCheck pruning, equal-support appends as
+    free non-closedness proof), with either check disabled on request.
+    {!mine} and {!iter} wrap [Engine.run (strategy ~use_lb_check:true
+    ~use_c_check:true)]; the query layer reuses the same strategy. *)
+
 val mine :
   ?max_length:int ->
   ?max_patterns:int ->

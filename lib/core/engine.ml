@@ -1,0 +1,213 @@
+open Rgs_sequence
+
+type closure_spec = {
+  check :
+    pattern:Pattern.t ->
+    support_set:Support_set.t ->
+    prefix_rev_chain:Support_set.t list ->
+    Closure.verdict;
+  detect_equal_append : bool;
+}
+
+type strategy = {
+  name : string;
+  grow : Inverted_index.t -> Support_set.t -> Event.t -> Support_set.t;
+  closure :
+    (Inverted_index.t -> events:Event.t list -> trace:Trace.t -> closure_spec)
+    option;
+}
+
+type stats = {
+  emitted : int;
+  dfs_nodes : int;
+  insgrow_calls : int;
+  lb_pruned : int;
+  non_closed_dropped : int;
+  query_cuts : int;
+  floor_prunes : int;
+  truncated : bool;
+  outcome : Budget.outcome;
+}
+
+exception Budget_exhausted
+
+let run ?max_length ?events ?roots ?(should_stop = fun () -> false) ?budget
+    ?(trace = Trace.null) ?plan strategy idx ~min_sup ~emit =
+  if min_sup < 1 then invalid_arg (strategy.name ^ ": min_sup must be >= 1");
+  let events =
+    match events with
+    | Some es -> es
+    | None -> Inverted_index.frequent_events idx ~min_sup
+  in
+  let roots = match roots with Some rs -> rs | None -> events in
+  let plan = match plan with Some p -> p | None -> Query.trivial ~min_sup in
+  let closure =
+    Option.map (fun mk -> mk idx ~events ~trace) strategy.closure
+  in
+  let emitted = ref 0 in
+  let dfs_nodes = ref 0 in
+  let insgrow_calls = ref 0 in
+  let lb_pruned = ref 0 in
+  let non_closed_dropped = ref 0 in
+  let query_cuts = ref 0 in
+  let floor_prunes = ref 0 in
+  let outcome = ref Budget.Completed in
+  let within_length p =
+    match max_length with None -> true | Some l -> Pattern.length p < l
+  in
+  (* Child admission shared by both DFS shapes: the support size against
+     the plan's floor. Children in the band [min_sup <= size < floor ()]
+     are sound frequent extensions removed only by the dynamic floor; they
+     are counted apart from the static Apriori rejections so top-k savings
+     stay visible. *)
+  let admit ~depth' size =
+    if size >= plan.Query.floor () then `Recurse
+    else begin
+      if size >= min_sup then begin
+        incr floor_prunes;
+        Trace.instant trace Trace.Query_cut ~a0:depth' ~a1:1
+      end;
+      `Skip
+    end
+  in
+  let rec mine_fre p i qstate rev_chain =
+    if should_stop () then raise Budget_exhausted;
+    (match budget with Some b -> Budget.check b | None -> ());
+    incr dfs_nodes;
+    let sup_p = Support_set.size i in
+    Trace.instant trace Trace.Node ~a0:(Pattern.length p) ~a1:sup_p;
+    match closure with
+    | None ->
+      if plan.Query.emit_ok ~state:qstate then begin
+        incr emitted;
+        emit { Mined.pattern = p; support = sup_p; support_set = i }
+      end;
+      if within_length p then begin
+        let depth' = Pattern.length p + 1 in
+        let recursed = ref 0 in
+        List.iter
+          (fun e ->
+            let qstate' = plan.Query.child_state qstate e in
+            if plan.Query.cut ~state:qstate' ~depth:depth' then begin
+              incr query_cuts;
+              Trace.instant trace Trace.Query_cut ~a0:depth' ~a1:0
+            end
+            else begin
+              incr insgrow_calls;
+              Budget.Fault.fire Budget.Fault.Insgrow;
+              let i_plus = strategy.grow idx i e in
+              match admit ~depth' (Support_set.size i_plus) with
+              | `Recurse ->
+                incr recursed;
+                mine_fre (Pattern.grow p e) i_plus qstate' (i_plus :: rev_chain)
+              | `Skip -> ()
+            end)
+          events;
+        Trace.instant trace Trace.Extension ~a0:(Pattern.length p) ~a1:!recursed
+      end
+    | Some c ->
+      (* Prunability does not depend on the appended extensions (an append
+         always shifts the landmark border right), so the closure check
+         runs first: a pruned subtree never pays for its appends. *)
+      let verdict =
+        c.check ~pattern:p ~support_set:i ~prefix_rev_chain:rev_chain
+      in
+      if verdict.Closure.prunable then begin
+        incr lb_pruned;
+        Trace.instant trace Trace.Lb_prune ~a0:(Pattern.length p) ~a1:sup_p
+      end
+      else begin
+        (* All appends are materialised even under a query: closedness of
+           [p] depends on whether {e some} candidate append has equal
+           support, so the query may only cut recursion, not growth. *)
+        let appends =
+          List.map
+            (fun e ->
+              incr insgrow_calls;
+              Budget.Fault.fire Budget.Fault.Insgrow;
+              (e, strategy.grow idx i e))
+            events
+        in
+        let has_equal_append =
+          c.detect_equal_append
+          && List.exists (fun (_, i') -> Support_set.size i' = sup_p) appends
+        in
+        if verdict.Closure.closed && not has_equal_append then begin
+          if plan.Query.emit_ok ~state:qstate then begin
+            incr emitted;
+            emit { Mined.pattern = p; support = sup_p; support_set = i }
+          end
+        end
+        else incr non_closed_dropped;
+        if within_length p then begin
+          let depth' = Pattern.length p + 1 in
+          let recursed = ref 0 in
+          List.iter
+            (fun (e, i_plus) ->
+              let qstate' = plan.Query.child_state qstate e in
+              if plan.Query.cut ~state:qstate' ~depth:depth' then begin
+                incr query_cuts;
+                Trace.instant trace Trace.Query_cut ~a0:depth' ~a1:0
+              end
+              else
+                match admit ~depth' (Support_set.size i_plus) with
+                | `Recurse ->
+                  incr recursed;
+                  mine_fre (Pattern.grow p e) i_plus qstate'
+                    (i_plus :: rev_chain)
+                | `Skip -> ())
+            appends;
+          Trace.instant trace Trace.Extension ~a0:(Pattern.length p)
+            ~a1:!recursed
+        end
+      end
+  in
+  let mine_root e =
+    let qstate = plan.Query.root_state e in
+    if plan.Query.cut ~state:qstate ~depth:1 then begin
+      incr query_cuts;
+      Trace.instant trace Trace.Query_cut ~a0:1 ~a1:0
+    end
+    else begin
+      let i = Support_set.of_event idx e in
+      match admit ~depth':1 (Support_set.size i) with
+      | `Skip -> ()
+      | `Recurse ->
+        let t0 = Trace.now trace in
+        let before = !emitted in
+        let finish () =
+          Trace.span trace Trace.Root ~a0:e ~a1:(!emitted - before) ~start:t0
+        in
+        (match mine_fre (Pattern.of_list [ e ]) i qstate [ i ] with
+        | () -> finish ()
+        | exception ex ->
+          finish ();
+          raise ex)
+    end
+  in
+  (try List.iter mine_root roots with
+  | Budget_exhausted ->
+    outcome := Budget.Truncated;
+    Metrics.hit Metrics.budget_stops;
+    Trace.instant trace Trace.Budget_stop
+      ~a0:(Budget.severity Budget.Truncated) ~a1:0
+  | Budget.Stop reason ->
+    outcome := reason;
+    Metrics.hit Metrics.budget_stops;
+    Trace.instant trace Trace.Budget_stop ~a0:(Budget.severity reason) ~a1:0);
+  Metrics.add Metrics.dfs_nodes !dfs_nodes;
+  Metrics.add Metrics.patterns_emitted !emitted;
+  Metrics.add Metrics.lb_prunes !lb_pruned;
+  Metrics.add Metrics.query_targeted_cuts !query_cuts;
+  Metrics.add Metrics.query_floor_prunes !floor_prunes;
+  {
+    emitted = !emitted;
+    dfs_nodes = !dfs_nodes;
+    insgrow_calls = !insgrow_calls;
+    lb_pruned = !lb_pruned;
+    non_closed_dropped = !non_closed_dropped;
+    query_cuts = !query_cuts;
+    floor_prunes = !floor_prunes;
+    truncated = Budget.is_stop !outcome;
+    outcome = !outcome;
+  }

@@ -68,75 +68,37 @@ let support ?min_gap idx ~max_gap p =
 
 type stats = { patterns : int; truncated : bool; outcome : Budget.outcome }
 
-exception Budget_exhausted
+exception Budget_exhausted = Engine.Budget_exhausted
 
-let mine ?max_length ?max_patterns ?(min_gap = 0) ?budget ?(trace = Trace.null)
-    idx ~max_gap ~min_sup =
+(* The gap-constrained miner is the engine with the skip-on-failure
+   gap-bounded growth above and no closure machinery. *)
+let strategy ~min_gap ~max_gap =
+  {
+    Engine.name = "Gap_constrained.mine";
+    grow = (fun idx i e -> grow ~min_gap idx ~max_gap i e);
+    closure = None;
+  }
+
+let mine ?max_length ?max_patterns ?(min_gap = 0) ?budget ?trace idx ~max_gap
+    ~min_sup =
   if min_sup < 1 then invalid_arg "Gap_constrained.mine: min_sup must be >= 1";
   validate_gaps ~min_gap ~max_gap;
-  let events = Inverted_index.frequent_events idx ~min_sup in
   let results = ref [] in
   let count = ref 0 in
-  let outcome = ref Budget.Completed in
-  let within p =
-    match max_length with None -> true | Some l -> Pattern.length p < l
-  in
-  let emit p i =
-    results := { Mined.pattern = p; support = Support_set.size i; support_set = i } :: !results;
+  let emit r =
+    results := r :: !results;
     incr count;
     match max_patterns with
     | Some budget when !count >= budget -> raise Budget_exhausted
     | _ -> ()
   in
-  let rec mine_fre p i =
-    (match budget with Some b -> Budget.check b | None -> ());
-    Trace.instant trace Trace.Node ~a0:(Pattern.length p)
-      ~a1:(Support_set.size i);
-    emit p i;
-    if within p then begin
-      let recursed = ref 0 in
-      List.iter
-        (fun e ->
-          Budget.Fault.fire Budget.Fault.Insgrow;
-          let i_plus = grow ~min_gap idx ~max_gap i e in
-          if Support_set.size i_plus >= min_sup then begin
-            incr recursed;
-            mine_fre (Pattern.grow p e) i_plus
-          end)
-        events;
-      Trace.instant trace Trace.Extension ~a0:(Pattern.length p) ~a1:!recursed
-    end
+  let s =
+    Engine.run ?max_length ?budget ?trace (strategy ~min_gap ~max_gap) idx
+      ~min_sup ~emit
   in
-  let mine_root e =
-    let i = Support_set.of_event idx e in
-    if Support_set.size i >= min_sup then begin
-      let t0 = Trace.now trace in
-      let before = !count in
-      let finish () =
-        Trace.span trace Trace.Root ~a0:e ~a1:(!count - before) ~start:t0
-      in
-      match mine_fre (Pattern.of_list [ e ]) i with
-      | () -> finish ()
-      | exception ex ->
-        finish ();
-        raise ex
-    end
-  in
-  (try List.iter mine_root events with
-  | Budget_exhausted ->
-    outcome := Budget.Truncated;
-    Metrics.hit Metrics.budget_stops;
-    Trace.instant trace Trace.Budget_stop
-      ~a0:(Budget.severity Budget.Truncated) ~a1:0
-  | Budget.Stop reason ->
-    outcome := reason;
-    Metrics.hit Metrics.budget_stops;
-    Trace.instant trace Trace.Budget_stop ~a0:(Budget.severity reason) ~a1:0);
-  Metrics.add Metrics.dfs_nodes !count;
-  Metrics.add Metrics.patterns_emitted !count;
   ( List.rev !results,
     {
-      patterns = !count;
-      truncated = Budget.is_stop !outcome;
-      outcome = !outcome;
+      patterns = s.Engine.emitted;
+      truncated = s.Engine.truncated;
+      outcome = s.Engine.outcome;
     } )

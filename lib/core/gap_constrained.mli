@@ -46,6 +46,13 @@ val support_set :
 
 type stats = { patterns : int; truncated : bool; outcome : Budget.outcome }
 
+val strategy : min_gap:int -> max_gap:int -> Engine.strategy
+(** The gap-constrained miner as an {!Engine} strategy: {!grow} as the
+    growth operation, no closure machinery. {!mine} wraps
+    [Engine.run (strategy ~min_gap ~max_gap)]; the query layer reuses the
+    same strategy.
+    @raise Invalid_argument from the first growth on invalid gaps. *)
+
 val mine :
   ?max_length:int ->
   ?max_patterns:int ->

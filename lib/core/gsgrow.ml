@@ -1,5 +1,3 @@
-open Rgs_sequence
-
 type stats = {
   patterns : int;
   insgrow_calls : int;
@@ -7,81 +5,24 @@ type stats = {
   outcome : Budget.outcome;
 }
 
-exception Budget_exhausted
+exception Budget_exhausted = Engine.Budget_exhausted
 
-(* Shared DFS skeleton for [mine] and [iter]. [emit] receives each frequent
-   pattern; raising [Budget_exhausted] from it aborts the search, as does
-   [Budget.Stop] from the budget's per-node check. *)
-let run ?max_length ?events ?roots ?(should_stop = fun () -> false) ?budget
-    ?(trace = Trace.null) idx ~min_sup ~emit =
-  if min_sup < 1 then invalid_arg "Gsgrow: min_sup must be >= 1";
-  let events =
-    match events with
-    | Some es -> es
-    | None -> Inverted_index.frequent_events idx ~min_sup
+(* GSgrow is the engine with plain instance growth and no closure
+   machinery: every frequent node emits its pattern. *)
+let strategy =
+  { Engine.name = "Gsgrow"; grow = Support_set.grow; closure = None }
+
+let run ?max_length ?events ?roots ?should_stop ?budget ?trace idx ~min_sup
+    ~emit =
+  let s =
+    Engine.run ?max_length ?events ?roots ?should_stop ?budget ?trace strategy
+      idx ~min_sup ~emit
   in
-  let roots = match roots with Some rs -> rs | None -> events in
-  let insgrow_calls = ref 0 in
-  let outcome = ref Budget.Completed in
-  let patterns = ref 0 in
-  let within_length p =
-    match max_length with None -> true | Some l -> Pattern.length p < l
-  in
-  let rec mine_fre p i =
-    if should_stop () then raise Budget_exhausted;
-    (match budget with Some b -> Budget.check b | None -> ());
-    incr patterns;
-    Trace.instant trace Trace.Node ~a0:(Pattern.length p)
-      ~a1:(Support_set.size i);
-    emit { Mined.pattern = p; support = Support_set.size i; support_set = i };
-    if within_length p then begin
-      let recursed = ref 0 in
-      List.iter
-        (fun e ->
-          incr insgrow_calls;
-          Budget.Fault.fire Budget.Fault.Insgrow;
-          let i_plus = Support_set.grow idx i e in
-          if Support_set.size i_plus >= min_sup then begin
-            incr recursed;
-            mine_fre (Pattern.grow p e) i_plus
-          end)
-        events;
-      Trace.instant trace Trace.Extension ~a0:(Pattern.length p) ~a1:!recursed
-    end
-  in
-  let mine_root e =
-    let i = Support_set.of_event idx e in
-    if Support_set.size i >= min_sup then begin
-      let t0 = Trace.now trace in
-      let before = !patterns in
-      let finish () =
-        Trace.span trace Trace.Root ~a0:e ~a1:(!patterns - before) ~start:t0
-      in
-      match mine_fre (Pattern.of_list [ e ]) i with
-      | () -> finish ()
-      | exception ex ->
-        finish ();
-        raise ex
-    end
-  in
-  (try List.iter mine_root roots with
-  | Budget_exhausted ->
-    outcome := Budget.Truncated;
-    Metrics.hit Metrics.budget_stops;
-    Trace.instant trace Trace.Budget_stop
-      ~a0:(Budget.severity Budget.Truncated) ~a1:0
-  | Budget.Stop reason ->
-    outcome := reason;
-    Metrics.hit Metrics.budget_stops;
-    Trace.instant trace Trace.Budget_stop ~a0:(Budget.severity reason) ~a1:0);
-  (* every GSgrow node emits its pattern, so nodes = patterns *)
-  Metrics.add Metrics.dfs_nodes !patterns;
-  Metrics.add Metrics.patterns_emitted !patterns;
   {
-    patterns = !patterns;
-    insgrow_calls = !insgrow_calls;
-    truncated = Budget.is_stop !outcome;
-    outcome = !outcome;
+    patterns = s.Engine.emitted;
+    insgrow_calls = s.Engine.insgrow_calls;
+    truncated = s.Engine.truncated;
+    outcome = s.Engine.outcome;
   }
 
 let mine ?max_length ?max_patterns ?events ?roots ?should_stop ?budget ?trace idx

@@ -21,6 +21,13 @@ type stats = {
           non-[Completed] outcome *)
 }
 
+val strategy : Engine.strategy
+(** GSgrow as an {!Engine} strategy: plain instance growth
+    ({!Support_set.grow}), no closure machinery — every frequent node
+    emits. {!mine} and {!iter} are thin wrappers over
+    [Engine.run strategy]; the query layer ({!Query}, {!Miner}) reuses the
+    same strategy with a non-trivial plan. *)
+
 val mine :
   ?max_length:int ->
   ?max_patterns:int ->

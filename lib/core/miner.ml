@@ -5,6 +5,7 @@ type mode = All | Closed
 type config = {
   min_sup : int;
   mode : mode;
+  query : Query.t;
   max_length : int option;
   max_patterns : int option;
   max_gap : int option;
@@ -18,6 +19,11 @@ type config = {
 
 let validate_config cfg =
   if cfg.min_sup < 1 then invalid_arg "Miner: min_sup must be >= 1";
+  Query.validate cfg.query;
+  (match (cfg.query, cfg.max_patterns) with
+  | Query.Top_k _, Some _ ->
+    invalid_arg "Miner: max_patterns cannot be combined with a top-k query"
+  | _ -> ());
   (match cfg.deadline_s with
   | Some d when d < 0.0 -> invalid_arg "Miner: deadline_s must be >= 0"
   | _ -> ());
@@ -28,13 +34,14 @@ let validate_config cfg =
   | Some w when w < 1 -> invalid_arg "Miner: max_words must be >= 1"
   | _ -> ()
 
-let config ?(mode = Closed) ?max_length ?max_patterns ?max_gap ?domains
-    ?(paged_index = false) ?index_kind ?deadline_s ?max_nodes ?max_words
-    ~min_sup () =
+let config ?(mode = Closed) ?(query = Query.All) ?max_length ?max_patterns
+    ?max_gap ?domains ?(paged_index = false) ?index_kind ?deadline_s ?max_nodes
+    ?max_words ~min_sup () =
   let cfg =
     {
       min_sup;
       mode;
+      query;
       max_length;
       max_patterns;
       max_gap;
@@ -76,6 +83,9 @@ let describe cfg =
       | Some g -> Printf.sprintf "gap-constrained (<= %d) " g
       | None -> "");
       (match cfg.mode with All -> "all" | Closed -> "closed");
+      (match cfg.query with
+      | Query.All -> ""
+      | q -> Printf.sprintf ", query=%s" (Query.to_string q));
       (match cfg.domains with Some d -> Printf.sprintf ", %d domains" d | None -> "");
       (match cfg.max_length with Some l -> Printf.sprintf ", max_length=%d" l | None -> "");
       (match cfg.max_patterns with Some b -> Printf.sprintf ", max_patterns=%d" b | None -> "");
@@ -94,6 +104,54 @@ let budget_of cfg =
   | deadline_s, max_nodes, max_words ->
     Some (Budget.create ?deadline_s ?max_nodes ?max_words ())
 
+(* The strategy a config's sequential DFS runs under — shared by the
+   query path here and the per-root query path of [mine_resumable]. *)
+let strategy_of cfg =
+  match (cfg.max_gap, cfg.mode) with
+  | Some max_gap, _ -> Gap_constrained.strategy ~min_gap:0 ~max_gap
+  | None, All -> Gsgrow.strategy
+  | None, Closed -> Clogsgrow.strategy ~use_lb_check:true ~use_c_check:true
+
+(* Under a top-k query the floor rises fastest when big subtrees are
+   explored first, so roots are visited in descending single-event
+   support; everything else keeps the index's canonical event order (the
+   output order contract). Ties keep that canonical order too. *)
+let query_root_order cfg idx events =
+  match cfg.query with
+  | Query.Top_k _ ->
+    Some
+      (List.stable_sort
+         (fun a b ->
+           Int.compare
+             (Inverted_index.occurrence_count idx b)
+             (Inverted_index.occurrence_count idx a))
+         events)
+  | Query.All | Query.Targeted _ -> None
+
+(* Answer-mode pruning inside the DFS: one engine run under the query's
+   plan, with the query's collector as the sink. *)
+let mine_query ?trace cfg idx ~budget =
+  let events = Inverted_index.frequent_events idx ~min_sup:cfg.min_sup in
+  let collector =
+    Query.collector ?max_length:cfg.max_length ~events ~min_sup:cfg.min_sup
+      cfg.query
+  in
+  let count = ref 0 in
+  let emit r =
+    collector.Query.offer r;
+    incr count;
+    match cfg.max_patterns with
+    | Some b when !count >= b -> raise Engine.Budget_exhausted
+    | _ -> ()
+  in
+  let s =
+    Engine.run ?max_length:cfg.max_length ~events
+      ?roots:(query_root_order cfg idx events) ?budget ?trace
+      ~plan:collector.Query.plan (strategy_of cfg) idx ~min_sup:cfg.min_sup
+      ~emit
+  in
+  (collector.Query.results (), s.Engine.outcome)
+
 let mine_indexed ?trace cfg idx =
   validate_config cfg;
   (match (cfg.domains, cfg.max_patterns, cfg.max_gap) with
@@ -101,36 +159,43 @@ let mine_indexed ?trace cfg idx =
     invalid_arg "Miner: domains cannot be combined with max_patterns"
   | Some _, _, Some _ -> invalid_arg "Miner: domains cannot be combined with max_gap"
   | _ -> ());
+  (match (cfg.query, cfg.domains) with
+  | Query.All, _ | _, None -> ()
+  | _, Some _ ->
+    invalid_arg
+      "Miner: domains cannot be combined with a query here (use mine_resumable)");
   Log.info (fun m -> m "mining %s patterns, min_sup=%d" (describe cfg) cfg.min_sup);
   let budget = budget_of cfg in
   let start = Unix.gettimeofday () in
   let results, outcome =
-    match (cfg.max_gap, cfg.domains, cfg.mode) with
-    | Some max_gap, _, _ ->
+    match (cfg.query, cfg.max_gap, cfg.domains, cfg.mode) with
+    | (Query.Targeted _ | Query.Top_k _), _, _, _ ->
+      mine_query ?trace cfg idx ~budget
+    | Query.All, Some max_gap, _, _ ->
       let results, stats =
         Gap_constrained.mine ?max_length:cfg.max_length ?max_patterns:cfg.max_patterns
           ?budget ?trace idx ~max_gap ~min_sup:cfg.min_sup
       in
       (results, stats.Gap_constrained.outcome)
-    | None, Some domains, All ->
+    | Query.All, None, Some domains, All ->
       let results, stats =
         Parallel_miner.mine_all ~domains ?max_length:cfg.max_length ?budget ?trace
           idx ~min_sup:cfg.min_sup
       in
       (results, stats.Gsgrow.outcome)
-    | None, Some domains, Closed ->
+    | Query.All, None, Some domains, Closed ->
       let results, stats =
         Parallel_miner.mine_closed ~domains ?max_length:cfg.max_length ?budget
           ?trace idx ~min_sup:cfg.min_sup
       in
       (results, stats.Clogsgrow.outcome)
-    | None, None, All ->
+    | Query.All, None, None, All ->
       let results, stats =
         Gsgrow.mine ?max_length:cfg.max_length ?max_patterns:cfg.max_patterns ?budget
           ?trace idx ~min_sup:cfg.min_sup
       in
       (results, stats.Gsgrow.outcome)
-    | None, None, Closed ->
+    | Query.All, None, None, Closed ->
       let results, stats =
         Clogsgrow.mine ?max_length:cfg.max_length ?max_patterns:cfg.max_patterns
           ?budget ?trace idx ~min_sup:cfg.min_sup
@@ -158,11 +223,18 @@ let mine ?config:cfg ?min_sup ?trace db =
 let checkpoint_fingerprint cfg db =
   Checkpoint.fingerprint
     ~params:
-      [
-        (match cfg.mode with All -> "all" | Closed -> "closed");
-        string_of_int cfg.min_sup;
-        (match cfg.max_length with Some l -> string_of_int l | None -> "-");
-      ]
+      ([
+         (match cfg.mode with All -> "all" | Closed -> "closed");
+         string_of_int cfg.min_sup;
+         (match cfg.max_length with Some l -> string_of_int l | None -> "-");
+       ]
+      @
+      (* appended only for non-trivial queries, so checkpoints written
+         before queries existed keep their fingerprints; a resumed run
+         under a {e different} query is refused (Checkpoint.Corrupt) *)
+      match cfg.query with
+      | Query.All -> []
+      | q -> [ "query=" ^ Query.to_string q ])
     db
 
 (* Chaos/testing knob: slow every root down so an external harness has a
@@ -270,21 +342,40 @@ let mine_resumable ?budget ?checkpoint ?(resume = false)
     | 0.0 -> ()
     | d -> ( try Unix.sleepf d with Unix.Unix_error (Unix.EINTR, _, _) -> ()));
     let ((results, outcome) as r) =
-      match cfg.mode with
-      | All ->
-        let results, stats =
-          Gsgrow.mine ?max_length:cfg.max_length ?budget
-            ~trace:(Trace.for_domain trace) ~events ~roots:[ roots.(k) ] idx
-            ~min_sup:cfg.min_sup
+      match cfg.query with
+      | Query.Targeted _ | Query.Top_k _ ->
+        (* Per-root query runs: a root's local answer over-approximates its
+           contribution to the global one (for top-k, any globally winning
+           pattern is in its root's local top-k), so the checkpointed
+           per-root answers stay root-independent and the global answer is
+           recovered at assembly time. *)
+        let collector =
+          Query.collector ?max_length:cfg.max_length ~events
+            ~min_sup:cfg.min_sup cfg.query
         in
-        (results, stats.Gsgrow.outcome)
-      | Closed ->
-        let results, stats =
-          Clogsgrow.mine ?max_length:cfg.max_length ?budget
-            ~trace:(Trace.for_domain trace) ~events ~roots:[ roots.(k) ] idx
-            ~min_sup:cfg.min_sup
+        let s =
+          Engine.run ?max_length:cfg.max_length ?budget
+            ~trace:(Trace.for_domain trace) ~events ~roots:[ roots.(k) ]
+            ~plan:collector.Query.plan (strategy_of cfg) idx
+            ~min_sup:cfg.min_sup ~emit:collector.Query.offer
         in
-        (results, stats.Clogsgrow.outcome)
+        (collector.Query.results (), s.Engine.outcome)
+      | Query.All -> (
+        match cfg.mode with
+        | All ->
+          let results, stats =
+            Gsgrow.mine ?max_length:cfg.max_length ?budget
+              ~trace:(Trace.for_domain trace) ~events ~roots:[ roots.(k) ] idx
+              ~min_sup:cfg.min_sup
+          in
+          (results, stats.Gsgrow.outcome)
+        | Closed ->
+          let results, stats =
+            Clogsgrow.mine ?max_length:cfg.max_length ?budget
+              ~trace:(Trace.for_domain trace) ~events ~roots:[ roots.(k) ] idx
+              ~min_sup:cfg.min_sup
+          in
+          (results, stats.Clogsgrow.outcome))
     in
     if outcome = Budget.Completed then log_root_done roots.(k) results;
     r
@@ -340,6 +431,16 @@ let mine_resumable ?budget ?checkpoint ?(resume = false)
         | None -> (
           match Hashtbl.find_opt partials root with Some rs -> rs | None -> []))
       events
+  in
+  (* Per-root top-k answers merge into the global one here; ties at the k
+     boundary resolve by [compare_by_support_desc], deterministically. *)
+  let results =
+    match cfg.query with
+    | Query.Top_k k ->
+      List.filteri
+        (fun i _ -> i < k)
+        (List.sort Mined.compare_by_support_desc results)
+    | Query.All | Query.Targeted _ -> results
   in
   (match writer with
   | None -> ()

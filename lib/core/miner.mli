@@ -21,6 +21,14 @@ type mode =
 type config = {
   min_sup : int;
   mode : mode;
+  query : Query.t;
+      (** answer mode, pruned inside the DFS ({!Query}): everything
+          (default), only patterns containing a target subsequence, or the
+          k best by support. [Targeted] answers keep DFS order; [Top_k]
+          answers come support-descending, with equal-support ties at the
+          [k] boundary resolved deterministically but entry-point
+          specifically (first DFS arrival in {!mine_indexed}, smallest by
+          {!Mined.compare_by_support_desc} in {!mine_resumable}) *)
   max_length : int option;  (** bound on pattern length *)
   max_patterns : int option;  (** output budget; truncates the DFS *)
   max_gap : int option;
@@ -46,6 +54,7 @@ type config = {
 
 val config :
   ?mode:mode ->
+  ?query:Query.t ->
   ?max_length:int ->
   ?max_patterns:int ->
   ?max_gap:int ->
@@ -58,8 +67,11 @@ val config :
   min_sup:int ->
   unit ->
   config
-(** Defaults: [mode = Closed], array index, sequential, no bounds.
-    @raise Invalid_argument when [min_sup < 1] or a limit is negative. *)
+(** Defaults: [mode = Closed], [query = All], array index, sequential, no
+    bounds.
+    @raise Invalid_argument when [min_sup < 1], a limit is negative, the
+    query is invalid ({!Query.validate}), or a top-k query is combined
+    with [max_patterns]. *)
 
 type report = {
   results : Mined.t list;  (** in DFS order *)
@@ -77,8 +89,10 @@ val mine : ?config:config -> ?min_sup:int -> ?trace:Trace.t -> Seqdb.t -> report
     defaults of {!config}). A live [trace] (default {!Trace.null}) records
     the run's DFS spans and instants — see {!Trace}.
     @raise Invalid_argument when neither [config] nor [min_sup] is given,
-    when [min_sup < 1], or when [domains] is combined with [max_patterns]
-    or [max_gap]. *)
+    when [min_sup < 1], or when [domains] is combined with [max_patterns],
+    [max_gap] or a non-[All] query (queried parallel mining goes through
+    {!mine_resumable}, whose root partitioning composes with query
+    plans). *)
 
 val mine_indexed : ?trace:Trace.t -> config -> Inverted_index.t -> report
 (** As {!mine} on a prebuilt index (amortises index construction across
@@ -111,7 +125,9 @@ val mine_resumable :
     matching checkpoint is loaded first (salvaging a torn tail) and only
     the remaining roots are mined, so the finished report equals an
     uninterrupted run's. A checkpoint written for a different database,
-    [min_sup], [mode] or [max_length] is rejected ({!Checkpoint.Corrupt}).
+    [min_sup], [mode], [max_length] or [query] is rejected
+    ({!Checkpoint.Corrupt}); checkpoints that predate queries resume
+    cleanly under [query = All], whose fingerprint is unchanged.
     Runtime limits may differ between the original and the resumed run.
     Checkpoint appends are recorded into [trace] as [Checkpoint_write]
     spans ([a0] = completed roots, [a1] = remaining); I/O failures degrade

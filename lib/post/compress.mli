@@ -1,0 +1,38 @@
+(** δ-compression of a mined pattern set: cluster the closed patterns
+    under a support-distance tolerance and report one representative per
+    cluster (after Xin et al.'s pattern-compression framing, adapted to
+    repetitive support).
+
+    A pattern [P] is {e δ-covered} by a representative [R] when [P ⊑ R]
+    (so [R] preserves all of [P]'s structure) and [R] retains at least a
+    [(1 - δ)] fraction of [P]'s repetitive support:
+    [sup(P) - sup(R) <= δ · sup(P)]. With [δ = 0] only equal-support
+    supersequences absorb (exactly the redundancy closure already
+    removes); with [δ = 1] any supersequence in the set absorbs.
+
+    {!delta_cover} runs a greedy set cover — each round promotes the
+    uncovered pattern absorbing the most uncovered patterns — which is
+    the standard [ln n]-approximation of the (NP-hard) minimum cover.
+    Cost is [O(n²)] containment tests per round; this is a post-mining
+    pass over an already-compressed (closed) answer, not a hot path. *)
+
+open Rgs_core
+
+type cover = {
+  representative : Mined.t;  (** the reported pattern *)
+  covered : Mined.t list;
+      (** patterns absorbed into it (the representative itself excluded),
+          in the module's length-descending candidate order *)
+}
+
+val delta_cover : delta:float -> Mined.t list -> cover list
+(** [delta_cover ~delta results] greedily partitions [results] into
+    δ-cover clusters, in selection order (largest cluster first; ties
+    break toward longer representatives, deterministically). Every input
+    pattern lands in exactly one cluster. Sets the [query_delta_reps]
+    gauge and bumps [query_delta_covered] by the number of absorbed
+    patterns.
+    @raise Invalid_argument unless [0 <= delta <= 1]. *)
+
+val representatives : cover list -> Mined.t list
+(** Just the representatives, in cluster order. *)

@@ -184,8 +184,6 @@ let descend c lowest =
   in
   go c.ctree.root
 
-let cursor_linear_limit = 4
-
 let cursor_seek c ~lowest =
   if c.exhausted then -1
   else begin
@@ -193,7 +191,9 @@ let cursor_seek c ~lowest =
     let n = Array.length keys in
     if k < n && keys.(k) > lowest then keys.(k)
     else if k < n && keys.(n - 1) > lowest then begin
-      (* answer is in the current leaf: a few linear probes, else bisect *)
+      (* answer is in the current leaf: a few linear probes (shared
+         threshold, see Tuning), else bisect *)
+      let cursor_linear_limit = Tuning.gallop_probe_limit () in
       let j = ref (k + 1) in
       let lin = ref 0 in
       while !lin < cursor_linear_limit && !j < n && keys.(!j) <= lowest do

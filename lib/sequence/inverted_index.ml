@@ -297,8 +297,10 @@ let reseat c ~seq =
 (* How many positions past the frontier a seek probes linearly before
    switching to galloping. Short hops dominate INSgrow passes (the next
    qualifying occurrence is usually a step or two away), so a handful of
-   straight-line probes beats starting a doubling search every time. *)
-let linear_probe_limit = 4
+   straight-line probes beats starting a doubling search every time. The
+   threshold is shared with the paged B+-tree cursor and overridable via
+   RGS_GALLOP_PROBE (see Tuning). *)
+let linear_probe_limit () = Tuning.gallop_probe_limit ()
 
 (* Hot cursor entry on the flat-array backends: -1 when no position
    qualifies. [lowest] must be nondecreasing across calls (the cursor never
@@ -316,9 +318,10 @@ let window_seek c ~lowest =
   else if pos.(k) > lowest then pos.(k)
   else begin
     (* linear fast path: the frontier is spent; probe the next few slots *)
+    let probe_limit = linear_probe_limit () in
     let j = ref (k + 1) in
     let lin = ref 0 in
-    while !lin < linear_probe_limit && !j < hi && pos.(!j) <= lowest do
+    while !lin < probe_limit && !j < hi && pos.(!j) <= lowest do
       incr lin;
       incr j
     done;

@@ -56,6 +56,11 @@ let root_retries = register "root_retries" Counter
 let quarantined_roots = register "quarantined_roots" Counter
 let trace_dropped_events = register "trace_dropped_events" Counter
 let parse_errors_skipped = register "parse_errors_skipped" Counter
+let query_targeted_cuts = register "query_targeted_cuts" Counter
+let query_floor_prunes = register "query_floor_prunes" Counter
+let query_topk_floor = register "query_topk_floor" Gauge
+let query_delta_reps = register "query_delta_reps" Gauge
+let query_delta_covered = register "query_delta_covered" Counter
 let peak_live_words = register "peak_live_words" Gauge
 
 let sample_live_words () =

@@ -171,6 +171,30 @@ val parse_errors_skipped : counter
     ([~strict:false]); each skipped line counts once. Non-zero means the
     loaded database silently misses sequences — check the input file. *)
 
+val query_targeted_cuts : counter
+(** DFS subtrees cut by targeted-query reachability (the remaining query
+    suffix cannot fit in the remaining length budget, or a query event is
+    infrequent); batched per run. Each cut skips a whole extension
+    subtree without growing it. *)
+
+val query_floor_prunes : counter
+(** Extensions pruned because their support fell below the {e rising}
+    top-k floor (above the static [min_sup] Apriori bound); batched per
+    run. Zero outside top-k queries. *)
+
+val query_topk_floor : counter
+(** Final support floor a top-k query converged to (max gauge): the
+    smallest support in the answer heap once it filled, [0] when the heap
+    never filled. *)
+
+val query_delta_reps : counter
+(** Representatives selected by the δ-cover compression pass (max gauge;
+    set once per [Compress.delta_cover] call). *)
+
+val query_delta_covered : counter
+(** Patterns absorbed into a δ-cover representative (not emitted
+    themselves). *)
+
 val peak_live_words : counter
 (** Peak GC live words observed via {!sample_live_words} (max gauge;
     sampled per domain at pool-worker exit and by benches between runs). *)

@@ -12,8 +12,9 @@ type kind =
   | Extension
   | Closure_check
   | Lb_prune
+  | Query_cut
 
-let num_kinds = 11
+let num_kinds = 12
 
 let kind_code = function
   | Root -> 0
@@ -27,6 +28,7 @@ let kind_code = function
   | Extension -> 8
   | Closure_check -> 9
   | Lb_prune -> 10
+  | Query_cut -> 11
 
 let kind_of_code = function
   | 0 -> Root
@@ -40,6 +42,7 @@ let kind_of_code = function
   | 8 -> Extension
   | 9 -> Closure_check
   | 10 -> Lb_prune
+  | 11 -> Query_cut
   | c -> invalid_arg (Printf.sprintf "Trace: bad kind code %d" c)
 
 let kind_name = function
@@ -54,6 +57,7 @@ let kind_name = function
   | Extension -> "extension"
   | Closure_check -> "closure_check"
   | Lb_prune -> "lb_prune"
+  | Query_cut -> "query_cut"
 
 (* Immutable [roots_on]/[nodes_on] flags keep the disabled-path check to one
    load and one predictable branch; the ring arrays are structure-of-arrays
@@ -152,7 +156,7 @@ let enabled t = function
   | Root | Worker | Checkpoint_write | Budget_stop | Root_retry | Quarantine
   | Checkpoint_retry ->
     t.roots_on
-  | Node | Extension | Closure_check | Lb_prune -> t.nodes_on
+  | Node | Extension | Closure_check | Lb_prune | Query_cut -> t.nodes_on
 
 let now t =
   if not t.roots_on then 0
@@ -263,6 +267,7 @@ let arg_fields = function
   | Extension -> [| "depth"; "frequent_extensions" |]
   | Closure_check -> [| "verdict"; "depth" |]
   | Lb_prune -> [| "depth"; "support" |]
+  | Query_cut -> [| "depth"; "reason" |]
 
 let pp_args ppf ev =
   let fields = arg_fields ev.kind in

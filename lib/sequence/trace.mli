@@ -52,7 +52,10 @@ type level =
     - [Closure_check]: instant per closure check; [a0] = verdict (0
       closed, 1 non-closed, 2 LB-prunable), [a1] = depth.
     - [Lb_prune]: instant per subtree pruned by LBCheck (Theorem 5);
-      [a0] = depth, [a1] = support. *)
+      [a0] = depth, [a1] = support.
+    - [Query_cut]: instant per extension subtree cut by in-DFS query
+      pruning; [a0] = depth, [a1] = reason (0 targeted unreachable,
+      1 top-k floor). *)
 type kind =
   | Root
   | Worker
@@ -65,6 +68,7 @@ type kind =
   | Extension
   | Closure_check
   | Lb_prune
+  | Query_cut
 
 type t
 

@@ -1,0 +1,16 @@
+let default_gallop_probe = 4
+
+let parse_gallop_probe = function
+  | None -> default_gallop_probe
+  | Some v -> (
+    match int_of_string_opt (String.trim v) with
+    | Some n when n >= 0 -> n
+    | Some _ | None -> default_gallop_probe)
+
+let gallop_probe = ref (parse_gallop_probe (Sys.getenv_opt "RGS_GALLOP_PROBE"))
+
+let gallop_probe_limit () = !gallop_probe
+
+let set_gallop_probe n =
+  if n < 0 then invalid_arg "Tuning.set_gallop_probe: n must be >= 0";
+  gallop_probe := n

@@ -54,6 +54,7 @@ type conn = {
   fd : Unix.file_descr;
   inbuf : Buffer.t;
   mutable hello_done : bool;
+  mutable version : int;  (* negotiated in the hello; decodes this conn *)
   mutable alive : bool;
 }
 
@@ -155,7 +156,14 @@ let accept_conn t =
     let cid = t.next_cid in
     t.next_cid <- cid + 1;
     let conn =
-      { cid; fd; inbuf = Buffer.create 256; hello_done = false; alive = true }
+      {
+        cid;
+        fd;
+        inbuf = Buffer.create 256;
+        hello_done = false;
+        version = Protocol.version;
+        alive = true;
+      }
     in
     Hashtbl.replace t.conns cid conn;
     Atomic.set Server_metrics.clients_connected (Hashtbl.length t.conns);
@@ -219,14 +227,21 @@ let parse_conn t conn =
      if (not conn.hello_done) && len - !pos >= String.length Protocol.hello
      then begin
        let n = String.length Protocol.hello in
-       if String.sub data !pos n <> Protocol.hello then begin
+       let m = String.length Protocol.magic in
+       let v = Char.code data.[!pos + m] in
+       if
+         String.sub data !pos m <> Protocol.magic
+         || not (Protocol.version_supported v)
+       then begin
          ok := false;
          raise Exit
        end;
        pos := !pos + n;
        conn.hello_done <- true;
-       (* echo the hello; a failed write sheds the client below *)
-       try Protocol.send_hello conn.fd
+       conn.version <- v;
+       (* echo the client's hello verbatim, settling the connection on its
+          version; a failed write sheds the client below *)
+       try Protocol.send_hello ~version:v conn.fd
        with Unix.Unix_error _ | Sys_error _ ->
          ok := false;
          raise Exit
@@ -250,7 +265,7 @@ let parse_conn t conn =
                ok := false;
                raise Exit
              end;
-             match Protocol.request_of_string payload with
+             match Protocol.request_of_string ~version:conn.version payload with
              | req -> handle_request t conn req
              | exception Protocol.Protocol_error _ ->
                ok := false;
@@ -305,7 +320,22 @@ let run_job t (job : Job.t) =
       Job.checkpoint_path ~state_dir:t.cfg.state_dir job.Job.spec.Protocol.job_id
     in
     match Miner.mine_resumable ~budget ~checkpoint:ckpt ~resume:true cfg db with
-    | report -> Finished report
+    | report ->
+      (* δ-cover compression is a post-pass: the checkpoint (and any
+         resume) always holds the uncompressed answer *)
+      let report =
+        match job.Job.spec.Protocol.compress_delta with
+        | None -> report
+        | Some delta ->
+          let covers =
+            Rgs_post.Compress.delta_cover ~delta report.Miner.results
+          in
+          {
+            report with
+            Miner.results = Rgs_post.Compress.representatives covers;
+          }
+      in
+      Finished report
     | exception Checkpoint.Corrupt msg ->
       Job_error ("checkpoint: " ^ msg)
     | exception e -> Job_error ("internal error: " ^ Printexc.to_string e))

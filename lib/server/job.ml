@@ -48,6 +48,21 @@ let validate (spec : Protocol.job_spec) =
     Error "max_nodes must be >= 0"
   else if match spec.max_words with Some w -> w < 1 | None -> false then
     Error "max_words must be >= 1"
+  else if
+    match spec.query with Protocol.Q_target [] -> true | _ -> false
+  then Error "target pattern must be non-empty"
+  else if
+    match spec.query with
+    | Protocol.Q_target evs -> List.exists (fun e -> e < 0) evs
+    | _ -> false
+  then Error "target events must be >= 0"
+  else if match spec.query with Protocol.Q_top_k k -> k < 1 | _ -> false then
+    Error "top_k must be >= 1"
+  else if
+    match spec.compress_delta with
+    | Some d -> not (d >= 0.0 && d <= 1.0)
+    | None -> false
+  then Error "compress_delta must be within [0, 1]"
   else Ok ()
 
 (* each axis: min(requested, ceiling); an unrequested axis inherits the
@@ -70,10 +85,16 @@ let budget_of (spec : Protocol.job_spec) =
   Budget.create ?deadline_s:spec.deadline_s ?max_nodes:spec.max_nodes
     ?max_words:spec.max_words ()
 
+let query_of (spec : Protocol.job_spec) =
+  match spec.query with
+  | Protocol.Q_all -> Query.All
+  | Protocol.Q_target evs -> Query.Targeted (Pattern.of_list evs)
+  | Protocol.Q_top_k k -> Query.Top_k k
+
 let config_of (spec : Protocol.job_spec) =
   Miner.config
     ~mode:(match spec.mode with Protocol.All -> Miner.All | Protocol.Closed -> Miner.Closed)
-    ?max_length:spec.max_length ~min_sup:spec.min_sup ()
+    ~query:(query_of spec) ?max_length:spec.max_length ~min_sup:spec.min_sup ()
 
 let read_file path =
   let ic = open_in_bin path in

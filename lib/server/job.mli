@@ -46,7 +46,14 @@ val create : client:int -> Protocol.job_spec -> t
 val validate : Protocol.job_spec -> (unit, string) result
 (** Static spec checks: well-formed job id, [min_sup >= 1], non-negative
     limits, no [max_gap] (the gap-constrained path is not
-    root-partitioned, so it cannot checkpoint/resume). *)
+    root-partitioned, so it cannot checkpoint/resume), a well-formed
+    query (non-empty target of non-negative event ids, [top_k >= 1]) and
+    [compress_delta] within [[0, 1]]. A malformed query is a typed
+    rejection the client sees as {!Protocol.Rejected}, never a dropped
+    connection. *)
+
+val query_of : Protocol.job_spec -> Query.t
+(** The in-DFS answer mode for the spec's wire-level query. *)
 
 val clamp : limits -> Protocol.job_spec -> Protocol.job_spec
 (** Apply the server-wide ceilings: each requested limit is reduced to the

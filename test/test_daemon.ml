@@ -26,7 +26,8 @@ let test_db =
 
 let db_text = lazy (Seq_io.print_spmf (Lazy.force test_db))
 
-let spec ?(min_sup = 4) ?(max_length = Some 3) ?(max_gap = None) id =
+let spec ?(min_sup = 4) ?(max_length = Some 3) ?(max_gap = None)
+    ?(query = Protocol.Q_all) ?(compress_delta = None) id =
   {
     Protocol.job_id = id;
     db = Protocol.Inline { format = Protocol.Spmf; text = Lazy.force db_text };
@@ -37,6 +38,8 @@ let spec ?(min_sup = 4) ?(max_length = Some 3) ?(max_gap = None) id =
     deadline_s = None;
     max_nodes = None;
     max_words = None;
+    query;
+    compress_delta;
   }
 
 (* the uninterrupted batch run every daemon answer is compared against;
@@ -217,6 +220,124 @@ let test_typed_rejections () =
             (String.length reason > 0);
           (* the daemon survived the poisonous job *)
           Alcotest.(check bool) "still serving" true (Client.ping c)))
+
+(* --- protocol v2: version negotiation, v1 compatibility, queries --- *)
+
+(* A v1 client must keep working against a v2 daemon: its payloads travel
+   in the old record layout, decode through the preserved V1 shapes, and
+   its jobs run with the default mine-all query. *)
+let test_v1_client_compat () =
+  with_daemon (fun h ->
+      let c = Client.connect ~version:1 h.sock in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          Alcotest.(check bool) "v1 ping" true (Client.ping c);
+          submit_ok c (spec "v1-compat");
+          let got, summary = Client.collect_job c ~job_id:"v1-compat" in
+          Alcotest.(check string) "completed" "completed" summary.Protocol.outcome;
+          check_results "v1 submit = batch mine-all-query" got;
+          (* a query cannot be smuggled through a v1 connection: the
+             encoder refuses before any bytes hit the wire *)
+          (match
+             Client.submit c (spec ~query:(Protocol.Q_top_k 3) "v1-query")
+           with
+          | exception Protocol.Protocol_error _ -> ()
+          | _ -> Alcotest.fail "v1 encode of a queried spec must fail");
+          (* ... and the failed encode did not poison the connection *)
+          Alcotest.(check bool) "still serving v1" true (Client.ping c)))
+
+(* an unsupported hello version is refused at the handshake — the client
+   observes EOF, not a decoder crash *)
+let test_unsupported_version_refused () =
+  with_daemon (fun h ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          Unix.connect fd (Unix.ADDR_UNIX h.sock);
+          Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.0;
+          let bad = Protocol.hello_of_version (Protocol.version + 7) in
+          ignore (Unix.write_substring fd bad 0 (String.length bad));
+          (* the daemon sheds us: EOF (possibly after an error frame) *)
+          let rec drained () =
+            match Protocol.read_frame fd with
+            | None -> true
+            | Some _ -> drained ()
+            | exception Protocol.Protocol_error _ -> true
+            | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _)
+              -> true
+          in
+          Alcotest.(check bool) "connection closed" true (drained ())))
+
+(* malformed queries are typed rejections on a live connection *)
+let test_malformed_query_rejected () =
+  with_daemon (fun h ->
+      with_client h (fun c ->
+          expect_rejected c (spec ~query:(Protocol.Q_target []) "q-empty")
+            "target";
+          expect_rejected c
+            (spec ~query:(Protocol.Q_target [ 1; -2 ]) "q-neg")
+            "target";
+          expect_rejected c (spec ~query:(Protocol.Q_top_k 0) "q-k0") "top_k";
+          expect_rejected c
+            (spec ~compress_delta:(Some 1.5) "q-delta")
+            "compress_delta";
+          Alcotest.(check bool) "still serving" true (Client.ping c)))
+
+(* v2 queried jobs end-to-end, and the checkpoint refusing a mismatched
+   query on resubmission of the same job id *)
+let test_v2_queries_end_to_end () =
+  with_daemon (fun h ->
+      with_client h (fun c ->
+          (* top-k: the k best supports of the batch answer *)
+          submit_ok c (spec ~query:(Protocol.Q_top_k 3) "q-top3");
+          let got, _ = Client.collect_job c ~job_id:"q-top3" in
+          let supports l = List.sort compare (List.map snd l) in
+          let expect =
+            List.filteri (fun i _ -> i < 3)
+              (List.sort (fun (_, s1) (_, s2) -> compare s2 s1)
+                 (Lazy.force baseline))
+          in
+          Alcotest.(check int) "three answers" 3 (List.length got);
+          Alcotest.(check (list int))
+            "top-3 supports" (supports expect) (supports got);
+          (* targeted: exactly the containing subset of the batch answer *)
+          let target = [ fst (List.hd (Lazy.force baseline)) ] |> List.concat in
+          submit_ok c (spec ~query:(Protocol.Q_target target) "q-target");
+          let got, _ = Client.collect_job c ~job_id:"q-target" in
+          let expect =
+            List.filter
+              (fun (p, _) ->
+                Pattern.is_subpattern (Pattern.of_list target)
+                  ~of_:(Pattern.of_list p))
+              (Lazy.force baseline)
+          in
+          Alcotest.(check (list (pair (list int) int)))
+            "targeted = filtered batch" (sorted expect) (sorted got);
+          (* resubmitting a finished id under a different query must hit
+             the checkpoint fingerprint, not silently remine *)
+          submit_ok c (spec ~query:(Protocol.Q_top_k 2) "q-top3");
+          let rec wait_reject () =
+            match Client.next_response c with
+            | Some (Protocol.Rejected { job_id = "q-top3"; reason }) -> reason
+            | Some _ -> wait_reject ()
+            | None -> Alcotest.fail "daemon hung up instead of rejecting"
+          in
+          let reason = wait_reject () in
+          Alcotest.(check bool)
+            (Printf.sprintf "reason %S names the checkpoint" reason)
+            true
+            (String.length reason >= 10 && String.sub reason 0 10 = "checkpoint");
+          (* δ-compression: a subset of the batch answer travels back *)
+          submit_ok c (spec ~compress_delta:(Some 1.0) "q-delta1");
+          let got, _ = Client.collect_job c ~job_id:"q-delta1" in
+          Alcotest.(check bool) "compressed answer is smaller" true
+            (List.length got <= List.length (Lazy.force baseline));
+          Alcotest.(check bool) "representatives come from the answer" true
+            (List.for_all
+               (fun row -> List.mem row (Lazy.force baseline))
+               got)))
 
 (* --- the core contract: daemon output == batch output --- *)
 
@@ -827,6 +948,13 @@ let suite =
     Alcotest.test_case "ping and stats frames" `Quick test_ping_stats;
     Alcotest.test_case "typed rejections, daemon survives" `Quick
       test_typed_rejections;
+    Alcotest.test_case "v1 client compatibility" `Quick test_v1_client_compat;
+    Alcotest.test_case "unsupported hello version refused" `Quick
+      test_unsupported_version_refused;
+    Alcotest.test_case "malformed query rejected, typed" `Quick
+      test_malformed_query_rejected;
+    Alcotest.test_case "v2 queries end-to-end, checkpoint query pin" `Quick
+      test_v2_queries_end_to_end;
     Alcotest.test_case "submit == batch, resubmit replays" `Quick
       test_submit_matches_batch;
     Alcotest.test_case "overload sheds job K+1, in-flight undisturbed" `Quick

@@ -12,6 +12,7 @@ let () =
       ("datagen", Test_datagen.suite);
       ("post", Test_post.suite);
       ("miner", Test_miner.suite);
+      ("query", Test_query.suite);
       ("extensions", Test_extensions.suite);
       ("parallel", Test_parallel.suite);
       ("trace", Test_trace.suite);

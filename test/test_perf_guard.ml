@@ -168,6 +168,93 @@ let test_gallop_metrics_flush () =
         (Metrics.value Metrics.cursor_gallops > 0))
     (backends db)
 
+(* --- the shared gallop-probe knob (Tuning) --- *)
+
+(* the RGS_GALLOP_PROBE parse contract, pinned value by value *)
+let test_gallop_probe_parse () =
+  let check name input expect =
+    Alcotest.(check int) name expect (Tuning.parse_gallop_probe input)
+  in
+  check "unset -> default" None Tuning.default_gallop_probe;
+  check "plain integer" (Some "7") 7;
+  check "zero disables the linear fast path" (Some "0") 0;
+  check "surrounding whitespace tolerated" (Some "  12 ") 12;
+  check "negative -> default" (Some "-3") Tuning.default_gallop_probe;
+  check "non-numeric -> default" (Some "fast") Tuning.default_gallop_probe;
+  check "empty -> default" (Some "") Tuning.default_gallop_probe;
+  Alcotest.(check int) "builtin default is 4" 4 Tuning.default_gallop_probe
+
+(* The knob is a performance dial, never a correctness dial: the same
+   seek stream must return identical answers (vs the linear-scan oracle)
+   at every probe setting, from 0 (always gallop) to absurdly large
+   (always linear). *)
+let probe_sweep = [ 0; 1; 2; Tuning.default_gallop_probe; 16; 1024 ]
+
+let prop_answers_independent_of_gallop_probe =
+  Gens.make ~name:"seeks independent of gallop probe (all backends)" ~count:60
+    QCheck2.Gen.(
+      pair
+        (Gens.db ~num_seqs:4 ~alphabet:4 ~max_len:25)
+        (list_size (int_range 1 25) (int_bound 7)))
+    (fun (db, steps) ->
+      Printf.sprintf "db:\n%s\nsteps: [%s]" (Gens.print_db db)
+        (String.concat ";" (List.map string_of_int steps)))
+    (fun (db, steps) ->
+      let saved = Tuning.gallop_probe_limit () in
+      Fun.protect
+        ~finally:(fun () -> Tuning.set_gallop_probe saved)
+        (fun () ->
+          List.for_all
+            (fun probe ->
+              Tuning.set_gallop_probe probe;
+              List.for_all
+                (fun idx ->
+                  let ok = ref true in
+                  List.iter
+                    (fun e ->
+                      Seqdb.iter
+                        (fun i s ->
+                          let lowests =
+                            monotone_stream ~len:(Sequence.length s) steps
+                          in
+                          if not (drive_and_compare idx ~seq:i e lowests) then
+                            ok := false)
+                        db)
+                    [ 0; 1; 2; 3 ];
+                  !ok)
+                (backends db))
+            probe_sweep))
+
+(* ... and neither is the miner's output: full closed mining at every
+   probe setting stays byte-identical to the default. *)
+let test_miner_output_independent_of_gallop_probe () =
+  let db =
+    Rgs_datagen.Trace_gen.generate
+      (Rgs_datagen.Trace_gen.params ~num_sequences:20 ~num_events:8 ~seed:13 ())
+  in
+  let saved = Tuning.gallop_probe_limit () in
+  Fun.protect
+    ~finally:(fun () -> Tuning.set_gallop_probe saved)
+    (fun () ->
+      let mine_sigs () =
+        List.concat_map
+          (fun idx ->
+            let results, _ = Clogsgrow.mine ~max_length:4 idx ~min_sup:3 in
+            List.map
+              (fun m -> (Pattern.to_list m.Mined.pattern, m.Mined.support))
+              results)
+          (backends db)
+      in
+      Tuning.set_gallop_probe Tuning.default_gallop_probe;
+      let expect = mine_sigs () in
+      List.iter
+        (fun probe ->
+          Tuning.set_gallop_probe probe;
+          Alcotest.(check (list (pair (list int) int)))
+            (Printf.sprintf "probe %d" probe)
+            expect (mine_sigs ()))
+        probe_sweep)
+
 (* --- memory regression: support-set sharing on append-heavy DFS --- *)
 
 (* Retained live words of a full mining run (results held) on a fixed
@@ -261,6 +348,10 @@ let suite =
     prop_gallop_equals_linear_scan;
     Alcotest.test_case "gallop adversarial shapes" `Quick test_gallop_adversarial;
     Alcotest.test_case "gallop metrics flush" `Quick test_gallop_metrics_flush;
+    Alcotest.test_case "gallop probe env parse" `Quick test_gallop_probe_parse;
+    prop_answers_independent_of_gallop_probe;
+    Alcotest.test_case "miner output independent of gallop probe" `Quick
+      test_miner_output_independent_of_gallop_probe;
     Alcotest.test_case "memory: csr <= 1.25x legacy" `Quick
       test_memory_regression_csr_vs_legacy;
     Alcotest.test_case "grow shares firsts arrays" `Quick test_grow_shares_firsts;

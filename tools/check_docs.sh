@@ -2,8 +2,8 @@
 # Interface-documentation check, gated on odoc being installed.
 #
 # Two layers:
-#   1. Always on: every .mli under lib/core, lib/sequence and lib/server
-#      must open with
+#   1. Always on: every .mli under lib/core, lib/sequence, lib/server and
+#      lib/post must open with
 #      a module-level doc comment ("(**" as its first token), so each
 #      public module states its contract where odoc and readers look first.
 #   2. When odoc is installed: `dune build @doc` must succeed with odoc
@@ -14,7 +14,7 @@
 cd "$(dirname "$0")/.." || exit 1
 
 missing=0
-for f in $(find lib/core lib/sequence lib/server -name '*.mli' 2>/dev/null | sort); do
+for f in $(find lib/core lib/sequence lib/server lib/post -name '*.mli' 2>/dev/null | sort); do
   # first non-blank line must start the module doc comment
   first=$(sed -n '/[^[:space:]]/{p;q;}' "$f")
   case "$first" in
