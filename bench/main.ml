@@ -7,7 +7,7 @@
      RGS_BENCH_SCALE    dataset scale relative to the paper (default 0.05)
      RGS_BENCH_TIMEOUT  per-mining-run cut-off in seconds (default 5)
      RGS_BENCH_SKIP_TABLES / RGS_BENCH_SKIP_LAYOUT / RGS_BENCH_SKIP_MICRO /
-     RGS_BENCH_SKIP_CHECKPOINT
+     RGS_BENCH_SKIP_CHECKPOINT / RGS_BENCH_SKIP_QUERY / RGS_BENCH_SKIP_STORE
                         set to 1 to skip a section
      RGS_DATA_DIR       where the checked-in datasets live (default data)
      RGS_BENCH_JSON_PATH  layout-comparison JSON output (default BENCH_core.json)
@@ -60,6 +60,130 @@ let section_tables () =
     (E.Ablation.report (E.Ablation.run ~timeout_s tcas ~min_sup:100));
   let o = E.Case_study.run ~max_patterns:2000 () in
   print_table "Sec IV-B case study — JBoss-like traces, min_sup=18" (E.Case_study.report o)
+
+(* --- Section F: binary store — zero-copy open vs text parse ---
+
+   The paper-scale corpus is generated from data/quest_paper.config
+   (deterministic, never checked in as text), saved in the SPMF text
+   format and packed into a .rgsdb. Three budgets are enforced, so a
+   regression in the store's open path or the mapped read path fails the
+   bench instead of drifting: the mmap open must beat the text parse by
+   >= 100x, mining the mapped database must produce output identical to
+   the text path, and the workload must actually exercise the cursor's
+   doubling search (cursor_gallops > 0 — long postings are the point of
+   this corpus). Rows land in BENCH_core.json under "store" (the JSON is
+   written by section_layout, which runs after this section). *)
+
+let store_rows = ref []
+
+let section_store () =
+  let open Rgs_sequence in
+  let open Rgs_core in
+  let module Store = Rgs_store.Store in
+  let signatures results =
+    List.map (fun r -> (Pattern.to_string r.Mined.pattern, r.Mined.support)) results
+  in
+  let data_dir = Option.value (Sys.getenv_opt "RGS_DATA_DIR") ~default:"data" in
+  let config_path = Filename.concat data_dir "quest_paper.config" in
+  Format.printf
+    "@.### Section F: binary store — zero-copy open vs text parse@.@.";
+  if not (Sys.file_exists config_path) then
+    Format.printf "(skipping: %s not found)@." config_path
+  else begin
+    let p = Rgs_datagen.Quest_gen.load_config config_path in
+    let label = Rgs_datagen.Quest_gen.label p in
+    let db, gen_s = E.Exp_common.time (fun () -> Rgs_datagen.Quest_gen.generate p) in
+    let alphabet = Alphabet.size (Seqdb.dense_alphabet db) in
+    Format.printf "%s: %d sequences, %d events, alphabet %d (generated in %.1fs)@."
+      label (Seqdb.size db) (Seqdb.total_length db) alphabet gen_s;
+    let txt = Filename.temp_file "rgs_bench_store" ".spmf" in
+    let rgsdb = Filename.temp_file "rgs_bench_store" ".rgsdb" in
+    Fun.protect
+      ~finally:(fun () ->
+        List.iter (fun f -> if Sys.file_exists f then Sys.remove f) [ txt; rgsdb ])
+      (fun () ->
+        Seq_io.save_spmf db txt;
+        Store.write ~path:rgsdb db;
+        let size f = (Unix.stat f).Unix.st_size in
+        let text_bytes = size txt and store_bytes = size rgsdb in
+        let reps = int_of_float (env_float "RGS_BENCH_LAYOUT_REPS" 3.) |> max 1 in
+        let best f =
+          ignore (f ());
+          let wall = ref infinity in
+          for _ = 1 to reps do
+            let _, elapsed = E.Exp_common.time f in
+            if elapsed < !wall then wall := elapsed
+          done;
+          !wall
+        in
+        let parse_s = best (fun () -> Seq_io.load_spmf txt) in
+        let open_s = best (fun () -> Store.open_db rgsdb) in
+        let speedup = parse_s /. open_s in
+        let t =
+          Rgs_post.Report.create
+            ~columns:[ "path"; "bytes"; "load_s"; "speedup" ]
+        in
+        Rgs_post.Report.add_row t
+          [ "text (spmf parse)"; string_of_int text_bytes;
+            Rgs_post.Report.cell_float parse_s; "1.0x" ];
+        Rgs_post.Report.add_row t
+          [ "store (mmap open)"; string_of_int store_bytes;
+            Rgs_post.Report.cell_float open_s;
+            Printf.sprintf "%.0fx" speedup ];
+        print_table
+          (Printf.sprintf "open cost — %s, best of %d" label reps) t;
+        if speedup < 100. then
+          failwith
+            (Printf.sprintf
+               "store bench: mmap open is only %.1fx faster than the text \
+                parse (budget: >= 100x)"
+               speedup);
+        (* the mapped database must mine exactly like the parsed one, and
+           the long postings must drive the cursor into its gallop path.
+           GSgrow (mine-all): on this dense corpus CloGSgrow's closure
+           pass multiplies the work ~120x without changing what this
+           section pins, the mapped read path *)
+        let min_sup = 2000 and max_length = 2 in
+        let text_db = Seq_io.load_spmf txt in
+        let store_t = Store.open_store rgsdb in
+        let mine db =
+          let idx = Inverted_index.build_kind Inverted_index.Kcsr db in
+          Metrics.reset ();
+          let results, wall =
+            E.Exp_common.time (fun () ->
+                fst (Gsgrow.mine ~max_length idx ~min_sup))
+          in
+          (signatures results, wall, Metrics.value Metrics.cursor_gallops)
+        in
+        let out_text, mine_text_s, _ = mine text_db in
+        let out_store, mine_store_s, gallops = mine (Store.db store_t) in
+        if out_text <> out_store then
+          failwith "store bench: mapped mining output differs from text path";
+        if gallops = 0 then
+          failwith
+            "store bench: cursor_gallops = 0 — the paper-scale corpus no \
+             longer exercises the gallop path";
+        Format.printf
+          "gsgrow min_sup=%d max_length=%d: %d patterns, text %.2fs, \
+           store %.2fs, %d gallops (outputs identical)@."
+          min_sup max_length (List.length out_text) mine_text_s mine_store_s
+          gallops;
+        store_rows :=
+          [
+            Printf.sprintf
+              "    {\"dataset\": %S, \"config\": \"quest_paper.config\", \
+               \"sequences\": %d, \"events\": %d, \"alphabet\": %d, \
+               \"text_bytes\": %d, \"store_bytes\": %d, \"parse_s\": %.6f, \
+               \"open_s\": %.6f, \"open_speedup_x\": %.1f, \"min_sup\": %d, \
+               \"max_length\": %d, \"patterns\": %d, \"mine_text_s\": %.6f, \
+               \"mine_store_s\": %.6f, \"cursor_gallops\": %d, \
+               \"outputs_identical\": true, \"digest\": %S}"
+              label (Seqdb.size db) (Seqdb.total_length db) alphabet
+              text_bytes store_bytes parse_s open_s speedup min_sup
+              max_length (List.length out_text) mine_text_s mine_store_s
+              gallops (Store.digest store_t);
+          ])
+  end
 
 (* --- Section C: columnar layout, old vs new index backend ---
 
@@ -409,14 +533,16 @@ let section_layout () =
       "{\n  \"bench\": \"columnar layout, legacy vs CSR\",\n  \"reps\": %d,\n  \
        \"runs\": [\n%s\n  ],\n  \"speedups\": [\n%s\n  ],\n  \
        \"trace_overhead\": [\n%s\n  ],\n  \"seek_gallop\": [\n%s\n  ],\n  \
-       \"pool_schedule\": [\n%s\n  ],\n  \"closure_funnel\": [\n%s\n  ]\n}\n"
+       \"pool_schedule\": [\n%s\n  ],\n  \"closure_funnel\": [\n%s\n  ],\n  \
+       \"store\": [\n%s\n  ]\n}\n"
       reps
       (String.concat ",\n" (List.rev !runs))
       (String.concat ",\n" (List.rev !speedups))
       (String.concat ",\n" (List.rev !trace_rows))
       (String.concat ",\n" (List.rev !gallop_rows))
       (String.concat ",\n" (List.rev !schedule_rows))
-      (String.concat ",\n" (List.rev !funnel_rows));
+      (String.concat ",\n" (List.rev !funnel_rows))
+      (String.concat ",\n" (List.rev !store_rows));
     close_out oc;
     Format.printf "wrote %s@." json_path
   end
@@ -779,6 +905,9 @@ let section_query () =
 
 let () =
   if not (env_flag "RGS_BENCH_SKIP_TABLES") then section_tables ();
+  (* store before layout: section_layout writes the JSON, including the
+     store rows gathered here *)
+  if not (env_flag "RGS_BENCH_SKIP_STORE") then section_store ();
   if not (env_flag "RGS_BENCH_SKIP_LAYOUT") then section_layout ();
   if not (env_flag "RGS_BENCH_SKIP_MICRO") then begin
     section_micro ();

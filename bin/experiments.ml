@@ -170,11 +170,31 @@ let fig6_cmd =
     Term.(const run $ scale $ timeout $ obs_args)
 
 let comparators_cmd =
-  let run scale timeout_s (stats, tf, tl) =
-    with_obs stats tf tl (fun () -> run_comparators scale timeout_s; 0)
+  let store_arg =
+    Arg.(value & opt (some file) None & info [ "store" ] ~docv:"FILE"
+           ~doc:"Run the comparator suite on a packed $(b,.rgsdb) store \
+                 instead of the built-in generated datasets.")
+  in
+  let store_min_sup =
+    Arg.(value & opt int 10 & info [ "min-sup" ] ~docv:"N"
+           ~doc:"Support threshold for the $(b,--store) corpus (default 10; \
+                 ignored without $(b,--store)).")
+  in
+  let run scale timeout_s store min_sup (stats, tf, tl) =
+    with_obs stats tf tl (fun () ->
+        (match store with
+        | None -> run_comparators scale timeout_s
+        | Some path ->
+          let db, _ = Rgs_store.Store.open_db path in
+          print_table
+            (Printf.sprintf "Comparators — %s, min_sup=%d"
+               (Filename.basename path) min_sup)
+            (E.Comparators.report
+               (E.Comparators.compare_all ?timeout_s db ~min_sup)));
+        0)
   in
   Cmd.v (Cmd.info "comparators" ~doc:"Sequential-miner runtime comparison")
-    Term.(const run $ scale $ timeout $ obs_args)
+    Term.(const run $ scale $ timeout $ store_arg $ store_min_sup $ obs_args)
 
 let ablation_cmd =
   let run timeout_s (stats, tf, tl) =
@@ -182,6 +202,42 @@ let ablation_cmd =
   in
   Cmd.v (Cmd.info "ablation" ~doc:"CloGSgrow checking-strategy ablation")
     Term.(const run $ timeout $ obs_args)
+
+(* gen-quest regenerates a synthetic corpus from a checked-in key=value
+   config (data/*.config). Generation is deterministic in the config, so
+   the emitted file — and any .rgsdb packed from it — is reproducible
+   byte-for-byte; the datasets themselves are never checked in. *)
+let gen_quest_cmd =
+  let config_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"CONFIG"
+           ~doc:"Quest_gen key=value config file (e.g. \
+                 data/quest_paper.config).")
+  in
+  let out_arg =
+    Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Output path; written in the SPMF format ($(b,-1)-separated \
+                 integer events, $(b,-2)-terminated sequences), which \
+                 round-trips event ids exactly.")
+  in
+  let run config out =
+    match Rgs_datagen.Quest_gen.load_config config with
+    | exception Failure msg ->
+      Format.eprintf "experiments: %s@." msg;
+      1
+    | p ->
+      let db = Rgs_datagen.Quest_gen.generate p in
+      Rgs_sequence.Seq_io.save_spmf db out;
+      Format.printf "wrote %s: %s — %d sequences, %d events, seed %d@." out
+        (Rgs_datagen.Quest_gen.label p)
+        (Rgs_sequence.Seqdb.size db)
+        (Rgs_sequence.Seqdb.total_length db)
+        p.Rgs_datagen.Quest_gen.seed;
+      0
+  in
+  Cmd.v
+    (Cmd.info "gen-quest"
+       ~doc:"Regenerate a QUEST-style corpus from a config file")
+    Term.(const run $ config_arg $ out_arg)
 
 let all_cmd =
   let run scale timeout_s (stats, tf, tl) =
@@ -216,6 +272,7 @@ let cmd =
       fig6_cmd;
       comparators_cmd;
       ablation_cmd;
+      gen_quest_cmd;
       simple "casestudy" "Section IV-B case study" (fun () -> run_casestudy (); 0);
       all_cmd;
     ]

@@ -1,5 +1,5 @@
 (* rgsminer: mine (closed) repetitive gapped subsequences from a sequence
-   file.
+   file or a packed binary store.
 
    Examples:
      rgsminer --min-sup 3 data.txt
@@ -8,11 +8,14 @@
      rgsminer --min-sup 2 --deadline 5 --checkpoint run.ckpt data.txt
      rgsminer --min-sup 2 --checkpoint run.ckpt --resume data.txt
      rgsminer --min-sup 3 --trace run.json --trace-level nodes data.txt
-     rgsminer --min-sup 3 --stats stats.prom data.txt *)
+     rgsminer --min-sup 3 --stats stats.prom data.txt
+     rgsminer pack data.txt -o data.rgsdb
+     rgsminer --min-sup 3 --store data.rgsdb *)
 
 open Cmdliner
 open Rgs_sequence
 open Rgs_core
+module Store = Rgs_store.Store
 
 type format = Tokens | Chars | Spmf
 
@@ -75,7 +78,7 @@ let parse_target format codec s =
                (Printf.sprintf "--target: event %S does not occur in the input" t))
          (split s))
 
-let run input format min_sup all max_length max_patterns limit instances max_gap parallel
+let run input store format min_sup all max_length max_patterns limit instances max_gap parallel
     index_kind deadline max_nodes max_words target top_k compress_delta
     checkpoint resume retry_quarantined
     trace_file trace_level trace_ring stats_file stats_interval verbose =
@@ -89,8 +92,20 @@ let run input format min_sup all max_length max_patterns limit instances max_gap
     Format.eprintf "rgsminer: --target and --top-k are mutually exclusive@.";
     exit 1
   end;
+  if (input = None) = (store = None) then begin
+    Format.eprintf "rgsminer: exactly one of FILE or --store is required@.";
+    exit 1
+  end;
+  let input = match (input, store) with
+    | Some path, _ | _, Some path -> path
+    | None, None -> assert false
+  in
   match
-    let db, codec = load format input in
+    let db, codec =
+      match store with
+      | Some path -> Store.open_db path
+      | None -> load format input
+    in
     Format.printf "%a@.@." Seqdb.pp_stats (Seqdb.stats db);
     let mode = if all then Miner.All else Miner.Closed in
     let domains = if parallel then Some (Parallel_miner.default_domains ()) else None in
@@ -212,12 +227,24 @@ let run input format min_sup all max_length max_patterns limit instances max_gap
   | exception Checkpoint.Corrupt msg ->
     Format.eprintf "rgsminer: checkpoint: %s@." msg;
     1
+  | exception Store.Invalid_store e ->
+    Format.eprintf "rgsminer: %s: %s@." input (Store.error_message e);
+    1
   | exception Invalid_argument msg ->
     Format.eprintf "rgsminer: %s@." msg;
     1
 
 let input =
-  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Input sequence file.")
+  Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE"
+         ~doc:"Input sequence file. Exactly one of $(docv) or $(b,--store) is required.")
+
+let store_arg =
+  Arg.(value & opt (some file) None & info [ "store" ] ~docv:"FILE"
+         ~doc:"Mine from a packed $(b,.rgsdb) store (see $(b,rgsminer pack)) instead \
+               of a text file: the corpus is mapped read-only in milliseconds and \
+               shared across parallel domains. Event names come from the store's \
+               NAME section, so output matches the $(b,tokens) text path byte for \
+               byte. Mutually exclusive with $(docv).")
 
 let format =
   let format_conv =
@@ -364,14 +391,81 @@ let stats_interval =
 let verbose =
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Log mining progress to stderr.")
 
+(* --- pack: text database -> .rgsdb binary store --- *)
+
+let pack input format output check verbose =
+  setup_logs verbose;
+  match
+    let db, codec = load format input in
+    let out =
+      match output with
+      | Some o -> o
+      | None -> Filename.remove_extension input ^ ".rgsdb"
+    in
+    Store.write ?codec ~path:out db;
+    let t = Store.open_store ~verify:check out in
+    Format.printf "packed %s -> %s@." input out;
+    Format.printf "  %d sequence(s), %d event(s), alphabet %d, digest %s@."
+      (Seqdb.size db) (Seqdb.total_length db) (Seqdb.alphabet_size db)
+      (Store.digest t);
+    List.iter
+      (fun (tag, words) -> Format.printf "  section %s: %d word(s)@." tag words)
+      (Store.sections t);
+    if check then begin
+      if Store.digest t <> Seqdb.content_digest db then begin
+        Format.eprintf "rgsminer pack: digest mismatch after round-trip@.";
+        exit 1
+      end;
+      Format.printf "check: section CRCs and content digest verified@."
+    end;
+    0
+  with
+  | code -> code
+  | exception Seq_io.Parse_error { line; msg } ->
+    Format.eprintf "rgsminer pack: %s:%d: %s@." input line msg;
+    1
+  | exception Store.Invalid_store e ->
+    Format.eprintf "rgsminer pack: %s@." (Store.error_message e);
+    1
+  | exception Sys_error msg ->
+    Format.eprintf "rgsminer pack: %s@." msg;
+    1
+  | exception Invalid_argument msg ->
+    Format.eprintf "rgsminer pack: %s@." msg;
+    1
+
+let pack_cmd =
+  let pack_input =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"Input sequence file to pack.")
+  in
+  let output =
+    Arg.(value & opt (some string) None & info [ "output"; "o" ] ~docv:"OUT"
+           ~doc:"Store file to write (default: $(b,FILE) with its extension \
+                 replaced by $(b,.rgsdb)). Written atomically; packing the same \
+                 corpus twice yields byte-identical files.")
+  in
+  let check =
+    Arg.(value & flag & info [ "check" ]
+           ~doc:"After packing, re-open the store, verify every section CRC \
+                 and the sealed content digest.")
+  in
+  Cmd.v
+    (Cmd.info "pack" ~doc:"pack a sequence file into a .rgsdb binary store")
+    Term.(const pack $ pack_input $ format $ output $ check $ verbose)
+
+let mine_term =
+  Term.(const run $ input $ store_arg $ format $ min_sup $ all $ max_length
+        $ max_patterns $ limit
+        $ instances $ max_gap $ parallel $ index_kind $ deadline $ max_nodes
+        $ max_words $ target $ top_k $ compress_delta $ checkpoint $ resume
+        $ retry_quarantined $ trace_file $ trace_level $ trace_ring
+        $ stats_file $ stats_interval $ verbose)
+
 let cmd =
   let doc = "mine (closed) repetitive gapped subsequences from a sequence database" in
-  Cmd.v
-    (Cmd.info "rgsminer" ~version:"1.1.0" ~doc)
-    Term.(const run $ input $ format $ min_sup $ all $ max_length $ max_patterns $ limit
-          $ instances $ max_gap $ parallel $ index_kind $ deadline $ max_nodes
-          $ max_words $ target $ top_k $ compress_delta $ checkpoint $ resume
-          $ retry_quarantined $ trace_file $ trace_level $ trace_ring
-          $ stats_file $ stats_interval $ verbose)
+  Cmd.group ~default:mine_term
+    (Cmd.info "rgsminer" ~version:"1.2.0" ~doc)
+    [ pack_cmd ]
 
 let () = exit (Cmd.eval' cmd)

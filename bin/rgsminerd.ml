@@ -19,7 +19,7 @@ let setup_logs verbose =
   Logs.set_level (Some (if verbose then Logs.Info else Logs.Warning))
 
 let run socket state_dir queue_capacity workers max_deadline max_nodes
-    max_words idle_timeout drain_grace stats_file stats_interval verbose =
+    max_words idle_timeout drain_grace stats_file stats_interval stores verbose =
   setup_logs verbose;
   let limits =
     {
@@ -28,6 +28,21 @@ let run socket state_dir queue_capacity workers max_deadline max_nodes
       max_words;
     }
   in
+  (* Preload every --store before listening: each is mapped, CRC-verified
+     end to end and cached, so a corrupt store fails the boot (exit 1)
+     rather than the first job that references it. *)
+  List.iter
+    (fun path ->
+      match Job.preload_store path with
+      | Ok db ->
+        Logs.info (fun m ->
+            m "store %s: %d sequence(s), %d event(s) mapped" path
+              (Rgs_sequence.Seqdb.size db)
+              (Rgs_sequence.Seqdb.total_length db))
+      | Error msg ->
+        Format.eprintf "rgsminerd: --store %s@." msg;
+        exit 1)
+    stores;
   match
     Daemon.config ~queue_capacity ~workers ~limits ?idle_timeout_s:idle_timeout
       ~drain_grace_s:drain_grace ?stats_path:stats_file
@@ -95,6 +110,13 @@ let stats_interval =
   Arg.(value & opt (some float) None & info [ "stats-interval" ] ~docv:"SECONDS"
          ~doc:"Period of the $(b,--stats) dump (default 10).")
 
+let stores =
+  Arg.(value & opt_all file [] & info [ "store" ] ~docv:"FILE"
+         ~doc:"Preload a packed $(b,.rgsdb) store at startup (repeatable): the \
+               file is mapped, every section CRC verified, and the mapping \
+               cached so jobs referencing the path share it. A store that \
+               fails verification aborts the boot.")
+
 let verbose =
   Arg.(value & flag & info [ "verbose"; "v" ]
          ~doc:"Log job lifecycle events to stderr.")
@@ -102,9 +124,9 @@ let verbose =
 let cmd =
   let doc = "serve repetitive gapped subsequence mining jobs over a socket" in
   Cmd.v
-    (Cmd.info "rgsminerd" ~version:"1.1.0" ~doc)
+    (Cmd.info "rgsminerd" ~version:"1.2.0" ~doc)
     Term.(const run $ socket $ state_dir $ queue_capacity $ workers
           $ max_deadline $ max_nodes $ max_words $ idle_timeout $ drain_grace
-          $ stats_file $ stats_interval $ verbose)
+          $ stats_file $ stats_interval $ stores $ verbose)
 
 let () = exit (Cmd.eval' cmd)

@@ -25,22 +25,19 @@ let log_src = Logs.Src.create "rgs.checkpoint" ~doc:"Durable checkpoint log"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
+(* The database contributes through [Seqdb.content_digest] — the MD5 of
+   the canonical event stream — rather than the stream itself: a mapped
+   [.rgsdb] database answers it O(1) from the digest sealed at pack time,
+   so text-loaded and store-backed runs of one corpus agree on the
+   fingerprint and share checkpoints without forcing any sequence. *)
 let fingerprint ~params db =
-  let buf = Buffer.create 1024 in
+  let buf = Buffer.create 256 in
   List.iter
     (fun p ->
       Buffer.add_string buf p;
       Buffer.add_char buf '|')
     params;
-  Seqdb.iter
-    (fun _ s ->
-      Sequence.iteri
-        (fun _ e ->
-          Buffer.add_string buf (string_of_int e);
-          Buffer.add_char buf ' ')
-        s;
-      Buffer.add_char buf '\n')
-    db;
+  Buffer.add_string buf (Seqdb.content_digest db);
   Digest.to_hex (Digest.string (Buffer.contents buf))
 
 (* --- CRC32 (zlib polynomial), table-based --- *)

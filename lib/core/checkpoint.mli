@@ -63,8 +63,11 @@ exception Corrupt of string
 
 val fingerprint : params:string list -> Seqdb.t -> string
 (** Digest of the result-defining mining parameters and the database
-    contents. Runtime limits (deadline, node budget) must {e not} be part
-    of [params]: resuming with a different budget is the point. *)
+    contents (via {!Seqdb.content_digest}, so a mapped [.rgsdb] database
+    answers O(1) from its sealed digest and text/store runs of one corpus
+    share checkpoints). Runtime limits (deadline, node budget) must
+    {e not} be part of [params]: resuming with a different budget is the
+    point. *)
 
 val load : path:string -> expected_fingerprint:string -> t
 (** Salvaging load: every record of the longest intact prefix, folded into

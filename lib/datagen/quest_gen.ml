@@ -16,6 +16,80 @@ let params ?(num_patterns = 100) ?(corruption = 0.25) ?(noise_ratio = 0.25)
   if d < 0 || c < 1 || n < 1 || s < 1 then invalid_arg "Quest_gen.params";
   { d; c; n; s; num_patterns; corruption; noise_ratio; seed }
 
+(* key=value config files (data/*.config). One assignment per line;
+   '#' starts a comment; blank lines are skipped. d/c/n/s are required,
+   the rest take the [params] defaults. Unknown and duplicate keys are
+   errors — a typo must not silently change the generated corpus. *)
+let load_config path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let tbl = Hashtbl.create 8 in
+      let lineno = ref 0 in
+      let fail fmt = Printf.ksprintf failwith fmt in
+      (try
+         while true do
+           let raw = input_line ic in
+           incr lineno;
+           let line =
+             match String.index_opt raw '#' with
+             | Some i -> String.sub raw 0 i
+             | None -> raw
+           in
+           let line = String.trim line in
+           if line <> "" then
+             match String.index_opt line '=' with
+             | None -> fail "%s:%d: expected key = value" path !lineno
+             | Some i ->
+               let key = String.trim (String.sub line 0 i) in
+               let value =
+                 String.trim
+                   (String.sub line (i + 1) (String.length line - i - 1))
+               in
+               if Hashtbl.mem tbl key then
+                 fail "%s:%d: duplicate key %S" path !lineno key;
+               Hashtbl.replace tbl key value
+         done
+       with End_of_file -> ());
+      let known =
+        [ "d"; "c"; "n"; "s"; "num_patterns"; "corruption"; "noise_ratio";
+          "seed" ]
+      in
+      Hashtbl.iter
+        (fun k _ -> if not (List.mem k known) then fail "%s: unknown key %S" path k)
+        tbl;
+      let req key =
+        match Hashtbl.find_opt tbl key with
+        | Some v -> v
+        | None -> fail "%s: missing required key %S" path key
+      in
+      let int key v =
+        match int_of_string_opt v with
+        | Some n -> n
+        | None -> fail "%s: key %S: %S is not an integer" path key v
+      in
+      let float_opt key default =
+        match Hashtbl.find_opt tbl key with
+        | None -> default
+        | Some v -> (
+          match float_of_string_opt v with
+          | Some f -> f
+          | None -> fail "%s: key %S: %S is not a number" path key v)
+      in
+      let int_opt key default =
+        match Hashtbl.find_opt tbl key with
+        | None -> default
+        | Some v -> int key v
+      in
+      params
+        ~num_patterns:(int_opt "num_patterns" 100)
+        ~corruption:(float_opt "corruption" 0.25)
+        ~noise_ratio:(float_opt "noise_ratio" 0.25)
+        ~seed:(int_opt "seed" 42)
+        ~d:(int "d" (req "d")) ~c:(int "c" (req "c")) ~n:(int "n" (req "n"))
+        ~s:(int "s" (req "s")) ())
+
 let label p =
   let scaled x = if x >= 1000 && x mod 1000 = 0 then x / 1000 else x in
   Printf.sprintf "D%dC%dN%dS%d" (scaled p.d) p.c (scaled p.n) (scaled p.s)

@@ -41,6 +41,16 @@ val params :
 (** Defaults: [num_patterns = 100], [corruption = 0.25],
     [noise_ratio = 0.25], [seed = 42]. *)
 
+val load_config : string -> params
+(** Parse a [key = value] config file (one assignment per line, ['#']
+    comments, blank lines skipped) into {!params}. [d]/[c]/[n]/[s] are
+    required; [num_patterns], [corruption], [noise_ratio] and [seed] take
+    the {!params} defaults. Unknown keys, duplicate keys and unparsable
+    values raise [Failure] citing [path:line] — a typo must not silently
+    change the generated corpus. [data/quest_paper.config] is the
+    checked-in instance: the paper-scale store workload is generated from
+    it (and packed with [rgsminer pack]) rather than checked in as text. *)
+
 val label : params -> string
 (** Paper-style label, e.g. ["D5C20N10S20"] (D in thousands when [d] is a
     multiple of 1000, else as-is). *)

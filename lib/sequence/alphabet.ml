@@ -13,19 +13,7 @@ type t = {
 let direct_worthwhile ~min_event ~max_event ~count =
   min_event >= 0 && max_event < (16 * count) + 1024
 
-let of_sequences seqs =
-  let seen : (Event.t, unit) Hashtbl.t = Hashtbl.create 64 in
-  Array.iter
-    (fun s -> Sequence.iteri (fun _ e -> Hashtbl.replace seen e ()) s)
-    seqs;
-  let events = Array.make (Hashtbl.length seen) 0 in
-  let k = ref 0 in
-  Hashtbl.iter
-    (fun e () ->
-      events.(!k) <- e;
-      incr k)
-    seen;
-  Array.sort Int.compare events;
+let make events =
   let count = Array.length events in
   let lookup =
     if count = 0 then Direct [||]
@@ -44,6 +32,30 @@ let of_sequences seqs =
     end
   in
   { events; lookup }
+
+let of_events events =
+  let events = Array.copy events in
+  Array.iteri
+    (fun i e ->
+      if i > 0 && events.(i - 1) >= e then
+        invalid_arg "Alphabet.of_events: events must be strictly ascending")
+    events;
+  make events
+
+let of_sequences seqs =
+  let seen : (Event.t, unit) Hashtbl.t = Hashtbl.create 64 in
+  Array.iter
+    (fun s -> Sequence.iteri (fun _ e -> Hashtbl.replace seen e ()) s)
+    seqs;
+  let events = Array.make (Hashtbl.length seen) 0 in
+  let k = ref 0 in
+  Hashtbl.iter
+    (fun e () ->
+      events.(!k) <- e;
+      incr k)
+    seen;
+  Array.sort Int.compare events;
+  make events
 
 let size a = Array.length a.events
 

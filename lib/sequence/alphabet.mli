@@ -17,6 +17,12 @@ val of_sequences : Sequence.t array -> t
 (** Interns every distinct event of the sequences, in one [O(total length)]
     pass (plus a sort of the distinct events). *)
 
+val of_events : Event.t array -> t
+(** Rebuilds an alphabet from its interned event list (strictly ascending,
+    as {!events} returns it) — the store open path, which has the ALPH
+    section at hand and must not rescan the database.
+    @raise Invalid_argument when the events are not strictly ascending. *)
+
 val size : t -> int
 (** Number of distinct events; dense ids range over [0 .. size - 1]. *)
 

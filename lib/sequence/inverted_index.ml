@@ -1,11 +1,15 @@
+(* Position/offset runs live in [Ivec] (Bigarray) buffers: identical code
+   serves heap-allocated indexes and read-only sections mapped straight
+   out of a [.rgsdb] store (see lib/store), so the zero-copy open path
+   needs no backend of its own. *)
 type csr = {
-  offsets : int array; (* length alphabet+1, indexed by dense event id *)
-  pos : int array; (* sequence positions, 1-based, grouped by dense id, each run ascending *)
+  offsets : Ivec.t; (* length alphabet+1, indexed by dense event id *)
+  pos : Ivec.t; (* sequence positions, 1-based, grouped by dense id, each run ascending *)
 }
 
 type backend =
   | Csr of csr array
-  | Legacy of (Event.t, int array) Hashtbl.t array
+  | Legacy of (Event.t, Ivec.t) Hashtbl.t array
   | Paged of (Event.t, Btree.t) Hashtbl.t array
 
 type kind = Kcsr | Klegacy | Kpaged
@@ -19,7 +23,7 @@ type t = {
 
 let empty_positions : int array = [||]
 
-let totals_of db alpha =
+let totals_of_scan db alpha =
   let totals = Array.make (Alphabet.size alpha) 0 in
   Seqdb.iter
     (fun _ s ->
@@ -31,36 +35,86 @@ let totals_of db alpha =
     db;
   totals
 
+(* Per-event occurrence totals. A mapped database answers this from its
+   CSR offsets alone — O(N * alphabet) loads over the mapped section, no
+   sequence is materialised — so building an index on a store-backed
+   Seqdb touches none of the event data. *)
+let totals_of db alpha =
+  match Seqdb.mapped_csr db with
+  | Some (csr_offsets, _) ->
+    let k = Alphabet.size alpha in
+    let totals = Array.make k 0 in
+    let n = Seqdb.size db in
+    for i = 0 to n - 1 do
+      let base = i * (k + 1) in
+      for d = 0 to k - 1 do
+        totals.(d) <-
+          totals.(d)
+          + Ivec.unsafe_get csr_offsets (base + d + 1)
+          - Ivec.unsafe_get csr_offsets (base + d)
+      done
+    done;
+    totals
+  | None -> totals_of_scan db alpha
+
 (* CSR construction: per sequence, one counting pass sizes the runs, a
    prefix sum turns counts into offsets, and one fill pass scatters the
-   positions. Everything is a flat int array; no per-event allocation. *)
-let build db =
+   positions. Everything is a flat buffer; no per-event allocation. *)
+let build_csr_scan db =
   let alpha = Seqdb.dense_alphabet db in
   let k = Alphabet.size alpha in
   let n = Seqdb.size db in
-  let stores = Array.make n { offsets = [||]; pos = [||] } in
+  let stores = Array.make n { offsets = Ivec.empty; pos = Ivec.empty } in
   Seqdb.iter
     (fun i s ->
-      let offsets = Array.make (k + 1) 0 in
+      let offsets = Ivec.create (k + 1) in
+      Bigarray.Array1.fill offsets 0;
       Sequence.iteri
         (fun _ e ->
           let d = Alphabet.dense alpha e in
-          offsets.(d + 1) <- offsets.(d + 1) + 1)
+          Ivec.set offsets (d + 1) (Ivec.get offsets (d + 1) + 1))
         s;
       for d = 1 to k do
-        offsets.(d) <- offsets.(d) + offsets.(d - 1)
+        Ivec.set offsets d (Ivec.get offsets d + Ivec.get offsets (d - 1))
       done;
-      let pos = Array.make (Sequence.length s) 0 in
-      let fill = Array.sub offsets 0 k in
+      let pos = Ivec.create (Sequence.length s) in
+      let fill = Ivec.sub_array offsets ~pos:0 ~len:k in
       Sequence.iteri
         (fun p e ->
           let d = Alphabet.dense alpha e in
-          pos.(fill.(d)) <- p;
+          Ivec.set pos fill.(d) p;
           fill.(d) <- fill.(d) + 1)
         s;
       stores.(i - 1) <- { offsets; pos })
     db;
   { db; alpha; totals = totals_of db alpha; backend = Csr stores }
+
+(* Store-backed construction: the CSR runs were precomputed at pack time
+   and mapped read-only ([Seqdb.mapped_csr]); per sequence the backend
+   just slices the shared sections — slices alias the mapping, so the
+   build costs O(N) slice descriptors and reads no event data at all.
+   The offsets in a CSOF section are relative to the sequence's own
+   positions run (FORMAT.md §2.4), exactly the invariant [csr_slice]
+   expects. *)
+let build_csr_mapped db ~csr_offsets ~csr_pos =
+  let alpha = Seqdb.dense_alphabet db in
+  let k = Alphabet.size alpha in
+  let n = Seqdb.size db in
+  let pos_base = ref 0 in
+  let stores =
+    Array.init n (fun i ->
+        let offsets = Ivec.sub csr_offsets ~pos:(i * (k + 1)) ~len:(k + 1) in
+        let len = Ivec.get offsets k in
+        let pos = Ivec.sub csr_pos ~pos:!pos_base ~len in
+        pos_base := !pos_base + len;
+        { offsets; pos })
+  in
+  { db; alpha; totals = totals_of db alpha; backend = Csr stores }
+
+let build db =
+  match Seqdb.mapped_csr db with
+  | Some (csr_offsets, csr_pos) -> build_csr_mapped db ~csr_offsets ~csr_pos
+  | None -> build_csr_scan db
 
 (* The seed layout: per-sequence hashtables of flat position arrays. Kept
    as a backend so benches can measure the columnar layout against it and
@@ -89,7 +143,15 @@ let position_arrays db =
 
 let build_legacy db =
   let alpha = Seqdb.dense_alphabet db in
-  { db; alpha; totals = totals_of db alpha; backend = Legacy (position_arrays db) }
+  let per_seq =
+    Array.map
+      (fun tbl ->
+        let out = Hashtbl.create (max 16 (Hashtbl.length tbl)) in
+        Hashtbl.iter (fun e a -> Hashtbl.add out e (Ivec.of_array a)) tbl;
+        out)
+      (position_arrays db)
+  in
+  { db; alpha; totals = totals_of db alpha; backend = Legacy per_seq }
 
 let build_paged ?fanout db =
   let alpha = Seqdb.dense_alphabet db in
@@ -126,10 +188,10 @@ let check_seq t seq =
    into [store.pos]; the empty slice (0, 0) when [e] does not occur. *)
 let csr_slice t (stores : csr array) ~seq e =
   let d = Alphabet.dense t.alpha e in
-  if d < 0 then (empty_positions, 0, 0)
+  if d < 0 then (Ivec.empty, 0, 0)
   else begin
     let store = stores.(seq - 1) in
-    (store.pos, store.offsets.(d), store.offsets.(d + 1))
+    (store.pos, Ivec.get store.offsets d, Ivec.get store.offsets (d + 1))
   end
 
 let positions t ~seq e =
@@ -137,9 +199,11 @@ let positions t ~seq e =
   match t.backend with
   | Csr stores ->
     let pos, lo, hi = csr_slice t stores ~seq e in
-    Array.sub pos lo (hi - lo)
-  | Legacy per_seq ->
-    Option.value ~default:empty_positions (Hashtbl.find_opt per_seq.(seq - 1) e)
+    Ivec.sub_array pos ~pos:lo ~len:(hi - lo)
+  | Legacy per_seq -> (
+    match Hashtbl.find_opt per_seq.(seq - 1) e with
+    | None -> empty_positions
+    | Some v -> Ivec.to_array v)
   | Paged per_seq -> (
     match Hashtbl.find_opt per_seq.(seq - 1) e with
     | None -> empty_positions
@@ -147,11 +211,11 @@ let positions t ~seq e =
 
 (* Least index k in [lo, hi) with a.(k) > lowest, by binary search over the
    sorted slice; [hi] when none. *)
-let first_above a ~lo ~hi lowest =
+let first_above (a : Ivec.t) ~lo ~hi lowest =
   let lo = ref lo and hi = ref hi in
   while !lo < !hi do
     let mid = (!lo + !hi) / 2 in
-    if a.(mid) > lowest then hi := mid else lo := mid + 1
+    if Ivec.unsafe_get a mid > lowest then hi := mid else lo := mid + 1
   done;
   !lo
 
@@ -163,13 +227,14 @@ let next_pos t ~seq e ~lowest =
   | Csr stores ->
     let pos, lo, hi = csr_slice t stores ~seq e in
     let k = first_above pos ~lo ~hi lowest in
-    if k >= hi then -1 else pos.(k)
+    if k >= hi then -1 else Ivec.get pos k
   | Legacy per_seq -> (
     match Hashtbl.find_opt per_seq.(seq - 1) e with
     | None -> -1
     | Some a ->
-      let k = first_above a ~lo:0 ~hi:(Array.length a) lowest in
-      if k >= Array.length a then -1 else a.(k))
+      let n = Ivec.length a in
+      let k = first_above a ~lo:0 ~hi:n lowest in
+      if k >= n then -1 else Ivec.get a k)
   | Paged per_seq -> (
     match Hashtbl.find_opt per_seq.(seq - 1) e with
     | None -> -1
@@ -195,7 +260,7 @@ let count_between t ~seq e ~lo ~hi =
       match Hashtbl.find_opt per_seq.(seq - 1) e with
       | None -> 0
       | Some a ->
-        let n = Array.length a in
+        let n = Ivec.length a in
         let first = first_above a ~lo:0 ~hi:n lo in
         let beyond = first_above a ~lo:0 ~hi:n (hi - 1) in
         beyond - first)
@@ -212,11 +277,11 @@ let count_between t ~seq e ~lo ~hi =
    differs (offset arithmetic vs one hashtable probe per sequence). *)
 type window_source =
   | Wcsr of { stores : csr array; d : int (* -1 when absent from the db *) }
-  | Wlegacy of { lper : (Event.t, int array) Hashtbl.t array; le : Event.t }
+  | Wlegacy of { lper : (Event.t, Ivec.t) Hashtbl.t array; le : Event.t }
 
 type window_cursor = {
   src : window_source;
-  mutable spos : int array;
+  mutable spos : Ivec.t;
   mutable shi : int;
   mutable sk : int; (* next candidate index; positions below sk are spent *)
   mutable seeks : int;
@@ -244,22 +309,22 @@ let set_window c ~seq =
     if d >= 0 then begin
       let store = stores.(seq - 1) in
       c.spos <- store.pos;
-      c.shi <- store.offsets.(d + 1);
-      c.sk <- store.offsets.(d)
+      c.shi <- Ivec.get store.offsets (d + 1);
+      c.sk <- Ivec.get store.offsets d
     end
   | Wlegacy { lper; le } -> (
     match Hashtbl.find_opt lper.(seq - 1) le with
     | Some a ->
       c.spos <- a;
-      c.shi <- Array.length a;
+      c.shi <- Ivec.length a;
       c.sk <- 0
     | None ->
-      c.spos <- empty_positions;
+      c.spos <- Ivec.empty;
       c.shi <- 0;
       c.sk <- 0)
 
 let window src =
-  { src; spos = empty_positions; shi = 0; sk = 0; seeks = 0; advanced = 0;
+  { src; spos = Ivec.empty; shi = 0; sk = 0; seeks = 0; advanced = 0;
     gallops = 0 }
 
 let cursor t ~seq e =
@@ -315,19 +380,19 @@ let window_seek c ~lowest =
   let pos = c.spos and hi = c.shi in
   let k = c.sk in
   if k >= hi then -1
-  else if pos.(k) > lowest then pos.(k)
+  else if Ivec.unsafe_get pos k > lowest then Ivec.unsafe_get pos k
   else begin
     (* linear fast path: the frontier is spent; probe the next few slots *)
     let probe_limit = linear_probe_limit () in
     let j = ref (k + 1) in
     let lin = ref 0 in
-    while !lin < probe_limit && !j < hi && pos.(!j) <= lowest do
+    while !lin < probe_limit && !j < hi && Ivec.unsafe_get pos !j <= lowest do
       incr lin;
       incr j
     done;
     c.advanced <- c.advanced + !lin;
     let j =
-      if !j >= hi || pos.(!j) > lowest then !j
+      if !j >= hi || Ivec.unsafe_get pos !j > lowest then !j
       else begin
         (* gallop: pos.(!j) is still spent; double the step until a probe
            exceeds [lowest] (or the window ends), then bisect the last
@@ -341,7 +406,7 @@ let window_seek c ~lowest =
         let bracketed = ref false in
         while (not !bracketed) && !probe < hi do
           incr g;
-          if pos.(!probe) <= lowest then begin
+          if Ivec.unsafe_get pos !probe <= lowest then begin
             prev := !probe;
             step := !step * 2;
             probe := base + !step
@@ -352,14 +417,14 @@ let window_seek c ~lowest =
         while !lo < !bhi do
           incr g;
           let mid = (!lo + !bhi) / 2 in
-          if pos.(mid) > lowest then bhi := mid else lo := mid + 1
+          if Ivec.unsafe_get pos mid > lowest then bhi := mid else lo := mid + 1
         done;
         c.gallops <- c.gallops + !g;
         !lo
       end
     in
     c.sk <- j;
-    if j >= hi then -1 else pos.(j)
+    if j >= hi then -1 else Ivec.unsafe_get pos j
   end
 
 let seek_pos c ~lowest =

@@ -32,7 +32,11 @@ type kind = Kcsr | Klegacy | Kpaged
 
 val build : Seqdb.t -> t
 (** Columnar (CSR) index, built in one counting pass and one fill pass over
-    the database, [O(total length + N * alphabet)]. *)
+    the database, [O(total length + N * alphabet)]. On a store-backed
+    database ({!Seqdb.of_store}) the pass is skipped entirely: the CSR
+    runs were precomputed at pack time, so building only slices the
+    mapped sections — [O(N)] descriptors, zero copies, no event data
+    read. *)
 
 val build_legacy : Seqdb.t -> t
 (** Hashtable-of-arrays index (the pre-columnar seed layout). *)
@@ -63,9 +67,8 @@ val count_between : t -> seq:int -> Event.t -> lo:int -> hi:int -> int
     bounds) — [O(log L)]. *)
 
 val positions : t -> seq:int -> Event.t -> int array
-(** All positions of [e] in [S_i], ascending, 1-based. On the legacy
-    backend the result is owned by the index and must not be mutated; on
-    the CSR and paged backends it is materialised on each call. *)
+(** All positions of [e] in [S_i], ascending, 1-based. Materialised on
+    each call (a fresh array on every backend). *)
 
 (** {2 Cursors}
 

@@ -62,6 +62,12 @@ let query_topk_floor = register "query_topk_floor" Gauge
 let query_delta_reps = register "query_delta_reps" Gauge
 let query_delta_covered = register "query_delta_covered" Counter
 let peak_live_words = register "peak_live_words" Gauge
+let store_opens = register "store_opens" Counter
+let store_open_ns = register "store_open_ns" Counter
+let store_mapped_words = register "store_mapped_words" Gauge
+let store_resident_words = register "store_resident_words" Counter
+let store_crc_checks = register "store_crc_checks" Counter
+let store_crc_failures = register "store_crc_failures" Counter
 
 let sample_live_words () =
   (* force a full major first: without it [Gc.stat]'s [live_words] includes

@@ -198,3 +198,30 @@ val query_delta_covered : counter
 val peak_live_words : counter
 (** Peak GC live words observed via {!sample_live_words} (max gauge;
     sampled per domain at pool-worker exit and by benches between runs). *)
+
+val store_opens : counter
+(** [.rgsdb] stores opened (mapped) this process. *)
+
+val store_open_ns : counter
+(** Total wall time spent in store opens, in nanoseconds: mapping the
+    sections, validating the header and section table, rebuilding the
+    alphabet. Divide by {!store_opens} for the mean open latency. *)
+
+val store_mapped_words : counter
+(** Words of [.rgsdb] section payloads currently mapped read-only (max
+    gauge over opens). Mapped words live outside the OCaml heap: they are
+    shared between pool domains and processes, and are {e not} counted by
+    {!peak_live_words} or the [--max-words] budget. *)
+
+val store_resident_words : counter
+(** Heap words copied out of a mapped store on demand (sequences
+    materialised for closure checks and printing). The resident/mapped
+    ratio is the fraction of the corpus a run actually touched. *)
+
+val store_crc_checks : counter
+(** Section payload CRC verifications performed ([Store.verify], and every
+    open of the header + section table). *)
+
+val store_crc_failures : counter
+(** Section CRC verifications that failed. Always paired with a raised
+    [Store.Invalid_store]; non-zero means on-disk corruption. *)

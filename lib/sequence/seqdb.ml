@@ -1,49 +1,221 @@
-type t = { seqs : Sequence.t array; alpha : Alphabet.t }
+(* A database is either heap-backed (every sequence built eagerly, the
+   seed behaviour) or store-backed: the event data and precomputed CSR
+   runs live in read-only mapped [Ivec] sections shared across domains
+   and processes, and [Sequence.t] values are materialised lazily, one
+   sequence at a time, only when something actually scans them (closure
+   checks, printing). Mining through the inverted index alone never
+   forces a sequence. *)
+type mapped = {
+  m_seq_offsets : Ivec.t; (* N+1 absolute offsets into events/csr_pos *)
+  m_events : Ivec.t; (* concatenated sequences, sequence-major *)
+  m_csr_offsets : Ivec.t; (* N*(k+1), per-sequence-relative (FORMAT.md §2.4) *)
+  m_csr_pos : Ivec.t; (* 1-based positions grouped by dense id *)
+  m_digest : string; (* hex MD5 of the canonical event stream *)
+}
+
+type t = {
+  (* per-slot atomics: domains race to materialise a sequence; the CAS
+     winner publishes and everyone reuses it (heap databases are fully
+     populated at construction, so the slow path never runs for them) *)
+  cache : Sequence.t option Atomic.t array;
+  alpha : Alphabet.t;
+  mapped : mapped option;
+  digest : string option Atomic.t;
+}
 
 (* The dense alphabet is interned eagerly: one O(total length) pass at build
    time buys hashing-free, array-indexed event lookups for the lifetime of
    the database (Inverted_index's CSR layout keys on dense ids). *)
-let of_owned_array seqs = { seqs; alpha = Alphabet.of_sequences seqs }
+let of_owned_array seqs =
+  {
+    cache = Array.map (fun s -> Atomic.make (Some s)) seqs;
+    alpha = Alphabet.of_sequences seqs;
+    mapped = None;
+    digest = Atomic.make None;
+  }
+
 let of_array seqs = of_owned_array (Array.copy seqs)
 let of_sequences l = of_owned_array (Array.of_list l)
 let of_strings l = of_sequences (List.map Sequence.of_string l)
-let size db = Array.length db.seqs
+let size db = Array.length db.cache
 let dense_alphabet db = db.alpha
+let is_mapped db = db.mapped <> None
+
+let mapped_csr db =
+  match db.mapped with
+  | None -> None
+  | Some m -> Some (m.m_csr_offsets, m.m_csr_pos)
+
+let force db i0 =
+  match db.mapped with
+  | None ->
+    (* heap databases populate every slot at construction *)
+    assert false
+  | Some m ->
+    let lo = Ivec.get m.m_seq_offsets i0
+    and hi = Ivec.get m.m_seq_offsets (i0 + 1) in
+    let s =
+      Sequence.unsafe_of_array (Ivec.sub_array m.m_events ~pos:lo ~len:(hi - lo))
+    in
+    let slot = db.cache.(i0) in
+    if Atomic.compare_and_set slot None (Some s) then begin
+      Metrics.add Metrics.store_resident_words (hi - lo);
+      s
+    end
+    else match Atomic.get slot with Some s -> s | None -> s
+
+let seq_at db i0 =
+  match Atomic.get db.cache.(i0) with Some s -> s | None -> force db i0
 
 let seq db i =
-  if i < 1 || i > Array.length db.seqs then
-    invalid_arg (Printf.sprintf "Seqdb.seq: index %d out of [1;%d]" i (Array.length db.seqs))
-  else db.seqs.(i - 1)
+  if i < 1 || i > Array.length db.cache then
+    invalid_arg
+      (Printf.sprintf "Seqdb.seq: index %d out of [1;%d]" i (Array.length db.cache))
+  else seq_at db (i - 1)
 
-let sequences db = Array.copy db.seqs
-let total_length db = Array.fold_left (fun n s -> n + Sequence.length s) 0 db.seqs
+let sequences db = Array.init (size db) (seq_at db)
+
+(* length of sequence [i0] without forcing it *)
+let length_at db i0 =
+  match db.mapped with
+  | Some m -> Ivec.get m.m_seq_offsets (i0 + 1) - Ivec.get m.m_seq_offsets i0
+  | None -> Sequence.length (seq_at db i0)
+
+let total_length db =
+  match db.mapped with
+  | Some m -> Ivec.get m.m_seq_offsets (size db)
+  | None ->
+    let n = ref 0 in
+    for i = 0 to size db - 1 do
+      n := !n + Sequence.length (seq_at db i)
+    done;
+    !n
 
 let max_length db =
-  Array.fold_left (fun m s -> max m (Sequence.length s)) 0 db.seqs
+  let m = ref 0 in
+  for i = 0 to size db - 1 do
+    m := max !m (length_at db i)
+  done;
+  !m
 
 let avg_length db =
-  if Array.length db.seqs = 0 then 0.
-  else float_of_int (total_length db) /. float_of_int (Array.length db.seqs)
+  if size db = 0 then 0.
+  else float_of_int (total_length db) /. float_of_int (size db)
 
 let alphabet db = Array.to_list (Alphabet.events db.alpha)
 let alphabet_size db = Alphabet.size db.alpha
 
 let event_count db e =
-  Array.fold_left (fun n s -> n + Sequence.count s e) 0 db.seqs
+  match db.mapped with
+  | Some m ->
+    (* per-event totals fall out of the CSR offsets; no sequence forced *)
+    let d = Alphabet.dense db.alpha e in
+    if d < 0 then 0
+    else begin
+      let k = Alphabet.size db.alpha in
+      let total = ref 0 in
+      for i = 0 to size db - 1 do
+        let base = i * (k + 1) in
+        total :=
+          !total
+          + Ivec.get m.m_csr_offsets (base + d + 1)
+          - Ivec.get m.m_csr_offsets (base + d)
+      done;
+      !total
+    end
+  | None ->
+    let n = ref 0 in
+    for i = 0 to size db - 1 do
+      n := !n + Sequence.count (seq_at db i) e
+    done;
+    !n
 
 let fold f init db =
   let acc = ref init in
-  Array.iteri (fun i s -> acc := f !acc (i + 1) s) db.seqs;
+  for i = 0 to size db - 1 do
+    acc := f !acc (i + 1) (seq_at db i)
+  done;
   !acc
 
-let iter f db = Array.iteri (fun i s -> f (i + 1) s) db.seqs
-let equal a b = a.seqs = b.seqs
+let iter f db =
+  for i = 0 to size db - 1 do
+    f (i + 1) (seq_at db i)
+  done
+
+(* The canonical event stream: every event as "%d ", every sequence
+   terminated by '\n'. Checkpoint fingerprints hash exactly this stream
+   (plus the run parameters), and Store.write seals its MD5 into the
+   .rgsdb header (FORMAT.md §2.1) — so a mapped database answers in O(1)
+   and text-path and store-path runs share checkpoints. *)
+let compute_digest db =
+  let buf = Buffer.create (4 * (total_length db + size db) + 16) in
+  iter
+    (fun _ s ->
+      Sequence.iteri
+        (fun _ e ->
+          Buffer.add_string buf (string_of_int e);
+          Buffer.add_char buf ' ')
+        s;
+      Buffer.add_char buf '\n')
+    db;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let content_digest db =
+  match Atomic.get db.digest with
+  | Some d -> d
+  | None ->
+    let d = compute_digest db in
+    (* racing domains compute the same value; first publish wins *)
+    ignore (Atomic.compare_and_set db.digest None (Some d));
+    d
+
+let of_store ~alpha ~seq_offsets ~events ~csr_offsets ~csr_pos ~digest =
+  let n = Ivec.length seq_offsets - 1 in
+  let k = Alphabet.size alpha in
+  if n < 0 then invalid_arg "Seqdb.of_store: empty sequence-offset table";
+  if Ivec.length csr_offsets <> n * (k + 1) then
+    invalid_arg "Seqdb.of_store: CSR offset table size mismatch";
+  if Ivec.get seq_offsets 0 <> 0 then
+    invalid_arg "Seqdb.of_store: sequence offsets must start at 0";
+  for i = 0 to n - 1 do
+    if Ivec.get seq_offsets (i + 1) < Ivec.get seq_offsets i then
+      invalid_arg "Seqdb.of_store: sequence offsets must be nondecreasing"
+  done;
+  let total = Ivec.get seq_offsets n in
+  if Ivec.length events <> total then
+    invalid_arg "Seqdb.of_store: event section size mismatch";
+  if Ivec.length csr_pos <> total then
+    invalid_arg "Seqdb.of_store: CSR position section size mismatch";
+  {
+    cache = Array.init n (fun _ -> Atomic.make None);
+    alpha;
+    mapped =
+      Some
+        {
+          m_seq_offsets = seq_offsets;
+          m_events = events;
+          m_csr_offsets = csr_offsets;
+          m_csr_pos = csr_pos;
+          m_digest = digest;
+        };
+    digest = Atomic.make (Some digest);
+  }
+
+let equal a b =
+  size a = size b
+  &&
+  (* mapped stores carry their content hash; use it when both sides do *)
+  match (a.mapped, b.mapped) with
+  | Some ma, Some mb -> ma.m_digest = mb.m_digest
+  | _ ->
+    let rec go i =
+      i >= size a || (Sequence.equal (seq_at a i) (seq_at b i) && go (i + 1))
+    in
+    go 0
 
 let pp ppf db =
   Format.fprintf ppf "@[<v>";
-  Array.iteri
-    (fun i s -> Format.fprintf ppf "S%d = %a@," (i + 1) Sequence.pp s)
-    db.seqs;
+  iter (fun i s -> Format.fprintf ppf "S%d = %a@," i Sequence.pp s) db;
   Format.fprintf ppf "@]"
 
 type stats = {
@@ -56,15 +228,15 @@ type stats = {
 }
 
 let stats db =
-  let min_length =
-    if Array.length db.seqs = 0 then 0
-    else Array.fold_left (fun m s -> min m (Sequence.length s)) max_int db.seqs
-  in
+  let min_length = ref (if size db = 0 then 0 else max_int) in
+  for i = 0 to size db - 1 do
+    min_length := min !min_length (length_at db i)
+  done;
   {
     num_sequences = size db;
     num_events = alphabet_size db;
     total_length = total_length db;
-    min_length;
+    min_length = !min_length;
     max_length = max_length db;
     avg_length = avg_length db;
   }

@@ -1,7 +1,12 @@
 (** Sequence databases.
 
     [SeqDB = {S1, S2, ..., SN}] (Section II). Sequence indices are {b 1-based}
-    like in the paper: [seq db 1] is [S1]. *)
+    like in the paper: [seq db 1] is [S1].
+
+    A database is heap-backed (built from parsed text or a generator) or
+    store-backed ({!of_store}): backed by read-only {!Ivec} sections
+    mapped out of a [.rgsdb] file, with sequences materialised lazily on
+    first access. Both answer every query below identically. *)
 
 type t
 
@@ -51,8 +56,51 @@ val iter : (int -> Sequence.t -> unit) -> t -> unit
 (** Iterates with 1-based sequence indices. *)
 
 val equal : t -> t -> bool
+(** Content equality: same number of sequences, elementwise-equal
+    sequences. When both sides are store-backed the sealed content
+    digests are compared instead — O(1) and no sequence is forced. *)
 
 val pp : Format.formatter -> t -> unit
+
+(** {2 Store backing}
+
+    The low-level bridge to the binary store (lib/store). [Store] maps a
+    [.rgsdb] file and hands the typed sections to {!of_store}; everything
+    above this line is backing-agnostic. *)
+
+val of_store :
+  alpha:Alphabet.t ->
+  seq_offsets:Ivec.t ->
+  events:Ivec.t ->
+  csr_offsets:Ivec.t ->
+  csr_pos:Ivec.t ->
+  digest:string ->
+  t
+(** A store-backed database over mapped (or otherwise precomputed)
+    sections: [seq_offsets] holds [N+1] nondecreasing offsets (starting
+    at 0) into [events] and [csr_pos]; [csr_offsets] holds [N * (k+1)]
+    per-sequence-relative CSR offsets for the [k]-event [alpha];
+    [digest] is the hex MD5 of the canonical event stream sealed at pack
+    time ({!content_digest}). Sequences materialise lazily and are cached
+    (safe under parallel domains); {!Inverted_index.build} on the result
+    slices the CSR sections zero-copy.
+    @raise Invalid_argument when the section shapes disagree. *)
+
+val is_mapped : t -> bool
+(** [true] for {!of_store}-backed databases. *)
+
+val mapped_csr : t -> (Ivec.t * Ivec.t) option
+(** The precomputed CSR sections [(csr_offsets, csr_pos)] of a
+    store-backed database, [None] for heap databases. Consumed by
+    {!Inverted_index.build}. *)
+
+val content_digest : t -> string
+(** Hex MD5 of the canonical event stream (every event printed as
+    ["%d "], every sequence terminated by ['\n'] — FORMAT.md §2.1).
+    O(1) on store-backed databases (sealed at pack time), computed once
+    and cached on heap databases. Checkpoint fingerprints build on this,
+    so text-loaded and store-backed runs of the same corpus share
+    checkpoints. *)
 
 type stats = {
   num_sequences : int;

@@ -1,6 +1,7 @@
 type t = Event.t array
 
 let of_array a = Array.copy a
+let unsafe_of_array a = a
 let of_list l = Array.of_list l
 
 let of_string s =

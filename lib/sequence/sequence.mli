@@ -10,6 +10,12 @@ type t
 val of_array : Event.t array -> t
 (** [of_array a] takes ownership of a copy of [a]. *)
 
+val unsafe_of_array : Event.t array -> t
+(** [unsafe_of_array a] adopts [a] without copying; the caller must never
+    mutate it afterwards. Used by {!Seqdb} when materialising sequences
+    out of a mapped store, where the freshly copied slice has no other
+    owner. *)
+
 val of_list : Event.t list -> t
 
 val of_string : string -> t

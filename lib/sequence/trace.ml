@@ -13,8 +13,10 @@ type kind =
   | Closure_check
   | Lb_prune
   | Query_cut
+  | Store_map
+  | Store_crc
 
-let num_kinds = 12
+let num_kinds = 14
 
 let kind_code = function
   | Root -> 0
@@ -29,6 +31,8 @@ let kind_code = function
   | Closure_check -> 9
   | Lb_prune -> 10
   | Query_cut -> 11
+  | Store_map -> 12
+  | Store_crc -> 13
 
 let kind_of_code = function
   | 0 -> Root
@@ -43,6 +47,8 @@ let kind_of_code = function
   | 9 -> Closure_check
   | 10 -> Lb_prune
   | 11 -> Query_cut
+  | 12 -> Store_map
+  | 13 -> Store_crc
   | c -> invalid_arg (Printf.sprintf "Trace: bad kind code %d" c)
 
 let kind_name = function
@@ -58,6 +64,8 @@ let kind_name = function
   | Closure_check -> "closure_check"
   | Lb_prune -> "lb_prune"
   | Query_cut -> "query_cut"
+  | Store_map -> "store_map"
+  | Store_crc -> "store_crc"
 
 (* Immutable [roots_on]/[nodes_on] flags keep the disabled-path check to one
    load and one predictable branch; the ring arrays are structure-of-arrays
@@ -154,7 +162,7 @@ let rec for_domain t =
 
 let enabled t = function
   | Root | Worker | Checkpoint_write | Budget_stop | Root_retry | Quarantine
-  | Checkpoint_retry ->
+  | Checkpoint_retry | Store_map | Store_crc ->
     t.roots_on
   | Node | Extension | Closure_check | Lb_prune | Query_cut -> t.nodes_on
 
@@ -268,6 +276,8 @@ let arg_fields = function
   | Closure_check -> [| "verdict"; "depth" |]
   | Lb_prune -> [| "depth"; "support" |]
   | Query_cut -> [| "depth"; "reason" |]
+  | Store_map -> [| "mapped_words"; "open_us" |]
+  | Store_crc -> [| "section"; "ok" |]
 
 let pp_args ppf ev =
   let fields = arg_fields ev.kind in

@@ -42,6 +42,11 @@ type level =
     - [Checkpoint_retry]: instant when a checkpoint write failed and was
       retried after a backoff; [a0] = attempt number (from 1), [a1] = 1
       when this failure exhausted the retries (the write was abandoned).
+    - [Store_map]: instant per [.rgsdb] store opened (mapped); [a0] =
+      mapped payload words, [a1] = open latency in microseconds.
+    - [Store_crc]: instant per section CRC verification; [a0] = section
+      tag (first byte of the FourCC), [a1] = 1 when the check passed,
+      0 when it failed.
 
     The [Nodes]-level kinds:
 
@@ -69,6 +74,8 @@ type kind =
   | Closure_check
   | Lb_prune
   | Query_cut
+  | Store_map
+  | Store_crc
 
 type t
 

@@ -108,6 +108,35 @@ let parse format text =
   | Protocol.Chars -> Seq_io.parse_chars ~strict:true text
   | Protocol.Spmf -> Seq_io.parse_spmf ~strict:true text
 
+(* Mapped [.rgsdb] stores are cached per path: every job referencing the
+   same store (and the daemon's --store preload) shares one read-only
+   mapping, so concurrent jobs on one corpus cost one set of pages. The
+   cache never evicts — stores a daemon serves are few and mappings are
+   cheap (page cache, not heap). *)
+let store_cache : (string, Seqdb.t) Hashtbl.t = Hashtbl.create 4
+let store_mutex = Mutex.create ()
+
+let is_store_path path = Filename.check_suffix path ".rgsdb"
+
+let open_store ~verify path =
+  Mutex.protect store_mutex (fun () ->
+      match Hashtbl.find_opt store_cache path with
+      | Some db -> db
+      | None ->
+        let store = Rgs_store.Store.open_store ~verify path in
+        let db = Rgs_store.Store.db store in
+        Hashtbl.add store_cache path db;
+        db)
+
+let preload_store path =
+  match open_store ~verify:true path with
+  | db -> Ok db
+  | exception Rgs_store.Store.Invalid_store e ->
+    Error (Printf.sprintf "%s: %s" path (Rgs_store.Store.error_message e))
+  | exception Unix.Unix_error (err, _, _) ->
+    Error (Printf.sprintf "%s: %s" path (Unix.error_message err))
+  | exception Sys_error msg -> Error msg
+
 let load_db (spec : Protocol.job_spec) =
   match spec.db with
   | Protocol.Inline { format; text } -> (
@@ -115,6 +144,14 @@ let load_db (spec : Protocol.job_spec) =
     | db -> Ok db
     | exception Seq_io.Parse_error { line; msg } ->
       Error (Printf.sprintf "inline db: line %d: %s" line msg))
+  | Protocol.File { format = _; path } when is_store_path path -> (
+    match open_store ~verify:false path with
+    | db -> Ok db
+    | exception Rgs_store.Store.Invalid_store e ->
+      Error (Printf.sprintf "%s: %s" path (Rgs_store.Store.error_message e))
+    | exception Unix.Unix_error (err, _, _) ->
+      Error (Printf.sprintf "%s: %s" path (Unix.error_message err))
+    | exception Sys_error msg -> Error msg)
   | Protocol.File { format; path } -> (
     match parse format (read_file path) with
     | db -> Ok db

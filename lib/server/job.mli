@@ -71,7 +71,16 @@ val config_of : Protocol.job_spec -> Miner.config
 val load_db : Protocol.job_spec -> (Seqdb.t, string) result
 (** Materialise the job's database: parse the inline text, or read and
     parse the server-side file. Parsing is strict — a malformed database
-    is a typed rejection, not a silently smaller input. *)
+    is a typed rejection, not a silently smaller input. A [File] path
+    ending in [.rgsdb] is opened as a mapped binary store instead of
+    parsed (its [format] field is ignored); opened stores are cached per
+    path, so every job on one corpus shares a single read-only mapping. *)
+
+val preload_store : string -> (Seqdb.t, string) result
+(** Open a [.rgsdb] store eagerly, verifying every section payload CRC
+    (not just the open-time framing checks), and seed the {!load_db}
+    cache with it. The daemon runs this on each [--store] path at startup
+    so a corrupt store fails the boot, not the first job. *)
 
 val checkpoint_path : state_dir:string -> string -> string
 (** [checkpoint_path ~state_dir job_id] — the job's durable log,

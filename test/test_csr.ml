@@ -4,17 +4,35 @@
    CSR backend must answer positions/next/count_between exactly like the
    legacy hashtable layout and the paged B-tree layout, the monotone cursor
    must agree with repeated [next] calls, and the full miners must produce
-   identical outputs on all three backends. Each property runs on 100+
-   random databases. *)
+   identical outputs on all backends. Each property runs on 100+ random
+   databases.
+
+   The fourth backend is the store round-trip: the database packed into a
+   [.rgsdb] file, re-opened as a mapped Seqdb (lazy sequences, zero-copy
+   CSR slices over the pack-time sections), and indexed through the same
+   [build] entry. Every property holding on it pins the mapped read path
+   to the heap one. *)
 
 open Rgs_sequence
 open Rgs_core
+module Store = Rgs_store.Store
+
+(* Pack [db] and re-open it mapped. The temp file is unlinked immediately:
+   on Linux the mapping outlives the directory entry, which also checks
+   that nothing in the index re-opens the path. *)
+let mapped_db db =
+  let path = Filename.temp_file "rgs_csr" ".rgsdb" in
+  Store.write ~path db;
+  let sdb, _ = Store.open_db path in
+  Sys.remove path;
+  sdb
 
 let backends db =
   [
     Inverted_index.build_kind Inverted_index.Kcsr db;
     Inverted_index.build_kind Inverted_index.Klegacy db;
     Inverted_index.build_kind ~fanout:4 Inverted_index.Kpaged db;
+    Inverted_index.build_kind Inverted_index.Kcsr (mapped_db db);
   ]
 
 let small_db = Gens.db ~num_seqs:6 ~alphabet:5 ~max_len:14
@@ -25,7 +43,7 @@ let prop_queries_equal =
   Gens.make ~name:"csr = legacy = paged: queries" ~count:120 small_db
     Gens.print_db (fun db ->
       match backends db with
-      | [ csr; legacy; paged ] ->
+      | [ csr; legacy; paged; mapped ] ->
         let events = [ 0; 1; 2; 3; 4; 5; 99 ] (* 5 and 99 are absent *) in
         List.for_all
           (fun alt ->
@@ -63,7 +81,7 @@ let prop_queries_equal =
                      db;
                    !ok)
                  events)
-          [ legacy; paged ]
+          [ legacy; paged; mapped ]
       | _ -> assert false)
 
 (* A monotone stream of seeks through a cursor returns exactly what
@@ -97,7 +115,7 @@ let prop_grow_equal =
     QCheck2.Gen.(pair small_db (Gens.pattern ~alphabet:5 ~max_len:4))
     Gens.print_db_pattern (fun (db, pat) ->
       match backends db with
-      | [ csr; legacy; paged ] ->
+      | [ csr; legacy; paged; mapped ] ->
         let grow_all idx =
           let sets = ref [] in
           let i = ref (Support_set.of_event idx (Pattern.get pat 1)) in
@@ -112,6 +130,7 @@ let prop_grow_equal =
         List.for_all Support_set.well_formed on_csr
         && List.for_all2 Support_set.equal on_csr (grow_all legacy)
         && List.for_all2 Support_set.equal on_csr (grow_all paged)
+        && List.for_all2 Support_set.equal on_csr (grow_all mapped)
       | _ -> assert false)
 
 let signatures results =
@@ -125,15 +144,17 @@ let prop_miners_equal =
   Gens.make ~name:"GSgrow/CloGSgrow across backends" ~count:100 small_db
     Gens.print_db (fun db ->
       match backends db with
-      | [ csr; legacy; paged ] ->
+      | [ csr; legacy; paged; mapped ] ->
         let all idx = signatures (fst (Gsgrow.mine ~max_length:4 idx ~min_sup:2)) in
         let closed idx =
           signatures (fst (Clogsgrow.mine ~max_length:4 idx ~min_sup:2))
         in
         all csr = all legacy
         && all csr = all paged
+        && all csr = all mapped
         && closed csr = closed legacy
         && closed csr = closed paged
+        && closed csr = closed mapped
       | _ -> assert false)
 
 (* Gap-constrained mining rides the same cursor path; cover it too. *)
@@ -141,12 +162,12 @@ let prop_gap_miner_equal =
   Gens.make ~name:"gap-constrained across backends" ~count:100 small_db
     Gens.print_db (fun db ->
       match backends db with
-      | [ csr; legacy; paged ] ->
+      | [ csr; legacy; paged; mapped ] ->
         let mine idx =
           signatures
             (fst (Gap_constrained.mine ~max_length:4 idx ~max_gap:2 ~min_sup:2))
         in
-        mine csr = mine legacy && mine csr = mine paged
+        mine csr = mine legacy && mine csr = mine paged && mine csr = mine mapped
       | _ -> assert false)
 
 (* Deterministic end-to-end runs on generated trace data, closer to the

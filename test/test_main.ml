@@ -6,6 +6,7 @@ let () =
       ("pattern", Test_pattern.suite);
       ("core-units", Test_core_units.suite);
       ("csr", Test_csr.suite);
+      ("store", Test_store.suite);
       ("perf-guard", Test_perf_guard.suite);
       ("paper-examples", Test_paper_examples.suite);
       ("baselines", Test_baselines.suite);

@@ -1,12 +1,23 @@
-(* Regenerate the corrupt-checkpoint corpus under test/fixtures/.
+(* Regenerate the corrupt-fixture corpora under test/fixtures/.
 
    Usage: dune exec test/tools/gen_fixtures.exe -- test/fixtures
 
-   The corpus is checked in, so the salvage tests exercise the exact bytes
-   a crash can leave behind; rerun this tool (and re-commit) whenever the
-   checkpoint record format changes. The record payloads deliberately use
-   empty result lists, so the fixtures survive representation changes in
-   Mined.t/Support_set.t and only pin the framing. *)
+   Two corpora, both checked in:
+
+   - *.ckpt — corrupt checkpoint logs: the salvage tests exercise the
+     exact bytes a crash can leave behind. The record payloads
+     deliberately use empty result lists, so the fixtures survive
+     representation changes in Mined.t/Support_set.t and only pin the
+     framing.
+
+   - *.rgsdb — corrupt binary stores: one intact store plus one mutant
+     per FORMAT.md clause the open/verify paths enforce (the test names
+     in test_store.ml cite the clause each fixture violates). The
+     mutations are made with local little-endian/CRC-32 helpers mirroring
+     FORMAT.md §1, not with the writer's internals, so regenerating them
+     doubles as a second implementation of the framing spec.
+
+   Rerun this tool (and re-commit) whenever either format changes. *)
 
 open Rgs_core
 
@@ -41,6 +52,97 @@ let frames_of image =
   in
   (header, split header_len [])
 
+(* --- the .rgsdb corpus (FORMAT.md §1 helpers) --- *)
+
+let crc32 s =
+  let table =
+    Array.init 256 (fun i ->
+        let c = ref i in
+        for _ = 0 to 7 do
+          c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+        done;
+        !c)
+  in
+  let c = ref 0xFFFFFFFF in
+  String.iter
+    (fun ch -> c := table.((!c lxor Char.code ch) land 0xFF) lxor (!c lsr 8))
+    s;
+  (!c lxor 0xFFFFFFFF) land 0xFFFFFFFF
+
+let set_u32 b off v =
+  for i = 0 to 3 do
+    Bytes.set b (off + i) (Char.chr ((v lsr (8 * i)) land 0xFF))
+  done
+
+let set_u64 b off v =
+  for i = 0 to 7 do
+    Bytes.set b (off + i) (Char.chr ((v lsr (8 * i)) land 0xFF))
+  done
+
+let get_u64 (s : string) off =
+  let b i = Char.code s.[off + i] in
+  b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24) lor (b 4 lsl 32)
+  lor (b 5 lsl 40) lor (b 6 lsl 48) lor (b 7 lsl 56)
+
+let flip b off = Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor 0xFF))
+
+(* table entries are 32 bytes from offset 64 (§3); the table CRC sits
+   right after the last entry (§3.2), the header CRC at byte 60 (§2.3) *)
+let entry_base i = 64 + (32 * i)
+
+let reseal_header b = set_u32 b 60 (crc32 (Bytes.sub_string b 0 60))
+
+let reseal_table count b =
+  set_u32 b (entry_base count) (crc32 (Bytes.sub_string b 64 (32 * count)))
+
+let gen_store_fixtures dir =
+  (* four token sequences with a repeating 3-name alphabet: small enough
+     to eyeball in xxd, rich enough that every section is non-empty *)
+  let text =
+    "login view buy\nview view login buy\nbuy login view\nlogin login buy view\n"
+  in
+  let db, codec = Rgs_sequence.Seq_io.parse_tokens text in
+  let good = Filename.concat dir "good.rgsdb" in
+  Rgs_store.Store.write ~codec ~path:good db;
+  let image = read_file good in
+  let count = get_u64 image 16 in
+  let mutant name f =
+    let b = Bytes.of_string image in
+    f b;
+    write_file (Filename.concat dir name) (Bytes.to_string b)
+  in
+  (* §2.1: not a store at all *)
+  mutant "bad_magic.rgsdb" (fun b -> flip b 0);
+  (* §2.2: version checked before the header CRC, so no reseal needed *)
+  mutant "wrong_version.rgsdb" (fun b -> set_u32 b 8 99);
+  (* §2.3: a flipped digest byte breaks the header CRC *)
+  mutant "bad_header_crc.rgsdb" (fun b -> flip b 40);
+  (* §3.1: a resealed header declaring more entries than the file holds *)
+  mutant "truncated_table.rgsdb" (fun b ->
+      set_u64 b 16 1_000_000;
+      reseal_header b);
+  (* §3.2: a flipped reserved byte inside entry 0 breaks the table CRC *)
+  mutant "bad_table_crc.rgsdb" (fun b -> flip b (entry_base 0 + 4));
+  (* §3.3: CPOS (entry 4) renamed — the unknown tag is ignored, the
+     required section is gone *)
+  mutant "missing_section.rgsdb" (fun b ->
+      Bytes.blit_string "XPOS" 0 b (entry_base 4) 4;
+      reseal_table count b);
+  (* §3.4: EVTS (entry 2) offset nudged off the 8-byte grid *)
+  mutant "misaligned_section.rgsdb" (fun b ->
+      set_u64 b (entry_base 2 + 8) (get_u64 image (entry_base 2 + 8) + 4);
+      reseal_table count b);
+  (* §3.5: a flipped byte inside the EVTS payload — open must succeed,
+     verify must fail *)
+  mutant "bad_payload_crc.rgsdb" (fun b ->
+      flip b (get_u64 image (entry_base 2 + 8)));
+  (* §3.6: NAME (entry 5, optional) renamed to an unknown tag — the store
+     must still open, with no codec *)
+  mutant "unknown_section.rgsdb" (fun b ->
+      Bytes.blit_string "ZQQQ" 0 b (entry_base 5) 4;
+      reseal_table count b);
+  Printf.printf "wrote good.rgsdb + 9 mutant(s) to %s (%d sections)\n" dir count
+
 let () =
   let dir = Sys.argv.(1) in
   let base = Filename.concat dir "full.ckpt" in
@@ -69,4 +171,5 @@ let () =
     (Filename.concat dir "wrong_version.ckpt")
     (Printf.sprintf "RGS-CHECKPOINT\nv1 %s\n" fingerprint);
   write_file (Filename.concat dir "empty.ckpt") "";
-  Printf.printf "wrote 5 fixture(s) to %s (fingerprint %s)\n" dir fingerprint
+  Printf.printf "wrote 5 fixture(s) to %s (fingerprint %s)\n" dir fingerprint;
+  gen_store_fixtures dir

@@ -1,0 +1,44 @@
+#!/bin/sh
+# Markdown link check: every relative link target in the repo's own docs
+# must exist. External links (http/https/mailto) and pure anchors are not
+# checked — this guards against the common failure of renaming or moving
+# a file and leaving `[text](OLD.md)` behind, not against the network.
+#
+# Scope: the hand-written docs at the repo root plus data/README.md.
+# Driver-owned and reference-dump files (ISSUE.md, PAPER.md, PAPERS.md,
+# SNIPPETS.md) are excluded: they are not ours to fix and may quote
+# `](...)` fragments inside code blocks.
+
+cd "$(dirname "$0")/.." || exit 1
+
+DOCS="README.md DESIGN.md OBSERVABILITY.md FORMAT.md ROADMAP.md \
+      CHANGES.md data/README.md"
+[ -f EXPERIMENTS.md ] && DOCS="$DOCS EXPERIMENTS.md"
+[ -f PROTOCOL.md ] && DOCS="$DOCS PROTOCOL.md"
+
+dead=0
+for doc in $DOCS; do
+  [ -f "$doc" ] || continue
+  dir=$(dirname "$doc")
+  # inline links: ](target) — one per line via grep -o, then strip the
+  # wrapper. Targets containing ')' or whitespace are out of scope.
+  for target in $(grep -o ']([^)<>[:space:]]*)' "$doc" 2>/dev/null \
+                  | sed 's/^](//; s/)$//'); do
+    case "$target" in
+      http://*|https://*|mailto:*|'#'*|'') continue ;;
+    esac
+    path=${target%%#*}          # drop any anchor
+    [ -n "$path" ] || continue
+    if [ ! -e "$dir/$path" ]; then
+      echo "fmt_docs: $doc: dead relative link -> $target"
+      dead=1
+    fi
+  done
+done
+
+if [ "$dead" = 1 ]; then
+  echo "fmt_docs: FAILED (dead relative links)"
+  exit 1
+fi
+echo "fmt_docs: all relative links resolve"
+exit 0
