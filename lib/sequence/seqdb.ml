@@ -186,6 +186,25 @@ let of_store ~alpha ~seq_offsets ~events ~csr_offsets ~csr_pos ~digest =
     invalid_arg "Seqdb.of_store: event section size mismatch";
   if Ivec.length csr_pos <> total then
     invalid_arg "Seqdb.of_store: CSR position section size mismatch";
+  (* Semantic CSR-offset check (FORMAT.md §2.5): every consumer of the
+     mapped CSR — totals, slicing, the cursor gallop — indexes the
+     position runs with these offsets unchecked, so each sequence's
+     block must be a valid prefix-sum: starts at 0, nondecreasing, ends
+     at the sequence's own length. O(N·(k+1)) over mapped table words;
+     no event data is touched, so opens stay corpus-length-independent. *)
+  for i = 0 to n - 1 do
+    let base = i * (k + 1) in
+    if Ivec.get csr_offsets base <> 0 then
+      invalid_arg "Seqdb.of_store: CSR offsets must start at 0";
+    for d = 1 to k do
+      if Ivec.get csr_offsets (base + d) < Ivec.get csr_offsets (base + d - 1)
+      then invalid_arg "Seqdb.of_store: CSR offsets must be nondecreasing"
+    done;
+    let len = Ivec.get seq_offsets (i + 1) - Ivec.get seq_offsets i in
+    if Ivec.get csr_offsets (base + k) <> len then
+      invalid_arg
+        "Seqdb.of_store: CSR offsets must end at the sequence length"
+  done;
   {
     cache = Array.init n (fun _ -> Atomic.make None);
     alpha;

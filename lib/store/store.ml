@@ -17,6 +17,11 @@ let sec_name = "NAME"
 
 let required_sections = [ sec_alph; sec_sqof; sec_evts; sec_csof; sec_cpos ]
 
+(* The tags this reader interprets. Everything else is a §3.6 unknown
+   section: skipped wholesale, so its offset/length are never trusted —
+   in particular never used to address the mapping (verify included). *)
+let known_tags = sec_name :: required_sections
+
 type error = { clause : string; reason : string }
 
 exception Invalid_store of error
@@ -48,12 +53,15 @@ let crc32_string s =
 
 type bytes_map = (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
 
+(* Checked gets: every caller's range is validated against the mapping
+   first, but a CRC pass is cold-path work and an index bug here would
+   read (or fault on) pages outside the file, so the bounds check stays. *)
 let crc32_map (m : bytes_map) ~pos ~len =
   let table = Lazy.force crc_table in
   let c = ref 0xFFFFFFFF in
   for i = pos to pos + len - 1 do
     c :=
-      table.((!c lxor Char.code (Bigarray.Array1.unsafe_get m i)) land 0xFF)
+      table.((!c lxor Char.code (Bigarray.Array1.get m i)) land 0xFF)
       lxor (!c lsr 8)
   done;
   (!c lxor 0xFFFFFFFF) land 0xFFFFFFFF
@@ -210,8 +218,20 @@ let write ?codec ~path db =
       buf_u32 tcrc_buf (crc32_string table);
       buf_u32 tcrc_buf 0;
       output_string oc (Buffer.contents tcrc_buf);
-      Buffer.output_buffer oc body_buf);
-  Sys.rename tmp path
+      Buffer.output_buffer oc body_buf;
+      (* durability before the rename: without the fsync a crash can
+         publish an empty or truncated file at the final path (§6) *)
+      flush oc;
+      Unix.fsync (Unix.descr_of_out_channel oc));
+  Sys.rename tmp path;
+  (* seal the rename itself; directory fsync is best-effort — some
+     filesystems refuse it, and the file contents are already durable *)
+  match Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | dirfd ->
+    Fun.protect
+      ~finally:(fun () -> Unix.close dirfd)
+      (fun () -> try Unix.fsync dirfd with Unix.Unix_error _ -> ())
 
 (* --- opener --- *)
 
@@ -265,7 +285,14 @@ let verify_section ?(trace = Trace.null) bytes s =
       s.tag s.s_crc crc
   end
 
-let verify ?trace t = List.iter (verify_section ?trace t.bytes) t.secs
+(* Only recognised sections are CRC'd: an unknown section is skipped
+   wholesale per §3.6, and its table entry's offset/length — attacker-
+   or future-writer-controlled, with no bounds clause of their own —
+   must never drive a read of the mapping. Recognised sections were
+   bounds-checked against the file size at open (§3.4). *)
+let known_secs t = List.filter (fun s -> List.mem s.tag known_tags) t.secs
+
+let verify ?trace t = List.iter (verify_section ?trace t.bytes) (known_secs t)
 
 let open_store ?(verify = false) ?(trace = Trace.null) path =
   if Sys.big_endian then
@@ -306,6 +333,12 @@ let open_store ?(verify = false) ?(trace = Trace.null) path =
           declared_size file_size;
       let digest_raw = map_string bytes ~pos:32 ~len:16 in
       let table_off = header_bytes in
+      (* divide, don't multiply: count is attacker-controlled up to
+         2^62-1 (§1.3) and [table_entry_bytes * count] can wrap a 63-bit
+         int, sneaking a huge table past the §3.1 bound below *)
+      if count > (file_size - table_off - 8) / table_entry_bytes then
+        invalid "§3.1" "section table truncated: %d entries cannot fit in %d bytes"
+          count (file_size - table_off);
       let table_len = table_entry_bytes * count in
       if table_off + table_len + 8 > file_size then
         invalid "§3.1" "section table truncated: %d entries need %d bytes, file has %d"
@@ -355,9 +388,14 @@ let open_store ?(verify = false) ?(trace = Trace.null) path =
         with Invalid_argument reason -> invalid "§2.5" "%s" reason
       in
       let store_codec =
-        match List.find_opt (fun s -> s.tag = sec_name) secs with
-        | None -> None
-        | Some s ->
+        (* §3.3 also binds NAME: at most one. A second entry would skip
+           the bounds check below yet be CRC'd by [verify] as a known
+           tag, reopening the very hole [known_secs] closes. *)
+        match List.filter (fun s -> s.tag = sec_name) secs with
+        | [] -> None
+        | _ :: _ :: _ ->
+          invalid "§3.3" "section %s appears more than once" sec_name
+        | [ s ] ->
           if s.s_off < header_bytes || s.s_off + s.s_len > file_size then
             invalid "§3.4" "section %s [%d, %d) lies outside the file" s.tag
               s.s_off (s.s_off + s.s_len);
@@ -382,7 +420,7 @@ let open_store ?(verify = false) ?(trace = Trace.null) path =
           words;
         }
       in
-      if verify then List.iter (verify_section ~trace bytes) secs;
+      if verify then List.iter (verify_section ~trace bytes) (known_secs t);
       let dt = now_ns () - t0 in
       Metrics.hit Metrics.store_opens;
       Metrics.add Metrics.store_open_ns dt;

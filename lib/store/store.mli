@@ -37,8 +37,8 @@ type t
 
 val write : ?codec:Codec.t -> path:string -> Seqdb.t -> unit
 (** [write ~path db] packs [db] (and its event-name codec, when given)
-    into a fresh store at [path], written atomically (temp file +
-    rename). The output is a pure function of the database content and
+    into a fresh store at [path], written atomically and durably (temp
+    file, fsync, rename, best-effort directory fsync). The output is a pure function of the database content and
     codec — packing the same corpus twice yields byte-identical files.
     The CSR runs are computed here, at pack time, so opens never do. *)
 
@@ -76,10 +76,12 @@ val sections : t -> (string * int) list
     summary output and tests. *)
 
 val verify : ?trace:Trace.t -> t -> unit
-(** Re-read every section payload from the mapping and check it against
-    the section table's CRC-32 (FORMAT.md §3.5). Bumps
-    [store_crc_checks] per section and records [Trace.Store_crc]
-    instants.
+(** Re-read every {e recognised} section payload from the mapping and
+    check it against the section table's CRC-32 (FORMAT.md §3.5).
+    Unknown sections are skipped wholesale — their table offsets are
+    unconstrained and never dereferenced (FORMAT.md §3.6). Bumps
+    [store_crc_checks] per checked section and records
+    [Trace.Store_crc] instants.
     @raise Invalid_store (clause §3.5) on the first mismatch. *)
 
 val open_db : ?verify:bool -> ?trace:Trace.t -> string -> Seqdb.t * Codec.t option

@@ -121,6 +121,12 @@ let gen_store_fixtures dir =
   mutant "truncated_table.rgsdb" (fun b ->
       set_u64 b 16 1_000_000;
       reseal_header b);
+  (* §3.1 still, but via the overflow route: 32·2^59 wraps a 63-bit int,
+     so a reader that multiplies before comparing would accept the count
+     and then walk a wrapped table *)
+  mutant "huge_count.rgsdb" (fun b ->
+      set_u64 b 16 (1 lsl 59);
+      reseal_header b);
   (* §3.2: a flipped reserved byte inside entry 0 breaks the table CRC *)
   mutant "bad_table_crc.rgsdb" (fun b -> flip b (entry_base 0 + 4));
   (* §3.3: CPOS (entry 4) renamed — the unknown tag is ignored, the
@@ -136,12 +142,26 @@ let gen_store_fixtures dir =
      verify must fail *)
   mutant "bad_payload_crc.rgsdb" (fun b ->
       flip b (get_u64 image (entry_base 2 + 8)));
+  (* §2.5: the first CSOF word (entry 3) bumped off zero — the prefix-sum
+     invariant is broken, and because §2.5 is a framing check the open
+     must reject it even though the payload CRCs are deferred *)
+  mutant "bad_csof.rgsdb" (fun b ->
+      set_u64 b (get_u64 image (entry_base 3 + 8)) 1);
   (* §3.6: NAME (entry 5, optional) renamed to an unknown tag — the store
      must still open, with no codec *)
   mutant "unknown_section.rgsdb" (fun b ->
       Bytes.blit_string "ZQQQ" 0 b (entry_base 5) 4;
       reseal_table count b);
-  Printf.printf "wrote good.rgsdb + 9 mutant(s) to %s (%d sections)\n" dir count
+  (* §3.6 again, adversarially: the unknown entry's offset/length point
+     exabytes outside the file. Unknown sections are skipped wholesale,
+     so both the open and a full verify must succeed without ever
+     dereferencing them *)
+  mutant "unknown_oob_section.rgsdb" (fun b ->
+      Bytes.blit_string "ZOOB" 0 b (entry_base 5) 4;
+      set_u64 b (entry_base 5 + 8) (1 lsl 40);
+      set_u64 b (entry_base 5 + 16) (1 lsl 40);
+      reseal_table count b);
+  Printf.printf "wrote good.rgsdb + 12 mutant(s) to %s (%d sections)\n" dir count
 
 let () =
   let dir = Sys.argv.(1) in
