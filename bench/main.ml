@@ -185,6 +185,169 @@ let section_store () =
           ])
   end
 
+(* --- Section G: shard-parallel mining with work-stealing DFS ---
+
+   Two claims are pinned. First, correctness-as-performance-contract: on
+   the JBoss-like corpus (and the paper-scale QUEST corpus when its
+   config is present), mining under every shard count in {1,2,4,8} with
+   both executors — static largest-first root claiming (LPT) and the
+   work-stealing deque — produces output byte-identical to the
+   sequential miner (enforced; a divergence fails the bench). Second,
+   the scheduling claim: on a skewed-roots workload where one event
+   dominates every sequence, LPT degenerates to a single busy domain
+   while stealing splits the dominant subtree — stealing must actually
+   happen (steal_successes > 0, enforced) and must beat LPT wall-clock.
+   The wall-clock budget is only enforced on multi-core hosts: on one
+   core both executors serialize onto the same total work, so the
+   comparison is recorded but not gated (same caveat as the parallel
+   scaling section). Rows land in BENCH_core.json under "steal". *)
+
+let steal_rows = ref []
+
+let section_steal () =
+  let open Rgs_sequence in
+  let open Rgs_core in
+  let signatures results =
+    List.map (fun r -> (Pattern.to_string r.Mined.pattern, r.Mined.support)) results
+  in
+  let reps = int_of_float (env_float "RGS_BENCH_LAYOUT_REPS" 3.) |> max 1 in
+  let domains = 4 in
+  Format.printf
+    "@.### Section G: shard-parallel mining with work stealing (%d domains, \
+     best of %d)@.@."
+    domains reps;
+  let best f =
+    ignore (f ());
+    let wall = ref infinity in
+    for _ = 1 to reps do
+      let _, elapsed = E.Exp_common.time f in
+      if elapsed < !wall then wall := elapsed
+    done;
+    !wall
+  in
+  (* identity sweep: shards x executor vs the sequential miner *)
+  let jboss, _ = E.Exp_common.jboss_like () in
+  let datasets =
+    ("jboss_like", jboss, 18, 4)
+    ::
+    (let data_dir = Option.value (Sys.getenv_opt "RGS_DATA_DIR") ~default:"data" in
+     let config_path = Filename.concat data_dir "quest_paper.config" in
+     if not (Sys.file_exists config_path) then begin
+       Format.printf "(skipping quest_paper: %s not found)@." config_path;
+       []
+     end
+     else
+       let p = Rgs_datagen.Quest_gen.load_config config_path in
+       (* mine-all at a high threshold, as in the store section: the
+          closure pass would multiply the work without changing what
+          this section pins (the executors) *)
+       [ (Rgs_datagen.Quest_gen.label p, Rgs_datagen.Quest_gen.generate p,
+          2000, 2) ])
+  in
+  let t =
+    Rgs_post.Report.create
+      ~columns:[ "dataset"; "shards"; "executor"; "time_s"; "patterns" ]
+  in
+  List.iter
+    (fun (name, db, min_sup, max_length) ->
+      let idx = Inverted_index.build_kind Inverted_index.Kcsr db in
+      let all_mode = min_sup >= 2000 in
+      let mine ~steal ~shards () =
+        if all_mode then
+          fst (Parallel_miner.mine_all ~domains ~max_length ~steal ~shards idx
+                 ~min_sup)
+        else
+          fst (Parallel_miner.mine_closed ~domains ~max_length ~steal ~shards
+                 idx ~min_sup)
+      in
+      let sequential =
+        signatures
+          (if all_mode then fst (Gsgrow.mine ~max_length idx ~min_sup)
+           else fst (Clogsgrow.mine ~max_length idx ~min_sup))
+      in
+      List.iter
+        (fun shards ->
+          List.iter
+            (fun (label, steal) ->
+              let out = signatures (mine ~steal ~shards ()) in
+              if out <> sequential then
+                failwith
+                  (Printf.sprintf
+                     "steal bench: %s shards=%d %s: output differs from the \
+                      sequential miner"
+                     name shards label);
+              let wall = best (fun () -> ignore (mine ~steal ~shards ())) in
+              Rgs_post.Report.add_row t
+                [ name; string_of_int shards; label;
+                  Rgs_post.Report.cell_float wall;
+                  string_of_int (List.length out) ];
+              steal_rows :=
+                Printf.sprintf
+                  "    {\"dataset\": %S, \"min_sup\": %d, \"domains\": %d, \
+                   \"shards\": %d, \"executor\": %S, \"wall_s\": %.6f, \
+                   \"patterns\": %d, \"outputs_identical\": true}"
+                  name min_sup domains shards label wall (List.length out)
+                :: !steal_rows)
+            [ ("lpt", false); ("steal", true) ])
+        [ 1; 2; 4; 8 ])
+    datasets;
+  print_table "shards x executor — outputs checked against sequential" t;
+  (* the scheduling claim: skewed roots, LPT vs stealing *)
+  let skew =
+    let st = Random.State.make [| 77 |] in
+    Seqdb.of_sequences
+      (List.init 48 (fun _ ->
+           Sequence.of_list
+             (List.init 120 (fun _ ->
+                  if Random.State.int st 100 < 85 then 0
+                  else 1 + Random.State.int st 19))))
+  in
+  let min_sup = 40 and max_length = 5 in
+  let idx = Inverted_index.build_kind Inverted_index.Kcsr skew in
+  let sequential = signatures (fst (Clogsgrow.mine ~max_length idx ~min_sup)) in
+  let run ~steal () =
+    fst (Parallel_miner.mine_closed ~domains ~max_length ~steal idx ~min_sup)
+  in
+  List.iter
+    (fun (label, steal) ->
+      if signatures (run ~steal ()) <> sequential then
+        failwith
+          (Printf.sprintf "steal bench: skew %s: output differs from the \
+                           sequential miner" label))
+    [ ("lpt", false); ("steal", true) ];
+  let lpt_wall = best (fun () -> ignore (run ~steal:false ())) in
+  let before = Metrics.snapshot () in
+  let steal_wall = best (fun () -> ignore (run ~steal:true ())) in
+  let d = Metrics.diff ~before ~after:(Metrics.snapshot ()) in
+  let attempts = Metrics.find d "steal_attempts" in
+  let successes = Metrics.find d "steal_successes" in
+  let cores = Domain.recommended_domain_count () in
+  let enforced = cores >= 2 in
+  Format.printf
+    "skewed roots (48 seqs, 85%% one event): lpt %.3fs, steal %.3fs \
+     (%.2fx), %d/%d steals landed%s@."
+    lpt_wall steal_wall (lpt_wall /. steal_wall) successes attempts
+    (if enforced then "" else " [1-core host: wall-clock budget not enforced]");
+  if successes = 0 then
+    failwith
+      "steal bench: steal_successes = 0 — the skewed workload no longer \
+       triggers stealing";
+  if enforced && steal_wall > lpt_wall then
+    failwith
+      (Printf.sprintf
+         "steal bench: stealing (%.3fs) is slower than LPT (%.3fs) on the \
+          skewed-roots workload"
+         steal_wall lpt_wall);
+  steal_rows :=
+    Printf.sprintf
+      "    {\"dataset\": \"skewed_roots\", \"min_sup\": %d, \"domains\": %d, \
+       \"lpt_wall_s\": %.6f, \"steal_wall_s\": %.6f, \"speedup_x\": %.2f, \
+       \"steal_attempts\": %d, \"steal_successes\": %d, \"host_cores\": %d, \
+       \"wall_budget_enforced\": %b, \"outputs_identical\": true}"
+      min_sup domains lpt_wall steal_wall (lpt_wall /. steal_wall) attempts
+      successes cores enforced
+    :: !steal_rows
+
 (* --- Section C: columnar layout, old vs new index backend ---
 
    Mines the two checked-in datasets with the seed hashtable index and the
@@ -534,7 +697,7 @@ let section_layout () =
        \"runs\": [\n%s\n  ],\n  \"speedups\": [\n%s\n  ],\n  \
        \"trace_overhead\": [\n%s\n  ],\n  \"seek_gallop\": [\n%s\n  ],\n  \
        \"pool_schedule\": [\n%s\n  ],\n  \"closure_funnel\": [\n%s\n  ],\n  \
-       \"store\": [\n%s\n  ]\n}\n"
+       \"store\": [\n%s\n  ],\n  \"steal\": [\n%s\n  ]\n}\n"
       reps
       (String.concat ",\n" (List.rev !runs))
       (String.concat ",\n" (List.rev !speedups))
@@ -542,7 +705,8 @@ let section_layout () =
       (String.concat ",\n" (List.rev !gallop_rows))
       (String.concat ",\n" (List.rev !schedule_rows))
       (String.concat ",\n" (List.rev !funnel_rows))
-      (String.concat ",\n" (List.rev !store_rows));
+      (String.concat ",\n" (List.rev !store_rows))
+      (String.concat ",\n" (List.rev !steal_rows));
     close_out oc;
     Format.printf "wrote %s@." json_path
   end
@@ -908,6 +1072,8 @@ let () =
   (* store before layout: section_layout writes the JSON, including the
      store rows gathered here *)
   if not (env_flag "RGS_BENCH_SKIP_STORE") then section_store ();
+  (* steal before layout for the same reason: its rows go in the JSON *)
+  if not (env_flag "RGS_BENCH_SKIP_STEAL") then section_steal ();
   if not (env_flag "RGS_BENCH_SKIP_LAYOUT") then section_layout ();
   if not (env_flag "RGS_BENCH_SKIP_MICRO") then begin
     section_micro ();

@@ -79,7 +79,7 @@ let parse_target format codec s =
          (split s))
 
 let run input store format min_sup all max_length max_patterns limit instances max_gap parallel
-    index_kind deadline max_nodes max_words target top_k compress_delta
+    shards steal index_kind deadline max_nodes max_words target top_k compress_delta
     checkpoint resume retry_quarantined
     trace_file trace_level trace_ring stats_file stats_interval verbose =
   setup_logs verbose;
@@ -96,6 +96,12 @@ let run input store format min_sup all max_length max_patterns limit instances m
     Format.eprintf "rgsminer: exactly one of FILE or --store is required@.";
     exit 1
   end;
+  if steal && (checkpoint <> None || resume) then begin
+    Format.eprintf
+      "rgsminer: --steal does not checkpoint; drop --checkpoint/--resume or \
+       use --parallel@.";
+    exit 1
+  end;
   let input = match (input, store) with
     | Some path, _ | _, Some path -> path
     | None, None -> assert false
@@ -108,8 +114,13 @@ let run input store format min_sup all max_length max_patterns limit instances m
     in
     Format.printf "%a@.@." Seqdb.pp_stats (Seqdb.stats db);
     let mode = if all then Miner.All else Miner.Closed in
-    let domains = if parallel then Some (Parallel_miner.default_domains ()) else None in
-    let max_patterns = if parallel then None else max_patterns in
+    (* --steal implies a domain pool: dynamic work stealing is a property
+       of the parallel executor *)
+    let domains =
+      if parallel || steal then Some (Parallel_miner.default_domains ())
+      else None
+    in
+    let max_patterns = if parallel || steal then None else max_patterns in
     let query =
       match (target, top_k) with
       | Some t, _ -> Query.Targeted (parse_target format codec t)
@@ -118,7 +129,8 @@ let run input store format min_sup all max_length max_patterns limit instances m
     in
     let config =
       Miner.config ~mode ~query ?max_length ?max_patterns ?max_gap ?domains
-        ?index_kind ?deadline_s:deadline ?max_nodes ?max_words ~min_sup ()
+        ?shards ~steal ?index_kind ?deadline_s:deadline ?max_nodes ?max_words
+        ~min_sup ()
     in
     let trace =
       match trace_file with
@@ -143,7 +155,7 @@ let run input store format min_sup all max_length max_patterns limit instances m
            [Miner.mine] rejects *)
         if
           checkpoint <> None || resume
-          || (query <> Query.All && domains <> None)
+          || (query <> Query.All && domains <> None && not steal)
         then
           Miner.mine_resumable ?checkpoint ~resume ~retry_quarantined ~trace
             config db
@@ -286,6 +298,23 @@ let max_gap =
 let parallel =
   Arg.(value & flag & info [ "parallel"; "p" ]
          ~doc:"Mine with one domain per core (ignored with $(b,--max-gap)).")
+
+let shards =
+  Arg.(value & opt (some int) None & info [ "shards" ] ~docv:"N"
+         ~doc:"Partition the database into N balanced shards and run every \
+               instance growth shard-by-shard, merging the per-shard support \
+               sets. Output is identical to an unsharded run in every mode, \
+               including checkpoint/resume.")
+
+let steal =
+  Arg.(value & flag & info [ "steal" ]
+         ~doc:"Parallel mining with dynamic work stealing: idle domains steal \
+               deferred DFS subtrees from busy ones instead of waiting at \
+               root granularity, which helps skewed databases where one root \
+               dominates. Implies $(b,--parallel); output is identical to the \
+               sequential miner. Works with $(b,--max-gap), $(b,--target) and \
+               $(b,--top-k), but not with $(b,--checkpoint)/$(b,--resume) or \
+               $(b,--max-patterns).")
 
 let index_kind =
   let kind_conv =
@@ -457,7 +486,7 @@ let pack_cmd =
 let mine_term =
   Term.(const run $ input $ store_arg $ format $ min_sup $ all $ max_length
         $ max_patterns $ limit
-        $ instances $ max_gap $ parallel $ index_kind $ deadline $ max_nodes
+        $ instances $ max_gap $ parallel $ shards $ steal $ index_kind $ deadline $ max_nodes
         $ max_words $ target $ top_k $ compress_delta $ checkpoint $ resume
         $ retry_quarantined $ trace_file $ trace_level $ trace_ring
         $ stats_file $ stats_interval $ verbose)

@@ -18,7 +18,7 @@ let setup_logs verbose =
   Logs.set_reporter (Logs.format_reporter ());
   Logs.set_level (Some (if verbose then Logs.Info else Logs.Warning))
 
-let run socket state_dir queue_capacity workers max_deadline max_nodes
+let run socket state_dir queue_capacity workers shards max_deadline max_nodes
     max_words idle_timeout drain_grace stats_file stats_interval stores verbose =
   setup_logs verbose;
   let limits =
@@ -46,7 +46,7 @@ let run socket state_dir queue_capacity workers max_deadline max_nodes
   match
     Daemon.config ~queue_capacity ~workers ~limits ?idle_timeout_s:idle_timeout
       ~drain_grace_s:drain_grace ?stats_path:stats_file
-      ?stats_interval_s:stats_interval ~socket_path:socket ~state_dir ()
+      ?stats_interval_s:stats_interval ?shards ~socket_path:socket ~state_dir ()
   with
   | cfg -> (
     match Daemon.run cfg with
@@ -76,6 +76,13 @@ let queue_capacity =
 let workers =
   Arg.(value & opt int 2 & info [ "workers" ] ~docv:"N"
          ~doc:"Pool domains running jobs concurrently.")
+
+let shards =
+  Arg.(value & opt (some int) None & info [ "shards" ] ~docv:"N"
+         ~doc:"Run every job's instance growths over N balanced database \
+               shards, merging per-shard support sets. A deployment knob: \
+               job output and checkpoints are identical to an unsharded \
+               daemon, so it can be changed across restarts freely.")
 
 let max_deadline =
   Arg.(value & opt (some float) None & info [ "max-deadline" ] ~docv:"SECONDS"
@@ -125,7 +132,7 @@ let cmd =
   let doc = "serve repetitive gapped subsequence mining jobs over a socket" in
   Cmd.v
     (Cmd.info "rgsminerd" ~version:"1.2.0" ~doc)
-    Term.(const run $ socket $ state_dir $ queue_capacity $ workers
+    Term.(const run $ socket $ state_dir $ queue_capacity $ workers $ shards
           $ max_deadline $ max_nodes $ max_words $ idle_timeout $ drain_grace
           $ stats_file $ stats_interval $ stores $ verbose)
 

@@ -88,13 +88,21 @@ let to_string = function
 let pp ppf o = Format.pp_print_string ppf (to_string o)
 
 module Fault = struct
-  type site = Insgrow | Worker of int | Checkpoint_io | Socket_write
+  type site =
+    | Insgrow
+    | Worker of int
+    | Checkpoint_io
+    | Socket_write
+    | Steal of int
+    | Shard_merge
 
   let site_name = function
     | Insgrow -> "insgrow"
     | Worker _ -> "worker"
     | Checkpoint_io -> "checkpoint_io"
     | Socket_write -> "socket_write"
+    | Steal _ -> "steal"
+    | Shard_merge -> "shard_merge"
 
   let hook : (site -> unit) option Atomic.t = Atomic.make None
 

@@ -1,6 +1,12 @@
 open Rgs_sequence
 
-type site_kind = Insgrow | Worker | Checkpoint_io | Socket_write
+type site_kind =
+  | Insgrow
+  | Worker
+  | Checkpoint_io
+  | Socket_write
+  | Steal
+  | Shard_merge
 
 type plan = { id : int; kind : site_kind; trigger : int; persistent : bool }
 
@@ -11,6 +17,8 @@ let kind_name = function
   | Worker -> "worker"
   | Checkpoint_io -> "checkpoint_io"
   | Socket_write -> "socket_write"
+  | Steal -> "steal"
+  | Shard_merge -> "shard_merge"
 
 let pp_plan ppf p =
   Format.fprintf ppf "plan %d: %s after %d firing(s), %s" p.id
@@ -45,6 +53,8 @@ let matches kind site =
   | Worker, Budget.Fault.Worker _ -> true
   | Checkpoint_io, Budget.Fault.Checkpoint_io -> true
   | Socket_write, Budget.Fault.Socket_write -> true
+  | Steal, Budget.Fault.Steal _ -> true
+  | Shard_merge, Budget.Fault.Shard_merge -> true
   | _ -> false
 
 let inject plan f =

@@ -30,6 +30,13 @@ type site_kind =
   | Socket_write
       (** {!Budget.Fault.Socket_write}: fail a daemon response-frame
           write (EPIPE/ECONNRESET stand-in) *)
+  | Steal
+      (** {!Budget.Fault.Steal}: crash a pool worker right after it stole
+          a DFS subtree (steal-in-flight crash) *)
+  | Shard_merge
+      (** {!Budget.Fault.Shard_merge}: cancel a sharded growth pass
+          between the per-shard grows and the combine (mid-merge
+          cancellation) *)
 
 type plan = {
   id : int;  (** position in the generated sweep *)

@@ -53,10 +53,15 @@ let strategy ~use_lb_check ~use_c_check =
   }
 
 let run ?max_length ?events ?roots ?(use_lb_check = true) ?(use_c_check = true)
-    ?should_stop ?budget ?trace idx ~min_sup ~emit =
+    ?should_stop ?budget ?trace ?shards idx ~min_sup ~emit =
+  let strategy =
+    let base = strategy ~use_lb_check ~use_c_check in
+    match shards with
+    | None -> base
+    | Some sm -> Shard_merge.strategy ?trace sm base
+  in
   let s =
-    Engine.run ?max_length ?events ?roots ?should_stop ?budget ?trace
-      (strategy ~use_lb_check ~use_c_check)
+    Engine.run ?max_length ?events ?roots ?should_stop ?budget ?trace strategy
       idx ~min_sup ~emit
   in
   {
@@ -69,8 +74,8 @@ let run ?max_length ?events ?roots ?(use_lb_check = true) ?(use_c_check = true)
     outcome = s.Engine.outcome;
   }
 
-let mine ?max_length ?max_patterns ?events ?roots ?use_lb_check ?use_c_check ?should_stop
-    ?budget ?trace idx ~min_sup =
+let mine ?max_length ?max_patterns ?events ?roots ?use_lb_check ?use_c_check
+    ?should_stop ?budget ?trace ?shards idx ~min_sup =
   let results = ref [] in
   let count = ref 0 in
   let emit r =
@@ -82,11 +87,11 @@ let mine ?max_length ?max_patterns ?events ?roots ?use_lb_check ?use_c_check ?sh
   in
   let stats =
     run ?max_length ?events ?roots ?use_lb_check ?use_c_check ?should_stop ?budget
-      ?trace idx ~min_sup ~emit
+      ?trace ?shards idx ~min_sup ~emit
   in
   (List.rev !results, stats)
 
 let iter ?max_length ?events ?roots ?use_lb_check ?use_c_check ?should_stop ?budget
-    ?trace idx ~min_sup ~f =
+    ?trace ?shards idx ~min_sup ~f =
   run ?max_length ?events ?roots ?use_lb_check ?use_c_check ?should_stop ?budget
-    ?trace idx ~min_sup ~emit:f
+    ?trace ?shards idx ~min_sup ~emit:f

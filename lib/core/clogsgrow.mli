@@ -47,6 +47,7 @@ val mine :
   ?should_stop:(unit -> bool) ->
   ?budget:Budget.t ->
   ?trace:Trace.t ->
+  ?shards:Shard_merge.t ->
   Inverted_index.t ->
   min_sup:int ->
   Mined.t list * stats
@@ -57,7 +58,10 @@ val mine :
     DFS node and its stop reason lands in [stats.outcome], with the
     patterns mined so far still returned; [trace] (default {!Trace.null})
     records per-root [Root] spans plus, at the [Nodes] level, per-node
-    [Node]/[Extension] instants, closure verdicts and [Lb_prune] events.
+    [Node]/[Extension] instants, closure verdicts and [Lb_prune] events;
+    [shards] runs the DFS instance growths shard-by-shard and merges
+    ({!Shard_merge.strategy}) — identical output by construction (the
+    closure machinery's internal growths are untouched).
     @raise Invalid_argument when [min_sup < 1]. *)
 
 val iter :
@@ -69,6 +73,7 @@ val iter :
   ?should_stop:(unit -> bool) ->
   ?budget:Budget.t ->
   ?trace:Trace.t ->
+  ?shards:Shard_merge.t ->
   Inverted_index.t ->
   min_sup:int ->
   f:(Mined.t -> unit) ->

@@ -1,0 +1,94 @@
+(* Chase–Lev work-stealing deque over SC atomics.
+
+   Invariants that carry the linearizability argument (see the .mli):
+   - [top] is monotone: only thief CASes and the owner's last-element
+     CAS advance it, by exactly one, and nothing ever decreases it.
+   - a push at bottom [b] writes buffer cell [b land mask] before
+     publishing [b + 1] into [bottom], so any domain that observes
+     [bottom > b] also observes the cell's value (SC atomics).
+   - the buffer grows whenever it would hold [capacity - 1] elements,
+     so the live index range [top, bottom) never wraps onto itself: a
+     cell for ticket [t] is only rewritten once [top > t], and by then
+     every CAS expecting [t] must fail. A successful steal CAS on [t]
+     therefore returns the unique value published for ticket [t]. *)
+
+type 'a t = {
+  top : int Atomic.t;
+  bottom : int Atomic.t;
+  buf : 'a option Atomic.t array Atomic.t;
+}
+
+let rec pow2 n k = if k >= n then k else pow2 n (k * 2)
+
+let create ?(capacity = 64) () =
+  let cap = pow2 (max 2 capacity) 2 in
+  {
+    top = Atomic.make 0;
+    bottom = Atomic.make 0;
+    buf = Atomic.make (Array.init cap (fun _ -> Atomic.make None));
+  }
+
+let size d = max 0 (Atomic.get d.bottom - Atomic.get d.top)
+
+(* Owner only. Copy the live range into a doubled buffer, preserving
+   absolute indices mod the new mask, and publish it. Thieves holding
+   the retired buffer still read correct values: the live cells were
+   copied, not moved, and their CAS on [top] arbitrates as usual. *)
+let grow d t b buf =
+  let n = Array.length buf in
+  let buf' = Array.init (2 * n) (fun _ -> Atomic.make None) in
+  for i = t to b - 1 do
+    Atomic.set buf'.(i land ((2 * n) - 1)) (Atomic.get buf.(i land (n - 1)))
+  done;
+  Atomic.set d.buf buf';
+  buf'
+
+let push d v =
+  let b = Atomic.get d.bottom in
+  let t = Atomic.get d.top in
+  let buf = Atomic.get d.buf in
+  let buf = if b - t >= Array.length buf - 1 then grow d t b buf else buf in
+  Atomic.set buf.(b land (Array.length buf - 1)) (Some v);
+  Atomic.set d.bottom (b + 1)
+
+let pop d =
+  let b = Atomic.get d.bottom - 1 in
+  (* reserve index [b] before reading [top]: a thief that subsequently
+     observes [top = b] must also observe the reservation and back off *)
+  Atomic.set d.bottom b;
+  let t = Atomic.get d.top in
+  if b < t then begin
+    (* empty; restore the canonical empty state bottom = top *)
+    Atomic.set d.bottom t;
+    None
+  end
+  else begin
+    let buf = Atomic.get d.buf in
+    let v = Atomic.get buf.(b land (Array.length buf - 1)) in
+    if b > t then v
+    else begin
+      (* last element: race thieves for ticket [t] *)
+      let won = Atomic.compare_and_set d.top t (t + 1) in
+      Atomic.set d.bottom (t + 1);
+      if won then v else None
+    end
+  end
+
+type 'a steal_result = Stolen of 'a | Empty | Retry
+
+let steal d =
+  let t = Atomic.get d.top in
+  let b = Atomic.get d.bottom in
+  if t >= b then Empty
+  else begin
+    let buf = Atomic.get d.buf in
+    let v = Atomic.get buf.(t land (Array.length buf - 1)) in
+    if Atomic.compare_and_set d.top t (t + 1) then
+      match v with
+      | Some x -> Stolen x
+      | None ->
+        (* unreachable: [bottom > t] was observed, so the push of ticket
+           [t]'s value had been published before our cell read *)
+        assert false
+    else Retry
+  end

@@ -1,0 +1,45 @@
+(** Chase–Lev-style work-stealing deque (OCaml 5 multicore).
+
+    One {e owner} domain pushes and pops at the bottom (LIFO, its own
+    DFS order); any number of {e thief} domains steal from the top
+    (FIFO — the oldest, largest deferred subtree). The classic
+    algorithm (Chase & Lev, SPAA 2005; Lê et al., PPoPP 2013) adapted
+    to the OCaml memory model: top, bottom and every buffer cell are
+    [Atomic.t], so all inter-domain reads are SC and the stale-buffer
+    argument needs no fences. The growable circular buffer keeps at
+    most [capacity - 1] elements before doubling, which guarantees a
+    live index is never overwritten in place — a steal that wins its
+    CAS on [top] therefore returns the unique value published for that
+    ticket, and a stale (pre-grow) buffer read is harmless because the
+    grow copied the live range and retired buffers are left to the GC.
+
+    Used by {!Parallel_miner}'s stealing pool: workers push deferred
+    DFS extension subtrees and idle workers steal from the top, so one
+    giant root no longer serializes the tail of a parallel run. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** [create ()] makes an empty deque. [capacity] (default 64) is the
+    initial buffer size, rounded up to a power of two [>= 2]; the
+    buffer doubles on demand, so the capacity is not a bound. *)
+
+val push : 'a t -> 'a -> unit
+(** Owner only: publish a value at the bottom. *)
+
+val pop : 'a t -> 'a option
+(** Owner only: take the most recently pushed value, or [None] when
+    the deque is empty (racing thieves may take the last element). *)
+
+type 'a steal_result =
+  | Stolen of 'a
+  | Empty  (** nothing published at the time of the attempt *)
+  | Retry  (** lost a race with the owner or another thief; try again *)
+
+val steal : 'a t -> 'a steal_result
+(** Thief (any domain): try to take the oldest value. Lock-free: some
+    domain always makes progress; an individual attempt may [Retry]. *)
+
+val size : 'a t -> int
+(** Snapshot of the number of published values ([>= 0]); exact only
+    when quiescent — feeds the [deque_max_depth] gauge, not logic. *)

@@ -31,183 +31,373 @@ type stats = {
 
 exception Budget_exhausted
 
-let run ?max_length ?events ?roots ?(should_stop = fun () -> false) ?budget
-    ?(trace = Trace.null) ?plan strategy idx ~min_sup ~emit =
+(* --- the reified DFS ---
+
+   The search is split into a per-run [ctx] (strategy, query plan, limits,
+   counters) and a per-node [frame] (pattern, support set, query state,
+   prefix chain). [run_frame] walks a whole subtree with the exact lazy
+   sibling interleaving of the original recursive miner; [expand] performs
+   a single node visit and returns the admitted child frames, which is
+   what lets an executor defer subtrees (push them on a deque, hand them
+   to another worker) instead of recursing in place. Both visit shapes
+   share the node-entry, admission and emission bookkeeping, so a subtree
+   produces the same emissions and counter increments whichever way it is
+   driven. *)
+
+type ctx = {
+  strategy : strategy;
+  idx : Inverted_index.t;
+  min_sup : int;
+  max_length : int option;
+  events : Event.t list;
+  plan : Query.plan;
+  closure : closure_spec option;
+  should_stop : unit -> bool;
+  budget : Budget.t option;
+  trace : Trace.t;
+  emitted : int ref;
+  dfs_nodes : int ref;
+  insgrow_calls : int ref;
+  lb_pruned : int ref;
+  non_closed_dropped : int ref;
+  query_cuts : int ref;
+  floor_prunes : int ref;
+}
+
+type frame = {
+  f_pattern : Pattern.t;
+  f_support : Support_set.t;
+  f_qstate : int;
+  f_rev_chain : Support_set.t list;
+}
+
+let make_ctx ?max_length ?events ?(should_stop = fun () -> false) ?budget
+    ?(trace = Trace.null) ?plan strategy idx ~min_sup =
   if min_sup < 1 then invalid_arg (strategy.name ^ ": min_sup must be >= 1");
   let events =
     match events with
     | Some es -> es
     | None -> Inverted_index.frequent_events idx ~min_sup
   in
-  let roots = match roots with Some rs -> rs | None -> events in
   let plan = match plan with Some p -> p | None -> Query.trivial ~min_sup in
   let closure =
     Option.map (fun mk -> mk idx ~events ~trace) strategy.closure
   in
-  let emitted = ref 0 in
-  let dfs_nodes = ref 0 in
-  let insgrow_calls = ref 0 in
-  let lb_pruned = ref 0 in
-  let non_closed_dropped = ref 0 in
-  let query_cuts = ref 0 in
-  let floor_prunes = ref 0 in
-  let outcome = ref Budget.Completed in
-  let within_length p =
-    match max_length with None -> true | Some l -> Pattern.length p < l
-  in
-  (* Child admission shared by both DFS shapes: the support size against
-     the plan's floor. Children in the band [min_sup <= size < floor ()]
-     are sound frequent extensions removed only by the dynamic floor; they
-     are counted apart from the static Apriori rejections so top-k savings
-     stay visible. *)
-  let admit ~depth' size =
-    if size >= plan.Query.floor () then `Recurse
-    else begin
-      if size >= min_sup then begin
-        incr floor_prunes;
-        Trace.instant trace Trace.Query_cut ~a0:depth' ~a1:1
-      end;
-      `Skip
+  {
+    strategy;
+    idx;
+    min_sup;
+    max_length;
+    events;
+    plan;
+    closure;
+    should_stop;
+    budget;
+    trace;
+    emitted = ref 0;
+    dfs_nodes = ref 0;
+    insgrow_calls = ref 0;
+    lb_pruned = ref 0;
+    non_closed_dropped = ref 0;
+    query_cuts = ref 0;
+    floor_prunes = ref 0;
+  }
+
+let ctx_events c = c.events
+let ctx_emitted c = !(c.emitted)
+
+let frame_pattern f = f.f_pattern
+let frame_support f = f.f_support
+
+let within_length c p =
+  match c.max_length with None -> true | Some l -> Pattern.length p < l
+
+(* Child admission shared by both DFS shapes: the support size against
+   the plan's floor. Children in the band [min_sup <= size < floor ()]
+   are sound frequent extensions removed only by the dynamic floor; they
+   are counted apart from the static Apriori rejections so top-k savings
+   stay visible. *)
+let admit c ~depth' size =
+  if size >= c.plan.Query.floor () then `Recurse
+  else begin
+    if size >= c.min_sup then begin
+      incr c.floor_prunes;
+      Trace.instant c.trace Trace.Query_cut ~a0:depth' ~a1:1
+    end;
+    `Skip
+  end
+
+(* node entry: stop/budget checks, node count, [Node] instant *)
+let enter c f =
+  if c.should_stop () then raise Budget_exhausted;
+  (match c.budget with Some b -> Budget.check b | None -> ());
+  incr c.dfs_nodes;
+  let sup = Support_set.size f.f_support in
+  Trace.instant c.trace Trace.Node ~a0:(Pattern.length f.f_pattern) ~a1:sup;
+  sup
+
+let emit_node c ~emit f sup =
+  if c.plan.Query.emit_ok ~state:f.f_qstate then begin
+    incr c.emitted;
+    emit { Mined.pattern = f.f_pattern; support = sup; support_set = f.f_support }
+  end
+
+let grow_child c i e =
+  incr c.insgrow_calls;
+  Budget.Fault.fire Budget.Fault.Insgrow;
+  c.strategy.grow c.idx i e
+
+let rec run_frame c ~emit f =
+  let sup_p = enter c f in
+  let p = f.f_pattern and i = f.f_support and qstate = f.f_qstate in
+  match c.closure with
+  | None ->
+    emit_node c ~emit f sup_p;
+    if within_length c p then begin
+      let depth' = Pattern.length p + 1 in
+      let recursed = ref 0 in
+      List.iter
+        (fun e ->
+          let qstate' = c.plan.Query.child_state qstate e in
+          if c.plan.Query.cut ~state:qstate' ~depth:depth' then begin
+            incr c.query_cuts;
+            Trace.instant c.trace Trace.Query_cut ~a0:depth' ~a1:0
+          end
+          else begin
+            let i_plus = grow_child c i e in
+            match admit c ~depth' (Support_set.size i_plus) with
+            | `Recurse ->
+              incr recursed;
+              run_frame c ~emit
+                {
+                  f_pattern = Pattern.grow p e;
+                  f_support = i_plus;
+                  f_qstate = qstate';
+                  f_rev_chain = i_plus :: f.f_rev_chain;
+                }
+            | `Skip -> ()
+          end)
+        c.events;
+      Trace.instant c.trace Trace.Extension ~a0:(Pattern.length p) ~a1:!recursed
     end
-  in
-  let rec mine_fre p i qstate rev_chain =
-    if should_stop () then raise Budget_exhausted;
-    (match budget with Some b -> Budget.check b | None -> ());
-    incr dfs_nodes;
-    let sup_p = Support_set.size i in
-    Trace.instant trace Trace.Node ~a0:(Pattern.length p) ~a1:sup_p;
-    match closure with
-    | None ->
-      if plan.Query.emit_ok ~state:qstate then begin
-        incr emitted;
-        emit { Mined.pattern = p; support = sup_p; support_set = i }
-      end;
-      if within_length p then begin
+  | Some cl ->
+    (* Prunability does not depend on the appended extensions (an append
+       always shifts the landmark border right), so the closure check
+       runs first: a pruned subtree never pays for its appends. *)
+    let verdict =
+      cl.check ~pattern:p ~support_set:i ~prefix_rev_chain:f.f_rev_chain
+    in
+    if verdict.Closure.prunable then begin
+      incr c.lb_pruned;
+      Trace.instant c.trace Trace.Lb_prune ~a0:(Pattern.length p) ~a1:sup_p
+    end
+    else begin
+      (* All appends are materialised even under a query: closedness of
+         [p] depends on whether {e some} candidate append has equal
+         support, so the query may only cut recursion, not growth. *)
+      let appends = List.map (fun e -> (e, grow_child c i e)) c.events in
+      let has_equal_append =
+        cl.detect_equal_append
+        && List.exists (fun (_, i') -> Support_set.size i' = sup_p) appends
+      in
+      if verdict.Closure.closed && not has_equal_append then
+        emit_node c ~emit f sup_p
+      else incr c.non_closed_dropped;
+      if within_length c p then begin
         let depth' = Pattern.length p + 1 in
         let recursed = ref 0 in
         List.iter
-          (fun e ->
-            let qstate' = plan.Query.child_state qstate e in
-            if plan.Query.cut ~state:qstate' ~depth:depth' then begin
-              incr query_cuts;
-              Trace.instant trace Trace.Query_cut ~a0:depth' ~a1:0
+          (fun (e, i_plus) ->
+            let qstate' = c.plan.Query.child_state qstate e in
+            if c.plan.Query.cut ~state:qstate' ~depth:depth' then begin
+              incr c.query_cuts;
+              Trace.instant c.trace Trace.Query_cut ~a0:depth' ~a1:0
             end
-            else begin
-              incr insgrow_calls;
-              Budget.Fault.fire Budget.Fault.Insgrow;
-              let i_plus = strategy.grow idx i e in
-              match admit ~depth' (Support_set.size i_plus) with
+            else
+              match admit c ~depth' (Support_set.size i_plus) with
               | `Recurse ->
                 incr recursed;
-                mine_fre (Pattern.grow p e) i_plus qstate' (i_plus :: rev_chain)
-              | `Skip -> ()
-            end)
-          events;
-        Trace.instant trace Trace.Extension ~a0:(Pattern.length p) ~a1:!recursed
+                run_frame c ~emit
+                  {
+                    f_pattern = Pattern.grow p e;
+                    f_support = i_plus;
+                    f_qstate = qstate';
+                    f_rev_chain = i_plus :: f.f_rev_chain;
+                  }
+              | `Skip -> ())
+          appends;
+        Trace.instant c.trace Trace.Extension ~a0:(Pattern.length p)
+          ~a1:!recursed
       end
-    | Some c ->
-      (* Prunability does not depend on the appended extensions (an append
-         always shifts the landmark border right), so the closure check
-         runs first: a pruned subtree never pays for its appends. *)
-      let verdict =
-        c.check ~pattern:p ~support_set:i ~prefix_rev_chain:rev_chain
-      in
-      if verdict.Closure.prunable then begin
-        incr lb_pruned;
-        Trace.instant trace Trace.Lb_prune ~a0:(Pattern.length p) ~a1:sup_p
-      end
-      else begin
-        (* All appends are materialised even under a query: closedness of
-           [p] depends on whether {e some} candidate append has equal
-           support, so the query may only cut recursion, not growth. *)
-        let appends =
-          List.map
-            (fun e ->
-              incr insgrow_calls;
-              Budget.Fault.fire Budget.Fault.Insgrow;
-              (e, strategy.grow idx i e))
-            events
-        in
-        let has_equal_append =
-          c.detect_equal_append
-          && List.exists (fun (_, i') -> Support_set.size i' = sup_p) appends
-        in
-        if verdict.Closure.closed && not has_equal_append then begin
-          if plan.Query.emit_ok ~state:qstate then begin
-            incr emitted;
-            emit { Mined.pattern = p; support = sup_p; support_set = i }
-          end
+    end
+
+(* One node visit, children returned instead of recursed into. The only
+   behavioural difference with [run_frame] is eager sibling growth in the
+   non-closure shape (the closure shape grows all appends up front either
+   way): the same children are admitted, in the same left-to-right order,
+   and the node's own emission happens before any child is visited — so
+   driving every frame through [expand] in DFS order replays [run_frame]'s
+   emission sequence exactly. *)
+let expand c ~emit f =
+  let sup_p = enter c f in
+  let p = f.f_pattern and i = f.f_support and qstate = f.f_qstate in
+  let collect_children appends =
+    let depth' = Pattern.length p + 1 in
+    let out = ref [] in
+    List.iter
+      (fun (e, i_plus) ->
+        let qstate' = c.plan.Query.child_state qstate e in
+        if c.plan.Query.cut ~state:qstate' ~depth:depth' then begin
+          incr c.query_cuts;
+          Trace.instant c.trace Trace.Query_cut ~a0:depth' ~a1:0
         end
-        else incr non_closed_dropped;
-        if within_length p then begin
-          let depth' = Pattern.length p + 1 in
-          let recursed = ref 0 in
-          List.iter
-            (fun (e, i_plus) ->
-              let qstate' = plan.Query.child_state qstate e in
-              if plan.Query.cut ~state:qstate' ~depth:depth' then begin
-                incr query_cuts;
-                Trace.instant trace Trace.Query_cut ~a0:depth' ~a1:0
-              end
-              else
-                match admit ~depth' (Support_set.size i_plus) with
-                | `Recurse ->
-                  incr recursed;
-                  mine_fre (Pattern.grow p e) i_plus qstate'
-                    (i_plus :: rev_chain)
-                | `Skip -> ())
-            appends;
-          Trace.instant trace Trace.Extension ~a0:(Pattern.length p)
-            ~a1:!recursed
-        end
-      end
+        else
+          match admit c ~depth' (Support_set.size i_plus) with
+          | `Recurse ->
+            out :=
+              {
+                f_pattern = Pattern.grow p e;
+                f_support = i_plus;
+                f_qstate = qstate';
+                f_rev_chain = i_plus :: f.f_rev_chain;
+              }
+              :: !out
+          | `Skip -> ())
+      appends;
+    let children = List.rev !out in
+    Trace.instant c.trace Trace.Extension ~a0:(Pattern.length p)
+      ~a1:(List.length children);
+    children
   in
-  let mine_root e =
-    let qstate = plan.Query.root_state e in
-    if plan.Query.cut ~state:qstate ~depth:1 then begin
-      incr query_cuts;
-      Trace.instant trace Trace.Query_cut ~a0:1 ~a1:0
+  match c.closure with
+  | None ->
+    emit_node c ~emit f sup_p;
+    if not (within_length c p) then []
+    else begin
+      (* grow after the cut check, like [run_frame]: cut children are
+         never grown *)
+      let depth' = Pattern.length p + 1 in
+      let out = ref [] in
+      List.iter
+        (fun e ->
+          let qstate' = c.plan.Query.child_state qstate e in
+          if c.plan.Query.cut ~state:qstate' ~depth:depth' then begin
+            incr c.query_cuts;
+            Trace.instant c.trace Trace.Query_cut ~a0:depth' ~a1:0
+          end
+          else begin
+            let i_plus = grow_child c i e in
+            match admit c ~depth' (Support_set.size i_plus) with
+            | `Recurse ->
+              out :=
+                {
+                  f_pattern = Pattern.grow p e;
+                  f_support = i_plus;
+                  f_qstate = qstate';
+                  f_rev_chain = i_plus :: f.f_rev_chain;
+                }
+                :: !out
+            | `Skip -> ()
+          end)
+        c.events;
+      let children = List.rev !out in
+      Trace.instant c.trace Trace.Extension ~a0:(Pattern.length p)
+        ~a1:(List.length children);
+      children
+    end
+  | Some cl ->
+    let verdict =
+      cl.check ~pattern:p ~support_set:i ~prefix_rev_chain:f.f_rev_chain
+    in
+    if verdict.Closure.prunable then begin
+      incr c.lb_pruned;
+      Trace.instant c.trace Trace.Lb_prune ~a0:(Pattern.length p) ~a1:sup_p;
+      []
     end
     else begin
-      let i = Support_set.of_event idx e in
-      match admit ~depth':1 (Support_set.size i) with
-      | `Skip -> ()
-      | `Recurse ->
-        let t0 = Trace.now trace in
-        let before = !emitted in
-        let finish () =
-          Trace.span trace Trace.Root ~a0:e ~a1:(!emitted - before) ~start:t0
-        in
-        (match mine_fre (Pattern.of_list [ e ]) i qstate [ i ] with
-        | () -> finish ()
-        | exception ex ->
-          finish ();
-          raise ex)
+      let appends = List.map (fun e -> (e, grow_child c i e)) c.events in
+      let has_equal_append =
+        cl.detect_equal_append
+        && List.exists (fun (_, i') -> Support_set.size i' = sup_p) appends
+      in
+      if verdict.Closure.closed && not has_equal_append then
+        emit_node c ~emit f sup_p
+      else incr c.non_closed_dropped;
+      if within_length c p then collect_children appends else []
     end
+
+let root_frame c e =
+  let qstate = c.plan.Query.root_state e in
+  if c.plan.Query.cut ~state:qstate ~depth:1 then begin
+    incr c.query_cuts;
+    Trace.instant c.trace Trace.Query_cut ~a0:1 ~a1:0;
+    None
+  end
+  else begin
+    let i = Support_set.of_event c.idx e in
+    match admit c ~depth':1 (Support_set.size i) with
+    | `Skip -> None
+    | `Recurse ->
+      Some
+        {
+          f_pattern = Pattern.of_list [ e ];
+          f_support = i;
+          f_qstate = qstate;
+          f_rev_chain = [ i ];
+        }
+  end
+
+let note_stop c outcome =
+  Metrics.hit Metrics.budget_stops;
+  Trace.instant c.trace Trace.Budget_stop ~a0:(Budget.severity outcome) ~a1:0
+
+let finish c ~outcome =
+  Metrics.add Metrics.dfs_nodes !(c.dfs_nodes);
+  Metrics.add Metrics.patterns_emitted !(c.emitted);
+  Metrics.add Metrics.lb_prunes !(c.lb_pruned);
+  Metrics.add Metrics.query_targeted_cuts !(c.query_cuts);
+  Metrics.add Metrics.query_floor_prunes !(c.floor_prunes);
+  {
+    emitted = !(c.emitted);
+    dfs_nodes = !(c.dfs_nodes);
+    insgrow_calls = !(c.insgrow_calls);
+    lb_pruned = !(c.lb_pruned);
+    non_closed_dropped = !(c.non_closed_dropped);
+    query_cuts = !(c.query_cuts);
+    floor_prunes = !(c.floor_prunes);
+    truncated = Budget.is_stop outcome;
+    outcome;
+  }
+
+let run ?max_length ?events ?roots ?should_stop ?budget ?trace ?plan strategy
+    idx ~min_sup ~emit =
+  let c =
+    make_ctx ?max_length ?events ?should_stop ?budget ?trace ?plan strategy idx
+      ~min_sup
+  in
+  let roots = match roots with Some rs -> rs | None -> c.events in
+  let outcome = ref Budget.Completed in
+  let mine_root e =
+    match root_frame c e with
+    | None -> ()
+    | Some f ->
+      let t0 = Trace.now c.trace in
+      let before = !(c.emitted) in
+      let finish_span () =
+        Trace.span c.trace Trace.Root ~a0:e ~a1:(!(c.emitted) - before)
+          ~start:t0
+      in
+      (match run_frame c ~emit f with
+      | () -> finish_span ()
+      | exception ex ->
+        finish_span ();
+        raise ex)
   in
   (try List.iter mine_root roots with
   | Budget_exhausted ->
     outcome := Budget.Truncated;
-    Metrics.hit Metrics.budget_stops;
-    Trace.instant trace Trace.Budget_stop
-      ~a0:(Budget.severity Budget.Truncated) ~a1:0
+    note_stop c Budget.Truncated
   | Budget.Stop reason ->
     outcome := reason;
-    Metrics.hit Metrics.budget_stops;
-    Trace.instant trace Trace.Budget_stop ~a0:(Budget.severity reason) ~a1:0);
-  Metrics.add Metrics.dfs_nodes !dfs_nodes;
-  Metrics.add Metrics.patterns_emitted !emitted;
-  Metrics.add Metrics.lb_prunes !lb_pruned;
-  Metrics.add Metrics.query_targeted_cuts !query_cuts;
-  Metrics.add Metrics.query_floor_prunes !floor_prunes;
-  {
-    emitted = !emitted;
-    dfs_nodes = !dfs_nodes;
-    insgrow_calls = !insgrow_calls;
-    lb_pruned = !lb_pruned;
-    non_closed_dropped = !non_closed_dropped;
-    query_cuts = !query_cuts;
-    floor_prunes = !floor_prunes;
-    truncated = Budget.is_stop !outcome;
-    outcome = !outcome;
-  }
+    note_stop c reason);
+  finish c ~outcome:!outcome

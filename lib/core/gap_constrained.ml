@@ -79,10 +79,16 @@ let strategy ~min_gap ~max_gap =
     closure = None;
   }
 
-let mine ?max_length ?max_patterns ?(min_gap = 0) ?budget ?trace idx ~max_gap
-    ~min_sup =
+let mine ?max_length ?max_patterns ?(min_gap = 0) ?budget ?trace ?shards idx
+    ~max_gap ~min_sup =
   if min_sup < 1 then invalid_arg "Gap_constrained.mine: min_sup must be >= 1";
   validate_gaps ~min_gap ~max_gap;
+  let strategy =
+    let base = strategy ~min_gap ~max_gap in
+    match shards with
+    | None -> base
+    | Some sm -> Shard_merge.strategy ?trace sm base
+  in
   let results = ref [] in
   let count = ref 0 in
   let emit r =
@@ -92,10 +98,7 @@ let mine ?max_length ?max_patterns ?(min_gap = 0) ?budget ?trace idx ~max_gap
     | Some budget when !count >= budget -> raise Budget_exhausted
     | _ -> ()
   in
-  let s =
-    Engine.run ?max_length ?budget ?trace (strategy ~min_gap ~max_gap) idx
-      ~min_sup ~emit
-  in
+  let s = Engine.run ?max_length ?budget ?trace strategy idx ~min_sup ~emit in
   ( List.rev !results,
     {
       patterns = s.Engine.emitted;

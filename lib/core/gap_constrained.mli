@@ -59,6 +59,7 @@ val mine :
   ?min_gap:int ->
   ?budget:Budget.t ->
   ?trace:Trace.t ->
+  ?shards:Shard_merge.t ->
   Inverted_index.t ->
   max_gap:int ->
   min_sup:int ->
@@ -66,6 +67,9 @@ val mine :
 (** DFS growth over greedy gap-bounded support sets. Sound: every reported
     pattern has true gap-constrained support at least [min_sup]. [budget]
     is {!Budget.check}ed at every DFS node; on a stop the patterns mined so
-    far are returned with the reason in [stats.outcome].
+    far are returned with the reason in [stats.outcome]. [shards] runs
+    every growth shard-by-shard and merges ({!Shard_merge.strategy}) —
+    identical output by construction ({!grow} is per-sequence
+    independent, like INSgrow).
     @raise Invalid_argument when [min_sup < 1], [max_gap < 0],
     [min_gap < 0] or [min_gap > max_gap]. *)

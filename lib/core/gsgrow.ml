@@ -12,8 +12,13 @@ exception Budget_exhausted = Engine.Budget_exhausted
 let strategy =
   { Engine.name = "Gsgrow"; grow = Support_set.grow; closure = None }
 
-let run ?max_length ?events ?roots ?should_stop ?budget ?trace idx ~min_sup
-    ~emit =
+let run ?max_length ?events ?roots ?should_stop ?budget ?trace ?shards idx
+    ~min_sup ~emit =
+  let strategy =
+    match shards with
+    | None -> strategy
+    | Some sm -> Shard_merge.strategy ?trace sm strategy
+  in
   let s =
     Engine.run ?max_length ?events ?roots ?should_stop ?budget ?trace strategy
       idx ~min_sup ~emit
@@ -25,8 +30,8 @@ let run ?max_length ?events ?roots ?should_stop ?budget ?trace idx ~min_sup
     outcome = s.Engine.outcome;
   }
 
-let mine ?max_length ?max_patterns ?events ?roots ?should_stop ?budget ?trace idx
-    ~min_sup =
+let mine ?max_length ?max_patterns ?events ?roots ?should_stop ?budget ?trace
+    ?shards idx ~min_sup =
   let results = ref [] in
   let count = ref 0 in
   let emit r =
@@ -37,9 +42,12 @@ let mine ?max_length ?max_patterns ?events ?roots ?should_stop ?budget ?trace id
     | _ -> ()
   in
   let stats =
-    run ?max_length ?events ?roots ?should_stop ?budget ?trace idx ~min_sup ~emit
+    run ?max_length ?events ?roots ?should_stop ?budget ?trace ?shards idx
+      ~min_sup ~emit
   in
   (List.rev !results, stats)
 
-let iter ?max_length ?events ?roots ?should_stop ?budget ?trace idx ~min_sup ~f =
-  run ?max_length ?events ?roots ?should_stop ?budget ?trace idx ~min_sup ~emit:f
+let iter ?max_length ?events ?roots ?should_stop ?budget ?trace ?shards idx
+    ~min_sup ~f =
+  run ?max_length ?events ?roots ?should_stop ?budget ?trace ?shards idx
+    ~min_sup ~emit:f

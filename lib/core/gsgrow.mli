@@ -36,6 +36,7 @@ val mine :
   ?should_stop:(unit -> bool) ->
   ?budget:Budget.t ->
   ?trace:Trace.t ->
+  ?shards:Shard_merge.t ->
   Inverted_index.t ->
   min_sup:int ->
   Mined.t list * stats
@@ -55,7 +56,10 @@ val mine :
     DFS node and its stop reason is recorded in [stats.outcome] — the
     patterns mined before the stop are always returned; [trace] (default
     {!Trace.null}, i.e. off) records per-root [Root] spans plus, at the
-    [Nodes] level, per-node [Node]/[Extension] instants and budget stops.
+    [Nodes] level, per-node [Node]/[Extension] instants and budget stops;
+    [shards] runs every instance growth shard-by-shard and merges
+    ({!Shard_merge.strategy}) — the mined output is identical by
+    construction.
 
     @raise Invalid_argument when [min_sup < 1]. *)
 
@@ -66,6 +70,7 @@ val iter :
   ?should_stop:(unit -> bool) ->
   ?budget:Budget.t ->
   ?trace:Trace.t ->
+  ?shards:Shard_merge.t ->
   Inverted_index.t ->
   min_sup:int ->
   f:(Mined.t -> unit) ->

@@ -10,6 +10,8 @@ type config = {
   max_patterns : int option;
   max_gap : int option;
   domains : int option;
+  shards : int option;
+  steal : bool;
   paged_index : bool;
   index_kind : Inverted_index.kind option;
   deadline_s : float option;
@@ -24,6 +26,13 @@ let validate_config cfg =
   | Query.Top_k _, Some _ ->
     invalid_arg "Miner: max_patterns cannot be combined with a top-k query"
   | _ -> ());
+  (match cfg.shards with
+  | Some s when s < 1 -> invalid_arg "Miner: shards must be >= 1"
+  | _ -> ());
+  if cfg.steal && cfg.domains = None then
+    invalid_arg "Miner: steal requires domains";
+  if cfg.steal && cfg.max_patterns <> None then
+    invalid_arg "Miner: steal cannot be combined with max_patterns";
   (match cfg.deadline_s with
   | Some d when d < 0.0 -> invalid_arg "Miner: deadline_s must be >= 0"
   | _ -> ());
@@ -35,8 +44,8 @@ let validate_config cfg =
   | _ -> ()
 
 let config ?(mode = Closed) ?(query = Query.All) ?max_length ?max_patterns
-    ?max_gap ?domains ?(paged_index = false) ?index_kind ?deadline_s ?max_nodes
-    ?max_words ~min_sup () =
+    ?max_gap ?domains ?shards ?(steal = false) ?(paged_index = false)
+    ?index_kind ?deadline_s ?max_nodes ?max_words ~min_sup () =
   let cfg =
     {
       min_sup;
@@ -46,6 +55,8 @@ let config ?(mode = Closed) ?(query = Query.All) ?max_length ?max_patterns
       max_patterns;
       max_gap;
       domains;
+      shards;
+      steal;
       paged_index;
       index_kind;
       deadline_s;
@@ -87,6 +98,8 @@ let describe cfg =
       | Query.All -> ""
       | q -> Printf.sprintf ", query=%s" (Query.to_string q));
       (match cfg.domains with Some d -> Printf.sprintf ", %d domains" d | None -> "");
+      (match cfg.shards with Some s -> Printf.sprintf ", %d shards" s | None -> "");
+      (if cfg.steal then ", stealing" else "");
       (match cfg.max_length with Some l -> Printf.sprintf ", max_length=%d" l | None -> "");
       (match cfg.max_patterns with Some b -> Printf.sprintf ", max_patterns=%d" b | None -> "");
       (match cfg.deadline_s with Some d -> Printf.sprintf ", deadline=%gs" d | None -> "");
@@ -111,6 +124,13 @@ let strategy_of cfg =
   | Some max_gap, _ -> Gap_constrained.strategy ~min_gap:0 ~max_gap
   | None, All -> Gsgrow.strategy
   | None, Closed -> Clogsgrow.strategy ~use_lb_check:true ~use_c_check:true
+
+(* The shard layout a config asks for, computed once per run from the
+   index's backing database ([None] = unsharded). *)
+let layout_of cfg idx =
+  Option.map
+    (fun n -> Shard_merge.make (Inverted_index.db idx) ~shards:n)
+    cfg.shards
 
 (* Under a top-k query the floor rises fastest when big subtrees are
    explored first, so roots are visited in descending single-event
@@ -144,11 +164,15 @@ let mine_query ?trace cfg idx ~budget =
     | Some b when !count >= b -> raise Engine.Budget_exhausted
     | _ -> ()
   in
+  let strategy =
+    match layout_of cfg idx with
+    | None -> strategy_of cfg
+    | Some sm -> Shard_merge.strategy ?trace sm (strategy_of cfg)
+  in
   let s =
     Engine.run ?max_length:cfg.max_length ~events
       ?roots:(query_root_order cfg idx events) ?budget ?trace
-      ~plan:collector.Query.plan (strategy_of cfg) idx ~min_sup:cfg.min_sup
-      ~emit
+      ~plan:collector.Query.plan strategy idx ~min_sup:cfg.min_sup ~emit
   in
   (collector.Query.results (), s.Engine.outcome)
 
@@ -157,56 +181,78 @@ let mine_indexed ?trace cfg idx =
   (match (cfg.domains, cfg.max_patterns, cfg.max_gap) with
   | Some _, Some _, _ ->
     invalid_arg "Miner: domains cannot be combined with max_patterns"
-  | Some _, _, Some _ -> invalid_arg "Miner: domains cannot be combined with max_gap"
+  | Some _, _, Some _ when not cfg.steal ->
+    invalid_arg "Miner: domains cannot be combined with max_gap"
   | _ -> ());
   (match (cfg.query, cfg.domains) with
   | Query.All, _ | _, None -> ()
   | _, Some _ ->
-    invalid_arg
-      "Miner: domains cannot be combined with a query here (use mine_resumable)");
+    if not cfg.steal then
+      invalid_arg
+        "Miner: domains cannot be combined with a query here (use \
+         mine_resumable, or steal)");
   Log.info (fun m -> m "mining %s patterns, min_sup=%d" (describe cfg) cfg.min_sup);
   let budget = budget_of cfg in
   let start = Unix.gettimeofday () in
-  let results, outcome =
-    match (cfg.query, cfg.max_gap, cfg.domains, cfg.mode) with
-    | (Query.Targeted _ | Query.Top_k _), _, _, _ ->
-      mine_query ?trace cfg idx ~budget
-    | Query.All, Some max_gap, _, _ ->
-      let results, stats =
-        Gap_constrained.mine ?max_length:cfg.max_length ?max_patterns:cfg.max_patterns
-          ?budget ?trace idx ~max_gap ~min_sup:cfg.min_sup
+  let results, outcome, quarantined =
+    match (cfg.steal, cfg.domains) with
+    | true, Some domains ->
+      (* the stealing executor handles every mode and query uniformly:
+         the strategy captures gap/closure behaviour, the query runs
+         through the shared thread-safe plan *)
+      let results, stats, quarantined =
+        Parallel_miner.mine_steal ~domains ?max_length:cfg.max_length ?budget
+          ?trace ?shards:cfg.shards ~query:cfg.query
+          ~strategy:(strategy_of cfg) idx ~min_sup:cfg.min_sup
       in
-      (results, stats.Gap_constrained.outcome)
-    | Query.All, None, Some domains, All ->
-      let results, stats =
-        Parallel_miner.mine_all ~domains ?max_length:cfg.max_length ?budget ?trace
-          idx ~min_sup:cfg.min_sup
+      (results, stats.Engine.outcome, quarantined)
+    | true, None -> assert false (* validate_config rejects *)
+    | false, _ ->
+      let results, outcome =
+        match (cfg.query, cfg.max_gap, cfg.domains, cfg.mode) with
+        | (Query.Targeted _ | Query.Top_k _), _, _, _ ->
+          mine_query ?trace cfg idx ~budget
+        | Query.All, Some max_gap, _, _ ->
+          let results, stats =
+            Gap_constrained.mine ?max_length:cfg.max_length
+              ?max_patterns:cfg.max_patterns ?budget ?trace
+              ?shards:(layout_of cfg idx) idx ~max_gap ~min_sup:cfg.min_sup
+          in
+          (results, stats.Gap_constrained.outcome)
+        | Query.All, None, Some domains, All ->
+          let results, stats =
+            Parallel_miner.mine_all ~domains ?max_length:cfg.max_length ?budget
+              ?trace ?shards:cfg.shards idx ~min_sup:cfg.min_sup
+          in
+          (results, stats.Gsgrow.outcome)
+        | Query.All, None, Some domains, Closed ->
+          let results, stats =
+            Parallel_miner.mine_closed ~domains ?max_length:cfg.max_length
+              ?budget ?trace ?shards:cfg.shards idx ~min_sup:cfg.min_sup
+          in
+          (results, stats.Clogsgrow.outcome)
+        | Query.All, None, None, All ->
+          let results, stats =
+            Gsgrow.mine ?max_length:cfg.max_length
+              ?max_patterns:cfg.max_patterns ?budget ?trace
+              ?shards:(layout_of cfg idx) idx ~min_sup:cfg.min_sup
+          in
+          (results, stats.Gsgrow.outcome)
+        | Query.All, None, None, Closed ->
+          let results, stats =
+            Clogsgrow.mine ?max_length:cfg.max_length
+              ?max_patterns:cfg.max_patterns ?budget ?trace
+              ?shards:(layout_of cfg idx) idx ~min_sup:cfg.min_sup
+          in
+          (results, stats.Clogsgrow.outcome)
       in
-      (results, stats.Gsgrow.outcome)
-    | Query.All, None, Some domains, Closed ->
-      let results, stats =
-        Parallel_miner.mine_closed ~domains ?max_length:cfg.max_length ?budget
-          ?trace idx ~min_sup:cfg.min_sup
-      in
-      (results, stats.Clogsgrow.outcome)
-    | Query.All, None, None, All ->
-      let results, stats =
-        Gsgrow.mine ?max_length:cfg.max_length ?max_patterns:cfg.max_patterns ?budget
-          ?trace idx ~min_sup:cfg.min_sup
-      in
-      (results, stats.Gsgrow.outcome)
-    | Query.All, None, None, Closed ->
-      let results, stats =
-        Clogsgrow.mine ?max_length:cfg.max_length ?max_patterns:cfg.max_patterns
-          ?budget ?trace idx ~min_sup:cfg.min_sup
-      in
-      (results, stats.Clogsgrow.outcome)
+      (results, outcome, 0)
   in
   let elapsed_s = Unix.gettimeofday () -. start in
   Log.info (fun m ->
       m "found %d pattern(s) (%a) in %.3fs" (List.length results) Budget.pp outcome
         elapsed_s);
-  { results; truncated = Budget.is_stop outcome; outcome; elapsed_s; quarantined = 0 }
+  { results; truncated = Budget.is_stop outcome; outcome; elapsed_s; quarantined }
 
 let mine ?config:cfg ?min_sup ?trace db =
   let cfg =
@@ -253,6 +299,8 @@ let mine_resumable ?budget ?checkpoint ?(resume = false)
     invalid_arg "Miner: checkpointing is not supported with max_gap";
   if cfg.max_patterns <> None then
     invalid_arg "Miner: checkpointing is not supported with max_patterns";
+  if cfg.steal then
+    invalid_arg "Miner: checkpointing is not supported with steal";
   if resume && checkpoint = None then
     invalid_arg "Miner: resume requires a checkpoint path";
   let start = Unix.gettimeofday () in
@@ -337,6 +385,7 @@ let mine_resumable ?budget ?checkpoint ?(resume = false)
       Trace.span trace Trace.Checkpoint_write ~a0:done_now
         ~a1:(total_roots - done_now) ~start:t0
   in
+  let layout = layout_of cfg idx in
   let mine_root k =
     (match Lazy.force chaos_root_delay_s with
     | 0.0 -> ()
@@ -353,10 +402,15 @@ let mine_resumable ?budget ?checkpoint ?(resume = false)
           Query.collector ?max_length:cfg.max_length ~events
             ~min_sup:cfg.min_sup cfg.query
         in
+        let wtr = Trace.for_domain trace in
+        let strategy =
+          match layout with
+          | None -> strategy_of cfg
+          | Some sm -> Shard_merge.strategy ~trace:wtr sm (strategy_of cfg)
+        in
         let s =
-          Engine.run ?max_length:cfg.max_length ?budget
-            ~trace:(Trace.for_domain trace) ~events ~roots:[ roots.(k) ]
-            ~plan:collector.Query.plan (strategy_of cfg) idx
+          Engine.run ?max_length:cfg.max_length ?budget ~trace:wtr ~events
+            ~roots:[ roots.(k) ] ~plan:collector.Query.plan strategy idx
             ~min_sup:cfg.min_sup ~emit:collector.Query.offer
         in
         (collector.Query.results (), s.Engine.outcome)
@@ -365,15 +419,15 @@ let mine_resumable ?budget ?checkpoint ?(resume = false)
         | All ->
           let results, stats =
             Gsgrow.mine ?max_length:cfg.max_length ?budget
-              ~trace:(Trace.for_domain trace) ~events ~roots:[ roots.(k) ] idx
-              ~min_sup:cfg.min_sup
+              ~trace:(Trace.for_domain trace) ?shards:layout ~events
+              ~roots:[ roots.(k) ] idx ~min_sup:cfg.min_sup
           in
           (results, stats.Gsgrow.outcome)
         | Closed ->
           let results, stats =
             Clogsgrow.mine ?max_length:cfg.max_length ?budget
-              ~trace:(Trace.for_domain trace) ~events ~roots:[ roots.(k) ] idx
-              ~min_sup:cfg.min_sup
+              ~trace:(Trace.for_domain trace) ?shards:layout ~events
+              ~roots:[ roots.(k) ] idx ~min_sup:cfg.min_sup
           in
           (results, stats.Clogsgrow.outcome))
     in

@@ -36,7 +36,17 @@ type config = {
           bound, mines all patterns — [mode] is ignored *)
   domains : int option;
       (** mine in parallel with this many domains ({!Parallel_miner});
-          incompatible with [max_patterns] and [max_gap] *)
+          incompatible with [max_patterns], and with [max_gap] unless
+          [steal] is set *)
+  shards : int option;
+      (** run every instance growth shard-by-shard over this many balanced
+          database shards and merge ({!Shard_merge}) — output identical by
+          construction, in every mode including checkpoint/resume *)
+  steal : bool;
+      (** use the work-stealing executor ({!Parallel_miner.mine_steal}):
+          dynamic DFS-subtree balancing instead of static per-root
+          claiming, same output. Requires [domains]; supports any [query]
+          and [max_gap], but not [max_patterns] or checkpointing *)
   paged_index : bool;  (** build the B-tree index backend instead of arrays *)
   index_kind : Inverted_index.kind option;
       (** explicit index backend selection; overrides [paged_index] when
@@ -59,6 +69,8 @@ val config :
   ?max_patterns:int ->
   ?max_gap:int ->
   ?domains:int ->
+  ?shards:int ->
+  ?steal:bool ->
   ?paged_index:bool ->
   ?index_kind:Inverted_index.kind ->
   ?deadline_s:float ->
@@ -67,10 +79,11 @@ val config :
   min_sup:int ->
   unit ->
   config
-(** Defaults: [mode = Closed], [query = All], array index, sequential, no
-    bounds.
+(** Defaults: [mode = Closed], [query = All], array index, sequential,
+    unsharded, no stealing, no bounds.
     @raise Invalid_argument when [min_sup < 1], a limit is negative, the
-    query is invalid ({!Query.validate}), or a top-k query is combined
+    query is invalid ({!Query.validate}), a top-k query is combined with
+    [max_patterns], [shards < 1], or [steal] is set without [domains] or
     with [max_patterns]. *)
 
 type report = {

@@ -178,14 +178,348 @@ let resolve_order schedule idx roots =
   | `Index -> None
   | `Largest_first -> Some (largest_first_order idx roots)
 
-let mine_all ?domains ?max_length ?budget ?(trace = Trace.null)
-    ?(schedule = `Largest_first) idx ~min_sup =
+(* --- work-stealing executor ---------------------------------------- *)
+
+(* One pending unit of DFS work. [t_path] is the list of child ranks from
+   the root ([] = the root node itself): task boundaries follow the DFS
+   tree, so sorting a root's per-task result lists by path (lexicographic,
+   prefix first — exactly OCaml's structural compare on int lists) and
+   concatenating reproduces the sequential preorder emission byte for
+   byte, whatever domain mined which piece. *)
+type steal_task = {
+  t_root : int;  (* slot in the roots array *)
+  t_path : int list;
+  t_node : [ `Root of Event.t | `Frame of Engine.frame ];
+}
+
+type steal_worker = {
+  w_id : int;
+  w_ctx : Engine.ctx;
+  w_trace : Trace.t;
+  mutable w_claimed : int;
+  mutable w_attempts : int;
+  mutable w_successes : int;
+  mutable w_depth : int;
+}
+
+let rec atomic_cons cell x =
+  let old = Atomic.get cell in
+  if not (Atomic.compare_and_set cell old (x :: old)) then atomic_cons cell x
+
+(* Shard-parallel mining with dynamic load balancing, replacing the
+   root-granular static claiming of [run_pool]. Every worker owns a
+   {!Deque}: it claims fresh roots from the shared counter while any
+   remain (independent work first, in LPT order), splits shallow nodes
+   (pattern length <= [split_len]) into one task per admitted child via
+   [Engine.expand] and pushes them bottom-LIFO (so its own pops follow
+   DFS order), and mines deeper subtrees whole with [Engine.run_frame].
+   A worker that is out of roots and out of local work steals the oldest
+   task from a sibling's deque — the largest deferred subtree — so one
+   giant root no longer serializes the tail of the run.
+
+   Determinism: results are keyed by (root, path) and stitched in root
+   order / path order, so the output is identical to the sequential DFS
+   for every schedule; the [@steal] differential suite pins this across
+   backends, shard counts and seeds. Queries run through {!Query.shared}
+   (thread-safe plans; the top-k floor is a shared atomic, so a stolen
+   subtree inherits the current floor).
+
+   Accounting per root mirrors [run_pool]: [pending] counts that root's
+   outstanding tasks and the worker that drops it to zero finalizes the
+   slot — [Done] with the stitched results, [Failed] when any task
+   raised ([failed] keeps the first exception; remaining tasks of that
+   root short-circuit), or left [Skipped] when a budget stop aborted a
+   task before the subtree completed ([aborted]). Failed roots then take
+   the usual [retry_failed] -> quarantine path, re-mined sequentially. *)
+let mine_steal ?domains ?max_length ?budget ?(trace = Trace.null) ?shards
+    ?(query = Query.All) ?(split_len = 2) ~strategy idx ~min_sup =
   let domains = validate ?domains ~min_sup () in
+  let layout =
+    Option.map
+      (fun n -> Shard_merge.make (Inverted_index.db idx) ~shards:n)
+      shards
+  in
+  let events = Inverted_index.frequent_events idx ~min_sup in
+  let roots = Array.of_list events in
+  let num_roots = Array.length roots in
+  let shared = Query.shared ?max_length ~events ~min_sup query in
+  let order = largest_first_order idx roots in
+  let deques = Array.init domains (fun _ -> Deque.create ()) in
+  let states = Array.make domains None in
+  let next = Atomic.make 0 in
+  let live = Atomic.make 0 in
+  let halted = Atomic.make false in
+  let halt_reason = Atomic.make None in
+  let pending = Array.init num_roots (fun _ -> Atomic.make 0) in
+  let parts = Array.init num_roots (fun _ -> Atomic.make []) in
+  let failed = Array.init num_roots (fun _ -> Atomic.make None) in
+  let aborted = Array.init num_roots (fun _ -> Atomic.make false) in
+  let slots = Array.make num_roots Skipped in
+  let finish_root r =
+    match Atomic.get failed.(r) with
+    | Some e -> slots.(r) <- Failed e
+    | None ->
+      if not (Atomic.get aborted.(r)) then begin
+        let ps =
+          List.sort
+            (fun (p, _) (q, _) -> compare (p : int list) q)
+            (Atomic.get parts.(r))
+        in
+        slots.(r) <- Done (List.concat_map snd ps)
+      end
+  in
+  let exec ?(stolen = false) st task =
+    let r = task.t_root in
+    (if Atomic.get failed.(r) <> None || Atomic.get aborted.(r) then ()
+     else if Atomic.get halted then Atomic.set aborted.(r) true
+     else begin
+       let results = ref [] in
+       let emit m =
+         shared.Query.shared_offer m;
+         results := m :: !results
+       in
+       try
+         if stolen then Budget.Fault.fire (Budget.Fault.Steal st.w_id);
+         (match task.t_node with
+         | `Root _ -> Budget.Fault.fire (Budget.Fault.Worker r)
+         | `Frame _ -> ());
+         (match
+            match task.t_node with
+            | `Root e -> Engine.root_frame st.w_ctx e
+            | `Frame f -> Some f
+          with
+         | None -> ()
+         | Some f ->
+           if Pattern.length (Engine.frame_pattern f) <= split_len then begin
+             let children = Array.of_list (Engine.expand st.w_ctx ~emit f) in
+             let n = Array.length children in
+             if n > 0 then begin
+               ignore (Atomic.fetch_and_add pending.(r) n);
+               ignore (Atomic.fetch_and_add live n);
+               (* reversed, so the owner pops child 0 first (DFS order)
+                  and thieves take the last child — order is irrelevant
+                  for the output, only for locality *)
+               for i = n - 1 downto 0 do
+                 Deque.push deques.(st.w_id)
+                   {
+                     t_root = r;
+                     t_path = task.t_path @ [ i ];
+                     t_node = `Frame children.(i);
+                   }
+               done;
+               st.w_depth <- max st.w_depth (Deque.size deques.(st.w_id))
+             end
+           end
+           else Engine.run_frame st.w_ctx ~emit f);
+         atomic_cons parts.(r) (task.t_path, List.rev !results)
+       with
+       | Budget.Stop reason ->
+         if Atomic.compare_and_set halt_reason None (Some reason) then
+           Engine.note_stop st.w_ctx reason;
+         Atomic.set halted true;
+         Atomic.set aborted.(r) true
+       | Engine.Budget_exhausted ->
+         (* only reachable once [halted] is set (the ctx's should_stop):
+            some other worker already recorded the reason *)
+         Atomic.set halted true;
+         Atomic.set aborted.(r) true
+       | e -> ignore (Atomic.compare_and_set failed.(r) None (Some e))
+     end);
+    if Atomic.fetch_and_add pending.(r) (-1) = 1 then finish_root r;
+    ignore (Atomic.fetch_and_add live (-1))
+  in
+  let try_steal st =
+    let stolen = ref None in
+    let i = ref 1 in
+    while !stolen = None && !i < domains do
+      let v = (st.w_id + !i) mod domains in
+      st.w_attempts <- st.w_attempts + 1;
+      (match Deque.steal deques.(v) with
+      | Deque.Stolen t ->
+        st.w_successes <- st.w_successes + 1;
+        Trace.instant st.w_trace Trace.Steal ~a0:st.w_id ~a1:v;
+        stolen := Some t
+      | Deque.Empty | Deque.Retry -> incr i)
+    done;
+    !stolen
+  in
+  let worker slot () =
+    Metrics.hit Metrics.pool_workers;
+    let wtr = Trace.for_domain trace in
+    let t0 = Trace.now wtr in
+    let wstrategy =
+      match layout with
+      | None -> strategy
+      | Some sm -> Shard_merge.strategy ~trace:wtr sm strategy
+    in
+    let st =
+      {
+        w_id = slot;
+        w_ctx =
+          Engine.make_ctx ?max_length ~events
+            ~should_stop:(fun () -> Atomic.get halted)
+            ?budget ~trace:wtr ~plan:shared.Query.shared_plan wstrategy idx
+            ~min_sup;
+        w_trace = wtr;
+        w_claimed = 0;
+        w_attempts = 0;
+        w_successes = 0;
+        w_depth = 0;
+      }
+    in
+    states.(slot) <- Some st;
+    let rec loop () =
+      if not (Atomic.get halted) then
+        match Deque.pop deques.(slot) with
+        | Some t ->
+          exec st t;
+          loop ()
+        | None ->
+          let k = Atomic.fetch_and_add next 1 in
+          if k < num_roots then begin
+            let k = order.(k) in
+            st.w_claimed <- st.w_claimed + 1;
+            Atomic.set pending.(k) 1;
+            ignore (Atomic.fetch_and_add live 1);
+            exec st { t_root = k; t_path = []; t_node = `Root roots.(k) };
+            loop ()
+          end
+          else if Atomic.get live > 0 then begin
+            (match try_steal st with
+            | Some t -> exec ~stolen:true st t
+            | None -> Domain.cpu_relax ());
+            loop ()
+          end
+    in
+    (try loop () with _ -> ());
+    Metrics.add Metrics.steal_attempts st.w_attempts;
+    Metrics.add Metrics.steal_successes st.w_successes;
+    Metrics.observe_max Metrics.deque_max_depth st.w_depth;
+    ignore (Metrics.sample_live_words ());
+    Trace.span wtr Trace.Worker ~a0:slot ~a1:st.w_claimed ~start:t0
+  in
+  let spawned =
+    List.init (domains - 1) (fun i -> Domain.spawn (worker (i + 1)))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun d -> try Domain.join d with _ -> ()) spawned)
+    (worker 0);
+  let all_stats =
+    ref
+      (Array.to_list states
+      |> List.filter_map Fun.id
+      |> List.map (fun st -> Engine.finish st.w_ctx ~outcome:Budget.Completed)
+      )
+  in
+  let retry_root k =
+    let wtr = Trace.for_domain trace in
+    let wstrategy =
+      match layout with
+      | None -> strategy
+      | Some sm -> Shard_merge.strategy ~trace:wtr sm strategy
+    in
+    let ctx =
+      Engine.make_ctx ?max_length ~events ?budget ~trace:wtr
+        ~plan:shared.Query.shared_plan wstrategy idx ~min_sup
+    in
+    let results = ref [] in
+    let emit m =
+      shared.Query.shared_offer m;
+      results := m :: !results
+    in
+    (match Engine.root_frame ctx roots.(k) with
+    | None -> ()
+    | Some f -> Engine.run_frame ctx ~emit f);
+    all_stats := Engine.finish ctx ~outcome:Budget.Completed :: !all_stats;
+    List.rev !results
+  in
+  let slots = retry_failed ~trace ~mine_root:retry_root slots in
+  let halt_reason = Atomic.get halt_reason in
+  let stop_reason =
+    Array.fold_left
+      (fun acc status ->
+        match status with
+        | Failed _ | Quarantined _ -> Budget.combine acc Budget.Worker_failed
+        | Done _ | Skipped -> acc)
+      (Option.value halt_reason ~default:Budget.Completed)
+      slots
+  in
+  let outcome =
+    if
+      Array.exists (function Skipped -> true | _ -> false) slots
+      && not (Budget.is_stop stop_reason)
+    then Budget.Cancelled
+    else stop_reason
+  in
+  let quarantined =
+    Array.fold_left
+      (fun n -> function Quarantined _ -> n + 1 | _ -> n)
+      0 slots
+  in
+  let results =
+    List.concat_map
+      (function Done rs -> rs | Failed _ | Skipped | Quarantined _ -> [])
+      (Array.to_list slots)
+  in
+  let results = shared.Query.finalize results in
+  let stats =
+    List.fold_left
+      (fun acc (s : Engine.stats) ->
+        {
+          acc with
+          Engine.emitted = acc.Engine.emitted + s.Engine.emitted;
+          dfs_nodes = acc.Engine.dfs_nodes + s.Engine.dfs_nodes;
+          insgrow_calls = acc.Engine.insgrow_calls + s.Engine.insgrow_calls;
+          lb_pruned = acc.Engine.lb_pruned + s.Engine.lb_pruned;
+          non_closed_dropped =
+            acc.Engine.non_closed_dropped + s.Engine.non_closed_dropped;
+          query_cuts = acc.Engine.query_cuts + s.Engine.query_cuts;
+          floor_prunes = acc.Engine.floor_prunes + s.Engine.floor_prunes;
+        })
+      {
+        Engine.emitted = 0;
+        dfs_nodes = 0;
+        insgrow_calls = 0;
+        lb_pruned = 0;
+        non_closed_dropped = 0;
+        query_cuts = 0;
+        floor_prunes = 0;
+        truncated = Budget.is_stop outcome;
+        outcome;
+      }
+      !all_stats
+  in
+  (results, stats, quarantined)
+
+let shard_layout idx shards =
+  Option.map
+    (fun n -> Shard_merge.make (Inverted_index.db idx) ~shards:n)
+    shards
+
+let mine_all ?domains ?max_length ?budget ?(trace = Trace.null)
+    ?(schedule = `Largest_first) ?(steal = false) ?shards idx ~min_sup =
+  if steal then begin
+    let results, s, _quarantined =
+      mine_steal ?domains ?max_length ?budget ~trace ?shards
+        ~strategy:Gsgrow.strategy idx ~min_sup
+    in
+    ( results,
+      {
+        Gsgrow.patterns = s.Engine.emitted;
+        insgrow_calls = s.Engine.insgrow_calls;
+        truncated = s.Engine.truncated;
+        outcome = s.Engine.outcome;
+      } )
+  end
+  else begin
+  let domains = validate ?domains ~min_sup () in
+  let sm = shard_layout idx shards in
   let events = Inverted_index.frequent_events idx ~min_sup in
   let roots = Array.of_list events in
   let mine_root k =
-    Gsgrow.mine ?max_length ?budget ~trace:(Trace.for_domain trace) ~events
-      ~roots:[ roots.(k) ] idx ~min_sup
+    Gsgrow.mine ?max_length ?budget ~trace:(Trace.for_domain trace) ?shards:sm
+      ~events ~roots:[ roots.(k) ] idx ~min_sup
   in
   let slots, halt_reason =
     run_pool ~trace ~halt_on:halt_on_gsgrow
@@ -209,15 +543,40 @@ let mine_all ?domains ?max_length ?budget ?(trace = Trace.null)
         Gsgrow.patterns = acc.Gsgrow.patterns + s.Gsgrow.patterns;
         insgrow_calls = acc.Gsgrow.insgrow_calls + s.Gsgrow.insgrow_calls;
       })
+  end
 
 let mine_closed ?domains ?max_length ?use_lb_check ?budget ?(trace = Trace.null)
-    ?(schedule = `Largest_first) idx ~min_sup =
+    ?(schedule = `Largest_first) ?(steal = false) ?shards idx ~min_sup =
+  if steal then begin
+    let strategy =
+      Clogsgrow.strategy
+        ~use_lb_check:(Option.value use_lb_check ~default:true)
+        ~use_c_check:true
+    in
+    let results, s, _quarantined =
+      mine_steal ?domains ?max_length ?budget ~trace ?shards ~strategy idx
+        ~min_sup
+    in
+    ( results,
+      {
+        Clogsgrow.patterns = s.Engine.emitted;
+        dfs_nodes = s.Engine.dfs_nodes;
+        insgrow_calls = s.Engine.insgrow_calls;
+        lb_pruned = s.Engine.lb_pruned;
+        non_closed_dropped = s.Engine.non_closed_dropped;
+        truncated = s.Engine.truncated;
+        outcome = s.Engine.outcome;
+      } )
+  end
+  else begin
   let domains = validate ?domains ~min_sup () in
+  let sm = shard_layout idx shards in
   let events = Inverted_index.frequent_events idx ~min_sup in
   let roots = Array.of_list events in
   let mine_root k =
     Clogsgrow.mine ?max_length ?use_lb_check ?budget
-      ~trace:(Trace.for_domain trace) ~events ~roots:[ roots.(k) ] idx ~min_sup
+      ~trace:(Trace.for_domain trace) ?shards:sm ~events ~roots:[ roots.(k) ]
+      idx ~min_sup
   in
   let slots, halt_reason =
     run_pool ~trace ~halt_on:halt_on_clogsgrow
@@ -248,3 +607,4 @@ let mine_closed ?domains ?max_length ?use_lb_check ?budget ?(trace = Trace.null)
         non_closed_dropped =
           acc.Clogsgrow.non_closed_dropped + s.Clogsgrow.non_closed_dropped;
       })
+  end

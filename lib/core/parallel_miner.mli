@@ -83,10 +83,55 @@ val retry_failed :
 val largest_first_order :
   Inverted_index.t -> Rgs_sequence.Event.t array -> int array
 (** A claim order for [run_pool]'s [?order]: root indices sorted by their
-    event's occurrence count descending (ties toward the lower index).
-    Heavy DFS subtrees start first, so no domain is left mining a large
-    root alone at the tail of the pool run — longest-processing-time-first
-    scheduling on the size-1 support proxy. *)
+    event's occurrence count descending, {b ties broken by the lower root
+    index} — the comparator is a total order, so the permutation is
+    identical on every OCaml version and backend ([Array.sort] is not
+    stable, so an array-order tie-break would be). Heavy DFS subtrees
+    start first, so no domain is left mining a large root alone at the
+    tail of the pool run — longest-processing-time-first scheduling on
+    the size-1 support proxy. *)
+
+val mine_steal :
+  ?domains:int ->
+  ?max_length:int ->
+  ?budget:Budget.t ->
+  ?trace:Trace.t ->
+  ?shards:int ->
+  ?query:Query.t ->
+  ?split_len:int ->
+  strategy:Engine.strategy ->
+  Inverted_index.t ->
+  min_sup:int ->
+  Mined.t list * Engine.stats * int
+(** The work-stealing executor: dynamic load balancing at DFS-subtree
+    granularity instead of [run_pool]'s static per-root claiming. Every
+    worker owns a {!Deque}; it claims fresh roots from a shared counter
+    in {!largest_first_order} while any remain, splits nodes of pattern
+    length at most [split_len] (default 2) into one task per admitted
+    child ([Engine.expand]) pushed onto its own deque, and mines deeper
+    subtrees whole ([Engine.run_frame]). A worker with no roots left and
+    an empty deque steals the oldest task from a sibling — the largest
+    deferred subtree — so a skewed root set no longer serializes the
+    tail of the run ([Metrics.steal_attempts]/[steal_successes],
+    [Steal] trace instants, [deque_max_depth]).
+
+    {b Determinism}: per-task results are keyed by their DFS path and
+    stitched in root order then path order, so the output is identical
+    to the sequential miner's for every schedule, shard count and domain
+    count. [query] runs through {!Query.shared} (the top-k floor is a
+    shared atomic inherited by stolen subtrees; ties at the k-th support
+    are resolved canonically in [finalize], not by arrival). [shards]
+    wraps the strategy with {!Shard_merge.strategy} per worker.
+
+    Failure handling matches [run_pool] + {!retry_failed}: the first
+    exception in any task of a root fails the whole root (its other
+    tasks short-circuit), the root is retried sequentially and
+    quarantined if the retry fails too — the third result is the number
+    of quarantined roots, and [stats.outcome] is [Worker_failed] when
+    any root was lost. A {!Budget.Stop} halts all workers cooperatively;
+    roots whose every task finished keep their results.
+    @raise Invalid_argument when [min_sup < 1], [domains < 1] or
+    [shards < 1]. *)
 
 val mine_all :
   ?domains:int ->
@@ -94,6 +139,8 @@ val mine_all :
   ?budget:Budget.t ->
   ?trace:Trace.t ->
   ?schedule:[ `Index | `Largest_first ] ->
+  ?steal:bool ->
+  ?shards:int ->
   Inverted_index.t ->
   min_sup:int ->
   Mined.t list * Gsgrow.stats
@@ -104,6 +151,10 @@ val mine_all :
     the roots finished so far ([stats.outcome] carries the reason).
     [schedule] picks the claim order — [`Largest_first] (default,
     {!largest_first_order}) or [`Index]; both yield the identical output.
+    [steal] routes the run through {!mine_steal} (same output, dynamic
+    balancing; [schedule] is then moot — stealing always claims largest
+    first). [shards] runs every instance growth shard-by-shard
+    ({!Shard_merge}) in either mode — again identical output.
     @raise Invalid_argument when [min_sup < 1] or [domains < 1]. *)
 
 val mine_closed :
@@ -113,6 +164,8 @@ val mine_closed :
   ?budget:Budget.t ->
   ?trace:Trace.t ->
   ?schedule:[ `Index | `Largest_first ] ->
+  ?steal:bool ->
+  ?shards:int ->
   Inverted_index.t ->
   min_sup:int ->
   Mined.t list * Clogsgrow.stats

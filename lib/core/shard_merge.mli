@@ -1,0 +1,60 @@
+(** Sharded instance growth: per-shard INSgrow over database slices,
+    merged back with {!Support_set.combine}.
+
+    A shard is a contiguous 1-based sequence range produced by
+    {!Seqdb.shard} — an index {e view}, no events copied. Because
+    INSgrow (Algorithm 2) extends every per-sequence instance group
+    independently (the grown group of [S_i] depends only on [S_i]'s own
+    instances and index column — Section III's per-sequence landmark
+    walk), growing a {!Support_set.slice} yields exactly the slice of
+    the full grown set. The per-shard results therefore partition the
+    unsharded result's groups, and [combine] — associative and
+    commutative over disjoint sequence ids, preserving each group's
+    right-shift order — reassembles them into a set {e content-equal}
+    to the unsharded grow. That identity is this module's proof
+    obligation: [strategy ~verify:true] checks it differentially on
+    every grow, and the [@steal] suite pins it across databases,
+    backends and shard counts.
+
+    Wrapping only the strategy's [grow] leaves the DFS untouched, so
+    sharding composes with every engine feature (closure checking, gap
+    constraints, queries, budgets) and with the work-stealing executor. *)
+
+open Rgs_sequence
+
+type t
+(** A shard layout over one database: the balanced ranges, computed once
+    per run. *)
+
+val make : Seqdb.t -> shards:int -> t
+(** [make db ~shards] computes the balanced layout via {!Seqdb.shard}.
+    A layout with fewer than two shards (small database, or [shards = 1])
+    makes {!grow} fall through to the unsharded growth.
+    @raise Invalid_argument when [shards < 1]. *)
+
+val ranges : t -> (int * int) array
+(** The inclusive 1-based sequence ranges, in order. *)
+
+val num_shards : t -> int
+
+val grow :
+  t ->
+  ?trace:Trace.t ->
+  (Inverted_index.t -> Support_set.t -> Event.t -> Support_set.t) ->
+  Inverted_index.t ->
+  Support_set.t ->
+  Event.t ->
+  Support_set.t
+(** [grow t base idx s e] runs [base] on each shard's slice of [s] and
+    combines the results. Times the combine into
+    [Metrics.shard_merge_ns], records a [Shard_merge] trace instant,
+    and fires the {!Budget.Fault.Shard_merge} site between the grows
+    and the merge (the mid-merge cancellation point the chaos harness
+    attacks). With fewer than two shards this is exactly [base idx s e]. *)
+
+val strategy : ?verify:bool -> ?trace:Trace.t -> t -> Engine.strategy -> Engine.strategy
+(** The sharded version of a strategy: same name and closure machinery,
+    [grow] replaced by {!grow}. With [~verify:true] every growth also
+    runs the unsharded [base] and fails loudly when the results differ —
+    the differential proof obligation, meant for tests (it doubles the
+    growth work). *)

@@ -200,6 +200,70 @@ let grow idx s e =
     { groups; total = !total }
   end
 
+(* --- shard support: slicing by sequence range and the associative
+   merge. Groups are kept in ascending gseq order, so a sequence range is
+   a contiguous sub-array (binary search for the boundaries) and merging
+   two sets over disjoint sequence ranges is a linear merge of two sorted
+   arrays — the group records themselves are shared, never copied. *)
+
+(* smallest group index with gseq >= lo *)
+let lower_bound groups lo =
+  let n = Array.length groups in
+  let a = ref 0 and b = ref n in
+  while !a < !b do
+    let mid = (!a + !b) / 2 in
+    if groups.(mid).gseq < lo then a := mid + 1 else b := mid
+  done;
+  !a
+
+let slice s ~lo ~hi =
+  if lo > hi then invalid_arg "Support_set.slice: lo > hi";
+  let i = lower_bound s.groups lo in
+  let j = lower_bound s.groups (hi + 1) in
+  if i = 0 && j = Array.length s.groups then s
+  else of_group_array (Array.sub s.groups i (j - i))
+
+(* Associative and commutative on sets over disjoint sequence ids: the
+   result is determined by the union of groups alone (ascending gseq),
+   so any combine tree over a partition of the database yields the same
+   set — the property the per-shard grow/merge of {!Shard_merge} rests
+   on. A shared sequence id would mean the operands were not support
+   sets of disjoint shards; refuse loudly rather than guess an
+   interleaving of instances. *)
+let combine a b =
+  if a.total = 0 then b
+  else if b.total = 0 then a
+  else begin
+    let na = Array.length a.groups and nb = Array.length b.groups in
+    let out = Array.make (na + nb) empty_group in
+    let ia = ref 0 and ib = ref 0 and k = ref 0 in
+    while !ia < na && !ib < nb do
+      let ga = a.groups.(!ia) and gb = b.groups.(!ib) in
+      if ga.gseq = gb.gseq then
+        invalid_arg "Support_set.combine: operands share a sequence"
+      else if ga.gseq < gb.gseq then begin
+        out.(!k) <- ga;
+        incr ia
+      end
+      else begin
+        out.(!k) <- gb;
+        incr ib
+      end;
+      incr k
+    done;
+    while !ia < na do
+      out.(!k) <- a.groups.(!ia);
+      incr ia;
+      incr k
+    done;
+    while !ib < nb do
+      out.(!k) <- b.groups.(!ib);
+      incr ib;
+      incr k
+    done;
+    { groups = out; total = a.total + b.total }
+  end
+
 (* Content equality over the live prefixes — the arrays may carry slack
    slots and be shared, so structural array equality would be wrong in both
    directions. *)

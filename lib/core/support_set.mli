@@ -95,6 +95,25 @@ val grow :
     full [O(log L)] search per instance. Surviving groups share the
     parent's [firsts] array; no arrays are copied on partial survival. *)
 
+val slice : t -> lo:int -> hi:int -> t
+(** [slice s ~lo ~hi] restricts [s] to the sequences in the inclusive
+    1-based range [[lo, hi]] — a shard view: groups ascend by sequence,
+    so the result is a contiguous sub-array of shared group records
+    (binary-searched boundaries, no instance copying; [s] itself when
+    the range covers every group).
+    @raise Invalid_argument when [lo > hi]. *)
+
+val combine : t -> t -> t
+(** Merge two support sets over {e disjoint} sequence ids (e.g. the
+    per-shard results of growing disjoint {!slice}s) into one, in
+    ascending sequence order. Group records are shared, not copied.
+    Associative and commutative: the result depends only on the union
+    of the per-sequence groups, and instances keep their right-shift
+    order inside each group, so combining a partition's shards in any
+    tree yields exactly the unsharded set ({!Shard_merge}'s proof
+    obligation, checked differentially by the [@steal] suite).
+    @raise Invalid_argument when the operands share a sequence id. *)
+
 val equal : t -> t -> bool
 (** Content equality over live prefixes (slack slots and sharing are
     representation details and do not affect it). *)

@@ -232,6 +232,47 @@ let equal a b =
     in
     go 0
 
+(* Balanced contiguous shards by total event length. Greedy with a
+   moving target (remaining length / remaining shards): sequences are
+   appended to the current shard until it reaches the target, with the
+   guard that every remaining shard can still claim at least one
+   sequence. Uses [length_at] only — on mapped databases this is two
+   offset-table reads per sequence, so sharding a paper-scale corpus
+   forces nothing. *)
+let shard db n =
+  if n < 1 then invalid_arg "Seqdb.shard: shard count must be >= 1";
+  let size = size db in
+  if size = 0 then [||]
+  else begin
+    let n = min n size in
+    let total = total_length db in
+    let ranges = Array.make n (0, 0) in
+    let lo = ref 1 in
+    let remaining = ref total in
+    for s = 0 to n - 1 do
+      let shards_left = n - s in
+      (* every later shard must keep at least one sequence *)
+      let hi_cap = size - (shards_left - 1) in
+      let target = !remaining / shards_left in
+      let hi = ref !lo in
+      let acc = ref (length_at db (!lo - 1)) in
+      while !hi < hi_cap && !acc < target do
+        incr hi;
+        acc := !acc + length_at db (!hi - 1)
+      done;
+      (* the last shard absorbs any tail of zero-length sequences *)
+      if shards_left = 1 then
+        while !hi < size do
+          incr hi;
+          acc := !acc + length_at db (!hi - 1)
+        done;
+      ranges.(s) <- (!lo, !hi);
+      remaining := !remaining - !acc;
+      lo := !hi + 1
+    done;
+    ranges
+  end
+
 let pp ppf db =
   Format.fprintf ppf "@[<v>";
   iter (fun i s -> Format.fprintf ppf "S%d = %a@," i Sequence.pp s) db;

@@ -60,6 +60,19 @@ val equal : t -> t -> bool
     sequences. When both sides are store-backed the sealed content
     digests are compared instead — O(1) and no sequence is forced. *)
 
+val shard : t -> int -> (int * int) array
+(** [shard db n] partitions the sequence range [1 .. size db] into at
+    most [n] contiguous, non-empty, inclusive 1-based ranges
+    [(lo, hi)], balanced by total event length (the proxy for
+    per-shard mining cost). Deterministic greedy prefix walk: each
+    shard closes once it reaches the remaining-length/remaining-shards
+    target, so no shard is starved and the ranges cover the database
+    exactly once in order. Shards are {e views} — nothing is copied;
+    on a store-backed database the walk reads only the mapped offset
+    table ({e no sequence is forced}). Returns fewer than [n] ranges
+    when the database has fewer sequences, and [[||]] for an empty
+    database. @raise Invalid_argument when [n < 1]. *)
+
 val pp : Format.formatter -> t -> unit
 
 (** {2 Store backing}

@@ -15,8 +15,10 @@ type kind =
   | Query_cut
   | Store_map
   | Store_crc
+  | Steal
+  | Shard_merge
 
-let num_kinds = 14
+let num_kinds = 16
 
 let kind_code = function
   | Root -> 0
@@ -33,6 +35,8 @@ let kind_code = function
   | Query_cut -> 11
   | Store_map -> 12
   | Store_crc -> 13
+  | Steal -> 14
+  | Shard_merge -> 15
 
 let kind_of_code = function
   | 0 -> Root
@@ -49,6 +53,8 @@ let kind_of_code = function
   | 11 -> Query_cut
   | 12 -> Store_map
   | 13 -> Store_crc
+  | 14 -> Steal
+  | 15 -> Shard_merge
   | c -> invalid_arg (Printf.sprintf "Trace: bad kind code %d" c)
 
 let kind_name = function
@@ -66,6 +72,8 @@ let kind_name = function
   | Query_cut -> "query_cut"
   | Store_map -> "store_map"
   | Store_crc -> "store_crc"
+  | Steal -> "steal"
+  | Shard_merge -> "shard_merge"
 
 (* Immutable [roots_on]/[nodes_on] flags keep the disabled-path check to one
    load and one predictable branch; the ring arrays are structure-of-arrays
@@ -162,9 +170,10 @@ let rec for_domain t =
 
 let enabled t = function
   | Root | Worker | Checkpoint_write | Budget_stop | Root_retry | Quarantine
-  | Checkpoint_retry | Store_map | Store_crc ->
+  | Checkpoint_retry | Store_map | Store_crc | Steal ->
     t.roots_on
-  | Node | Extension | Closure_check | Lb_prune | Query_cut -> t.nodes_on
+  | Node | Extension | Closure_check | Lb_prune | Query_cut | Shard_merge ->
+    t.nodes_on
 
 let now t =
   if not t.roots_on then 0
@@ -278,6 +287,8 @@ let arg_fields = function
   | Query_cut -> [| "depth"; "reason" |]
   | Store_map -> [| "mapped_words"; "open_us" |]
   | Store_crc -> [| "section"; "ok" |]
+  | Steal -> [| "thief"; "victim" |]
+  | Shard_merge -> [| "shards"; "merge_us" |]
 
 let pp_args ppf ev =
   let fields = arg_fields ev.kind in

@@ -47,6 +47,10 @@ type level =
     - [Store_crc]: instant per section CRC verification; [a0] = section
       tag (first byte of the FourCC), [a1] = 1 when the check passed,
       0 when it failed.
+    - [Steal]: instant per successful work steal ([Parallel_miner]
+      stealing mode); [a0] = thief worker slot, [a1] = victim worker
+      slot. Attempts that found an empty deque or lost the ticket race
+      only bump [Metrics.steal_attempts].
 
     The [Nodes]-level kinds:
 
@@ -60,7 +64,10 @@ type level =
       [a0] = depth, [a1] = support.
     - [Query_cut]: instant per extension subtree cut by in-DFS query
       pruning; [a0] = depth, [a1] = reason (0 targeted unreachable,
-      1 top-k floor). *)
+      1 top-k floor).
+    - [Shard_merge]: instant per sharded growth pass ([Shard_merge.grow]:
+      per-shard INSgrow on slices, then [Support_set.combine]); [a0] =
+      number of shards, [a1] = time spent combining in microseconds. *)
 type kind =
   | Root
   | Worker
@@ -76,6 +83,8 @@ type kind =
   | Query_cut
   | Store_map
   | Store_crc
+  | Steal
+  | Shard_merge
 
 type t
 

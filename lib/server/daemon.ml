@@ -17,12 +17,13 @@ type config = {
   stats_path : string option;
   stats_interval_s : float;
   tick_s : float;
+  shards : int option;
 }
 
 let config ?(queue_capacity = 16) ?(workers = 2) ?(limits = Job.no_limits)
     ?idle_timeout_s ?(drain_grace_s = 5.0) ?(send_timeout_s = 10.0)
     ?(result_chunk = 512) ?stats_path ?(stats_interval_s = 10.0)
-    ?(tick_s = 0.05) ~socket_path ~state_dir () =
+    ?(tick_s = 0.05) ?shards ~socket_path ~state_dir () =
   if queue_capacity < 1 then invalid_arg "Daemon.config: queue_capacity >= 1";
   if workers < 1 then invalid_arg "Daemon.config: workers >= 1";
   if drain_grace_s < 0.0 then invalid_arg "Daemon.config: drain_grace_s >= 0";
@@ -33,6 +34,9 @@ let config ?(queue_capacity = 16) ?(workers = 2) ?(limits = Job.no_limits)
   if tick_s <= 0.0 then invalid_arg "Daemon.config: tick_s > 0";
   (match idle_timeout_s with
   | Some s when s <= 0.0 -> invalid_arg "Daemon.config: idle_timeout_s > 0"
+  | _ -> ());
+  (match shards with
+  | Some n when n < 1 -> invalid_arg "Daemon.config: shards >= 1"
   | _ -> ());
   {
     socket_path;
@@ -47,6 +51,7 @@ let config ?(queue_capacity = 16) ?(workers = 2) ?(limits = Job.no_limits)
     stats_path;
     stats_interval_s;
     tick_s;
+    shards;
   }
 
 type conn = {
@@ -315,7 +320,9 @@ let run_job t (job : Job.t) =
        start and the watchdog can observe node progress *)
     let budget = Job.budget_of job.Job.spec in
     Scheduler.start_budget t.sched job budget;
-    let cfg = Job.config_of job.Job.spec in
+    (* sharding is a server-wide deployment knob, not part of the wire
+       spec: output (and checkpoints) are identical either way *)
+    let cfg = Job.config_of ?shards:t.cfg.shards job.Job.spec in
     let ckpt =
       Job.checkpoint_path ~state_dir:t.cfg.state_dir job.Job.spec.Protocol.job_id
     in

@@ -58,6 +58,10 @@ type config = {
   stats_interval_s : float;  (** dump period (default 10) *)
   tick_s : float;
       (** event-loop tick: drain/watchdog latency bound (default 0.05) *)
+  shards : int option;
+      (** run every job's instance growths over this many database shards
+          ({!Shard_merge}) — a server-wide deployment knob, invisible in
+          job output and checkpoints (default unsharded) *)
 }
 
 val config :
@@ -71,6 +75,7 @@ val config :
   ?stats_path:string ->
   ?stats_interval_s:float ->
   ?tick_s:float ->
+  ?shards:int ->
   socket_path:string ->
   state_dir:string ->
   unit ->

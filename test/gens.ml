@@ -16,6 +16,22 @@ let pattern ~alphabet ~max_len =
   QCheck2.Gen.(
     list_size (int_range 1 max_len) (int_bound (alphabet - 1)) >|= Pattern.of_list)
 
+(* Adversarial root skew for the work-stealing tier: one dominant event
+   (0) makes up most of every sequence, so virtually the whole DFS lives
+   under a single root — static per-root scheduling degenerates to one
+   busy domain, and any load balancing must come from stealing inside
+   that root's subtree. *)
+let skewed_db ~num_seqs ~alphabet ~len =
+  QCheck2.Gen.(
+    let skewed_event =
+      int_bound 99 >>= fun r ->
+      if r < 80 || alphabet <= 1 then return 0
+      else int_range 1 (alphabet - 1)
+    in
+    list_size (int_range 1 num_seqs)
+      (list_size (return len) skewed_event >|= Sequence.of_list)
+    >|= Seqdb.of_sequences)
+
 let print_db d = Format.asprintf "%a" Seqdb.pp d
 
 let print_db_pattern (d, p) =

@@ -184,6 +184,75 @@ let test_sweep_mine_resumable () =
               (Printexc.to_string e)))
     (Chaos.plans ~seed:303 ~count:plan_count ())
 
+(* The work-stealing executor exposes two further sites: a worker crash
+   right after a successful steal (Steal) and a cancellation between a
+   sharded growth's per-shard INSgrow passes and the combine
+   (Shard_merge). Same invariant: output modulo quarantined roots equals
+   the fault-free run — the sequential retry neither steals nor runs the
+   faulted merge pass at the same firing, so transient faults are fully
+   absorbed. The skewed database makes real steals likely, so Steal plans
+   actually fire rather than passing vacuously. *)
+let steal_db =
+  lazy
+    (QCheck2.Gen.generate1
+       ~rand:(Random.State.make [| 0xC0A5 |])
+       (Gens.skewed_db ~num_seqs:16 ~alphabet:4 ~len:16))
+
+let test_sweep_mine_steal () =
+  let db = Lazy.force steal_db in
+  let idx = Inverted_index.build db in
+  (* GSgrow, not CloGSgrow: the invariant counts absent roots against the
+     quarantine tally, which needs every root to emit at least its own
+     size-1 pattern in the fault-free run *)
+  let baseline, _, q0 =
+    Parallel_miner.mine_steal ~domains:3 ~max_length:4 ~shards:2
+      ~strategy:Gsgrow.strategy idx ~min_sup:4
+  in
+  Alcotest.(check int) "fault-free baseline" 0 q0;
+  Alcotest.(check bool) "baseline mined something" true (baseline <> []);
+  List.iter
+    (fun plan ->
+      match
+        Chaos.inject plan (fun () ->
+            Parallel_miner.mine_steal ~domains:3 ~max_length:4 ~shards:2
+              ~strategy:Gsgrow.strategy idx ~min_sup:4)
+      with
+      | faulty, _, quarantined -> check plan ~baseline ~faulty ~quarantined
+      | exception e ->
+        Alcotest.failf "%s: escaped exception %s" (plan_str plan)
+          (Printexc.to_string e))
+    (Chaos.plans
+       ~kinds:[ Chaos.Insgrow; Chaos.Worker; Chaos.Steal; Chaos.Shard_merge ]
+       ~seed:404 ~count:plan_count ())
+
+(* Mid-merge cancellation under the checkpointed path: Shard_merge faults
+   inside mine_resumable with sharding on must uphold the same invariant,
+   and the checkpoint must stay loadable afterwards (exercised by the
+   robustness tier; here the report contract suffices). *)
+let test_sweep_resumable_sharded () =
+  let db = Lazy.force chaos_db in
+  let cfg = Miner.config ~min_sup ~max_length:3 ~domains:2 ~shards:3 () in
+  let baseline = Miner.mine_resumable cfg db in
+  Alcotest.(check bool) "sharded baseline completed" true
+    (baseline.Miner.outcome = Budget.Completed);
+  List.iter
+    (fun plan ->
+      with_temp_checkpoint (fun path ->
+          match
+            Chaos.inject plan (fun () ->
+                Miner.mine_resumable ~checkpoint:path cfg db)
+          with
+          | report ->
+            check plan ~baseline:baseline.Miner.results
+              ~faulty:report.Miner.results
+              ~quarantined:report.Miner.quarantined
+          | exception e ->
+            Alcotest.failf "%s: escaped exception %s" (plan_str plan)
+              (Printexc.to_string e)))
+    (Chaos.plans
+       ~kinds:[ Chaos.Shard_merge; Chaos.Worker ]
+       ~seed:505 ~count:plan_count ())
+
 let suite =
   [
     Alcotest.test_case "plans deterministic" `Quick test_plans_deterministic;
@@ -192,4 +261,7 @@ let suite =
     Alcotest.test_case "sweep mine_all" `Quick test_sweep_mine_all;
     Alcotest.test_case "sweep mine_closed" `Quick test_sweep_mine_closed;
     Alcotest.test_case "sweep mine_resumable" `Quick test_sweep_mine_resumable;
+    Alcotest.test_case "sweep mine_steal" `Quick test_sweep_mine_steal;
+    Alcotest.test_case "sweep resumable sharded" `Quick
+      test_sweep_resumable_sharded;
   ]

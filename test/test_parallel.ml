@@ -143,6 +143,24 @@ let test_largest_first_order_shape () =
            ~mine_root:(fun _ -> ())
            ()))
 
+(* Regression: equal occurrence counts must order by root index, not by
+   whatever permutation Array.sort (which is unstable) happens to leave.
+   Every event below occurs exactly twice, so any tie-break bug shows up
+   as a non-identity order. *)
+let test_largest_first_order_tie_break () =
+  let idx = Inverted_index.build (Seqdb.of_strings [ "ABCABC"; "DD" ]) in
+  let roots = Array.of_list (Inverted_index.frequent_events idx ~min_sup:2) in
+  Alcotest.(check bool) "all-tied fixture" true (Array.length roots >= 3);
+  let counts =
+    Array.map (fun e -> Inverted_index.occurrence_count idx e) roots
+  in
+  Array.iter (fun c -> Alcotest.(check int) "uniform weight" counts.(0) c) counts;
+  let order = Parallel_miner.largest_first_order idx roots in
+  Alcotest.(check (array int))
+    "ties resolve to the identity permutation"
+    (Array.init (Array.length roots) Fun.id)
+    order
+
 (* Per-root statuses stay keyed by root under reordering, including
    injected crashes: the same root fails (twice, surviving its retry as
    [Failed]) whichever claim order ran, and every other root's result is
@@ -229,6 +247,8 @@ let suite =
       test_schedule_output_identical;
     Alcotest.test_case "schedule: largest-first order shape" `Quick
       test_largest_first_order_shape;
+    Alcotest.test_case "schedule: tie-break is deterministic" `Quick
+      test_largest_first_order_tie_break;
     Alcotest.test_case "schedule: faults keyed by root" `Quick
       test_schedule_fault_injection;
     Alcotest.test_case "schedule: halt preserves skips" `Quick

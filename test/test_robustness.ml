@@ -724,6 +724,30 @@ let test_e2e_kill9_resume () =
       Alcotest.(check string) "resumed stdout = uninterrupted stdout"
         (normalize_report out_base) (normalize_report out_res))
 
+(* Same acceptance scenario with sharded growth on: the per-shard merge is
+   invisible to the checkpoint (the fingerprint deliberately excludes the
+   shard count), so a kill -9 mid-run under --shards resumes to exactly
+   the uninterrupted unsharded run's stdout — and a checkpoint written
+   sharded resumes fine without --shards. *)
+let test_e2e_kill9_resume_sharded () =
+  with_temp_checkpoint (fun ckpt ->
+      let status_base, out_base = run_rgsminer (e2e_args []) in
+      Alcotest.(check bool) "baseline exit 0" true (status_base = Unix.WEXITED 0);
+      let status_killed, _ =
+        run_rgsminer ~root_delay_ms:50 ~kill:(0.6, Sys.sigkill)
+          (e2e_args [ "--checkpoint"; ckpt; "--shards"; "3" ])
+      in
+      Alcotest.(check bool) "killed outright" true
+        (status_killed = Unix.WSIGNALED Sys.sigkill);
+      Alcotest.(check bool) "log left behind" true (Sys.file_exists ckpt);
+      (* resume WITHOUT --shards: the log must be interchangeable *)
+      let status_res, out_res =
+        run_rgsminer (e2e_args [ "--checkpoint"; ckpt; "--resume" ])
+      in
+      Alcotest.(check bool) "resume exit 0" true (status_res = Unix.WEXITED 0);
+      Alcotest.(check string) "sharded-then-killed resume = uninterrupted"
+        (normalize_report out_base) (normalize_report out_res))
+
 (* SIGTERM is the graceful path: the run stops at the next budget poll,
    appends its final Run_outcome record, reports the interruption on
    stdout, and exits with the documented code 130. *)
@@ -792,5 +816,7 @@ let suite =
     Alcotest.test_case "shutdown flag interrupts and resumes" `Quick
       test_shutdown_flag_interrupts_and_resumes;
     Alcotest.test_case "e2e: kill -9 then resume" `Quick test_e2e_kill9_resume;
+    Alcotest.test_case "e2e: kill -9 under --shards then resume" `Quick
+      test_e2e_kill9_resume_sharded;
     Alcotest.test_case "e2e: SIGTERM graceful exit" `Quick test_e2e_sigterm_graceful;
   ]
