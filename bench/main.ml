@@ -348,6 +348,131 @@ let section_steal () =
       successes cores enforced
     :: !steal_rows
 
+(* --- Section H: supervised multi-process shard workers ---
+
+   Pins the supervision tax. Mining with every instance growth shipped to
+   per-shard rgsworker processes over the CRC-framed socketpairs must
+   stay byte-identical to the in-process sharded run (enforced; that is
+   the whole contract of the supervisor), and a fault-free run must
+   spawn exactly one worker per shard, restart none and never degrade
+   (enforced — a restart here means the handshake or liveness deadline
+   is mis-tuned, not a flaky host). What is recorded, not gated, is the
+   overhead ratio of supervised vs in-process growth per shard count —
+   the price of crash isolation. Skipped gracefully when the rgsworker
+   executable is not built next to the bench binary;
+   RGS_BENCH_SKIP_SUPERVISE gates the whole section (the perf-smoke
+   alias sets it: process supervision has no place in a 1-rep smoke).
+   Rows land in BENCH_core.json under "supervise". *)
+
+let supervise_rows = ref []
+
+let section_supervise () =
+  let open Rgs_core in
+  let worker_exe =
+    Filename.concat (Filename.dirname Sys.executable_name)
+      (Filename.concat ".." (Filename.concat "bin" "rgsworker.exe"))
+  in
+  Format.printf "@.### Section H: supervised multi-process shard workers@.@.";
+  if not (Sys.file_exists worker_exe) then
+    Format.printf "(skipping: %s not built)@." worker_exe
+  else begin
+    let signatures results =
+      List.map
+        (fun r -> (Pattern.to_string r.Mined.pattern, r.Mined.support))
+        results
+    in
+    let reps = int_of_float (env_float "RGS_BENCH_LAYOUT_REPS" 3.) |> max 1 in
+    let best f =
+      ignore (f ());
+      let wall = ref infinity in
+      for _ = 1 to reps do
+        let _, elapsed = E.Exp_common.time f in
+        if elapsed < !wall then wall := elapsed
+      done;
+      !wall
+    in
+    let db, _ = E.Exp_common.jboss_like () in
+    let min_sup = 18 and max_length = 4 in
+    let sequential =
+      signatures
+        (Miner.mine
+           ~config:(Miner.config ~max_length ~min_sup ())
+           db)
+          .Miner.results
+    in
+    let t =
+      Rgs_post.Report.create
+        ~columns:
+          [ "shards"; "mode"; "time_s"; "overhead_x"; "spawns"; "restarts" ]
+    in
+    List.iter
+      (fun shards ->
+        let inproc_cfg = Miner.config ~shards ~max_length ~min_sup () in
+        let inproc_wall =
+          best (fun () -> ignore (Miner.mine ~config:inproc_cfg db))
+        in
+        let sup =
+          Rgs_server.Supervisor.create
+            (Rgs_server.Supervisor.config ~shards ~worker_exe ())
+            db
+        in
+        Fun.protect
+          ~finally:(fun () -> Rgs_server.Supervisor.shutdown sup)
+          (fun () ->
+            let cfg =
+              Miner.config ~shards
+                ~shard_dispatch:(Rgs_server.Supervisor.dispatch sup)
+                ~max_length ~min_sup ()
+            in
+            let out = signatures (Miner.mine ~config:cfg db).Miner.results in
+            if out <> sequential then
+              failwith
+                (Printf.sprintf
+                   "supervise bench: shards=%d: output differs from the \
+                    sequential miner"
+                   shards);
+            let wall = best (fun () -> ignore (Miner.mine ~config:cfg db)) in
+            let s = Rgs_server.Supervisor.stats sup in
+            if s.Rgs_server.Supervisor.degraded then
+              failwith "supervise bench: supervisor degraded on a healthy host";
+            if s.Rgs_server.Supervisor.restarts > 0 then
+              failwith
+                (Printf.sprintf
+                   "supervise bench: %d restart(s) without any injected fault"
+                   s.Rgs_server.Supervisor.restarts);
+            if s.Rgs_server.Supervisor.spawns <> shards then
+              failwith
+                (Printf.sprintf
+                   "supervise bench: %d spawn(s) for %d shard(s)"
+                   s.Rgs_server.Supervisor.spawns shards);
+            let overhead = wall /. inproc_wall in
+            Rgs_post.Report.add_row t
+              [ string_of_int shards; "in-process";
+                Rgs_post.Report.cell_float inproc_wall; "1.00"; "-"; "-" ];
+            Rgs_post.Report.add_row t
+              [ string_of_int shards; "supervised";
+                Rgs_post.Report.cell_float wall;
+                Printf.sprintf "%.2f" overhead;
+                string_of_int s.Rgs_server.Supervisor.spawns;
+                string_of_int s.Rgs_server.Supervisor.restarts ];
+            supervise_rows :=
+              Printf.sprintf
+                "    {\"dataset\": \"jboss_like\", \"min_sup\": %d, \
+                 \"shards\": %d, \"inproc_wall_s\": %.6f, \
+                 \"supervised_wall_s\": %.6f, \"overhead_x\": %.2f, \
+                 \"spawns\": %d, \"restarts\": %d, \
+                 \"outputs_identical\": true}"
+                min_sup shards inproc_wall wall overhead
+                s.Rgs_server.Supervisor.spawns
+                s.Rgs_server.Supervisor.restarts
+              :: !supervise_rows))
+      [ 2; 4 ];
+    print_table
+      "supervised worker processes vs in-process sharded growth \
+       (outputs checked against sequential)"
+      t
+  end
+
 (* --- Section C: columnar layout, old vs new index backend ---
 
    Mines the two checked-in datasets with the seed hashtable index and the
@@ -697,7 +822,8 @@ let section_layout () =
        \"runs\": [\n%s\n  ],\n  \"speedups\": [\n%s\n  ],\n  \
        \"trace_overhead\": [\n%s\n  ],\n  \"seek_gallop\": [\n%s\n  ],\n  \
        \"pool_schedule\": [\n%s\n  ],\n  \"closure_funnel\": [\n%s\n  ],\n  \
-       \"store\": [\n%s\n  ],\n  \"steal\": [\n%s\n  ]\n}\n"
+       \"store\": [\n%s\n  ],\n  \"steal\": [\n%s\n  ],\n  \
+       \"supervise\": [\n%s\n  ]\n}\n"
       reps
       (String.concat ",\n" (List.rev !runs))
       (String.concat ",\n" (List.rev !speedups))
@@ -706,7 +832,8 @@ let section_layout () =
       (String.concat ",\n" (List.rev !schedule_rows))
       (String.concat ",\n" (List.rev !funnel_rows))
       (String.concat ",\n" (List.rev !store_rows))
-      (String.concat ",\n" (List.rev !steal_rows));
+      (String.concat ",\n" (List.rev !steal_rows))
+      (String.concat ",\n" (List.rev !supervise_rows));
     close_out oc;
     Format.printf "wrote %s@." json_path
   end
@@ -1074,6 +1201,7 @@ let () =
   if not (env_flag "RGS_BENCH_SKIP_STORE") then section_store ();
   (* steal before layout for the same reason: its rows go in the JSON *)
   if not (env_flag "RGS_BENCH_SKIP_STEAL") then section_steal ();
+  if not (env_flag "RGS_BENCH_SKIP_SUPERVISE") then section_supervise ();
   if not (env_flag "RGS_BENCH_SKIP_LAYOUT") then section_layout ();
   if not (env_flag "RGS_BENCH_SKIP_MICRO") then begin
     section_micro ();

@@ -78,8 +78,14 @@ let parse_target format codec s =
                (Printf.sprintf "--target: event %S does not occur in the input" t))
          (split s))
 
+(* [--shards auto] / [--workers auto] parse as 0; resolution to the
+   machine's recommended count happens here, after Cmdliner. *)
+let resolve_auto = function
+  | Some 0 -> Some (Parallel_miner.auto_shards ())
+  | n -> n
+
 let run input store format min_sup all max_length max_patterns limit instances max_gap parallel
-    shards steal index_kind deadline max_nodes max_words target top_k compress_delta
+    shards workers steal index_kind deadline max_nodes max_words target top_k compress_delta
     checkpoint resume retry_quarantined
     trace_file trace_level trace_ring stats_file stats_interval verbose =
   setup_logs verbose;
@@ -102,6 +108,24 @@ let run input store format min_sup all max_length max_patterns limit instances m
        use --parallel@.";
     exit 1
   end;
+  if workers <> None && steal then begin
+    Format.eprintf
+      "rgsminer: --workers (supervised shard processes) cannot be combined \
+       with --steal@.";
+    exit 1
+  end;
+  let workers = resolve_auto workers in
+  let shards =
+    match (resolve_auto shards, workers) with
+    | None, Some w -> Some w
+    | Some s, Some w when s <> w ->
+      Format.eprintf
+        "rgsminer: --shards %d and --workers %d disagree (one worker process \
+         serves one shard; drop one flag or make them equal)@."
+        s w;
+      exit 1
+    | s, _ -> s
+  in
   let input = match (input, store) with
     | Some path, _ | _, Some path -> path
     | None, None -> assert false
@@ -127,9 +151,27 @@ let run input store format min_sup all max_length max_patterns limit instances m
       | None, Some k -> Query.Top_k k
       | None, None -> Query.All
     in
+    (* --workers: one supervised rgsworker process per shard runs the
+       instance growths, crash-isolated; failures degrade back to
+       in-process growth with identical output. When mining from a
+       --store the workers map that same file; otherwise the supervisor
+       packs a temporary store for them. *)
+    let supervisor =
+      match workers with
+      | None -> None
+      | Some n ->
+        let scfg =
+          Rgs_server.Supervisor.config ~shards:n
+            ?gap:(Option.map (fun g -> (0, g)) max_gap)
+            ()
+        in
+        Some (Rgs_server.Supervisor.create ?store scfg db)
+    in
     let config =
       Miner.config ~mode ~query ?max_length ?max_patterns ?max_gap ?domains
         ?shards ~steal ?index_kind ?deadline_s:deadline ?max_nodes ?max_words
+        ?shard_dispatch:
+          (Option.map Rgs_server.Supervisor.dispatch supervisor)
         ~min_sup ()
     in
     let trace =
@@ -164,8 +206,15 @@ let run input store format min_sup all max_length max_patterns limit instances m
       | report -> report
       | exception e ->
         finish_ticker ();
+        Option.iter Rgs_server.Supervisor.shutdown supervisor;
         raise e
     in
+    (match supervisor with
+    | None -> ()
+    | Some sup ->
+      Rgs_server.Supervisor.shutdown sup;
+      Format.printf "%a@." Rgs_server.Supervisor.pp_stats
+        (Rgs_server.Supervisor.stats sup));
     (match trace_file with
     | None -> ()
     | Some path ->
@@ -299,12 +348,40 @@ let parallel =
   Arg.(value & flag & info [ "parallel"; "p" ]
          ~doc:"Mine with one domain per core (ignored with $(b,--max-gap)).")
 
+(* a shard/worker count, or "auto" (parsed as 0) for the machine's
+   recommended domain count *)
+let count_or_auto =
+  let parse s =
+    match s with
+    | "auto" -> Ok 0
+    | _ -> (
+      match int_of_string_opt s with
+      | Some n when n >= 0 -> Ok n
+      | _ -> Error (`Msg (Printf.sprintf "expected a count or 'auto', got %S" s)))
+  in
+  let print ppf = function
+    | 0 -> Format.pp_print_string ppf "auto"
+    | n -> Format.pp_print_int ppf n
+  in
+  Arg.conv (parse, print)
+
 let shards =
-  Arg.(value & opt (some int) None & info [ "shards" ] ~docv:"N"
+  Arg.(value & opt (some count_or_auto) None & info [ "shards" ] ~docv:"N"
          ~doc:"Partition the database into N balanced shards and run every \
                instance growth shard-by-shard, merging the per-shard support \
-               sets. Output is identical to an unsharded run in every mode, \
+               sets ($(b,auto) or $(b,0): one shard per recommended domain). \
+               Output is identical to an unsharded run in every mode, \
                including checkpoint/resume.")
+
+let workers =
+  Arg.(value & opt (some count_or_auto) None & info [ "workers" ] ~docv:"N"
+         ~doc:"Run instance growths in N supervised $(b,rgsworker) processes, \
+               one per shard ($(b,auto) or $(b,0): one per recommended \
+               domain; implies $(b,--shards) N). Workers heartbeat and are \
+               restarted with exponential backoff when they crash, hang or \
+               corrupt a frame; flapping shards are quarantined and the run \
+               degrades to in-process growth — the mined output is identical \
+               in every case. Not compatible with $(b,--steal).")
 
 let steal =
   Arg.(value & flag & info [ "steal" ]
@@ -486,7 +563,7 @@ let pack_cmd =
 let mine_term =
   Term.(const run $ input $ store_arg $ format $ min_sup $ all $ max_length
         $ max_patterns $ limit
-        $ instances $ max_gap $ parallel $ shards $ steal $ index_kind $ deadline $ max_nodes
+        $ instances $ max_gap $ parallel $ shards $ workers $ steal $ index_kind $ deadline $ max_nodes
         $ max_words $ target $ top_k $ compress_delta $ checkpoint $ resume
         $ retry_quarantined $ trace_file $ trace_level $ trace_ring
         $ stats_file $ stats_interval $ verbose)

@@ -18,9 +18,18 @@ let setup_logs verbose =
   Logs.set_reporter (Logs.format_reporter ());
   Logs.set_level (Some (if verbose then Logs.Info else Logs.Warning))
 
-let run socket state_dir queue_capacity workers shards max_deadline max_nodes
-    max_words idle_timeout drain_grace stats_file stats_interval stores verbose =
+(* --shards/--shard-workers auto parse as 0; resolve to the machine's
+   recommended count here, after Cmdliner *)
+let resolve_auto = function
+  | Some 0 -> Some (Rgs_core.Parallel_miner.auto_shards ())
+  | n -> n
+
+let run socket state_dir queue_capacity workers shards shard_workers
+    max_deadline max_nodes max_words idle_timeout drain_grace stats_file
+    stats_interval stores verbose =
   setup_logs verbose;
+  let shards = resolve_auto shards in
+  let shard_workers = resolve_auto shard_workers in
   let limits =
     {
       Job.max_deadline_s = max_deadline;
@@ -46,7 +55,8 @@ let run socket state_dir queue_capacity workers shards max_deadline max_nodes
   match
     Daemon.config ~queue_capacity ~workers ~limits ?idle_timeout_s:idle_timeout
       ~drain_grace_s:drain_grace ?stats_path:stats_file
-      ?stats_interval_s:stats_interval ?shards ~socket_path:socket ~state_dir ()
+      ?stats_interval_s:stats_interval ?shards ?shard_workers
+      ~socket_path:socket ~state_dir ()
   with
   | cfg -> (
     match Daemon.run cfg with
@@ -77,12 +87,38 @@ let workers =
   Arg.(value & opt int 2 & info [ "workers" ] ~docv:"N"
          ~doc:"Pool domains running jobs concurrently.")
 
+let count_or_auto =
+  let parse s =
+    match s with
+    | "auto" -> Ok 0
+    | _ -> (
+      match int_of_string_opt s with
+      | Some n when n >= 0 -> Ok n
+      | _ -> Error (`Msg (Printf.sprintf "expected a count or 'auto', got %S" s)))
+  in
+  let print ppf = function
+    | 0 -> Format.pp_print_string ppf "auto"
+    | n -> Format.pp_print_int ppf n
+  in
+  Arg.conv (parse, print)
+
 let shards =
-  Arg.(value & opt (some int) None & info [ "shards" ] ~docv:"N"
+  Arg.(value & opt (some count_or_auto) None & info [ "shards" ] ~docv:"N"
          ~doc:"Run every job's instance growths over N balanced database \
-               shards, merging per-shard support sets. A deployment knob: \
-               job output and checkpoints are identical to an unsharded \
-               daemon, so it can be changed across restarts freely.")
+               shards, merging per-shard support sets ($(b,auto) or $(b,0): \
+               one per recommended domain). A deployment knob: job output \
+               and checkpoints are identical to an unsharded daemon, so it \
+               can be changed across restarts freely.")
+
+let shard_workers =
+  Arg.(value & opt (some count_or_auto) None & info [ "shard-workers" ] ~docv:"N"
+         ~doc:"Run each job's per-shard instance growths in N supervised \
+               $(b,rgsworker) processes, one per shard ($(b,auto) or \
+               $(b,0): one per recommended domain; implies $(b,--shards) N). \
+               Workers heartbeat and are restarted with backoff on crash, \
+               hang or frame corruption; flapping shards are quarantined \
+               and the job degrades to in-process growth — output and \
+               checkpoints are identical in every case.")
 
 let max_deadline =
   Arg.(value & opt (some float) None & info [ "max-deadline" ] ~docv:"SECONDS"
@@ -133,7 +169,8 @@ let cmd =
   Cmd.v
     (Cmd.info "rgsminerd" ~version:"1.2.0" ~doc)
     Term.(const run $ socket $ state_dir $ queue_capacity $ workers $ shards
-          $ max_deadline $ max_nodes $ max_words $ idle_timeout $ drain_grace
-          $ stats_file $ stats_interval $ stores $ verbose)
+          $ shard_workers $ max_deadline $ max_nodes $ max_words
+          $ idle_timeout $ drain_grace $ stats_file $ stats_interval $ stores
+          $ verbose)
 
 let () = exit (Cmd.eval' cmd)

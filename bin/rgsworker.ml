@@ -1,0 +1,54 @@
+(* rgsworker: one supervised shard worker process.
+
+   Not meant to be launched by hand — rgsminer --workers / rgsminerd
+   --shard-workers spawn one per shard with a socketpair as
+   stdin/stdout. The worker maps the shared .rgsdb store, answers
+   encoded growth requests for its sequence range, and heartbeats; all
+   supervision (liveness, restarts, quarantine) lives in the parent.
+   Logs go to stderr only — stdout carries protocol frames. *)
+
+open Cmdliner
+
+let run store lo hi heartbeat_ms verbose =
+  Logs.set_reporter (Logs.format_reporter ~app:Format.err_formatter ());
+  Logs.set_level (Some (if verbose then Logs.Info else Logs.Warning));
+  if lo < 1 || hi < lo then begin
+    Format.eprintf "rgsworker: need 1 <= lo <= hi (got --lo %d --hi %d)@." lo hi;
+    2
+  end
+  else
+    match Rgs_server.Shard_worker.serve ~heartbeat_ms ~store ~lo ~hi () with
+    | () -> 0
+    | exception e ->
+      (* startup failure (bad store path, failed verify): the supervisor
+         sees EOF before the handshake and accounts a spawn failure *)
+      Format.eprintf "rgsworker: %s@." (Printexc.to_string e);
+      1
+
+let store =
+  Arg.(required & opt (some string) None & info [ "store" ] ~docv:"FILE"
+         ~doc:"Packed $(b,.rgsdb) store to map (shared with the supervisor).")
+
+let lo =
+  Arg.(required & opt (some int) None & info [ "lo" ] ~docv:"N"
+         ~doc:"First sequence of the served shard (inclusive, 1-based).")
+
+let hi =
+  Arg.(required & opt (some int) None & info [ "hi" ] ~docv:"N"
+         ~doc:"Last sequence of the served shard (inclusive).")
+
+let heartbeat_ms =
+  Arg.(value & opt int 50 & info [ "heartbeat-ms" ] ~docv:"MS"
+         ~doc:"Liveness heartbeat period (frames on stdout).")
+
+let verbose =
+  Arg.(value & flag & info [ "verbose"; "v" ]
+         ~doc:"Log the serve lifecycle to stderr.")
+
+let cmd =
+  let doc = "serve one database shard's instance growths to a supervisor" in
+  Cmd.v
+    (Cmd.info "rgsworker" ~version:"1.2.0" ~doc)
+    Term.(const run $ store $ lo $ hi $ heartbeat_ms $ verbose)
+
+let () = exit (Cmd.eval' cmd)

@@ -107,6 +107,80 @@ let fault_plan_of_job { jid; site; delay } =
     Some { id = jid; kind = Socket_write; trigger = delay; persistent = false }
   | Client_disconnect | Overlapping_resume | Kill_mid_drain -> None
 
+(* --- process-level plans (supervised shard workers, @supervise tier).
+
+   These faults fire inside a separate worker process, so they travel as
+   an environment variable rather than a [Budget.Fault] hook: the
+   supervisor serialises a plan with [worker_fault_to_string] into
+   [worker_fault_env], and the worker arms it with
+   [worker_fault_of_string] at startup. Transient plans are armed only in
+   the first incarnation (the supervisor exports the restart generation
+   in [worker_restart_env]), so a restart recovers; persistent plans
+   re-fire until the restart budget quarantines the shard. *)
+
+type proc_site =
+  | Proc_kill  (** [kill -9] self mid-shard (simulates a segfault) *)
+  | Proc_hang  (** stop heartbeating and sleep forever *)
+  | Proc_corrupt  (** reply with a garbage frame (CRC mismatch) *)
+  | Proc_slow  (** delay every reply; liveness must tolerate it *)
+
+type proc_plan = {
+  wid : int;
+  psite : proc_site;
+  after : int;  (** fire on the [after]-th growth request, 1-based *)
+  persist : bool;
+}
+
+let proc_site_name = function
+  | Proc_kill -> "kill"
+  | Proc_hang -> "hang"
+  | Proc_corrupt -> "corrupt"
+  | Proc_slow -> "slow"
+
+let pp_proc_plan ppf p =
+  Format.fprintf ppf "proc plan %d: %s after %d grow(s), %s" p.wid
+    (proc_site_name p.psite) p.after
+    (if p.persist then "persistent" else "transient")
+
+let proc_plans
+    ?(sites = [ Proc_kill; Proc_hang; Proc_corrupt; Proc_slow ]) ~seed ~count
+    () =
+  if sites = [] then invalid_arg "Chaos.proc_plans: sites must be non-empty";
+  if count < 0 then invalid_arg "Chaos.proc_plans: count must be >= 0";
+  let state = ref (Int64.of_int seed) in
+  let sites = Array.of_list sites in
+  List.init count (fun wid ->
+      (* cycle sites so a small sweep still covers every failure mode *)
+      let psite = sites.(wid mod Array.length sites) in
+      let after = 1 + (splitmix state mod 4) in
+      let persist = splitmix state land 1 = 1 in
+      { wid; psite; after; persist })
+
+let worker_fault_env = "RGS_WORKER_FAULT"
+let worker_restart_env = "RGS_WORKER_RESTART"
+
+let worker_fault_to_string p =
+  Printf.sprintf "%s:%d%s" (proc_site_name p.psite) p.after
+    (if p.persist then ":persist" else "")
+
+let proc_site_of_name = function
+  | "kill" -> Some Proc_kill
+  | "hang" -> Some Proc_hang
+  | "corrupt" -> Some Proc_corrupt
+  | "slow" -> Some Proc_slow
+  | _ -> None
+
+let worker_fault_of_string s =
+  let parse name after persist =
+    match (proc_site_of_name name, int_of_string_opt after) with
+    | Some psite, Some after when after >= 1 -> Some (psite, after, persist)
+    | _ -> None
+  in
+  match String.split_on_char ':' s with
+  | [ name; after ] -> parse name after false
+  | [ name; after; "persist" ] -> parse name after true
+  | _ -> None
+
 (* --- the invariant --- *)
 
 let root_of m = Pattern.get m.Mined.pattern 1

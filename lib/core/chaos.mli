@@ -110,6 +110,70 @@ val fault_plan_of_job : job_plan -> plan option
     maps to a transient {!Socket_write} plan triggered at the [delay]-th
     write; the other sites are enacted by the harness itself ([None]). *)
 
+(** {2 Process-level plans}
+
+    Fault recipes for supervised shard {e worker processes}
+    ([Supervisor] in [lib/server/], the [@supervise] tier). These fire
+    inside a separate process, so they travel as an environment
+    variable instead of a [Budget.Fault] hook: the harness serialises a
+    plan with {!worker_fault_to_string} into {!worker_fault_env}, and
+    the worker arms it at startup with {!worker_fault_of_string}.
+    Transient plans arm only in the worker's first incarnation — the
+    supervisor exports the restart generation in {!worker_restart_env}
+    and replacement workers see a non-zero value — so one restart
+    recovers; persistent plans re-fire in every incarnation until the
+    restart budget quarantines the shard (whose part the supervisor
+    then computes in-process, keeping output byte-identical). *)
+
+type proc_site =
+  | Proc_kill  (** [kill -9] self mid-shard (segfault-class crash) *)
+  | Proc_hang
+      (** stop heartbeating and sleep forever (livelock / stuck I/O);
+          detected by the liveness deadline *)
+  | Proc_corrupt
+      (** reply with a garbage frame (CRC mismatch / torn write);
+          detected by the frame CRC *)
+  | Proc_slow
+      (** delay every reply while still heartbeating — {e not} a fault:
+          the supervisor must tolerate it without a restart *)
+
+type proc_plan = {
+  wid : int;  (** position in the generated sweep *)
+  psite : proc_site;
+  after : int;  (** fire on the [after]-th growth request (1-based) *)
+  persist : bool;
+      (** [true]: every incarnation re-arms the fault (crashy shard —
+          ends in quarantine); [false]: first incarnation only (one
+          restart recovers) *)
+}
+
+val proc_site_name : proc_site -> string
+val pp_proc_plan : Format.formatter -> proc_plan -> unit
+
+val proc_plans :
+  ?sites:proc_site list -> seed:int -> count:int -> unit -> proc_plan list
+(** [count] process plans drawn deterministically from [seed], cycling
+    through [sites] (default: all four) with pseudo-random trigger
+    counts in [1, 4] and a persistent/transient mix. *)
+
+val worker_fault_env : string
+(** Environment variable carrying a serialised plan into a worker
+    process (["RGS_WORKER_FAULT"]). *)
+
+val worker_restart_env : string
+(** Environment variable carrying the worker's restart generation
+    (["RGS_WORKER_RESTART"]): [0] in the first incarnation, the restart
+    count afterwards. Transient plans only arm at generation 0. *)
+
+val worker_fault_to_string : proc_plan -> string
+(** Serialise for {!worker_fault_env}: ["kill:3"], ["corrupt:1:persist"],
+    ... *)
+
+val worker_fault_of_string : string -> (proc_site * int * bool) option
+(** Parse a {!worker_fault_to_string} value back into [(site, after,
+    persist)]; [None] on anything malformed (a worker ignores garbage
+    rather than dying to it). *)
+
 val check_invariant :
   baseline:Mined.t list ->
   faulty:Mined.t list ->

@@ -11,6 +11,7 @@ type config = {
   max_gap : int option;
   domains : int option;
   shards : int option;
+  shard_dispatch : Shard_merge.dispatch option;
   steal : bool;
   paged_index : bool;
   index_kind : Inverted_index.kind option;
@@ -29,6 +30,10 @@ let validate_config cfg =
   (match cfg.shards with
   | Some s when s < 1 -> invalid_arg "Miner: shards must be >= 1"
   | _ -> ());
+  if cfg.shard_dispatch <> None && cfg.shards = None then
+    invalid_arg "Miner: shard_dispatch requires shards";
+  if cfg.shard_dispatch <> None && cfg.steal then
+    invalid_arg "Miner: shard_dispatch cannot be combined with steal";
   if cfg.steal && cfg.domains = None then
     invalid_arg "Miner: steal requires domains";
   if cfg.steal && cfg.max_patterns <> None then
@@ -44,8 +49,9 @@ let validate_config cfg =
   | _ -> ()
 
 let config ?(mode = Closed) ?(query = Query.All) ?max_length ?max_patterns
-    ?max_gap ?domains ?shards ?(steal = false) ?(paged_index = false)
-    ?index_kind ?deadline_s ?max_nodes ?max_words ~min_sup () =
+    ?max_gap ?domains ?shards ?shard_dispatch ?(steal = false)
+    ?(paged_index = false) ?index_kind ?deadline_s ?max_nodes ?max_words
+    ~min_sup () =
   let cfg =
     {
       min_sup;
@@ -56,6 +62,7 @@ let config ?(mode = Closed) ?(query = Query.All) ?max_length ?max_patterns
       max_gap;
       domains;
       shards;
+      shard_dispatch;
       steal;
       paged_index;
       index_kind;
@@ -99,6 +106,7 @@ let describe cfg =
       | q -> Printf.sprintf ", query=%s" (Query.to_string q));
       (match cfg.domains with Some d -> Printf.sprintf ", %d domains" d | None -> "");
       (match cfg.shards with Some s -> Printf.sprintf ", %d shards" s | None -> "");
+      (if cfg.shard_dispatch <> None then " (supervised)" else "");
       (if cfg.steal then ", stealing" else "");
       (match cfg.max_length with Some l -> Printf.sprintf ", max_length=%d" l | None -> "");
       (match cfg.max_patterns with Some b -> Printf.sprintf ", max_patterns=%d" b | None -> "");
@@ -129,7 +137,9 @@ let strategy_of cfg =
    index's backing database ([None] = unsharded). *)
 let layout_of cfg idx =
   Option.map
-    (fun n -> Shard_merge.make (Inverted_index.db idx) ~shards:n)
+    (fun n ->
+      Shard_merge.make ?dispatch:cfg.shard_dispatch (Inverted_index.db idx)
+        ~shards:n)
     cfg.shards
 
 (* Under a top-k query the floor rises fastest when big subtrees are
@@ -222,13 +232,15 @@ let mine_indexed ?trace cfg idx =
         | Query.All, None, Some domains, All ->
           let results, stats =
             Parallel_miner.mine_all ~domains ?max_length:cfg.max_length ?budget
-              ?trace ?shards:cfg.shards idx ~min_sup:cfg.min_sup
+              ?trace ?shards:cfg.shards ?shard_dispatch:cfg.shard_dispatch idx
+              ~min_sup:cfg.min_sup
           in
           (results, stats.Gsgrow.outcome)
         | Query.All, None, Some domains, Closed ->
           let results, stats =
             Parallel_miner.mine_closed ~domains ?max_length:cfg.max_length
-              ?budget ?trace ?shards:cfg.shards idx ~min_sup:cfg.min_sup
+              ?budget ?trace ?shards:cfg.shards
+              ?shard_dispatch:cfg.shard_dispatch idx ~min_sup:cfg.min_sup
           in
           (results, stats.Clogsgrow.outcome)
         | Query.All, None, None, All ->

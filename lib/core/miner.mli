@@ -42,6 +42,14 @@ type config = {
       (** run every instance growth shard-by-shard over this many balanced
           database shards and merge ({!Shard_merge}) — output identical by
           construction, in every mode including checkpoint/resume *)
+  shard_dispatch : Shard_merge.dispatch option;
+      (** how the per-shard grown parts are computed: [None] (default)
+          computes them in-process; a supervisor ([Rgs_server.Supervisor])
+          supplies a closure that ships slices to isolated worker
+          processes, falling back in-process per shard on failure —
+          output identical either way. Requires [shards]; incompatible
+          with [steal] (the stealing executor re-splits subtrees across
+          domains, a different axis of parallelism) *)
   steal : bool;
       (** use the work-stealing executor ({!Parallel_miner.mine_steal}):
           dynamic DFS-subtree balancing instead of static per-root
@@ -70,6 +78,7 @@ val config :
   ?max_gap:int ->
   ?domains:int ->
   ?shards:int ->
+  ?shard_dispatch:Shard_merge.dispatch ->
   ?steal:bool ->
   ?paged_index:bool ->
   ?index_kind:Inverted_index.kind ->
@@ -83,7 +92,8 @@ val config :
     unsharded, no stealing, no bounds.
     @raise Invalid_argument when [min_sup < 1], a limit is negative, the
     query is invalid ({!Query.validate}), a top-k query is combined with
-    [max_patterns], [shards < 1], or [steal] is set without [domains] or
+    [max_patterns], [shards < 1], [shard_dispatch] is given without
+    [shards] or with [steal], or [steal] is set without [domains] or
     with [max_patterns]. *)
 
 type report = {

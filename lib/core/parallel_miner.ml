@@ -1,6 +1,7 @@
 open Rgs_sequence
 
 let default_domains () = max 1 (min (Domain.recommended_domain_count ()) 8)
+let auto_shards () = max 1 (Domain.recommended_domain_count ())
 
 type 'a root_status =
   | Done of 'a
@@ -492,13 +493,14 @@ let mine_steal ?domains ?max_length ?budget ?(trace = Trace.null) ?shards
   in
   (results, stats, quarantined)
 
-let shard_layout idx shards =
+let shard_layout ?dispatch idx shards =
   Option.map
-    (fun n -> Shard_merge.make (Inverted_index.db idx) ~shards:n)
+    (fun n -> Shard_merge.make ?dispatch (Inverted_index.db idx) ~shards:n)
     shards
 
 let mine_all ?domains ?max_length ?budget ?(trace = Trace.null)
-    ?(schedule = `Largest_first) ?(steal = false) ?shards idx ~min_sup =
+    ?(schedule = `Largest_first) ?(steal = false) ?shards ?shard_dispatch idx
+    ~min_sup =
   if steal then begin
     let results, s, _quarantined =
       mine_steal ?domains ?max_length ?budget ~trace ?shards
@@ -514,7 +516,7 @@ let mine_all ?domains ?max_length ?budget ?(trace = Trace.null)
   end
   else begin
   let domains = validate ?domains ~min_sup () in
-  let sm = shard_layout idx shards in
+  let sm = shard_layout ?dispatch:shard_dispatch idx shards in
   let events = Inverted_index.frequent_events idx ~min_sup in
   let roots = Array.of_list events in
   let mine_root k =
@@ -546,7 +548,8 @@ let mine_all ?domains ?max_length ?budget ?(trace = Trace.null)
   end
 
 let mine_closed ?domains ?max_length ?use_lb_check ?budget ?(trace = Trace.null)
-    ?(schedule = `Largest_first) ?(steal = false) ?shards idx ~min_sup =
+    ?(schedule = `Largest_first) ?(steal = false) ?shards ?shard_dispatch idx
+    ~min_sup =
   if steal then begin
     let strategy =
       Clogsgrow.strategy
@@ -570,7 +573,7 @@ let mine_closed ?domains ?max_length ?use_lb_check ?budget ?(trace = Trace.null)
   end
   else begin
   let domains = validate ?domains ~min_sup () in
-  let sm = shard_layout idx shards in
+  let sm = shard_layout ?dispatch:shard_dispatch idx shards in
   let events = Inverted_index.frequent_events idx ~min_sup in
   let roots = Array.of_list events in
   let mine_root k =

@@ -24,6 +24,12 @@ open Rgs_sequence
 val default_domains : unit -> int
 (** [min (Domain.recommended_domain_count ()) 8], at least 1. *)
 
+val auto_shards : unit -> int
+(** [Domain.recommended_domain_count ()], at least 1 — the shard count
+    the CLIs' [--shards auto] resolves to (uncapped, unlike
+    {!default_domains}: shards are index views, not running domains,
+    so there is no oversubscription cost to matching the machine). *)
+
 type 'a root_status =
   | Done of 'a  (** the root's miner returned (possibly with partial results
                     and a stop outcome recorded in its stats) *)
@@ -141,6 +147,7 @@ val mine_all :
   ?schedule:[ `Index | `Largest_first ] ->
   ?steal:bool ->
   ?shards:int ->
+  ?shard_dispatch:Shard_merge.dispatch ->
   Inverted_index.t ->
   min_sup:int ->
   Mined.t list * Gsgrow.stats
@@ -154,7 +161,11 @@ val mine_all :
     [steal] routes the run through {!mine_steal} (same output, dynamic
     balancing; [schedule] is then moot — stealing always claims largest
     first). [shards] runs every instance growth shard-by-shard
-    ({!Shard_merge}) in either mode — again identical output.
+    ({!Shard_merge}) in either mode — again identical output;
+    [shard_dispatch] routes the per-shard grows through a supervisor's
+    closure ({!Shard_merge.dispatch}, non-steal mode only — it is
+    called concurrently from every pool domain, so implementations
+    must be thread-safe).
     @raise Invalid_argument when [min_sup < 1] or [domains < 1]. *)
 
 val mine_closed :
@@ -166,6 +177,7 @@ val mine_closed :
   ?schedule:[ `Index | `Largest_first ] ->
   ?steal:bool ->
   ?shards:int ->
+  ?shard_dispatch:Shard_merge.dispatch ->
   Inverted_index.t ->
   min_sup:int ->
   Mined.t list * Clogsgrow.stats

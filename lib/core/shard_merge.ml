@@ -1,8 +1,16 @@
 open Rgs_sequence
 
-type t = { ranges : (int * int) array }
+type dispatch =
+  ranges:(int * int) array ->
+  (Inverted_index.t -> Support_set.t -> Event.t -> Support_set.t) ->
+  Inverted_index.t ->
+  Support_set.t ->
+  Event.t ->
+  Support_set.t array
 
-let make db ~shards = { ranges = Seqdb.shard db shards }
+type t = { ranges : (int * int) array; dispatch : dispatch option }
+
+let make ?dispatch db ~shards = { ranges = Seqdb.shard db shards; dispatch }
 let ranges t = t.ranges
 let num_shards t = Array.length t.ranges
 
@@ -16,13 +24,18 @@ let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
    in [strategy ~verify:true] and the [@steal] suite pin this down. *)
 let grow t ?(trace = Trace.null) base idx s e =
   let n = Array.length t.ranges in
-  if n <= 1 then base idx s e
+  if n <= 1 && t.dispatch = None then base idx s e
   else begin
     let parts =
-      Array.map
-        (fun (lo, hi) -> base idx (Support_set.slice s ~lo ~hi) e)
-        t.ranges
+      match t.dispatch with
+      | Some dispatch -> dispatch ~ranges:t.ranges base idx s e
+      | None ->
+        Array.map
+          (fun (lo, hi) -> base idx (Support_set.slice s ~lo ~hi) e)
+          t.ranges
     in
+    if Array.length parts <> n then
+      invalid_arg "Shard_merge.grow: dispatch returned wrong shard count";
     (* a cancellation raised here lands between the per-shard grows and
        the merge — the site the chaos harness attacks *)
     Budget.Fault.fire Budget.Fault.Shard_merge;

@@ -26,10 +26,29 @@ type t
 (** A shard layout over one database: the balanced ranges, computed once
     per run. *)
 
-val make : Seqdb.t -> shards:int -> t
+type dispatch =
+  ranges:(int * int) array ->
+  (Inverted_index.t -> Support_set.t -> Event.t -> Support_set.t) ->
+  Inverted_index.t ->
+  Support_set.t ->
+  Event.t ->
+  Support_set.t array
+(** How a layout computes its per-shard grown parts. [dispatch ~ranges
+    base idx s e] must return exactly one grown part per range, where
+    part [i] is {e content-equal} to [base idx (slice s ranges.(i)) e].
+    The in-process default computes each part inline; a supervisor
+    (in [lib/server/]) substitutes a closure that ships the slices to
+    worker processes and may fall back to [base] per shard — this
+    closure is the seam that keeps core free of any process-management
+    dependency. Called from whichever domain is growing, possibly
+    several concurrently: implementations must be thread-safe. *)
+
+val make : ?dispatch:dispatch -> Seqdb.t -> shards:int -> t
 (** [make db ~shards] computes the balanced layout via {!Seqdb.shard}.
-    A layout with fewer than two shards (small database, or [shards = 1])
-    makes {!grow} fall through to the unsharded growth.
+    Without [dispatch], a layout with fewer than two shards (small
+    database, or [shards = 1]) makes {!grow} fall through to the
+    unsharded growth; with [dispatch], every growth goes through it —
+    even single-shard layouts, so a lone supervised worker still serves.
     @raise Invalid_argument when [shards < 1]. *)
 
 val ranges : t -> (int * int) array
@@ -45,12 +64,14 @@ val grow :
   Support_set.t ->
   Event.t ->
   Support_set.t
-(** [grow t base idx s e] runs [base] on each shard's slice of [s] and
-    combines the results. Times the combine into
-    [Metrics.shard_merge_ns], records a [Shard_merge] trace instant,
-    and fires the {!Budget.Fault.Shard_merge} site between the grows
-    and the merge (the mid-merge cancellation point the chaos harness
-    attacks). With fewer than two shards this is exactly [base idx s e]. *)
+(** [grow t base idx s e] computes each shard's grown part — via the
+    layout's {!dispatch} when present, else by running [base] on each
+    shard's slice of [s] inline — and combines the results. Times the
+    combine into [Metrics.shard_merge_ns], records a [Shard_merge]
+    trace instant, and fires the {!Budget.Fault.Shard_merge} site
+    between the grows and the merge (the mid-merge cancellation point
+    the chaos harness attacks). With fewer than two shards and no
+    dispatch this is exactly [base idx s e]. *)
 
 val strategy : ?verify:bool -> ?trace:Trace.t -> t -> Engine.strategy -> Engine.strategy
 (** The sharded version of a strategy: same name and closure machinery,

@@ -264,6 +264,81 @@ let combine a b =
     { groups = out; total = a.total + b.total }
   end
 
+(* --- wire codec. Little-endian int64 per value, trimmed to the live
+   [len] prefix of each group (the slack slots are a heap-sharing
+   artifact and never cross a process boundary):
+
+     total_groups, total, then per group: gseq, len, firsts[0..len),
+     lasts[0..len).
+
+   [decode] is a trust boundary — worker replies arrive through it — so
+   it re-validates everything [well_formed] would check (strict
+   right-shift order, ascending gseq, total consistency) plus exact
+   buffer length, and raises [Invalid_argument] rather than letting a
+   malformed set corrupt a merge. *)
+
+let encode s =
+  let words =
+    2 + Array.fold_left (fun n g -> n + 2 + (2 * g.len)) 0 s.groups
+  in
+  let buf = Buffer.create (words * 8) in
+  let put v = Buffer.add_int64_le buf (Int64.of_int v) in
+  put (Array.length s.groups);
+  put s.total;
+  Array.iter
+    (fun g ->
+      put g.gseq;
+      put g.len;
+      for k = 0 to g.len - 1 do
+        put g.firsts.(k)
+      done;
+      for k = 0 to g.len - 1 do
+        put g.lasts.(k)
+      done)
+    s.groups;
+  Buffer.contents buf
+
+let decode buf =
+  let fail msg = invalid_arg ("Support_set.decode: " ^ msg) in
+  let nbytes = String.length buf in
+  if nbytes < 16 || nbytes mod 8 <> 0 then fail "truncated buffer";
+  let nwords = nbytes / 8 in
+  let word i =
+    let v64 = String.get_int64_le buf (i * 8) in
+    let v = Int64.to_int v64 in
+    if Int64.of_int v <> v64 || v < 0 then fail "value out of range";
+    v
+  in
+  let num_groups = word 0 in
+  let total = word 1 in
+  (* every group costs at least 4 words; bound before allocating *)
+  if num_groups > (nwords - 2) / 4 then fail "group count exceeds buffer";
+  let groups = Array.make num_groups empty_group in
+  let pos = ref 2 in
+  let prev_gseq = ref 0 in
+  for gi = 0 to num_groups - 1 do
+    if !pos + 2 > nwords then fail "truncated group header";
+    let gseq = word !pos in
+    let len = word (!pos + 1) in
+    if gseq <= !prev_gseq then fail "sequence ids not ascending";
+    prev_gseq := gseq;
+    if len = 0 then fail "empty group";
+    if len > (nwords - !pos - 2) / 2 then fail "group length exceeds buffer";
+    let firsts = Array.init len (fun k -> word (!pos + 2 + k)) in
+    let lasts = Array.init len (fun k -> word (!pos + 2 + len + k)) in
+    for k = 1 to len - 1 do
+      if
+        lasts.(k - 1) > lasts.(k)
+        || (lasts.(k - 1) = lasts.(k) && firsts.(k - 1) >= firsts.(k))
+      then fail "instances out of right-shift order"
+    done;
+    groups.(gi) <- { gseq; len; firsts; lasts };
+    pos := !pos + 2 + (2 * len)
+  done;
+  if !pos <> nwords then fail "trailing bytes";
+  if total_of groups <> total then fail "total mismatch";
+  { groups; total }
+
 (* Content equality over the live prefixes — the arrays may carry slack
    slots and be shared, so structural array equality would be wrong in both
    directions. *)

@@ -114,6 +114,20 @@ val combine : t -> t -> t
     obligation, checked differentially by the [@steal] suite).
     @raise Invalid_argument when the operands share a sequence id. *)
 
+val encode : t -> string
+(** Serialise for the wire (shard worker replies): little-endian int64
+    words — group count, total, then per group [gseq], [len], the live
+    [firsts] prefix, the live [lasts] prefix. Slack slots are trimmed,
+    so [encode] is a pure function of the set's {e content}:
+    [encode a = encode b] whenever [equal a b]. *)
+
+val decode : string -> t
+(** Inverse of {!encode}. A trust boundary: the input may come from a
+    crashed or corrupted worker process, so every {!well_formed}
+    invariant (strict right-shift order, ascending sequence ids, total
+    consistency) plus exact buffer length is re-validated.
+    @raise Invalid_argument on any malformed input. *)
+
 val equal : t -> t -> bool
 (** Content equality over live prefixes (slack slots and sharing are
     representation details and do not affect it). *)

@@ -72,6 +72,11 @@ let steal_attempts = register "steal_attempts" Counter
 let steal_successes = register "steal_successes" Counter
 let shard_merge_ns = register "shard_merge_ns" Counter
 let deque_max_depth = register "deque_max_depth" Gauge
+let worker_spawns = register "worker_spawns" Counter
+let worker_restarts = register "worker_restarts" Counter
+let worker_heartbeats_missed = register "worker_heartbeats_missed" Counter
+let shard_quarantines = register "shard_quarantines" Counter
+let supervisor_degraded = register "supervisor_degraded" Gauge
 
 let sample_live_words () =
   (* force a full major first: without it [Gc.stat]'s [live_words] includes

@@ -246,3 +246,30 @@ val deque_max_depth : counter
 (** Deepest any worker's steal deque grew during a stealing pool run (max
     gauge): the high-water mark of deferred DFS subtrees awaiting an
     owner pop or a steal. *)
+
+val worker_spawns : counter
+(** Shard worker processes spawned by [Supervisor] (first launches and
+    restarts alike — each [fork]+[exec] counts once). *)
+
+val worker_restarts : counter
+(** Worker incarnations torn down after a detected failure (exit/signal,
+    liveness timeout, or corrupt reply frame) whose shard the supervisor
+    then re-spawned or quarantined. [worker_spawns - worker_restarts] is
+    the number of first launches when no spawn itself failed. *)
+
+val worker_heartbeats_missed : counter
+(** Times a worker's reply socket stayed silent past the liveness
+    deadline (no heartbeat or reply frame within
+    [Supervisor.config.liveness_timeout_s]); each miss triggers the
+    restart path. *)
+
+val shard_quarantines : counter
+(** Shards whose worker exhausted its per-shard restart budget; the
+    supervisor stops re-spawning them and computes those shards
+    in-process, so output is unchanged. *)
+
+val supervisor_degraded : counter
+(** Gauge, [1] once a supervisor has fallen back to fully in-process
+    sharded mining — worker spawning unavailable (no worker executable,
+    store packing failed) or the global flap budget was exhausted. The
+    run completes with byte-identical output either way. *)

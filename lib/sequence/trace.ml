@@ -17,8 +17,9 @@ type kind =
   | Store_crc
   | Steal
   | Shard_merge
+  | Proc_worker
 
-let num_kinds = 16
+let num_kinds = 17
 
 let kind_code = function
   | Root -> 0
@@ -37,6 +38,7 @@ let kind_code = function
   | Store_crc -> 13
   | Steal -> 14
   | Shard_merge -> 15
+  | Proc_worker -> 16
 
 let kind_of_code = function
   | 0 -> Root
@@ -55,6 +57,7 @@ let kind_of_code = function
   | 13 -> Store_crc
   | 14 -> Steal
   | 15 -> Shard_merge
+  | 16 -> Proc_worker
   | c -> invalid_arg (Printf.sprintf "Trace: bad kind code %d" c)
 
 let kind_name = function
@@ -74,6 +77,7 @@ let kind_name = function
   | Store_crc -> "store_crc"
   | Steal -> "steal"
   | Shard_merge -> "shard_merge"
+  | Proc_worker -> "proc_worker"
 
 (* Immutable [roots_on]/[nodes_on] flags keep the disabled-path check to one
    load and one predictable branch; the ring arrays are structure-of-arrays
@@ -170,7 +174,7 @@ let rec for_domain t =
 
 let enabled t = function
   | Root | Worker | Checkpoint_write | Budget_stop | Root_retry | Quarantine
-  | Checkpoint_retry | Store_map | Store_crc | Steal ->
+  | Checkpoint_retry | Store_map | Store_crc | Steal | Proc_worker ->
     t.roots_on
   | Node | Extension | Closure_check | Lb_prune | Query_cut | Shard_merge ->
     t.nodes_on
@@ -289,6 +293,7 @@ let arg_fields = function
   | Store_crc -> [| "section"; "ok" |]
   | Steal -> [| "thief"; "victim" |]
   | Shard_merge -> [| "shards"; "merge_us" |]
+  | Proc_worker -> [| "shard"; "grows" |]
 
 let pp_args ppf ev =
   let fields = arg_fields ev.kind in

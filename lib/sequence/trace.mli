@@ -51,6 +51,9 @@ type level =
       stealing mode); [a0] = thief worker slot, [a1] = victim worker
       slot. Attempts that found an empty deque or lost the ticket race
       only bump [Metrics.steal_attempts].
+    - [Proc_worker]: span over one shard worker {e process} incarnation
+      ([Supervisor]), from spawn to shutdown/failure; [a0] = shard
+      index, [a1] = growth requests that incarnation served.
 
     The [Nodes]-level kinds:
 
@@ -85,6 +88,7 @@ type kind =
   | Store_crc
   | Steal
   | Shard_merge
+  | Proc_worker
 
 type t
 

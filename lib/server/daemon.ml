@@ -18,12 +18,13 @@ type config = {
   stats_interval_s : float;
   tick_s : float;
   shards : int option;
+  shard_workers : int option;
 }
 
 let config ?(queue_capacity = 16) ?(workers = 2) ?(limits = Job.no_limits)
     ?idle_timeout_s ?(drain_grace_s = 5.0) ?(send_timeout_s = 10.0)
     ?(result_chunk = 512) ?stats_path ?(stats_interval_s = 10.0)
-    ?(tick_s = 0.05) ?shards ~socket_path ~state_dir () =
+    ?(tick_s = 0.05) ?shards ?shard_workers ~socket_path ~state_dir () =
   if queue_capacity < 1 then invalid_arg "Daemon.config: queue_capacity >= 1";
   if workers < 1 then invalid_arg "Daemon.config: workers >= 1";
   if drain_grace_s < 0.0 then invalid_arg "Daemon.config: drain_grace_s >= 0";
@@ -37,6 +38,15 @@ let config ?(queue_capacity = 16) ?(workers = 2) ?(limits = Job.no_limits)
   | _ -> ());
   (match shards with
   | Some n when n < 1 -> invalid_arg "Daemon.config: shards >= 1"
+  | _ -> ());
+  (match shard_workers with
+  | Some n when n < 1 -> invalid_arg "Daemon.config: shard_workers >= 1"
+  | _ -> ());
+  (match (shards, shard_workers) with
+  | Some s, Some w when s <> w ->
+    invalid_arg
+      "Daemon.config: shards and shard_workers disagree (one worker process \
+       serves one shard)"
   | _ -> ());
   {
     socket_path;
@@ -52,6 +62,7 @@ let config ?(queue_capacity = 16) ?(workers = 2) ?(limits = Job.no_limits)
     stats_interval_s;
     tick_s;
     shards;
+    shard_workers;
   }
 
 type conn = {
@@ -87,9 +98,36 @@ type t = {
   mutable comp_seq : int;  (* daemon-wide completion sequence *)
 }
 
+(* A socket file left by a crashed daemon would make bind fail forever,
+   but blindly unlinking would silently hijack (and orphan) a live
+   daemon's socket — and would even delete a regular file that happens
+   to sit at the path. Probe first: only a socket nobody answers on is
+   stale and removed. *)
+let remove_stale_socket path =
+  match Unix.stat path with
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+  | { Unix.st_kind = Unix.S_SOCK; _ } -> (
+    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let live =
+      Fun.protect
+        ~finally:(fun () ->
+          try Unix.close probe with Unix.Unix_error _ -> ())
+        (fun () ->
+          match Unix.connect probe (Unix.ADDR_UNIX path) with
+          | () -> true
+          | exception
+              Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) ->
+            false)
+    in
+    if live then raise (Unix.Unix_error (Unix.EADDRINUSE, "bind", path));
+    Log.info (fun m -> m "removing stale socket %s (nobody listening)" path);
+    (try Unix.unlink path with Unix.Unix_error _ -> ()))
+  | _ -> ()
+(* not a socket: leave the file alone and let bind fail loudly *)
+
 let create cfg =
   if not (Sys.file_exists cfg.state_dir) then Unix.mkdir cfg.state_dir 0o755;
-  (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
+  remove_stale_socket cfg.socket_path;
   let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   (try
      Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket_path);
@@ -321,12 +359,40 @@ let run_job t (job : Job.t) =
     let budget = Job.budget_of job.Job.spec in
     Scheduler.start_budget t.sched job budget;
     (* sharding is a server-wide deployment knob, not part of the wire
-       spec: output (and checkpoints) are identical either way *)
-    let cfg = Job.config_of ?shards:t.cfg.shards job.Job.spec in
+       spec: output (and checkpoints) are identical either way. With
+       --shard-workers the growths additionally run in supervised
+       per-shard processes; a job on a mapped .rgsdb store shares that
+       file with its workers, anything else gets a temporary pack. *)
+    let supervisor =
+      match t.cfg.shard_workers with
+      | None -> None
+      | Some n ->
+        let store =
+          match job.Job.spec.Protocol.db with
+          | Protocol.File { path; _ }
+            when Filename.check_suffix path ".rgsdb" ->
+            Some path
+          | _ -> None
+        in
+        Some (Supervisor.create ?store (Supervisor.config ~shards:n ()) db)
+    in
+    let shards =
+      match t.cfg.shard_workers with Some _ as w -> w | None -> t.cfg.shards
+    in
+    let cfg =
+      Job.config_of ?shards
+        ?shard_dispatch:(Option.map Supervisor.dispatch supervisor)
+        job.Job.spec
+    in
     let ckpt =
       Job.checkpoint_path ~state_dir:t.cfg.state_dir job.Job.spec.Protocol.job_id
     in
-    match Miner.mine_resumable ~budget ~checkpoint:ckpt ~resume:true cfg db with
+    match
+      Fun.protect
+        ~finally:(fun () -> Option.iter Supervisor.shutdown supervisor)
+        (fun () ->
+          Miner.mine_resumable ~budget ~checkpoint:ckpt ~resume:true cfg db)
+    with
     | report ->
       (* δ-cover compression is a post-pass: the checkpoint (and any
          resume) always holds the uncompressed answer *)

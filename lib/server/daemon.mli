@@ -62,6 +62,14 @@ type config = {
       (** run every job's instance growths over this many database shards
           ({!Shard_merge}) — a server-wide deployment knob, invisible in
           job output and checkpoints (default unsharded) *)
+  shard_workers : int option;
+      (** additionally run each job's per-shard growths in this many
+          supervised [rgsworker] processes ({!Supervisor}), one per
+          shard: crash-isolated, heartbeat-monitored, restarted with
+          backoff, degrading to in-process growth when spawning fails —
+          job output and checkpoints are identical in every case
+          (default in-process). Implies [shards]; when both are set they
+          must agree. *)
 }
 
 val config :
@@ -76,21 +84,28 @@ val config :
   ?stats_interval_s:float ->
   ?tick_s:float ->
   ?shards:int ->
+  ?shard_workers:int ->
   socket_path:string ->
   state_dir:string ->
   unit ->
   config
 (** Smart constructor with the defaults above.
-    @raise Invalid_argument on non-positive sizes or timeouts. *)
+    @raise Invalid_argument on non-positive sizes or timeouts, or when
+    [shards] and [shard_workers] are both set but differ. *)
 
 type t
 
 val create : config -> t
 (** Create the state directory if needed, bind and listen on
-    [socket_path] (replacing a stale socket file), and set up the worker
-    plumbing. Clients may connect as soon as [create] returns; their
-    requests are processed once {!serve} runs.
-    @raise Unix.Unix_error when binding fails. *)
+    [socket_path], and set up the worker plumbing. A leftover socket
+    file at the path is {e probed} first: one nobody answers on (a
+    previous daemon crashed before unlinking it) is removed and
+    replaced; one a live daemon still serves raises
+    [Unix.Unix_error (EADDRINUSE, "bind", path)] instead of silently
+    hijacking it, and a non-socket file at the path is never deleted.
+    Clients may connect as soon as [create] returns; their requests are
+    processed once {!serve} runs.
+    @raise Unix.Unix_error when binding fails or the socket is live. *)
 
 val serve : t -> int
 (** Run the event loop until a drain completes. Returns the process exit

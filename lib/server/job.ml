@@ -91,10 +91,10 @@ let query_of (spec : Protocol.job_spec) =
   | Protocol.Q_target evs -> Query.Targeted (Pattern.of_list evs)
   | Protocol.Q_top_k k -> Query.Top_k k
 
-let config_of ?shards (spec : Protocol.job_spec) =
+let config_of ?shards ?shard_dispatch (spec : Protocol.job_spec) =
   Miner.config
     ~mode:(match spec.mode with Protocol.All -> Miner.All | Protocol.Closed -> Miner.Closed)
-    ~query:(query_of spec) ?max_length:spec.max_length ?shards
+    ~query:(query_of spec) ?max_length:spec.max_length ?shards ?shard_dispatch
     ~min_sup:spec.min_sup ()
 
 let read_file path =

@@ -63,11 +63,18 @@ val budget_of : Protocol.job_spec -> Budget.t
 (** Fresh per-job budget from the (clamped) spec limits. Call at job
     start: the deadline is absolute from creation time. *)
 
-val config_of : ?shards:int -> Protocol.job_spec -> Miner.config
+val config_of :
+  ?shards:int ->
+  ?shard_dispatch:Shard_merge.dispatch ->
+  Protocol.job_spec ->
+  Miner.config
 (** The {!Miner} config for the spec — {e without} budget limits (the
     daemon passes the explicit per-job budget instead). [shards] is the
     server-wide {!Daemon.config} knob, not part of the wire spec: sharded
     growth never changes job output or checkpoint compatibility.
+    [shard_dispatch] routes the per-shard growths through a
+    {!Supervisor}'s worker processes ([--shard-workers]); output and
+    checkpoints are still identical.
     @raise Invalid_argument on values {!validate} would reject. *)
 
 val load_db : Protocol.job_spec -> (Seqdb.t, string) result

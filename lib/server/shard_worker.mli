@@ -1,0 +1,80 @@
+(** One shard worker process: the serving side of supervised sharded
+    mining, and the message codecs shared with {!Supervisor}.
+
+    A worker is a {e stateless per-shard growth server}. It maps a shared
+    [.rgsdb] store (pages are shared with the supervisor and its sibling
+    workers — the store layer was built for exactly this), builds its own
+    inverted index, and then answers [Grow] requests: decode the
+    supervisor's {!Rgs_core.Support_set.encode}d slice of the current
+    support set, run one INSgrow pass (gap-constrained when the request
+    says so), and reply with the encoded grown part. No mining state
+    lives in the worker between requests, which is what makes the
+    supervisor's kill-and-resend restart trivially correct: any request
+    can be replayed against a fresh incarnation, or computed in-process,
+    with an identical answer.
+
+    Frames reuse {!Protocol}'s length + CRC-32 framing over the worker's
+    stdin/stdout (a socketpair, so the supervisor can arm [SO_RCVTIMEO]
+    as its liveness deadline). A heartbeat domain writes a [Heartbeat]
+    frame every [heartbeat_ms] under the same writer mutex as replies,
+    so a long INSgrow pass never looks like a hang.
+
+    Fault injection ({!Rgs_core.Chaos} process plans) arrives via the
+    {!Rgs_core.Chaos.worker_fault_env} environment variable; transient
+    plans arm only when {!Rgs_core.Chaos.worker_restart_env} reports
+    generation 0. *)
+
+open Rgs_sequence
+
+(** Requests, supervisor → worker. *)
+type to_worker =
+  | Grow of {
+      req : int;  (** request id, echoed in the reply *)
+      event : Event.t;  (** the extension event *)
+      gap : (int * int) option;
+          (** [(min_gap, max_gap)]: use the gap-constrained growth
+              ({!Rgs_core.Gap_constrained.grow}) instead of plain INSgrow *)
+      part : string;  (** {!Rgs_core.Support_set.encode} of this shard's slice *)
+    }
+  | Shutdown  (** drain and exit 0 (EOF on stdin means the same) *)
+
+(** Replies and liveness, worker → supervisor. *)
+type from_worker =
+  | Ready of { lo : int; hi : int; digest : string }
+      (** handshake: the shard range served and the mapped store's
+          {!Rgs_sequence.Seqdb.content_digest} — the supervisor refuses a
+          worker looking at different data *)
+  | Heartbeat  (** periodic liveness frame from the heartbeat domain *)
+  | Grown of { req : int; part : string }
+      (** the grown part for request [req], encoded *)
+  | Failed of { req : int; reason : string }
+      (** the request failed cleanly worker-side (e.g. a slice that does
+          not decode); the supervisor treats it like a crash *)
+
+val write_to_worker : Unix.file_descr -> to_worker -> unit
+val read_to_worker : Unix.file_descr -> to_worker option
+val write_from_worker : Unix.file_descr -> from_worker -> unit
+
+val read_from_worker : Unix.file_descr -> from_worker option
+(** [None] on clean EOF. @raise Protocol.Protocol_error on a torn or
+    CRC-corrupt frame, or when the descriptor's [SO_RCVTIMEO] expires
+    (message ["read timeout"]) — the supervisor's three failure signals. *)
+
+val write_corrupt_frame : Unix.file_descr -> unit
+(** A well-formed header whose CRC is deliberately wrong — what the
+    [Proc_corrupt] chaos site emits, and what protocol tests use to
+    exercise the CRC guard. *)
+
+val serve :
+  ?heartbeat_ms:int -> store:string -> lo:int -> hi:int -> unit -> unit
+(** Run the worker over stdin/stdout until [Shutdown], EOF, or a fatal
+    supervisor-side disappearance (EPIPE / torn request frame), serving
+    growth requests for the inclusive 1-based sequence range [[lo, hi]]
+    of the [.rgsdb] store at [store]. Sends [Ready] {e before} building
+    the index so the handshake never races a slow build, heartbeats
+    every [heartbeat_ms] (default 50) from a dedicated domain, and
+    ignores SIGPIPE. This is [bin/rgsworker.ml]'s whole body; it lives
+    here so tests can drive a worker in-process over a socketpair. *)
+
+val log_src : Logs.src
+(** The [rgs.worker] log source. *)

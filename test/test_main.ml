@@ -23,6 +23,7 @@ let () =
       ("robustness", Test_robustness.suite);
       ("chaos", Test_chaos.suite);
       ("daemon", Test_daemon.suite);
+      ("supervise", Test_supervise.suite);
       ("experiments", Test_experiments.suite);
       ("export", Test_export.suite);
       ("regressions", Test_regressions.suite);

@@ -47,6 +47,7 @@ if [ -x "$BIN/rgsminer.exe" ]; then
     "$BIN/rgsminer.exe" --help=plain 2>/dev/null
     "$BIN/rgsminer.exe" pack --help=plain 2>/dev/null
     "$BIN/rgsminerd.exe" --help=plain 2>/dev/null
+    "$BIN/rgsworker.exe" --help=plain 2>/dev/null
     "$BIN/rgsgen.exe" --help=plain 2>/dev/null
     for sub in quest jboss clickstream tcas; do
       "$BIN/rgsgen.exe" "$sub" --help=plain 2>/dev/null
